@@ -1,0 +1,67 @@
+"""A2 — ablation: global vs local cost (related work [14]/[21]).
+
+Cerezo et al. showed global costs (the paper's Eq. 4) plateau at any
+depth while local costs keep larger gradients.  This bench reruns the
+randomly-initialized variance study under both cost kinds and reports
+the decay-rate gap.
+
+Shape assertions: for random initialization, the local cost decays
+strictly slower than the global cost.
+"""
+
+from repro.analysis import format_table
+from repro.core.decay import fit_all_methods
+from repro.core.variance import VarianceConfig
+from repro.mitigation import compare_cost_localities, locality_gap
+
+QUBIT_COUNTS = (2, 4, 6)
+NUM_CIRCUITS = 40
+NUM_LAYERS = 20
+SEED = 99
+METHODS = ("random", "xavier_normal")
+
+
+def _run():
+    config = VarianceConfig(
+        qubit_counts=QUBIT_COUNTS,
+        num_circuits=NUM_CIRCUITS,
+        num_layers=NUM_LAYERS,
+        methods=METHODS,
+    )
+    return compare_cost_localities(config, seed=SEED)
+
+
+def test_cost_locality_ablation(run_once):
+    outcomes = run_once(_run)
+
+    print()
+    print("=" * 72)
+    print("Ablation A2 — variance decay rate: global vs local cost")
+    print(f"  circuits={NUM_CIRCUITS}, layers={NUM_LAYERS}, seed={SEED}")
+    print("=" * 72)
+    global_fits = fit_all_methods(outcomes["global"].result)
+    local_fits = fit_all_methods(outcomes["local"].result)
+    rows = []
+    for method in METHODS:
+        rows.append(
+            [
+                method,
+                f"{global_fits[method].rate:.3f}",
+                f"{local_fits[method].rate:.3f}",
+                f"{global_fits[method].rate - local_fits[method].rate:+.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["method", "global_rate", "local_rate", "gap(global-local)"], rows
+        )
+    )
+
+    # Related-work shape: local costs decay slower for random circuits.
+    assert locality_gap(outcomes, method="random") > 0.0
+    # The plateau signature is strongest for (global cost, random init).
+    assert global_fits["random"].rate == max(
+        fit.rate
+        for fits in (global_fits, local_fits)
+        for fit in fits.values()
+    )

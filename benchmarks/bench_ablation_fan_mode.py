@@ -1,0 +1,66 @@
+"""A1 — ablation: fan-convention sensitivity of the headline numbers.
+
+The paper never states how ``n_in``/``n_out`` map onto a PQC parameter
+tensor (see DESIGN.md, substitutions).  This bench reruns the variance
+study for Xavier/He/LeCun under all three implemented conventions and
+prints how the improvement-vs-random numbers move, quantifying how much
+of the paper's exact percentages could be convention-dependent.
+
+Shape assertions: under every convention the classical methods still
+improve on random — the paper's qualitative claim is convention-robust.
+"""
+
+from repro.core import VarianceConfig, run_variance_experiment
+from repro.analysis import format_table
+from repro.initializers import FanMode
+
+QUBIT_COUNTS = (2, 4, 6)
+NUM_CIRCUITS = 40
+NUM_LAYERS = 20
+SEED = 505
+METHODS = ("random", "xavier_normal", "he_normal", "lecun_normal")
+
+
+def _run():
+    outcomes = {}
+    for mode in FanMode:
+        config = VarianceConfig(
+            qubit_counts=QUBIT_COUNTS,
+            num_circuits=NUM_CIRCUITS,
+            num_layers=NUM_LAYERS,
+            methods=METHODS,
+            method_kwargs={
+                "xavier_normal": {"fan_mode": mode},
+                "he_normal": {"fan_mode": mode},
+                "lecun_normal": {"fan_mode": mode},
+            },
+        )
+        outcomes[mode.value] = run_variance_experiment(config, seed=SEED)
+    return outcomes
+
+
+def test_fan_mode_ablation(run_once):
+    outcomes = run_once(_run)
+
+    print()
+    print("=" * 72)
+    print("Ablation A1 — improvement vs random under each fan convention")
+    print(f"  circuits={NUM_CIRCUITS}, layers={NUM_LAYERS}, seed={SEED}")
+    print("=" * 72)
+    methods = [m for m in METHODS if m != "random"]
+    rows = []
+    for mode, outcome in outcomes.items():
+        rows.append(
+            [mode]
+            + [f"{outcome.improvements.get(m, float('nan')):+.1f}%" for m in methods]
+        )
+    print(format_table(["fan_mode"] + list(methods), rows))
+
+    for mode, outcome in outcomes.items():
+        # Qualitative claim is robust: every scheme improves under every
+        # convention.
+        for method in methods:
+            assert outcome.improvements[method] > 0.0, (mode, method)
+        # Random stays the worst under every convention.
+        rates = {m: f.rate for m, f in outcome.fits.items()}
+        assert rates["random"] == max(rates.values()), mode

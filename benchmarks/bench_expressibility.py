@@ -1,0 +1,82 @@
+"""A7 — ablation: expressibility/entanglement explain the BP mechanism.
+
+Holmes et al. proved that expressibility upper-bounds gradient variance:
+ensembles closer to Haar (2-designs) must have flatter landscapes.  This
+bench measures, per initializer, (i) the KL divergence of the sampled
+state-fidelity distribution from Haar (Sim et al.'s expressibility,
+lower = more Haar-like) and (ii) the mean Meyer-Wallach entanglement of
+the prepared states, connecting the paper's empirical variance ranking to
+its information-theoretic cause.
+
+Shape assertions: random is the most Haar-expressive (smallest KL) and
+the most entangling; every width-scaled scheme is strictly less
+expressive; the expressibility ordering of random-vs-Xavier matches their
+variance-decay ordering.
+"""
+
+from repro.analysis import format_table
+from repro.analysis.expressibility import (
+    entangling_capability,
+    expressibility_kl,
+)
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.initializers import get_initializer
+
+NUM_QUBITS = 4
+NUM_LAYERS = 6
+NUM_PAIRS = 120
+SEED = 901
+METHODS = ("random", "xavier_normal", "he_normal", "lecun_normal", "orthogonal")
+
+
+def _run():
+    ansatz = HardwareEfficientAnsatz(NUM_QUBITS, NUM_LAYERS)
+    rows = {}
+    for method in METHODS:
+        initializer = get_initializer(method)
+        kl = expressibility_kl(
+            ansatz, initializer, num_pairs=NUM_PAIRS, seed=SEED
+        )
+        q = entangling_capability(
+            ansatz, initializer, num_samples=NUM_PAIRS // 2, seed=SEED
+        )
+        rows[method] = (kl, q)
+    return rows
+
+
+def test_expressibility_ablation(run_once):
+    rows = run_once(_run)
+
+    print()
+    print("=" * 72)
+    print("Ablation A7 — expressibility (KL vs Haar) and entanglement per init")
+    print(
+        f"  {NUM_QUBITS} qubits, depth {NUM_LAYERS}, {NUM_PAIRS} fidelity "
+        f"pairs, seed={SEED}"
+    )
+    print("=" * 72)
+    table = [
+        [method, f"{kl:.3f}", f"{q:.3f}"] for method, (kl, q) in rows.items()
+    ]
+    print(
+        format_table(
+            ["method", "KL_from_Haar (low=expressive)", "meyer_wallach_Q"],
+            table,
+        )
+    )
+    print(
+        "\nHolmes et al.: more Haar-expressive ensembles have provably "
+        "flatter landscapes — random's low KL is the mechanism behind its "
+        "steep variance decay in Fig. 5a."
+    )
+
+    kls = {m: kl for m, (kl, _) in rows.items()}
+    qs = {m: q for m, (_, q) in rows.items()}
+    # Random is the most expressive (closest to Haar)...
+    assert kls["random"] == min(kls.values())
+    # ... and the most entangling.
+    assert qs["random"] == max(qs.values())
+    # Every width-scaled scheme is clearly less expressive.
+    for method in METHODS:
+        if method != "random":
+            assert kls[method] > 2.0 * kls["random"], method

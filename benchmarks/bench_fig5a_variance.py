@@ -1,0 +1,58 @@
+"""E2 — Fig. 5a: gradient-variance decay per initialization method.
+
+Paper setup: 200 random PQCs per qubit count in {2, 4, 6, 8, 10},
+substantial depth, gradient of the last parameter, variance across
+circuits per (qubit count, method).
+
+Bench scale (keeps the suite fast; the paper-scale run lives in
+``examples/reproduce_paper.py``): 50 circuits, depth 30, qubits up to 8.
+
+Shape assertions: random initialization decays steepest; every classical
+scheme improves on it; variance is monotone decreasing for random.
+"""
+
+import numpy as np
+
+from repro.analysis import decay_table, variance_table
+from repro.core import VarianceConfig, run_variance_experiment
+
+QUBIT_COUNTS = (2, 4, 6, 8)
+NUM_CIRCUITS = 50
+NUM_LAYERS = 30
+SEED = 2311
+
+
+def _run():
+    config = VarianceConfig(
+        qubit_counts=QUBIT_COUNTS,
+        num_circuits=NUM_CIRCUITS,
+        num_layers=NUM_LAYERS,
+    )
+    return run_variance_experiment(config, seed=SEED)
+
+
+def test_fig5a_variance_decay(run_once):
+    outcome = run_once(_run)
+
+    print()
+    print("=" * 72)
+    print("Fig. 5a — gradient variance per qubit count (reduced scale)")
+    print(f"  circuits={NUM_CIRCUITS}, layers={NUM_LAYERS}, seed={SEED}")
+    print("=" * 72)
+    print(variance_table(outcome.result))
+    print()
+    print(decay_table(outcome.fits, outcome.improvements))
+    print(f"ranking (best decay first): {outcome.ranking}")
+
+    rates = {m: f.rate for m, f in outcome.fits.items()}
+    # Paper shape 1: random has the steepest decay.
+    assert rates["random"] == max(rates.values())
+    # Paper shape 2: every classical method improves over random.
+    for method, improvement in outcome.improvements.items():
+        assert improvement > 0.0, f"{method} did not improve over random"
+    # Paper shape 3: Xavier (normal) is at/near the top — it must beat He,
+    # as in the paper's 62% vs 32% ordering.
+    assert rates["xavier_normal"] < rates["he_normal"]
+    # Random's variance is monotone decreasing across widths.
+    series = outcome.result.variance_series("random")
+    assert np.all(np.diff(series) < 0)

@@ -1,0 +1,84 @@
+"""E3 — Section VI-A improvement table with bootstrap uncertainty.
+
+The paper's headline numbers are percentage improvements in variance
+decay rate over random initialization (Xavier ~62.3%, He ~32%,
+LeCun ~28.3%, orthogonal ~26.4%).  Those point estimates come from a
+least-squares fit over noisy per-width variances; this bench reproduces
+the table at reduced scale *and* attaches bootstrap confidence intervals
+to every decay rate — showing how wide the sampling distribution is and
+therefore which orderings are statistically meaningful (see DESIGN.md,
+"expected deviations").
+
+Shape assertions: random's rate CI sits strictly above every classical
+method's CI upper edge is not required (CIs may overlap among the
+classical cluster); what must hold is that random's *lower* CI edge
+exceeds each classical method's point rate.
+"""
+
+from repro.analysis import bootstrap_decay_rate, format_table
+from repro.core import VarianceConfig, run_variance_experiment
+
+QUBIT_COUNTS = (2, 4, 6)
+NUM_CIRCUITS = 60
+NUM_LAYERS = 25
+SEED = 88
+
+
+def _run():
+    config = VarianceConfig(
+        qubit_counts=QUBIT_COUNTS,
+        num_circuits=NUM_CIRCUITS,
+        num_layers=NUM_LAYERS,
+    )
+    outcome = run_variance_experiment(config, seed=SEED)
+    intervals = {
+        method: bootstrap_decay_rate(
+            outcome.result.qubit_counts,
+            outcome.result.gradient_matrix(method),
+            num_resamples=300,
+            seed=SEED,
+        )
+        for method in outcome.result.methods
+    }
+    return outcome, intervals
+
+
+def test_improvement_table_with_bootstrap(run_once):
+    outcome, intervals = run_once(_run)
+
+    print()
+    print("=" * 72)
+    print("Section VI-A — decay-rate improvement over random (reduced scale)")
+    print(f"  circuits={NUM_CIRCUITS}, layers={NUM_LAYERS}, seed={SEED}")
+    print("=" * 72)
+    rows = []
+    for method, fit in outcome.fits.items():
+        low, high = intervals[method]
+        if method == "random":
+            gain = "(baseline)"
+        else:
+            gain = f"{outcome.improvements.get(method, float('nan')):+.1f}%"
+        rows.append(
+            [method, f"{fit.rate:.3f}", f"[{low:.3f}, {high:.3f}]", gain]
+        )
+    print(
+        format_table(
+            ["method", "decay_rate", "bootstrap_95%_CI", "improvement"], rows
+        )
+    )
+    print()
+    print(
+        "paper reports: xavier ~62.3%, he ~32%, lecun ~28.3%, orthogonal "
+        "~26.4% (point estimates, no CIs)"
+    )
+
+    random_low, _ = intervals["random"]
+    for method, fit in outcome.fits.items():
+        if method == "random":
+            continue
+        # Every classical method's point rate lies below even the lower
+        # edge of random's CI: the separation from random is significant.
+        assert fit.rate < random_low, method
+    # The improvements are all positive and Xavier-normal's is material.
+    assert all(v > 0 for v in outcome.improvements.values())
+    assert outcome.improvements["xavier_normal"] > 15.0

@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one paper artifact (figure/table) at a reduced but
+representative scale, prints the same rows/series the paper reports, and
+asserts the qualitative *shape* of the result (who wins, orderings,
+plateau behaviour).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The local ``pytest.ini`` disables output capture so the printed tables
+appear inline; timing numbers come from pytest-benchmark.  Paper-scale
+runs are available through ``examples/reproduce_paper.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Execute a thunk exactly once under the benchmark timer.
+
+    The experiments are seconds-long and deterministic, so repeated rounds
+    would only slow the suite without improving the measurement.
+    """
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,72 @@
+"""Fig. 1 reproduction: watch the cost landscape flatten with width.
+
+Scans a 2-D slice of the global-cost landscape for PQCs of increasing
+qubit count and renders each surface as an ASCII heat map next to its
+flatness metrics::
+
+    python examples/landscape_visualization.py
+    python examples/landscape_visualization.py --qubits 2 5 10 --layers 100
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import flatness_metrics, scan_landscape
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.core import global_identity_cost
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--qubits", type=int, nargs="+", default=[2, 5, 10])
+    parser.add_argument(
+        "--layers", type=int, default=40,
+        help="ansatz depth (the paper's Fig. 1 uses 100)",
+    )
+    parser.add_argument("--resolution", type=int, default=17)
+    parser.add_argument("--seed", type=int, default=1)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    for num_qubits in args.qubits:
+        ansatz = HardwareEfficientAnsatz(num_qubits, args.layers)
+        circuit = ansatz.build()
+        cost = global_identity_cost(circuit)
+        rng = np.random.default_rng(args.seed)
+        anchor = rng.uniform(0, 2 * np.pi, circuit.num_parameters)
+        scan = scan_landscape(
+            cost,
+            anchor,
+            param_indices=(
+                circuit.num_parameters - 2,
+                circuit.num_parameters - 1,
+            ),
+            resolution=args.resolution,
+        )
+        metrics = flatness_metrics(scan)
+        print()
+        print("=" * 60)
+        print(
+            f"{num_qubits} qubits, depth {args.layers} "
+            f"({circuit.num_parameters} parameters)"
+        )
+        print(
+            f"  cost range {metrics['cost_range']:.3e} | "
+            f"std {metrics['cost_std']:.3e} | "
+            f"mean |grad| {metrics['mean_gradient_magnitude']:.3e}"
+        )
+        print("=" * 60)
+        print(scan.to_ascii())
+    print(
+        "\nNote how the surface loses all contrast as the width grows — "
+        "the normalized maps stay patterned, but the absolute cost range "
+        "collapses exponentially (the printed metrics): that collapse is "
+        "the barren plateau of the paper's Fig. 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: build a PQC, initialize it, compute gradients, train.
+
+Run::
+
+    python examples/quickstart.py
+
+Walks through the library's core objects in ~40 lines of user code:
+an ansatz, an initializer, a cost function, a gradient, and a short
+training loop — the minimal version of the paper's training experiment.
+"""
+
+import numpy as np
+
+from repro import (
+    HardwareEfficientAnsatz,
+    StatevectorSimulator,
+    Trainer,
+    TrainingConfig,
+    get_initializer,
+    global_identity_cost,
+)
+
+
+def main() -> None:
+    # 1. The paper's hardware-efficient ansatz (Eq. 3), scaled down.
+    ansatz = HardwareEfficientAnsatz(num_qubits=4, num_layers=3)
+    circuit = ansatz.build()
+    print("circuit:", circuit)
+    print(circuit.draw(max_width=100))
+
+    # 2. Draw initial angles with Xavier-normal initialization.
+    initializer = get_initializer("xavier_normal")
+    params = initializer.sample(ansatz.parameter_shape, seed=7)
+    print(f"\ninitial angles: mean={params.mean():+.4f}, std={params.std():.4f}")
+
+    # 3. The paper's global identity cost, C = 1 - p(|0...0>)  (Eq. 4).
+    cost = global_identity_cost(circuit)
+    value, gradient = cost.value_and_gradient(params)
+    print(f"initial cost: {value:.4f}")
+    print(f"gradient norm (adjoint engine): {np.linalg.norm(gradient):.4f}")
+
+    # 4. The final state is one simulator call away.
+    state = StatevectorSimulator().run(circuit, params)
+    print(f"p(|0000>) before training: {state.probability_of('0000'):.4f}")
+
+    # 5. Train for 30 gradient-descent iterations (paper setup, Sec. V).
+    config = TrainingConfig(
+        num_qubits=4, num_layers=3, iterations=30, learning_rate=0.1
+    )
+    history = Trainer(config).run("xavier_normal", seed=7)
+    print(
+        f"\ntrained {history.num_iterations} iterations: "
+        f"loss {history.initial_loss:.4f} -> {history.final_loss:.4f}"
+    )
+
+    # 6. Compare against the barren-plateau baseline: random angles.
+    random_history = Trainer(config).run("random", seed=7)
+    print(
+        f"random-initialized control:   "
+        f"loss {random_history.initial_loss:.4f} -> {random_history.final_loss:.4f}"
+    )
+    print(
+        "\nXavier initialization escapes the flat region that traps the "
+        "randomly-initialized circuit — the paper's core observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Paper-width variance study at depth 30 (for EXPERIMENTS.md)."""
+
+from repro.analysis import decay_table, variance_table
+from repro.core import VarianceConfig, run_variance_experiment
+from repro.io import save_result
+
+config = VarianceConfig(num_layers=30)  # qubits 2-10, 200 circuits
+outcome = run_variance_experiment(config, seed=20240311, verbose=True)
+print(variance_table(outcome.result))
+print()
+print(decay_table(outcome.fits, outcome.improvements))
+print("ranking:", outcome.ranking)
+save_result(outcome, "/root/repo/results/fig5a_depth30_full.json")

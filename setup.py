@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 660 editable installs (``pip install -e .`` with build isolation) fail.
+This shim lets ``python setup.py develop`` and legacy editable installs
+work offline; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

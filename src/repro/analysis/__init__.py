@@ -1,0 +1,69 @@
+"""Analysis utilities: landscape scans (Fig. 1), statistics with bootstrap
+uncertainty, analytic barren-plateau references, and text reporting."""
+
+from repro.analysis.convergence import (
+    area_under_loss,
+    convergence_rate,
+    iterations_to_threshold,
+    rank_histories,
+)
+from repro.analysis.detector import PlateauDiagnosis, diagnose_plateau
+from repro.analysis.expressibility import (
+    entangling_capability,
+    expressibility_kl,
+    haar_fidelity_pdf,
+    meyer_wallach_q,
+    sampled_fidelities,
+)
+from repro.analysis.landscape import LandscapeScan, flatness_metrics, scan_landscape
+from repro.analysis.reporting import (
+    decay_table,
+    format_table,
+    loss_curve,
+    training_table,
+    variance_table,
+)
+from repro.analysis.statistics import (
+    SummaryStats,
+    bootstrap_ci,
+    bootstrap_decay_rate,
+    linear_regression,
+    summarize,
+)
+from repro.analysis.theory import (
+    expected_zero_population,
+    small_angle_variance_prediction,
+    two_design_variance,
+    two_design_variance_slope,
+)
+
+__all__ = [
+    "LandscapeScan",
+    "PlateauDiagnosis",
+    "SummaryStats",
+    "area_under_loss",
+    "bootstrap_ci",
+    "bootstrap_decay_rate",
+    "convergence_rate",
+    "decay_table",
+    "diagnose_plateau",
+    "iterations_to_threshold",
+    "rank_histories",
+    "entangling_capability",
+    "expected_zero_population",
+    "expressibility_kl",
+    "flatness_metrics",
+    "format_table",
+    "haar_fidelity_pdf",
+    "linear_regression",
+    "loss_curve",
+    "meyer_wallach_q",
+    "sampled_fidelities",
+    "scan_landscape",
+    "small_angle_variance_prediction",
+    "summarize",
+    "training_table",
+    "two_design_variance",
+    "two_design_variance_slope",
+    "variance_table",
+]

@@ -1,0 +1,88 @@
+"""Convergence metrics for training-history comparisons.
+
+Fig. 5b/5c compare loss *curves*; these scalar summaries make the
+comparison quantitative and robust to the "everything eventually
+converges under Adam" regime, where final losses tie and speed is the
+discriminating quantity:
+
+* ``iterations_to_threshold`` — first iteration at or below a loss level;
+* ``area_under_loss`` — trapezoidal integral of the loss curve (lower =
+  converged earlier and stayed low);
+* ``convergence_rate`` — per-iteration exponential decay rate fitted over
+  the portion of the curve above ``floor``;
+* ``rank_histories`` — order methods by any of the above.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.results import TrainingHistory
+
+__all__ = [
+    "area_under_loss",
+    "convergence_rate",
+    "iterations_to_threshold",
+    "rank_histories",
+]
+
+
+def iterations_to_threshold(
+    history: TrainingHistory, threshold: float = 0.1
+) -> Optional[int]:
+    """First iteration whose loss is <= ``threshold`` (None if never)."""
+    return history.iterations_to_reach(threshold)
+
+
+def area_under_loss(history: TrainingHistory) -> float:
+    """Trapezoidal area under the loss curve (x = iteration index)."""
+    losses = np.asarray(history.losses, dtype=float)
+    if losses.size < 2:
+        return 0.0
+    return float(np.trapezoid(losses))
+
+
+def convergence_rate(history: TrainingHistory, floor: float = 1e-6) -> float:
+    """Exponential decay rate of the loss: fit ``ln loss = a - r * t``.
+
+    Only iterations with loss above ``floor`` enter the fit (the flat
+    numerical tail after convergence would otherwise bias the slope).
+    Returns 0.0 when fewer than two usable points exist.
+    """
+    losses = np.asarray(history.losses, dtype=float)
+    iterations = np.arange(losses.size, dtype=float)
+    mask = losses > floor
+    if mask.sum() < 2:
+        return 0.0
+    slope, _ = np.polyfit(iterations[mask], np.log(losses[mask]), deg=1)
+    return float(-slope)
+
+
+def rank_histories(
+    histories: Mapping[str, TrainingHistory],
+    metric: str = "area_under_loss",
+) -> "list[str]":
+    """Methods ordered best-first under a named metric.
+
+    Metrics: ``final_loss``, ``area_under_loss`` (both lower = better),
+    ``convergence_rate`` (higher = better), ``iterations_to_threshold``
+    (lower = better; never-converged methods rank last).
+    """
+    scorers: Dict[str, Callable[[TrainingHistory], float]] = {
+        "final_loss": lambda h: h.final_loss,
+        "area_under_loss": area_under_loss,
+        "convergence_rate": lambda h: -convergence_rate(h),
+        "iterations_to_threshold": lambda h: (
+            float("inf")
+            if iterations_to_threshold(h) is None
+            else float(iterations_to_threshold(h))
+        ),
+    }
+    if metric not in scorers:
+        raise ValueError(
+            f"unknown metric {metric!r}; choose from {sorted(scorers)}"
+        )
+    scorer = scorers[metric]
+    return sorted(histories, key=lambda m: scorer(histories[m]))

@@ -1,0 +1,120 @@
+"""Barren-plateau risk diagnostic for (ansatz, initializer) pairs.
+
+A practitioner-facing utility the paper's findings naturally suggest:
+before spending a training budget, estimate the gradient-variance decay of
+the chosen configuration over a few small widths, compare the fitted rate
+against the 2-design slope, and report a verdict:
+
+* ``"plateau"`` — decay rate within ``plateau_fraction`` of ``2 ln 2``:
+  gradients will vanish exponentially; change initializer/cost/ansatz.
+* ``"warning"`` — significant exponential decay, but clearly below the
+  2-design regime.
+* ``"healthy"`` — slow or no decay over the probed range.
+
+The verdict is a heuristic extrapolation from small widths (that is the
+point — the diagnosis must be cheaper than the failure), so the full
+:class:`~repro.core.variance.VarianceAnalysis` remains the authoritative
+measurement.  Match ``num_layers`` to the depth you actually intend to
+train: the advantage of width-scaled initializers is depth-dependent
+(DESIGN.md §5b), so probing at a much larger depth than the production
+circuit over-reports risk and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.theory import two_design_variance_slope
+from repro.core.decay import fit_decay_rate
+from repro.core.variance import VarianceAnalysis, VarianceConfig
+from repro.utils.rng import SeedLike
+
+__all__ = ["PlateauDiagnosis", "diagnose_plateau"]
+
+
+@dataclass(frozen=True)
+class PlateauDiagnosis:
+    """Outcome of a plateau probe."""
+
+    verdict: str
+    decay_rate: float
+    two_design_rate: float
+    variances: tuple
+    qubit_counts: tuple
+
+    @property
+    def severity(self) -> float:
+        """Decay rate as a fraction of the 2-design slope (1.0 = full BP)."""
+        return self.decay_rate / self.two_design_rate
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{self.verdict}: decay rate {self.decay_rate:.3f} "
+            f"({100 * self.severity:.0f}% of the 2-design slope) over "
+            f"qubits {list(self.qubit_counts)}"
+        )
+
+
+def diagnose_plateau(
+    method: str = "random",
+    qubit_counts: Sequence[int] = (2, 4, 6),
+    num_circuits: int = 30,
+    num_layers: int = 15,
+    cost_kind: str = "global",
+    seed: SeedLike = None,
+    plateau_fraction: float = 0.75,
+    warning_fraction: float = 0.35,
+    config: Optional[VarianceConfig] = None,
+) -> PlateauDiagnosis:
+    """Probe an initialization method for barren-plateau risk.
+
+    Parameters
+    ----------
+    method:
+        Initializer registry name under test.
+    qubit_counts, num_circuits, num_layers, cost_kind:
+        Probe scale (kept small by default — the probe should be cheap).
+    plateau_fraction, warning_fraction:
+        Verdict thresholds as fractions of the 2-design slope ``2 ln 2``.
+    config:
+        Full override of the probe configuration (its ``methods`` must
+        contain ``method``).
+    """
+    if not 0.0 < warning_fraction < plateau_fraction:
+        raise ValueError(
+            "need 0 < warning_fraction < plateau_fraction, got "
+            f"{warning_fraction} / {plateau_fraction}"
+        )
+    if config is None:
+        config = VarianceConfig(
+            qubit_counts=tuple(qubit_counts),
+            num_circuits=num_circuits,
+            num_layers=num_layers,
+            methods=(method,),
+            cost_kind=cost_kind,
+        )
+    elif method not in config.methods:
+        raise ValueError(f"config.methods must include {method!r}")
+
+    result = VarianceAnalysis(config).run(seed=seed)
+    variances = result.variance_series(method)
+    fit = fit_decay_rate(result.qubit_counts, variances, method=method)
+    reference = two_design_variance_slope()
+
+    if fit.rate >= plateau_fraction * reference:
+        verdict = "plateau"
+    elif fit.rate >= warning_fraction * reference:
+        verdict = "warning"
+    else:
+        verdict = "healthy"
+    return PlateauDiagnosis(
+        verdict=verdict,
+        decay_rate=fit.rate,
+        two_design_rate=reference,
+        variances=tuple(float(v) for v in variances),
+        qubit_counts=tuple(result.qubit_counts),
+    )

@@ -1,0 +1,127 @@
+"""Cost-landscape scans — the quantitative counterpart of the paper's Fig. 1.
+
+Fig. 1 plots the cost surface over two parameters for 2/5/10-qubit PQCs at
+depth 100, showing the landscape flattening into a barren plateau as width
+grows.  Without a GUI we reproduce the *measurement*: scan the cost over a
+2-D grid in a plane of parameter space and summarize flatness with scalar
+metrics (cost range, standard deviation, mean gradient magnitude), which
+decay exponentially in qubit count exactly when the figure's surfaces
+flatten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend.simulator import StatevectorSimulator
+from repro.core.cost import ObservableCost
+
+__all__ = ["LandscapeScan", "scan_landscape", "flatness_metrics"]
+
+
+@dataclass
+class LandscapeScan:
+    """A 2-D slice of the cost landscape.
+
+    ``values[i, j]`` is the cost at ``(axis_values[i], axis_values[j])``
+    along the two scanned parameter directions, all other parameters held
+    at ``base_params``.
+    """
+
+    axis_values: np.ndarray
+    values: np.ndarray
+    param_indices: Tuple[int, int]
+
+    @property
+    def cost_range(self) -> float:
+        """Peak-to-trough cost difference over the grid."""
+        return float(self.values.max() - self.values.min())
+
+    @property
+    def cost_std(self) -> float:
+        """Standard deviation of the cost over the grid."""
+        return float(self.values.std())
+
+    def gradient_magnitudes(self) -> np.ndarray:
+        """Norm of the finite-difference surface gradient at each grid point."""
+        step = float(self.axis_values[1] - self.axis_values[0])
+        gx, gy = np.gradient(self.values, step, step)
+        return np.sqrt(gx**2 + gy**2)
+
+    @property
+    def mean_gradient_magnitude(self) -> float:
+        """Average surface-gradient norm — the flatness headline number."""
+        return float(self.gradient_magnitudes().mean())
+
+    def to_ascii(self, levels: str = " .:-=+*#%@") -> str:
+        """Render the surface as an ASCII heat map (low -> high cost)."""
+        lo, hi = self.values.min(), self.values.max()
+        span = hi - lo
+        rows = []
+        for row in self.values:
+            if span < 1e-15:
+                indices = np.zeros(row.shape, dtype=int)
+            else:
+                normalized = (row - lo) / span
+                indices = np.minimum(
+                    (normalized * len(levels)).astype(int), len(levels) - 1
+                )
+            rows.append("".join(levels[i] for i in indices))
+        return "\n".join(rows)
+
+
+def scan_landscape(
+    cost: ObservableCost,
+    base_params: Sequence[float],
+    param_indices: Tuple[int, int] = (0, 1),
+    span: float = 2.0 * np.pi,
+    resolution: int = 25,
+) -> LandscapeScan:
+    """Evaluate the cost over a 2-D grid in parameter space.
+
+    Parameters
+    ----------
+    cost:
+        The cost function to scan.
+    base_params:
+        Anchor point; the two scanned coordinates are *offset* from it.
+    param_indices:
+        Which two parameters span the slice.
+    span:
+        Total width of the scanned interval (centered on the anchor).
+    resolution:
+        Grid points per axis (``resolution**2`` cost evaluations).
+    """
+    i, j = param_indices
+    if i == j:
+        raise ValueError("param_indices must name two distinct parameters")
+    base = np.asarray(base_params, dtype=float).copy()
+    if not 0 <= i < base.size or not 0 <= j < base.size:
+        raise IndexError(
+            f"param_indices {param_indices} out of range for {base.size} parameters"
+        )
+    if resolution < 2:
+        raise ValueError(f"resolution must be >= 2, got {resolution}")
+    offsets = np.linspace(-span / 2.0, span / 2.0, resolution)
+    values = np.empty((resolution, resolution))
+    params = base.copy()
+    for a, da in enumerate(offsets):
+        params[i] = base[i] + da
+        for b, db in enumerate(offsets):
+            params[j] = base[j] + db
+            values[a, b] = cost.value(params)
+    return LandscapeScan(
+        axis_values=offsets, values=values, param_indices=(i, j)
+    )
+
+
+def flatness_metrics(scan: LandscapeScan) -> dict:
+    """Scalar flatness summary of one scan (all decay on a plateau)."""
+    return {
+        "cost_range": scan.cost_range,
+        "cost_std": scan.cost_std,
+        "mean_gradient_magnitude": scan.mean_gradient_magnitude,
+    }

@@ -1,0 +1,112 @@
+"""Plain-text reporting of experiment outcomes.
+
+The benchmark harnesses print the same rows/series the paper reports —
+variance per qubit count per method (Fig. 5a), decay rates and improvement
+percentages (Section VI-A), and loss curves (Fig. 5b/5c) — using these
+formatters, so a bench run reads like the paper's results section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.results import DecayFit, TrainingHistory, VarianceResult
+
+__all__ = [
+    "format_table",
+    "variance_table",
+    "decay_table",
+    "training_table",
+    "loss_curve",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[str]], indent: str = ""
+) -> str:
+    """Align ``rows`` under ``headers`` with a separator line."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def render(cells: Sequence[str]) -> str:
+        return indent + "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = [render(headers), indent + "  ".join("-" * w for w in widths)]
+    lines.extend(render(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def variance_table(result: VarianceResult) -> str:
+    """Fig. 5a as a table: gradient variance per (method, qubit count)."""
+    headers = ["method"] + [f"q={q}" for q in result.qubit_counts]
+    rows = []
+    for method in result.methods:
+        series = result.variance_series(method)
+        rows.append([method] + [f"{v:.3e}" for v in series])
+    return format_table(headers, rows)
+
+
+def decay_table(
+    fits: Mapping[str, DecayFit],
+    improvements: Mapping[str, float] | None = None,
+) -> str:
+    """Section VI-A as a table: decay rate, fit quality, % improvement."""
+    headers = ["method", "decay_rate", "r_squared", "improvement_vs_random"]
+    rows = []
+    for method, fit in fits.items():
+        if improvements and method in improvements:
+            gain = f"{improvements[method]:+.1f}%"
+        elif method == "random":
+            gain = "(baseline)"
+        else:
+            gain = "n/a"
+        rows.append([method, f"{fit.rate:.4f}", f"{fit.r_squared:.3f}", gain])
+    return format_table(headers, rows)
+
+
+def training_table(histories: Mapping[str, TrainingHistory]) -> str:
+    """Fig. 5b/5c summary: initial/final loss and convergence iteration."""
+    headers = ["method", "initial_loss", "final_loss", "iters_to_0.1"]
+    rows = []
+    for method, history in histories.items():
+        reached = history.iterations_to_reach(0.1)
+        rows.append(
+            [
+                method,
+                f"{history.initial_loss:.4f}",
+                f"{history.final_loss:.4f}",
+                str(reached) if reached is not None else "never",
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def loss_curve(
+    history: TrainingHistory, width: int = 60, height: int = 12
+) -> str:
+    """ASCII sparkline of a loss trajectory (loss in [0, 1] assumed)."""
+    losses = np.asarray(history.losses)
+    if losses.size > width:
+        # Downsample by striding so the curve fits the requested width.
+        idx = np.linspace(0, losses.size - 1, width).astype(int)
+        losses = losses[idx]
+    lo, hi = float(losses.min()), float(losses.max())
+    span = hi - lo if hi > lo else 1.0
+    grid = [[" "] * losses.size for _ in range(height)]
+    for col, value in enumerate(losses):
+        row = int(round((hi - value) / span * (height - 1)))
+        grid[row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    header = (
+        f"{history.method} ({history.optimizer}): "
+        f"{history.initial_loss:.3f} -> {history.final_loss:.3f}"
+    )
+    return "\n".join([header] + lines)

@@ -1,0 +1,70 @@
+"""Analytic barren-plateau reference curves.
+
+McClean et al. (2018) proved that for circuits forming unitary 2-designs
+the gradient of a Pauli-observable cost has zero mean and variance scaling
+as ``O(2**(-2n))`` — i.e. a log-variance slope of ``-2 ln 2 ~ -1.386`` per
+qubit.  For the paper's *global* projector cost the concentration is of the
+same exponential order.  These reference values let the benches check that
+the measured decay rate of randomly-initialized PQCs sits in the
+theoretically expected regime, and that scaled initializations sit well
+below it.
+
+``small_angle_variance_prediction`` gives the complementary perturbative
+regime: for angles ``theta ~ N(0, sigma^2)`` with per-qubit accumulated
+variance ``s = L_rot * sigma^2`` small, each qubit's ``|0>`` population is
+``(1 + exp(-s/2)) / 2`` on average, so the global-cost signal survives
+whenever ``s`` stays O(1) — exactly why shrinking ``sigma`` with width
+alleviates the plateau.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "two_design_variance_slope",
+    "two_design_variance",
+    "expected_zero_population",
+    "small_angle_variance_prediction",
+]
+
+
+def two_design_variance_slope() -> float:
+    """Slope of ``ln Var`` per qubit in the 2-design (BP) regime: ``2 ln 2``."""
+    return 2.0 * np.log(2.0)
+
+
+def two_design_variance(num_qubits: "int | np.ndarray") -> np.ndarray:
+    """Reference ``Var ~ 2**(-2n)`` curve (unit prefactor)."""
+    n = np.asarray(num_qubits, dtype=float)
+    return np.power(2.0, -2.0 * n)
+
+
+def expected_zero_population(accumulated_variance: "float | np.ndarray") -> np.ndarray:
+    """``E[cos^2(phi/2)]`` for ``phi ~ N(0, s)``: ``(1 + exp(-s/2)) / 2``.
+
+    ``s`` is the accumulated per-qubit rotation-angle variance
+    ``L_rot * sigma^2`` (number of rotations per qubit times per-angle
+    variance).
+    """
+    s = np.asarray(accumulated_variance, dtype=float)
+    return 0.5 * (1.0 + np.exp(-s / 2.0))
+
+
+def small_angle_variance_prediction(
+    num_qubits: "int | np.ndarray",
+    per_angle_variance: "float | np.ndarray",
+    rotations_per_qubit: int,
+) -> np.ndarray:
+    """Perturbative estimate of the global-cost zero-state population.
+
+    Returns ``p0(n) ~ prod_q E[cos^2] = expected_zero_population(s)**n``
+    with ``s = rotations_per_qubit * per_angle_variance``.  The surviving
+    gradient signal for the last parameter is proportional to this
+    population, so comparing its log-slope against
+    :func:`two_design_variance_slope` predicts which initializations
+    escape the plateau over a given width range.
+    """
+    n = np.asarray(num_qubits, dtype=float)
+    s = rotations_per_qubit * np.asarray(per_angle_variance, dtype=float)
+    return expected_zero_population(s) ** n

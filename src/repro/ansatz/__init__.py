@@ -1,0 +1,28 @@
+"""Ansatz (circuit-template) library.
+
+:class:`HardwareEfficientAnsatz` is the paper's training circuit (Eq. 3);
+:class:`RandomPQC` is the randomly-structured variance-analysis circuit
+(Eq. 2); the rest support ablations.
+"""
+
+from repro.ansatz.base import AnsatzTemplate
+from repro.ansatz.entanglement import (
+    ENTANGLEMENT_PATTERNS,
+    apply_entanglement,
+    entanglement_pairs,
+)
+from repro.ansatz.hea import HardwareEfficientAnsatz
+from repro.ansatz.random_pqc import DEFAULT_GATE_POOL, RandomPQC
+from repro.ansatz.templates import BasicEntanglerAnsatz, StronglyEntanglingAnsatz
+
+__all__ = [
+    "AnsatzTemplate",
+    "BasicEntanglerAnsatz",
+    "DEFAULT_GATE_POOL",
+    "ENTANGLEMENT_PATTERNS",
+    "HardwareEfficientAnsatz",
+    "RandomPQC",
+    "StronglyEntanglingAnsatz",
+    "apply_entanglement",
+    "entanglement_pairs",
+]

@@ -1,0 +1,58 @@
+"""Ansatz template interface.
+
+A template is a deterministic circuit *family*: given its configuration it
+builds the same trainable :class:`~repro.backend.circuit.QuantumCircuit`
+every time, and exposes the :class:`~repro.initializers.ParameterShape`
+that initializers need.  The parameter ordering contract shared by all
+templates is layer-major, then qubit, then gate-within-qubit — exactly the
+order :meth:`repro.initializers.Initializer.sample` produces.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.backend.circuit import QuantumCircuit
+from repro.initializers.base import ParameterShape
+from repro.utils.validation import check_positive_int
+
+__all__ = ["AnsatzTemplate"]
+
+
+class AnsatzTemplate(abc.ABC):
+    """Base class for parameterized circuit families."""
+
+    def __init__(self, num_qubits: int, num_layers: int):
+        check_positive_int(num_qubits, "num_qubits")
+        check_positive_int(num_layers, "num_layers")
+        self.num_qubits = num_qubits
+        self.num_layers = num_layers
+
+    @property
+    @abc.abstractmethod
+    def params_per_qubit(self) -> int:
+        """Trainable rotations per qubit per layer."""
+
+    @property
+    def parameter_shape(self) -> ParameterShape:
+        """Shape descriptor consumed by initializers."""
+        return ParameterShape(
+            num_layers=self.num_layers,
+            num_qubits=self.num_qubits,
+            params_per_qubit=self.params_per_qubit,
+        )
+
+    @property
+    def num_parameters(self) -> int:
+        """Total trainable angle count."""
+        return self.parameter_shape.num_parameters
+
+    @abc.abstractmethod
+    def build(self) -> QuantumCircuit:
+        """Construct the trainable circuit."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(num_qubits={self.num_qubits}, "
+            f"num_layers={self.num_layers})"
+        )

@@ -1,0 +1,91 @@
+"""Entanglement patterns for hardware-efficient ansatz layers.
+
+A pattern maps a qubit count to the ordered list of (control, target)
+pairs receiving a two-qubit entangling gate in each ansatz layer.  The
+paper uses the nearest-neighbour chain ``E = prod_{j=1}^{q-1} CZ_{j,j+1}``
+(its Eq. 3); ring/full/none variants support ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.backend.circuit import QuantumCircuit
+from repro.utils.validation import check_in_choices, check_positive_int
+
+__all__ = [
+    "ENTANGLEMENT_PATTERNS",
+    "entanglement_pairs",
+    "apply_entanglement",
+]
+
+Pair = Tuple[int, int]
+
+
+def _chain(num_qubits: int) -> List[Pair]:
+    """Nearest-neighbour chain: (0,1), (1,2), ..., (q-2, q-1)."""
+    return [(q, q + 1) for q in range(num_qubits - 1)]
+
+
+def _ring(num_qubits: int) -> List[Pair]:
+    """Chain plus the closing (q-1, 0) pair (skipped for q < 3)."""
+    pairs = _chain(num_qubits)
+    if num_qubits > 2:
+        pairs.append((num_qubits - 1, 0))
+    return pairs
+
+
+def _full(num_qubits: int) -> List[Pair]:
+    """All-to-all: every ordered pair (i, j) with i < j."""
+    return [
+        (i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)
+    ]
+
+
+def _none(num_qubits: int) -> List[Pair]:
+    """No entanglement (product circuit control)."""
+    return []
+
+
+ENTANGLEMENT_PATTERNS: Dict[str, Callable[[int], List[Pair]]] = {
+    "chain": _chain,
+    "ring": _ring,
+    "full": _full,
+    "none": _none,
+}
+
+
+def entanglement_pairs(pattern: str, num_qubits: int) -> List[Pair]:
+    """Resolve a pattern name into concrete (control, target) pairs."""
+    check_positive_int(num_qubits, "num_qubits")
+    check_in_choices(pattern, ENTANGLEMENT_PATTERNS, "pattern")
+    return ENTANGLEMENT_PATTERNS[pattern](num_qubits)
+
+
+def apply_entanglement(
+    circuit: QuantumCircuit,
+    pattern: str = "chain",
+    gate: str = "CZ",
+    pairs: Sequence[Pair] | None = None,
+) -> QuantumCircuit:
+    """Append one entangling sub-layer to ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit being built (modified in place and returned).
+    pattern:
+        Pattern name; ignored when explicit ``pairs`` are given.
+    gate:
+        Two-qubit gate name (default the paper's CZ).
+    pairs:
+        Explicit (control, target) pairs overriding the pattern.
+    """
+    resolved = (
+        list(pairs)
+        if pairs is not None
+        else entanglement_pairs(pattern, circuit.num_qubits)
+    )
+    for control, target in resolved:
+        circuit.append(gate, [control, target])
+    return circuit

@@ -1,0 +1,104 @@
+"""Hardware-efficient ansatz — the paper's training circuit (Eq. 3).
+
+Each layer applies, per qubit, the rotations named in ``rotation_gates``
+(paper default: RX then RY), followed by a CZ entangling sub-layer on the
+nearest-neighbour chain.  With the paper's configuration — 10 qubits,
+5 layers — the circuit has ``5 * (2*10 + 9) = 145`` gates and 100 trainable
+parameters, matching Section IV-D exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.ansatz.base import AnsatzTemplate
+from repro.ansatz.entanglement import apply_entanglement, entanglement_pairs
+from repro.backend.circuit import QuantumCircuit
+from repro.backend.gates import ParametricGate, get_gate
+
+__all__ = ["HardwareEfficientAnsatz"]
+
+
+class HardwareEfficientAnsatz(AnsatzTemplate):
+    """The paper's Eq. 3 ansatz family.
+
+    Parameters
+    ----------
+    num_qubits:
+        Circuit width ``n``.
+    num_layers:
+        Repetitions ``L``.
+    rotation_gates:
+        Trainable single-qubit rotations applied (in order) to every qubit
+        in every layer.  Default ``("RX", "RY")`` as in the paper.
+    entanglement:
+        Pattern name for the entangling sub-layer (default ``"chain"``,
+        the paper's nearest-neighbour CZ product).
+    entangler:
+        Two-qubit gate used for entanglement (default ``"CZ"``).
+    final_rotation_layer:
+        When True, append one extra rotation sub-layer after the last
+        entangling sub-layer (a common HEA variant; off by default to
+        match the paper's gate count).
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_layers: int,
+        rotation_gates: Sequence[str] = ("RX", "RY"),
+        entanglement: str = "chain",
+        entangler: str = "CZ",
+        final_rotation_layer: bool = False,
+    ):
+        super().__init__(num_qubits, num_layers)
+        if not rotation_gates:
+            raise ValueError("rotation_gates must be non-empty")
+        for name in rotation_gates:
+            gate = get_gate(name)
+            if not isinstance(gate, ParametricGate) or gate.num_qubits != 1:
+                raise ValueError(
+                    f"rotation gate must be a 1-qubit parametric gate, got {name!r}"
+                )
+        entangling_gate = get_gate(entangler)
+        if entangling_gate.num_qubits != 2 or entangling_gate.num_params:
+            raise ValueError(
+                f"entangler must be a fixed 2-qubit gate, got {entangler!r}"
+            )
+        # Validates the pattern name eagerly.
+        entanglement_pairs(entanglement, num_qubits)
+        self.rotation_gates: Tuple[str, ...] = tuple(g.upper() for g in rotation_gates)
+        self.entanglement = entanglement
+        self.entangler = entangler.upper()
+        self.final_rotation_layer = final_rotation_layer
+
+    @property
+    def params_per_qubit(self) -> int:
+        return len(self.rotation_gates)
+
+    @property
+    def parameter_shape(self):
+        """Shape descriptor; the optional final rotation counts as a layer."""
+        from repro.initializers.base import ParameterShape
+
+        layers = self.num_layers + (1 if self.final_rotation_layer else 0)
+        return ParameterShape(
+            num_layers=layers,
+            num_qubits=self.num_qubits,
+            params_per_qubit=self.params_per_qubit,
+        )
+
+    def build(self) -> QuantumCircuit:
+        """Construct the trainable circuit (layer-major parameter order)."""
+        circuit = QuantumCircuit(self.num_qubits)
+        for _ in range(self.num_layers):
+            self._rotation_sublayer(circuit)
+            apply_entanglement(circuit, self.entanglement, self.entangler)
+        if self.final_rotation_layer:
+            self._rotation_sublayer(circuit)
+        return circuit
+
+    def _rotation_sublayer(self, circuit: QuantumCircuit) -> None:
+        for qubit in range(self.num_qubits):
+            for gate_name in self.rotation_gates:
+                circuit.append(gate_name, [qubit])

@@ -1,0 +1,115 @@
+"""Randomly-structured PQCs — the paper's variance-analysis circuits (Eq. 2).
+
+For the gradient-variance study each of the 200 circuit instances draws,
+independently per qubit per layer, one rotation gate from the pool
+``G = {RX, RY, RZ}``, followed by the CZ chain.  The *structure* (which
+gate sits where) is part of the random instance; the *angles* come from the
+initializer under test.  :class:`RandomPQC` therefore separates the two:
+the constructor samples and freezes a structure from a seed, ``build``
+returns the corresponding trainable circuit, and the structure is
+inspectable/serializable for reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ansatz.base import AnsatzTemplate
+from repro.ansatz.entanglement import apply_entanglement, entanglement_pairs
+from repro.backend.circuit import QuantumCircuit
+from repro.backend.gates import ParametricGate, get_gate
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["RandomPQC", "DEFAULT_GATE_POOL"]
+
+#: The paper's pool G of candidate rotations.
+DEFAULT_GATE_POOL: Tuple[str, ...] = ("RX", "RY", "RZ")
+
+
+class RandomPQC(AnsatzTemplate):
+    """A PQC whose per-qubit rotations are randomly drawn from a pool.
+
+    Parameters
+    ----------
+    num_qubits, num_layers:
+        Circuit width and depth.
+    gate_pool:
+        Candidate single-qubit rotations (paper default RX/RY/RZ).
+    entanglement, entangler:
+        Entangling sub-layer configuration (paper default: CZ chain).
+    seed:
+        Seed (or generator) fixing the sampled structure.
+    structure:
+        Explicit structure overriding the random draw: a list of
+        ``num_layers`` rows, each with ``num_qubits`` gate names.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_layers: int,
+        gate_pool: Sequence[str] = DEFAULT_GATE_POOL,
+        entanglement: str = "chain",
+        entangler: str = "CZ",
+        seed: SeedLike = None,
+        structure: Optional[Sequence[Sequence[str]]] = None,
+    ):
+        super().__init__(num_qubits, num_layers)
+        pool = tuple(name.upper() for name in gate_pool)
+        if not pool:
+            raise ValueError("gate_pool must be non-empty")
+        for name in pool:
+            gate = get_gate(name)
+            if not isinstance(gate, ParametricGate) or gate.num_qubits != 1:
+                raise ValueError(
+                    f"gate pool entries must be 1-qubit parametric gates, got {name!r}"
+                )
+        entanglement_pairs(entanglement, num_qubits)
+        self.gate_pool = pool
+        self.entanglement = entanglement
+        self.entangler = entangler.upper()
+
+        if structure is not None:
+            self.structure = self._validate_structure(structure)
+        else:
+            rng = ensure_rng(seed)
+            self.structure = [
+                [pool[rng.integers(len(pool))] for _ in range(num_qubits)]
+                for _ in range(num_layers)
+            ]
+
+    def _validate_structure(
+        self, structure: Sequence[Sequence[str]]
+    ) -> List[List[str]]:
+        rows = [list(name.upper() for name in row) for row in structure]
+        if len(rows) != self.num_layers or any(
+            len(row) != self.num_qubits for row in rows
+        ):
+            raise ValueError(
+                f"structure must be {self.num_layers} x {self.num_qubits} gate names"
+            )
+        for row in rows:
+            for name in row:
+                if name not in self.gate_pool:
+                    raise ValueError(
+                        f"structure gate {name!r} is not in the pool {self.gate_pool}"
+                    )
+        return rows
+
+    @property
+    def params_per_qubit(self) -> int:
+        return 1
+
+    def build(self) -> QuantumCircuit:
+        """Construct the trainable circuit for the frozen structure."""
+        circuit = QuantumCircuit(self.num_qubits)
+        for layer in self.structure:
+            for qubit, gate_name in enumerate(layer):
+                circuit.append(gate_name, [qubit])
+            apply_entanglement(circuit, self.entanglement, self.entangler)
+        return circuit
+
+    @property
+    def last_gate(self) -> str:
+        """Rotation gate carrying the last trainable parameter."""
+        return self.structure[-1][-1]

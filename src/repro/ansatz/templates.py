@@ -1,0 +1,62 @@
+"""Additional ansatz families used by ablation studies.
+
+These extend the paper's hardware-efficient ansatz with common variants
+from the PQC literature so the initialization study can be checked for
+ansatz sensitivity:
+
+* :class:`BasicEntanglerAnsatz` — one trainable rotation per qubit per
+  layer plus a ring of CNOTs (PennyLane's ``BasicEntanglerLayers``).
+* :class:`StronglyEntanglingAnsatz` — RZ·RY·RZ Euler rotations per qubit
+  plus a ring of CNOTs (PennyLane's ``StronglyEntanglingLayers``, with the
+  range-1 imprimitive).
+"""
+
+from __future__ import annotations
+
+from repro.ansatz.base import AnsatzTemplate
+from repro.ansatz.entanglement import apply_entanglement
+from repro.backend.circuit import QuantumCircuit
+
+__all__ = ["BasicEntanglerAnsatz", "StronglyEntanglingAnsatz"]
+
+
+class BasicEntanglerAnsatz(AnsatzTemplate):
+    """One rotation per qubit per layer + CNOT ring."""
+
+    def __init__(
+        self, num_qubits: int, num_layers: int, rotation_gate: str = "RY"
+    ):
+        super().__init__(num_qubits, num_layers)
+        self.rotation_gate = rotation_gate.upper()
+
+    @property
+    def params_per_qubit(self) -> int:
+        return 1
+
+    def build(self) -> QuantumCircuit:
+        circuit = QuantumCircuit(self.num_qubits)
+        for _ in range(self.num_layers):
+            for qubit in range(self.num_qubits):
+                circuit.append(self.rotation_gate, [qubit])
+            if self.num_qubits > 1:
+                apply_entanglement(circuit, "ring", "CX")
+        return circuit
+
+
+class StronglyEntanglingAnsatz(AnsatzTemplate):
+    """Euler-angle rotations (RZ, RY, RZ) per qubit + CNOT ring."""
+
+    @property
+    def params_per_qubit(self) -> int:
+        return 3
+
+    def build(self) -> QuantumCircuit:
+        circuit = QuantumCircuit(self.num_qubits)
+        for _ in range(self.num_layers):
+            for qubit in range(self.num_qubits):
+                circuit.rz(qubit)
+                circuit.ry(qubit)
+                circuit.rz(qubit)
+            if self.num_qubits > 1:
+                apply_entanglement(circuit, "ring", "CX")
+        return circuit

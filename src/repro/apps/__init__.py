@@ -1,0 +1,25 @@
+"""Application layer: QML workloads built on the public API.
+
+The paper motivates its initialization study with quantum machine
+learning; this package provides the canonical such workload — a
+variational binary classifier — plus the synthetic datasets to train it
+on, so the initialization effect can be demonstrated on a realistic task
+rather than only the identity function.
+"""
+
+from repro.apps.classifier import (
+    AngleEncodedClassifier,
+    ClassifierConfig,
+    TrainingLog,
+)
+from repro.apps.datasets import make_blobs, make_circles, make_xor, train_test_split
+
+__all__ = [
+    "AngleEncodedClassifier",
+    "ClassifierConfig",
+    "TrainingLog",
+    "make_blobs",
+    "make_circles",
+    "make_xor",
+    "train_test_split",
+]

@@ -1,0 +1,91 @@
+"""Synthetic binary-classification datasets for the QNN application.
+
+Small 2-D (and d-dimensional) toy datasets in the spirit of the usual QML
+demo workloads, generated without external dependencies.  Features are
+returned roughly in ``[-1, 1]`` so the angle-encoding scale of
+:class:`repro.apps.classifier.AngleEncodedClassifier` maps them onto
+rotation angles directly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["make_blobs", "make_circles", "make_xor", "train_test_split"]
+
+
+def make_blobs(
+    num_samples: int = 80,
+    num_features: int = 2,
+    separation: float = 1.0,
+    noise: float = 0.25,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two Gaussian clusters at ``+-separation/2`` along every axis.
+
+    Returns ``(X, y)`` with ``X`` of shape ``(num_samples, num_features)``
+    and ``y`` in {0, 1}.  The classes are linearly separable for
+    ``separation >> noise``.
+    """
+    check_positive_int(num_samples, "num_samples")
+    check_positive_int(num_features, "num_features")
+    rng = ensure_rng(seed)
+    y = rng.integers(0, 2, size=num_samples)
+    centers = np.where(y[:, None] == 1, separation / 2.0, -separation / 2.0)
+    x = centers + rng.normal(0.0, noise, size=(num_samples, num_features))
+    return np.clip(x, -1.5, 1.5), y
+
+
+def make_circles(
+    num_samples: int = 80,
+    inner_radius: float = 0.35,
+    outer_radius: float = 0.9,
+    noise: float = 0.06,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concentric circles — a classic non-linearly-separable 2-D task."""
+    check_positive_int(num_samples, "num_samples")
+    rng = ensure_rng(seed)
+    y = rng.integers(0, 2, size=num_samples)
+    radii = np.where(y == 1, inner_radius, outer_radius)
+    angles = rng.uniform(0.0, 2.0 * np.pi, size=num_samples)
+    x = np.stack([radii * np.cos(angles), radii * np.sin(angles)], axis=1)
+    x = x + rng.normal(0.0, noise, size=x.shape)
+    return x, y
+
+
+def make_xor(
+    num_samples: int = 80, noise: float = 0.15, seed: SeedLike = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """XOR quadrant labels — requires entanglement-grade non-linearity."""
+    check_positive_int(num_samples, "num_samples")
+    rng = ensure_rng(seed)
+    x = rng.uniform(-1.0, 1.0, size=(num_samples, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+    x = x + rng.normal(0.0, noise, size=x.shape)
+    return np.clip(x, -1.5, 1.5), y
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into ``(x_train, y_train, x_test, y_test)``."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if len(x) != len(y):
+        raise ValueError("x and y must have equal length")
+    rng = ensure_rng(seed)
+    order = rng.permutation(len(x))
+    cut = int(round(len(x) * (1.0 - test_fraction)))
+    if cut == 0 or cut == len(x):
+        raise ValueError("split leaves one side empty; adjust test_fraction")
+    train, test = order[:cut], order[cut:]
+    return x[train], y[train], x[test], y[test]

@@ -1,0 +1,93 @@
+"""Quantum simulation substrate: gates, circuits, statevectors, gradients.
+
+This package is the reproduction's stand-in for PennyLane's
+``default.qubit`` device (see DESIGN.md, substitutions table): an exact
+NumPy statevector simulator plus parameter-shift / adjoint / finite
+difference differentiation engines and optional Kraus-channel noise.
+"""
+
+from repro.backend.circuit import Operation, QuantumCircuit
+from repro.backend.density import DensityMatrix, DensityMatrixSimulator
+from repro.backend.gates import (
+    FIXED_GATES,
+    PARAMETRIC_GATES,
+    PAULI_MATRICES,
+    FixedGate,
+    Gate,
+    ParametricGate,
+    controlled_matrix,
+    get_gate,
+    is_parametric,
+    pauli_word_matrix,
+)
+from repro.backend.gradients import (
+    GRADIENT_ENGINES,
+    adjoint_gradient,
+    finite_difference,
+    get_gradient_fn,
+    parameter_shift,
+)
+from repro.backend.noise import (
+    KrausChannel,
+    NoiseModel,
+    TrajectorySimulator,
+    amplitude_damping,
+    bit_flip,
+    depolarizing,
+    phase_damping,
+    phase_flip,
+)
+from repro.backend.observables import (
+    Observable,
+    PauliString,
+    PauliSum,
+    Projector,
+    StateProjector,
+    single_z,
+    total_z,
+    zero_projector,
+)
+from repro.backend.simulator import StatevectorSimulator
+from repro.backend.statevector import Statevector, apply_diagonal, apply_matrix
+
+__all__ = [
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "FIXED_GATES",
+    "GRADIENT_ENGINES",
+    "PARAMETRIC_GATES",
+    "PAULI_MATRICES",
+    "FixedGate",
+    "Gate",
+    "KrausChannel",
+    "NoiseModel",
+    "Observable",
+    "Operation",
+    "ParametricGate",
+    "PauliString",
+    "PauliSum",
+    "Projector",
+    "QuantumCircuit",
+    "StateProjector",
+    "Statevector",
+    "StatevectorSimulator",
+    "TrajectorySimulator",
+    "adjoint_gradient",
+    "amplitude_damping",
+    "apply_diagonal",
+    "apply_matrix",
+    "bit_flip",
+    "controlled_matrix",
+    "depolarizing",
+    "finite_difference",
+    "get_gate",
+    "get_gradient_fn",
+    "is_parametric",
+    "parameter_shift",
+    "pauli_word_matrix",
+    "phase_damping",
+    "phase_flip",
+    "single_z",
+    "total_z",
+    "zero_projector",
+]

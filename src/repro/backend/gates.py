@@ -1,0 +1,363 @@
+"""Quantum gate library.
+
+Defines the fixed (non-parameterized) and parametric gates used throughout
+the library, together with the metadata the differentiation engines need:
+
+* every parametric gate exposes ``matrix(theta)`` and ``derivative(theta)``
+  (``dU/dtheta``), which powers adjoint differentiation;
+* Pauli-word rotations ``exp(-i theta P / 2)`` additionally carry the exact
+  two-term parameter-shift rule ``(coefficient=1/2, shift=pi/2)``.
+
+Conventions
+-----------
+Qubit 0 is the most significant bit: the basis state ``|b0 b1 ... b_{n-1}>``
+has flat index ``b0 * 2**(n-1) + ... + b_{n-1}``.  Multi-qubit gate matrices
+follow the same ordering for their own qubits, e.g. ``CNOT`` is the matrix
+for (control, target) = (qubit argument 0, qubit argument 1).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Gate",
+    "FixedGate",
+    "ParametricGate",
+    "PAULI_MATRICES",
+    "FIXED_GATES",
+    "PARAMETRIC_GATES",
+    "get_gate",
+    "is_parametric",
+    "pauli_word_matrix",
+    "controlled_matrix",
+]
+
+_I2 = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2.0)
+
+#: Single-qubit Pauli matrices keyed by letter, including the identity.
+PAULI_MATRICES: Dict[str, np.ndarray] = {"I": _I2, "X": _X, "Y": _Y, "Z": _Z}
+
+
+def _frozen(matrix: np.ndarray) -> np.ndarray:
+    """Return a read-only complex copy of ``matrix``."""
+    out = np.array(matrix, dtype=complex)
+    out.setflags(write=False)
+    return out
+
+
+def pauli_word_matrix(word: str) -> np.ndarray:
+    """Kronecker product of single-qubit Paulis, e.g. ``"XY"`` -> X (x) Y.
+
+    Parameters
+    ----------
+    word:
+        String over the alphabet ``IXYZ``; character ``k`` acts on the
+        gate's ``k``-th qubit (most significant first).
+    """
+    if not word:
+        raise ValueError("pauli word must be non-empty")
+    matrix = np.array([[1.0 + 0j]])
+    for letter in word:
+        if letter not in PAULI_MATRICES:
+            raise ValueError(f"invalid pauli letter {letter!r} in word {word!r}")
+        matrix = np.kron(matrix, PAULI_MATRICES[letter])
+    return matrix
+
+
+def controlled_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Build the controlled version of a unitary (control = first qubit)."""
+    dim = matrix.shape[0]
+    out = np.eye(2 * dim, dtype=complex)
+    out[dim:, dim:] = matrix
+    return out
+
+
+class Gate:
+    """Base class for gate definitions.
+
+    Attributes
+    ----------
+    name:
+        Canonical upper-case gate name, e.g. ``"RX"``.
+    num_qubits:
+        Number of qubits the gate acts on.
+    num_params:
+        Number of real parameters (0 for fixed gates, 1 for parametric).
+    """
+
+    def __init__(self, name: str, num_qubits: int, num_params: int):
+        self.name = name
+        self.num_qubits = num_qubits
+        self.num_params = num_params
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the gate's matrix (``2**num_qubits``)."""
+        return 2**self.num_qubits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r}, qubits={self.num_qubits})"
+
+
+class FixedGate(Gate):
+    """A gate with a constant unitary matrix."""
+
+    def __init__(self, name: str, matrix: np.ndarray):
+        matrix = _frozen(matrix)
+        dim = matrix.shape[0]
+        if matrix.shape != (dim, dim) or dim & (dim - 1):
+            raise ValueError(f"gate matrix must be square power-of-2, got {matrix.shape}")
+        num_qubits = int(np.log2(dim))
+        super().__init__(name, num_qubits, num_params=0)
+        self._matrix = matrix
+        self.is_diagonal = bool(
+            np.allclose(matrix, np.diag(np.diagonal(matrix)))
+        )
+
+    def matrix(self) -> np.ndarray:
+        """Return the gate's (read-only) unitary matrix."""
+        return self._matrix
+
+    def adjoint_matrix(self) -> np.ndarray:
+        """Return the conjugate transpose of the gate matrix."""
+        return self._matrix.conj().T
+
+
+class ParametricGate(Gate):
+    """A single-parameter gate ``U(theta)``.
+
+    Parameters
+    ----------
+    name:
+        Gate name.
+    num_qubits:
+        Number of qubits acted on.
+    matrix_fn:
+        Callable mapping the parameter to the unitary matrix.
+    derivative_fn:
+        Callable mapping the parameter to ``dU/dtheta``.
+    shift_rule:
+        ``(coefficient, shift)`` for the exact two-term parameter-shift rule
+        ``dE/dtheta = coefficient * (E(theta + shift) - E(theta - shift))``,
+        or ``None`` if no two-term rule applies.
+    shift_terms:
+        General exact shift rule as ``[(c_1, s_1), (c_2, s_2), ...]`` with
+        ``dE/dtheta = sum_i c_i * E(theta + s_i)``.  Derived from
+        ``shift_rule`` when omitted; supply explicitly for gates needing
+        more than two terms (e.g. controlled rotations).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        matrix_fn: Callable[[float], np.ndarray],
+        derivative_fn: Callable[[float], np.ndarray],
+        shift_rule: Optional[Tuple[float, float]] = None,
+        shift_terms: Optional[Tuple[Tuple[float, float], ...]] = None,
+        is_diagonal: bool = False,
+    ):
+        super().__init__(name, num_qubits, num_params=1)
+        self._matrix_fn = matrix_fn
+        self._derivative_fn = derivative_fn
+        self.shift_rule = shift_rule
+        if shift_terms is None and shift_rule is not None:
+            coefficient, shift = shift_rule
+            shift_terms = ((coefficient, shift), (-coefficient, -shift))
+        self.shift_terms = tuple(shift_terms) if shift_terms is not None else None
+        #: True when U(theta) is diagonal for every theta (fast-path hint).
+        self.is_diagonal = is_diagonal
+
+    def matrix(self, theta: float) -> np.ndarray:
+        """Return ``U(theta)``."""
+        return self._matrix_fn(float(theta))
+
+    def adjoint_matrix(self, theta: float) -> np.ndarray:
+        """Return ``U(theta)^dagger``."""
+        return self._matrix_fn(float(theta)).conj().T
+
+    def derivative(self, theta: float) -> np.ndarray:
+        """Return ``dU/dtheta`` evaluated at ``theta``."""
+        return self._derivative_fn(float(theta))
+
+
+def _pauli_rotation(name: str, word: str) -> ParametricGate:
+    """Build the Pauli-word rotation ``exp(-i theta P / 2)``.
+
+    Because every Pauli word squares to the identity, the matrix has the
+    closed form ``cos(theta/2) I - i sin(theta/2) P`` and the exact two-term
+    parameter-shift rule with coefficient 1/2 and shift pi/2 applies.
+    """
+    pauli = pauli_word_matrix(word)
+    identity = np.eye(pauli.shape[0], dtype=complex)
+
+    def matrix_fn(theta: float, _p=pauli, _i=identity) -> np.ndarray:
+        return np.cos(theta / 2.0) * _i - 1j * np.sin(theta / 2.0) * _p
+
+    def derivative_fn(theta: float, _p=pauli, _i=identity) -> np.ndarray:
+        return -0.5 * np.sin(theta / 2.0) * _i - 0.5j * np.cos(theta / 2.0) * _p
+
+    return ParametricGate(
+        name,
+        num_qubits=len(word),
+        matrix_fn=matrix_fn,
+        derivative_fn=derivative_fn,
+        shift_rule=(0.5, np.pi / 2.0),
+        is_diagonal=all(letter in "IZ" for letter in word),
+    )
+
+
+def _phase_shift_gate() -> ParametricGate:
+    """``P(theta) = diag(1, exp(i theta))``.
+
+    The generator ``|1><1|`` has eigenvalues {0, 1} (gap 1), for which the
+    two-term rule with coefficient 1/2 and shift pi/2 is exact as well
+    (see Schuld et al., "Evaluating analytic gradients on quantum hardware").
+    """
+
+    def matrix_fn(theta: float) -> np.ndarray:
+        return np.array([[1.0, 0.0], [0.0, np.exp(1j * theta)]], dtype=complex)
+
+    def derivative_fn(theta: float) -> np.ndarray:
+        return np.array([[0.0, 0.0], [0.0, 1j * np.exp(1j * theta)]], dtype=complex)
+
+    return ParametricGate(
+        "PHASE",
+        num_qubits=1,
+        matrix_fn=matrix_fn,
+        derivative_fn=derivative_fn,
+        shift_rule=(0.5, np.pi / 2.0),
+        is_diagonal=True,
+    )
+
+
+def _controlled_rotation(name: str, axis_word: str) -> ParametricGate:
+    """Controlled Pauli rotation (control = first qubit).
+
+    The generator ``|1><1| (x) P/2`` has eigenvalues {0, +-1/2}, so the
+    expectation is a trigonometric polynomial with frequencies {1/2, 1}
+    and the *four-term* shift rule is exact (Anselmetti et al. 2021):
+
+        dE/dtheta = c+ [E(t + pi/2) - E(t - pi/2)]
+                  - c- [E(t + 3pi/2) - E(t - 3pi/2)]
+
+    with ``c+- = (sqrt(2) +- 1) / (4 sqrt(2))``.  ``shift_rule`` (the
+    two-term form) stays ``None``; ``shift_terms`` carries the full rule.
+    """
+    pauli = pauli_word_matrix(axis_word)
+    dim = pauli.shape[0]
+    identity = np.eye(dim, dtype=complex)
+
+    def matrix_fn(theta: float, _p=pauli, _i=identity) -> np.ndarray:
+        rot = np.cos(theta / 2.0) * _i - 1j * np.sin(theta / 2.0) * _p
+        return controlled_matrix(rot)
+
+    def derivative_fn(theta: float, _p=pauli, _i=identity) -> np.ndarray:
+        d_rot = -0.5 * np.sin(theta / 2.0) * _i - 0.5j * np.cos(theta / 2.0) * _p
+        out = np.zeros((2 * dim, 2 * dim), dtype=complex)
+        out[dim:, dim:] = d_rot
+        return out
+
+    c_plus = (np.sqrt(2.0) + 1.0) / (4.0 * np.sqrt(2.0))
+    c_minus = (np.sqrt(2.0) - 1.0) / (4.0 * np.sqrt(2.0))
+    four_term = (
+        (c_plus, np.pi / 2.0),
+        (-c_plus, -np.pi / 2.0),
+        (-c_minus, 3.0 * np.pi / 2.0),
+        (c_minus, -3.0 * np.pi / 2.0),
+    )
+    return ParametricGate(
+        name,
+        num_qubits=1 + len(axis_word),
+        matrix_fn=matrix_fn,
+        derivative_fn=derivative_fn,
+        shift_rule=None,
+        shift_terms=four_term,
+        is_diagonal=all(letter in "IZ" for letter in axis_word),
+    )
+
+
+_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+_T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+#: Registry of fixed gates keyed by canonical name.
+FIXED_GATES: Dict[str, FixedGate] = {
+    gate.name: gate
+    for gate in [
+        FixedGate("I", _I2),
+        FixedGate("X", _X),
+        FixedGate("Y", _Y),
+        FixedGate("Z", _Z),
+        FixedGate("H", _H),
+        FixedGate("S", _S),
+        FixedGate("SDG", _S.conj().T),
+        FixedGate("T", _T),
+        FixedGate("TDG", _T.conj().T),
+        FixedGate("SX", _SX),
+        FixedGate("CX", controlled_matrix(_X)),
+        FixedGate("CY", controlled_matrix(_Y)),
+        FixedGate("CZ", controlled_matrix(_Z)),
+        FixedGate("CH", controlled_matrix(_H)),
+        FixedGate("SWAP", _SWAP),
+        FixedGate("CCX", controlled_matrix(controlled_matrix(_X))),
+        FixedGate("CCZ", controlled_matrix(controlled_matrix(_Z))),
+        FixedGate("CSWAP", controlled_matrix(_SWAP)),
+    ]
+}
+
+#: Registry of parametric gates keyed by canonical name.
+PARAMETRIC_GATES: Dict[str, ParametricGate] = {
+    gate.name: gate
+    for gate in [
+        _pauli_rotation("RX", "X"),
+        _pauli_rotation("RY", "Y"),
+        _pauli_rotation("RZ", "Z"),
+        _pauli_rotation("RXX", "XX"),
+        _pauli_rotation("RYY", "YY"),
+        _pauli_rotation("RZZ", "ZZ"),
+        _phase_shift_gate(),
+        _controlled_rotation("CRX", "X"),
+        _controlled_rotation("CRY", "Y"),
+        _controlled_rotation("CRZ", "Z"),
+    ]
+}
+
+_ALIASES = {"CNOT": "CX", "P": "PHASE", "TOFFOLI": "CCX"}
+
+
+@functools.lru_cache(maxsize=None)
+def get_gate(name: str) -> Gate:
+    """Look up a gate definition by (case-insensitive) name.
+
+    Raises
+    ------
+    KeyError
+        If no gate with that name is registered.
+    """
+    key = name.upper()
+    key = _ALIASES.get(key, key)
+    if key in FIXED_GATES:
+        return FIXED_GATES[key]
+    if key in PARAMETRIC_GATES:
+        return PARAMETRIC_GATES[key]
+    raise KeyError(f"unknown gate {name!r}")
+
+
+def is_parametric(name: str) -> bool:
+    """Return True if ``name`` refers to a parametric gate."""
+    try:
+        return isinstance(get_gate(name), ParametricGate)
+    except KeyError:
+        return False

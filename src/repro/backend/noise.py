@@ -1,0 +1,228 @@
+"""Quantum noise channels and a Monte-Carlo trajectory simulator.
+
+The paper's experiments are noiseless, but it motivates its study with NISQ
+hardware; this module provides the standard single-qubit Kraus channels and
+a stochastic-trajectory simulator so the robustness of each initialization
+scheme can be probed under hardware-like noise (ablation A5 in DESIGN.md).
+
+A trajectory applies, after every gate, one Kraus operator per noisy qubit,
+selected with probability ``||K_i |psi>||^2`` and followed by
+renormalization.  Averaging expectation values over trajectories converges
+to the density-matrix result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.backend.circuit import QuantumCircuit
+from repro.backend.observables import Observable
+from repro.backend.statevector import Statevector, apply_matrix
+from repro.utils.rng import SeedLike, child_rngs, ensure_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = [
+    "KrausChannel",
+    "bit_flip",
+    "phase_flip",
+    "depolarizing",
+    "amplitude_damping",
+    "phase_damping",
+    "NoiseModel",
+    "TrajectorySimulator",
+]
+
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_I2 = np.eye(2, dtype=complex)
+
+
+class KrausChannel:
+    """A completely-positive trace-preserving map given by Kraus operators."""
+
+    def __init__(self, name: str, kraus_operators: Iterable[np.ndarray]):
+        self.name = name
+        self.kraus_operators = [np.asarray(k, dtype=complex) for k in kraus_operators]
+        if not self.kraus_operators:
+            raise ValueError("channel needs at least one Kraus operator")
+        dim = self.kraus_operators[0].shape[0]
+        total = np.zeros((dim, dim), dtype=complex)
+        for kraus in self.kraus_operators:
+            if kraus.shape != (dim, dim):
+                raise ValueError("all Kraus operators must share one square shape")
+            total += kraus.conj().T @ kraus
+        if not np.allclose(total, np.eye(dim), atol=1e-9):
+            raise ValueError(
+                f"channel {name!r} is not trace preserving (sum K^dag K != I)"
+            )
+        self.num_qubits = int(np.log2(dim))
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the channel is exactly the identity map."""
+        if len(self.kraus_operators) != 1:
+            return False
+        kraus = self.kraus_operators[0]
+        return bool(np.allclose(kraus, np.eye(kraus.shape[0])))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KrausChannel({self.name!r}, {len(self.kraus_operators)} operators)"
+
+
+def bit_flip(probability: float) -> KrausChannel:
+    """Apply X with probability ``p``."""
+    p = check_probability(probability, "probability")
+    return KrausChannel(
+        "bit_flip", [np.sqrt(1 - p) * _I2, np.sqrt(p) * _X]
+    )
+
+
+def phase_flip(probability: float) -> KrausChannel:
+    """Apply Z with probability ``p``."""
+    p = check_probability(probability, "probability")
+    return KrausChannel(
+        "phase_flip", [np.sqrt(1 - p) * _I2, np.sqrt(p) * _Z]
+    )
+
+
+def depolarizing(probability: float) -> KrausChannel:
+    """Replace the state with the maximally mixed one at rate ``p``."""
+    p = check_probability(probability, "probability")
+    return KrausChannel(
+        "depolarizing",
+        [
+            np.sqrt(1 - p) * _I2,
+            np.sqrt(p / 3.0) * _X,
+            np.sqrt(p / 3.0) * _Y,
+            np.sqrt(p / 3.0) * _Z,
+        ],
+    )
+
+
+def amplitude_damping(gamma: float) -> KrausChannel:
+    """T1 decay: |1> relaxes to |0> with probability ``gamma``."""
+    g = check_probability(gamma, "gamma")
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - g)]], dtype=complex)
+    k1 = np.array([[0, np.sqrt(g)], [0, 0]], dtype=complex)
+    return KrausChannel("amplitude_damping", [k0, k1])
+
+
+def phase_damping(gamma: float) -> KrausChannel:
+    """Pure dephasing with rate ``gamma``."""
+    g = check_probability(gamma, "gamma")
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - g)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, np.sqrt(g)]], dtype=complex)
+    return KrausChannel("phase_damping", [k0, k1])
+
+
+class NoiseModel:
+    """Maps gate names to the single-qubit channels that follow them.
+
+    Parameters
+    ----------
+    default:
+        Channel applied after *every* gate, to each qubit the gate touches.
+    per_gate:
+        Overrides keyed by upper-case gate name; an explicit ``None`` entry
+        disables noise for that gate.
+    """
+
+    def __init__(
+        self,
+        default: Optional[KrausChannel] = None,
+        per_gate: Optional[Dict[str, Optional[KrausChannel]]] = None,
+    ):
+        self.default = default
+        self.per_gate = {
+            name.upper(): channel for name, channel in (per_gate or {}).items()
+        }
+
+    def channel_for(self, gate_name: str) -> Optional[KrausChannel]:
+        """Resolve the channel applied after ``gate_name`` (or None)."""
+        key = gate_name.upper()
+        if key in self.per_gate:
+            return self.per_gate[key]
+        return self.default
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no gate receives any noise."""
+        channels = [self.default, *self.per_gate.values()]
+        return all(c is None or c.is_trivial for c in channels)
+
+
+class TrajectorySimulator:
+    """Monte-Carlo wavefunction simulator with per-gate Kraus noise."""
+
+    def __init__(self, noise_model: NoiseModel):
+        self.noise_model = noise_model
+
+    def run_trajectory(
+        self,
+        circuit: QuantumCircuit,
+        params: Optional[Sequence[float]] = None,
+        seed: SeedLike = None,
+        initial_state: Optional[Statevector] = None,
+    ) -> Statevector:
+        """Sample one stochastic trajectory through the noisy circuit."""
+        rng = ensure_rng(seed)
+        param_array = (
+            np.asarray(params, dtype=float) if params is not None else None
+        )
+        if param_array is None and circuit.num_parameters:
+            raise ValueError("circuit has trainable parameters but none supplied")
+        if initial_state is None:
+            data = np.zeros(2**circuit.num_qubits, dtype=complex)
+            data[0] = 1.0
+        else:
+            data = initial_state.data.copy()
+        n = circuit.num_qubits
+        for op in circuit.operations:
+            data = apply_matrix(data, op.matrix(param_array), op.qubits, n)
+            channel = self.noise_model.channel_for(op.gate.name)
+            if channel is None or channel.is_trivial:
+                continue
+            for qubit in op.qubits:
+                data = self._apply_channel(data, channel, qubit, n, rng)
+        return Statevector(data, validate=False)
+
+    def expectation(
+        self,
+        circuit: QuantumCircuit,
+        observable: Observable,
+        params: Optional[Sequence[float]] = None,
+        trajectories: int = 100,
+        seed: SeedLike = None,
+    ) -> float:
+        """Average ``<O>`` over independent noisy trajectories."""
+        check_positive_int(trajectories, "trajectories")
+        values = [
+            observable.expectation(self.run_trajectory(circuit, params, seed=rng))
+            for rng in child_rngs(seed, trajectories)
+        ]
+        return float(np.mean(values))
+
+    @staticmethod
+    def _apply_channel(
+        data: np.ndarray,
+        channel: KrausChannel,
+        qubit: int,
+        num_qubits: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        branches: List[np.ndarray] = []
+        weights: List[float] = []
+        for kraus in channel.kraus_operators:
+            branch = apply_matrix(data, kraus, [qubit], num_qubits)
+            weight = float(np.real(np.vdot(branch, branch)))
+            branches.append(branch)
+            weights.append(weight)
+        total = sum(weights)
+        probs = np.asarray(weights) / total
+        choice = rng.choice(len(branches), p=probs)
+        chosen = branches[choice]
+        norm = np.linalg.norm(chosen)
+        return chosen / norm

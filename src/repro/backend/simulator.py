@@ -1,0 +1,191 @@
+"""Exact statevector simulator.
+
+The simulator is stateless: each call takes a circuit plus parameter vector
+and returns fresh results, so one instance can be shared freely across
+experiments and threads.
+
+Expectation values are analytic by default, matching the paper's PennyLane
+setup.  Shot-based estimation is available as an opt-in via ``shots=`` for
+studying sampling noise (an extension experiment).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.backend.circuit import QuantumCircuit
+from repro.backend.gates import FixedGate, get_gate
+from repro.backend.observables import Observable, PauliString, PauliSum, Projector
+from repro.backend.statevector import Statevector, apply_diagonal, apply_matrix
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["StatevectorSimulator", "apply_operation"]
+
+
+def apply_operation(data, op, params, num_qubits):
+    """Apply one circuit operation to a flat amplitude buffer.
+
+    Dispatches diagonal gates (CZ, RZ, PHASE, ...) to the cheaper
+    elementwise kernel; everything else goes through the general
+    tensor-contraction kernel.
+    """
+    matrix = op.matrix(params)
+    if getattr(op.gate, "is_diagonal", False):
+        return apply_diagonal(data, np.diagonal(matrix), op.qubits, num_qubits)
+    return apply_matrix(data, matrix, op.qubits, num_qubits)
+
+
+class StatevectorSimulator:
+    """Runs :class:`QuantumCircuit` objects on exact statevectors."""
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        params: Optional[Sequence[float]] = None,
+        initial_state: Optional[Statevector] = None,
+    ) -> Statevector:
+        """Evolve the initial state (default ``|0...0>``) through ``circuit``.
+
+        Parameters
+        ----------
+        circuit:
+            The circuit to execute.
+        params:
+            Trainable parameter vector; required iff the circuit has
+            trainable operations.
+        initial_state:
+            Starting state; defaults to ``|0...0>``.
+        """
+        param_array = self._coerce_params(circuit, params)
+        if initial_state is None:
+            data = np.zeros(2**circuit.num_qubits, dtype=complex)
+            data[0] = 1.0
+        else:
+            if initial_state.num_qubits != circuit.num_qubits:
+                raise ValueError(
+                    f"initial state has {initial_state.num_qubits} qubits, "
+                    f"circuit needs {circuit.num_qubits}"
+                )
+            data = initial_state.data.copy()
+        for op in circuit.operations:
+            data = apply_operation(data, op, param_array, circuit.num_qubits)
+        return Statevector(data, validate=False)
+
+    def expectation(
+        self,
+        circuit: QuantumCircuit,
+        observable: Observable,
+        params: Optional[Sequence[float]] = None,
+        initial_state: Optional[Statevector] = None,
+        shots: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> float:
+        """``<psi(params)|O|psi(params)>``, exact or shot-estimated."""
+        state = self.run(circuit, params, initial_state)
+        if shots is None:
+            return observable.expectation(state)
+        return self._sampled_expectation(state, observable, shots, seed)
+
+    def probabilities(
+        self,
+        circuit: QuantumCircuit,
+        params: Optional[Sequence[float]] = None,
+        initial_state: Optional[Statevector] = None,
+    ) -> np.ndarray:
+        """Computational-basis outcome distribution after the circuit."""
+        return self.run(circuit, params, initial_state).probabilities()
+
+    def sample(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        params: Optional[Sequence[float]] = None,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """Sample ``(shots, num_qubits)`` measurement outcomes."""
+        return self.run(circuit, params).sample(shots, seed=seed)
+
+    def unitary(
+        self, circuit: QuantumCircuit, params: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """Dense unitary of the whole circuit (tests / small systems only)."""
+        dim = 2**circuit.num_qubits
+        param_array = self._coerce_params(circuit, params)
+        columns = np.eye(dim, dtype=complex)
+        out = np.empty((dim, dim), dtype=complex)
+        for col in range(dim):
+            data = columns[:, col].copy()
+            for op in circuit.operations:
+                data = apply_operation(data, op, param_array, circuit.num_qubits)
+            out[:, col] = data
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce_params(
+        circuit: QuantumCircuit, params: Optional[Sequence[float]]
+    ) -> Optional[np.ndarray]:
+        if params is None:
+            if circuit.num_parameters:
+                raise ValueError(
+                    f"circuit has {circuit.num_parameters} trainable parameters "
+                    "but none were supplied"
+                )
+            return None
+        array = np.asarray(params, dtype=float).reshape(-1)
+        if array.size != circuit.num_parameters:
+            raise ValueError(
+                f"expected {circuit.num_parameters} parameters, got {array.size}"
+            )
+        if not np.all(np.isfinite(array)):
+            raise ValueError(
+                "parameters contain NaN or infinity; an optimizer has "
+                "probably diverged"
+            )
+        return array
+
+    def _sampled_expectation(
+        self,
+        state: Statevector,
+        observable: Observable,
+        shots: int,
+        seed: SeedLike,
+    ) -> float:
+        check_positive_int(shots, "shots")
+        rng = ensure_rng(seed)
+        if isinstance(observable, Projector):
+            bits = state.sample(shots, seed=rng)
+            hits = np.all(bits == np.asarray(observable.bits), axis=1)
+            return float(np.mean(hits))
+        if isinstance(observable, PauliString):
+            return self._sampled_pauli(state, observable, shots, rng)
+        if isinstance(observable, PauliSum):
+            return float(
+                sum(
+                    self._sampled_pauli(state, term, shots, rng)
+                    for term in observable.terms
+                )
+            )
+        raise TypeError(
+            f"shot-based estimation is not implemented for {type(observable).__name__}"
+        )
+
+    @staticmethod
+    def _sampled_pauli(
+        state: Statevector, term: PauliString, shots: int, rng: np.random.Generator
+    ) -> float:
+        if term.is_identity:
+            return term.coefficient
+        rotated = state.data
+        for gate_name, qubit in term.diagonalizing_rotations():
+            gate = get_gate(gate_name)
+            assert isinstance(gate, FixedGate)
+            rotated = apply_matrix(rotated, gate.matrix(), [qubit], state.num_qubits)
+        bits = Statevector(rotated, validate=False).sample(shots, seed=rng)
+        eigenvalues = np.array([term.eigenvalue_of_bits(row) for row in bits])
+        return float(np.mean(eigenvalues))

@@ -1,0 +1,272 @@
+"""Statevector representation and gate-application kernels.
+
+The state of an ``n``-qubit register is a complex vector of length ``2**n``.
+Qubit 0 is the most significant bit of the basis-state index (the same
+convention as PennyLane's ``default.qubit``), so ``|10>`` on two qubits is
+index 2.
+
+The hot path — applying a ``k``-qubit gate — reshapes the state into an
+``n``-dimensional tensor of shape ``(2,) * n`` and contracts the gate over
+the targeted axes with :func:`numpy.tensordot`; diagonal gates use a cheaper
+elementwise multiply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int, check_qubit_index
+
+__all__ = ["Statevector", "apply_matrix", "apply_diagonal"]
+
+
+def apply_matrix(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a ``k``-qubit unitary to ``state`` and return the new vector.
+
+    Parameters
+    ----------
+    state:
+        Flat complex array of length ``2**num_qubits``.
+    matrix:
+        ``(2**k, 2**k)`` matrix acting on ``qubits`` (most significant
+        gate qubit first).
+    qubits:
+        Distinct target qubit indices.
+    num_qubits:
+        Total number of qubits in ``state``.
+    """
+    k = len(qubits)
+    if len(set(qubits)) != k:
+        raise ValueError(f"target qubits must be distinct, got {tuple(qubits)}")
+    tensor = state.reshape((2,) * num_qubits)
+    gate = matrix.reshape((2,) * (2 * k))
+    # Contract gate input axes (the trailing k axes of the reshaped gate)
+    # with the targeted state axes, then move the gate output axes back.
+    tensor = np.tensordot(gate, tensor, axes=(range(k, 2 * k), qubits))
+    tensor = np.moveaxis(tensor, range(k), qubits)
+    return np.ascontiguousarray(tensor).reshape(-1)
+
+
+def apply_diagonal(
+    state: np.ndarray,
+    diagonal: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a diagonal gate given its diagonal entries (length ``2**k``)."""
+    k = len(qubits)
+    tensor = state.reshape((2,) * num_qubits)
+    diag = diagonal.reshape((2,) * k)
+    # Pad with size-1 axes, then move the diagonal's axes onto the target
+    # qubit positions so plain broadcasting applies it elementwise.
+    expanded = np.moveaxis(
+        diag.reshape(diag.shape + (1,) * (num_qubits - k)), range(k), qubits
+    )
+    return (tensor * expanded).reshape(-1)
+
+
+class Statevector:
+    """An immutable-by-convention pure quantum state.
+
+    Most methods return new :class:`Statevector` objects; the raw buffer is
+    reachable via :attr:`data` for performance-sensitive code (simulator
+    internals) but should not be mutated by callers.
+    """
+
+    __slots__ = ("data", "num_qubits")
+
+    def __init__(self, data: Union[np.ndarray, Sequence[complex]], validate: bool = True):
+        array = np.asarray(data, dtype=complex).reshape(-1)
+        size = array.size
+        if size == 0 or size & (size - 1):
+            raise ValueError(f"statevector length must be a power of 2, got {size}")
+        self.data = array
+        self.num_qubits = int(size).bit_length() - 1
+        if validate and not np.isclose(self.norm(), 1.0, atol=1e-8):
+            raise ValueError(f"statevector is not normalized (norm={self.norm():.6g})")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        """The all-zeros computational basis state ``|0...0>``."""
+        check_positive_int(num_qubits, "num_qubits")
+        data = np.zeros(2**num_qubits, dtype=complex)
+        data[0] = 1.0
+        return cls(data, validate=False)
+
+    @classmethod
+    def basis_state(cls, bits: Union[str, Iterable[int]]) -> "Statevector":
+        """Computational basis state from a bitstring, e.g. ``"010"``."""
+        bit_list = [int(b) for b in bits]
+        if not bit_list or any(b not in (0, 1) for b in bit_list):
+            raise ValueError(f"bits must be a non-empty 0/1 sequence, got {bits!r}")
+        index = 0
+        for bit in bit_list:
+            index = (index << 1) | bit
+        data = np.zeros(2 ** len(bit_list), dtype=complex)
+        data[index] = 1.0
+        return cls(data, validate=False)
+
+    @classmethod
+    def uniform_superposition(cls, num_qubits: int) -> "Statevector":
+        """The state ``H^(x)n |0...0>``."""
+        check_positive_int(num_qubits, "num_qubits")
+        dim = 2**num_qubits
+        return cls(np.full(dim, 1.0 / np.sqrt(dim), dtype=complex), validate=False)
+
+    @classmethod
+    def random_state(cls, num_qubits: int, seed: SeedLike = None) -> "Statevector":
+        """Haar-random pure state (Gaussian amplitudes, normalized)."""
+        check_positive_int(num_qubits, "num_qubits")
+        rng = ensure_rng(seed)
+        dim = 2**num_qubits
+        raw = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+        return cls(raw / np.linalg.norm(raw), validate=False)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension ``2**num_qubits``."""
+        return self.data.size
+
+    def norm(self) -> float:
+        """Euclidean norm of the amplitude vector."""
+        return float(np.linalg.norm(self.data))
+
+    def copy(self) -> "Statevector":
+        """Deep copy."""
+        return Statevector(self.data.copy(), validate=False)
+
+    def amplitude(self, bits: Union[str, int, Iterable[int]]) -> complex:
+        """Amplitude of a basis state given as bitstring or flat index."""
+        if isinstance(bits, (int, np.integer)):
+            return complex(self.data[int(bits)])
+        index = 0
+        for bit in (int(b) for b in bits):
+            index = (index << 1) | bit
+        return complex(self.data[index])
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each computational basis state (length ``2**n``)."""
+        return np.abs(self.data) ** 2
+
+    def probability_of(self, bits: Union[str, int, Iterable[int]]) -> float:
+        """Probability of one basis outcome."""
+        return float(abs(self.amplitude(bits)) ** 2)
+
+    def marginal_probabilities(self, qubits: Sequence[int]) -> np.ndarray:
+        """Marginal distribution over a subset of qubits (given order)."""
+        for qubit in qubits:
+            check_qubit_index(qubit, self.num_qubits)
+        if len(set(qubits)) != len(qubits):
+            raise ValueError("qubits must be distinct")
+        probs = self.probabilities().reshape((2,) * self.num_qubits)
+        keep = list(qubits)
+        drop = [q for q in range(self.num_qubits) if q not in set(keep)]
+        marginal = probs.sum(axis=tuple(drop)) if drop else probs
+        # ``sum`` preserves the relative order of the kept axes; permute to
+        # the caller's requested order.
+        current = sorted(keep)
+        perm = [current.index(q) for q in keep]
+        return np.transpose(marginal, perm).reshape(-1)
+
+    # ------------------------------------------------------------------
+    # linear algebra
+    # ------------------------------------------------------------------
+    def inner(self, other: "Statevector") -> complex:
+        """Inner product ``<self|other>``."""
+        self._check_compatible(other)
+        return complex(np.vdot(self.data, other.data))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """``|<self|other>|**2``."""
+        return float(abs(self.inner(other)) ** 2)
+
+    def tensor(self, other: "Statevector") -> "Statevector":
+        """Tensor product ``self (x) other`` (self's qubits first)."""
+        return Statevector(np.kron(self.data, other.data), validate=False)
+
+    def apply_gate(
+        self, matrix: np.ndarray, qubits: Sequence[int]
+    ) -> "Statevector":
+        """Return the state after applying ``matrix`` to ``qubits``."""
+        for qubit in qubits:
+            check_qubit_index(qubit, self.num_qubits)
+        data = apply_matrix(self.data, matrix, qubits, self.num_qubits)
+        return Statevector(data, validate=False)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        shots: int,
+        seed: SeedLike = None,
+        qubits: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Sample computational-basis outcomes.
+
+        Returns an ``(shots, k)`` array of 0/1 ints where ``k`` is
+        ``len(qubits)`` (all qubits by default).
+        """
+        check_positive_int(shots, "shots")
+        rng = ensure_rng(seed)
+        target = list(qubits) if qubits is not None else list(range(self.num_qubits))
+        probs = self.marginal_probabilities(target)
+        probs = probs / probs.sum()
+        outcomes = rng.choice(probs.size, size=shots, p=probs)
+        k = len(target)
+        bits = ((outcomes[:, None] >> np.arange(k - 1, -1, -1)) & 1).astype(np.int8)
+        return bits
+
+    def sample_counts(
+        self, shots: int, seed: SeedLike = None
+    ) -> "dict[str, int]":
+        """Sample and aggregate outcomes into a ``{bitstring: count}`` dict."""
+        bits = self.sample(shots, seed=seed)
+        counts: dict[str, int] = {}
+        for row in bits:
+            key = "".join(str(b) for b in row)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "Statevector") -> None:
+        if self.num_qubits != other.num_qubits:
+            raise ValueError(
+                f"qubit-count mismatch: {self.num_qubits} vs {other.num_qubits}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Statevector):
+            return NotImplemented
+        return self.num_qubits == other.num_qubits and bool(
+            np.allclose(self.data, other.data)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Statevector(num_qubits={self.num_qubits})"
+
+    def allclose(self, other: "Statevector", atol: float = 1e-9) -> bool:
+        """Element-wise comparison with tolerance (no global-phase slack)."""
+        self._check_compatible(other)
+        return bool(np.allclose(self.data, other.data, atol=atol))
+
+    def equiv(self, other: "Statevector", atol: float = 1e-9) -> bool:
+        """True if the states are equal up to a global phase."""
+        self._check_compatible(other)
+        return bool(np.isclose(self.fidelity(other), 1.0, atol=atol))

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the paper's workflow end to end:
+
+``variance``
+    Fig. 5a — gradient-variance decay study with the improvement table.
+``train``
+    Fig. 5b/5c — identity-learning training comparison.
+``landscape``
+    Fig. 1 — ASCII landscape scan with flatness metrics.
+``info``
+    Library version plus the available initializers, optimizers and gates.
+
+Every command accepts ``--seed`` for exact reproducibility and the study
+commands accept ``--output FILE`` to persist the outcome as JSON
+(reloadable via :func:`repro.io.load_result`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Alleviating Barren Plateaus in "
+        "Parameterized Quantum Machine Learning Circuits' (DATE 2024).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    variance = sub.add_parser(
+        "variance", help="run the Fig. 5a gradient-variance study"
+    )
+    variance.add_argument("--qubits", type=int, nargs="+", default=[2, 4, 6])
+    variance.add_argument("--circuits", type=int, default=50)
+    variance.add_argument("--layers", type=int, default=30)
+    variance.add_argument("--methods", nargs="+", default=None)
+    variance.add_argument("--cost", choices=("global", "local"), default="global")
+    variance.add_argument("--seed", type=int, default=0)
+    variance.add_argument("--output", default=None)
+
+    train = sub.add_parser("train", help="run the Fig. 5b/5c training study")
+    train.add_argument("--qubits", type=int, default=10)
+    train.add_argument("--layers", type=int, default=5)
+    train.add_argument("--iterations", type=int, default=50)
+    train.add_argument(
+        "--optimizer", default="gradient_descent", help="optimizer registry name"
+    )
+    train.add_argument("--learning-rate", type=float, default=0.1)
+    train.add_argument("--methods", nargs="+", default=None)
+    train.add_argument("--cost", choices=("global", "local"), default="global")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", default=None)
+
+    landscape = sub.add_parser(
+        "landscape", help="scan and print a Fig. 1 style cost landscape"
+    )
+    landscape.add_argument("--qubits", type=int, default=5)
+    landscape.add_argument("--layers", type=int, default=30)
+    landscape.add_argument("--resolution", type=int, default=15)
+    landscape.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("info", help="show version and registries")
+    return parser
+
+
+def _cmd_variance(args: argparse.Namespace) -> int:
+    from repro.analysis import decay_table, variance_table
+    from repro.core import VarianceConfig, run_variance_experiment
+    from repro.initializers.registry import PAPER_METHODS
+    from repro.io import save_result
+
+    config = VarianceConfig(
+        qubit_counts=tuple(args.qubits),
+        num_circuits=args.circuits,
+        num_layers=args.layers,
+        methods=tuple(args.methods) if args.methods else tuple(PAPER_METHODS),
+        cost_kind=args.cost,
+    )
+    outcome = run_variance_experiment(config, seed=args.seed, verbose=True)
+    print()
+    print(variance_table(outcome.result))
+    print()
+    print(decay_table(outcome.fits, outcome.improvements))
+    print(f"ranking (best decay first): {outcome.ranking}")
+    if args.output:
+        print(f"saved to {save_result(outcome, args.output)}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.analysis import training_table
+    from repro.core import TrainingConfig, run_training_experiment
+    from repro.initializers.registry import PAPER_METHODS
+    from repro.io import save_result
+
+    config = TrainingConfig(
+        num_qubits=args.qubits,
+        num_layers=args.layers,
+        iterations=args.iterations,
+        optimizer=args.optimizer,
+        learning_rate=args.learning_rate,
+        cost_kind=args.cost,
+    )
+    methods = tuple(args.methods) if args.methods else tuple(PAPER_METHODS)
+    outcome = run_training_experiment(
+        config, methods=methods, seed=args.seed, verbose=True
+    )
+    print()
+    print(training_table(outcome.histories))
+    print(f"final-loss ranking (best first): {outcome.ranking()}")
+    if args.output:
+        print(f"saved to {save_result(outcome, args.output)}")
+    return 0
+
+
+def _cmd_landscape(args: argparse.Namespace) -> int:
+    from repro.analysis import flatness_metrics, scan_landscape
+    from repro.ansatz import HardwareEfficientAnsatz
+    from repro.core import global_identity_cost
+
+    circuit = HardwareEfficientAnsatz(args.qubits, args.layers).build()
+    cost = global_identity_cost(circuit)
+    rng = np.random.default_rng(args.seed)
+    anchor = rng.uniform(0, 2 * np.pi, circuit.num_parameters)
+    scan = scan_landscape(
+        cost,
+        anchor,
+        param_indices=(circuit.num_parameters - 2, circuit.num_parameters - 1),
+        resolution=args.resolution,
+    )
+    metrics = flatness_metrics(scan)
+    print(
+        f"{args.qubits} qubits, depth {args.layers}: "
+        f"cost range {metrics['cost_range']:.3e}, "
+        f"std {metrics['cost_std']:.3e}, "
+        f"mean |grad| {metrics['mean_gradient_magnitude']:.3e}"
+    )
+    print(scan.to_ascii())
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    import repro
+    from repro.backend.gates import FIXED_GATES, PARAMETRIC_GATES
+    from repro.initializers import available_initializers
+    from repro.optim import available_optimizers
+
+    print(f"repro {repro.__version__}")
+    print(f"initializers: {', '.join(available_initializers())}")
+    print(f"optimizers:   {', '.join(available_optimizers())}")
+    print(f"fixed gates:  {', '.join(sorted(FIXED_GATES))}")
+    print(f"param gates:  {', '.join(sorted(PARAMETRIC_GATES))}")
+    return 0
+
+
+_COMMANDS = {
+    "variance": _cmd_variance,
+    "train": _cmd_train,
+    "landscape": _cmd_landscape,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""The paper's experiment engines: cost functions, variance analysis,
+decay-rate fits, training loops, and paper-level runners."""
+
+from repro.core.cost import (
+    ObservableCost,
+    global_identity_cost,
+    local_identity_cost,
+    make_cost,
+    state_learning_cost,
+)
+from repro.core.decay import (
+    fit_all_methods,
+    fit_decay_rate,
+    improvement_over_random,
+    rank_methods,
+)
+from repro.core.profile import (
+    GradientProfile,
+    ProfileConfig,
+    gradient_profile,
+    profile_all_methods,
+)
+from repro.core.experiments import (
+    FullReproductionOutcome,
+    TrainingExperimentOutcome,
+    VarianceExperimentOutcome,
+    run_full_reproduction,
+    run_training_experiment,
+    run_variance_experiment,
+)
+from repro.core.results import (
+    DecayFit,
+    GradientSamples,
+    TrainingHistory,
+    VarianceResult,
+)
+from repro.core.sweep import improvement_series, sweep_variance
+from repro.core.training import Trainer, TrainingConfig, train, train_all_methods
+from repro.core.variance import VarianceAnalysis, VarianceConfig
+
+__all__ = [
+    "DecayFit",
+    "FullReproductionOutcome",
+    "GradientProfile",
+    "GradientSamples",
+    "ObservableCost",
+    "ProfileConfig",
+    "gradient_profile",
+    "profile_all_methods",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingExperimentOutcome",
+    "TrainingHistory",
+    "VarianceAnalysis",
+    "VarianceConfig",
+    "VarianceExperimentOutcome",
+    "VarianceResult",
+    "fit_all_methods",
+    "fit_decay_rate",
+    "global_identity_cost",
+    "improvement_over_random",
+    "improvement_series",
+    "local_identity_cost",
+    "make_cost",
+    "sweep_variance",
+    "rank_methods",
+    "run_full_reproduction",
+    "run_training_experiment",
+    "run_variance_experiment",
+    "state_learning_cost",
+    "train",
+    "train_all_methods",
+]

@@ -1,0 +1,150 @@
+"""Gradient-variance profiles across parameter positions.
+
+The paper probes only the *last* parameter; this extension measures the
+variance of every parameter's gradient, grouped by layer, revealing
+*where* in the circuit gradients die.  For a global cost with random
+initialization the whole profile collapses uniformly (2-design behaviour);
+for width-scaled initializations the profile stays alive, with late
+layers seeing the largest surviving signal (less scrambled tail between
+the gate and the measurement).
+
+Uses adjoint differentiation, so a full profile costs one backward sweep
+per circuit instance rather than ``2 P`` executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ansatz.hea import HardwareEfficientAnsatz
+from repro.backend.gradients import adjoint_gradient
+from repro.backend.simulator import StatevectorSimulator
+from repro.core.cost import make_cost
+from repro.initializers import get_initializer
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["GradientProfile", "ProfileConfig", "gradient_profile"]
+
+
+@dataclass
+class ProfileConfig:
+    """Configuration of the per-layer gradient-variance profile."""
+
+    num_qubits: int = 6
+    num_layers: int = 5
+    num_samples: int = 50
+    cost_kind: str = "global"
+    rotation_gates: Sequence[str] = ("RX", "RY")
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_qubits, "num_qubits")
+        check_positive_int(self.num_layers, "num_layers")
+        check_positive_int(self.num_samples, "num_samples")
+
+
+@dataclass
+class GradientProfile:
+    """Per-parameter and per-layer gradient variance for one method."""
+
+    method: str
+    num_layers: int
+    params_per_layer: int
+    per_parameter_variance: np.ndarray
+
+    @property
+    def per_layer_variance(self) -> np.ndarray:
+        """Mean gradient variance of each layer's parameters."""
+        return self.per_parameter_variance.reshape(
+            self.num_layers, self.params_per_layer
+        ).mean(axis=1)
+
+    @property
+    def total_variance(self) -> float:
+        """Mean variance over all parameters (overall trainability)."""
+        return float(self.per_parameter_variance.mean())
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "num_layers": self.num_layers,
+            "params_per_layer": self.params_per_layer,
+            "per_parameter_variance": [
+                float(v) for v in self.per_parameter_variance
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GradientProfile":
+        return cls(
+            method=str(payload["method"]),
+            num_layers=int(payload["num_layers"]),
+            params_per_layer=int(payload["params_per_layer"]),
+            per_parameter_variance=np.asarray(
+                payload["per_parameter_variance"], dtype=float
+            ),
+        )
+
+
+def gradient_profile(
+    method: str,
+    config: Optional[ProfileConfig] = None,
+    seed: SeedLike = None,
+    simulator: Optional[StatevectorSimulator] = None,
+    **method_kwargs,
+) -> GradientProfile:
+    """Estimate the gradient-variance profile for one initializer.
+
+    Parameters
+    ----------
+    method:
+        Initializer registry name.
+    config:
+        Circuit and sampling configuration.
+    seed:
+        Master seed; each sample draws an independent child stream.
+    **method_kwargs:
+        Forwarded to the initializer factory.
+    """
+    config = config or ProfileConfig()
+    simulator = simulator or StatevectorSimulator()
+    rng = ensure_rng(seed)
+    initializer = get_initializer(method, **method_kwargs)
+
+    ansatz = HardwareEfficientAnsatz(
+        num_qubits=config.num_qubits,
+        num_layers=config.num_layers,
+        rotation_gates=config.rotation_gates,
+    )
+    circuit = ansatz.build()
+    cost = make_cost(config.cost_kind, circuit, simulator=simulator)
+    shape = ansatz.parameter_shape
+
+    gradients = np.empty((config.num_samples, circuit.num_parameters))
+    for row in range(config.num_samples):
+        params = initializer.sample(shape, spawn_rng(rng))
+        gradients[row] = cost.scale * adjoint_gradient(
+            circuit, cost.observable, params, simulator=simulator
+        )
+    return GradientProfile(
+        method=method,
+        num_layers=config.num_layers,
+        params_per_layer=shape.params_per_layer,
+        per_parameter_variance=gradients.var(axis=0),
+    )
+
+
+def profile_all_methods(
+    methods: Sequence[str],
+    config: Optional[ProfileConfig] = None,
+    seed: SeedLike = None,
+) -> Dict[str, GradientProfile]:
+    """Profiles for several methods from independent child seeds."""
+    rng = ensure_rng(seed)
+    return {
+        method: gradient_profile(method, config=config, seed=spawn_rng(rng))
+        for method in methods
+    }

@@ -1,0 +1,204 @@
+"""Result containers for the paper's experiments.
+
+Plain dataclasses with ``to_dict``/``from_dict`` round-trips so the
+:mod:`repro.io` layer can persist every experiment as JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "GradientSamples",
+    "VarianceResult",
+    "DecayFit",
+    "TrainingHistory",
+]
+
+
+@dataclass
+class GradientSamples:
+    """Last-parameter gradient samples for one (qubit count, method) cell."""
+
+    num_qubits: int
+    method: str
+    gradients: np.ndarray
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the gradient samples (the paper's metric)."""
+        return float(np.var(self.gradients))
+
+    @property
+    def mean(self) -> float:
+        """Sample mean of the gradients (should hover near zero)."""
+        return float(np.mean(self.gradients))
+
+    def to_dict(self) -> dict:
+        return {
+            "num_qubits": self.num_qubits,
+            "method": self.method,
+            "gradients": [float(g) for g in self.gradients],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GradientSamples":
+        return cls(
+            num_qubits=int(payload["num_qubits"]),
+            method=str(payload["method"]),
+            gradients=np.asarray(payload["gradients"], dtype=float),
+        )
+
+
+@dataclass
+class VarianceResult:
+    """Full variance-analysis outcome (the data behind Fig. 5a).
+
+    ``samples[(num_qubits, method)]`` holds the raw gradient draws;
+    :meth:`variance_series` extracts the per-method decay curve.
+    """
+
+    qubit_counts: List[int]
+    methods: List[str]
+    samples: Dict[Tuple[int, str], GradientSamples] = field(default_factory=dict)
+
+    def add(self, sample: GradientSamples) -> None:
+        """Insert one cell (validated against the configured grid)."""
+        if sample.num_qubits not in self.qubit_counts:
+            raise ValueError(f"unexpected qubit count {sample.num_qubits}")
+        if sample.method not in self.methods:
+            raise ValueError(f"unexpected method {sample.method!r}")
+        self.samples[(sample.num_qubits, sample.method)] = sample
+
+    def variance_series(self, method: str) -> np.ndarray:
+        """Gradient variance at each qubit count, ordered as ``qubit_counts``."""
+        if method not in self.methods:
+            raise KeyError(f"unknown method {method!r}")
+        return np.array(
+            [self.samples[(q, method)].variance for q in self.qubit_counts]
+        )
+
+    def gradient_matrix(self, method: str) -> np.ndarray:
+        """Raw gradients stacked as ``(len(qubit_counts), num_circuits)``."""
+        return np.stack(
+            [self.samples[(q, method)].gradients for q in self.qubit_counts]
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "qubit_counts": list(self.qubit_counts),
+            "methods": list(self.methods),
+            "samples": [s.to_dict() for s in self.samples.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VarianceResult":
+        result = cls(
+            qubit_counts=[int(q) for q in payload["qubit_counts"]],
+            methods=[str(m) for m in payload["methods"]],
+        )
+        for entry in payload["samples"]:
+            result.add(GradientSamples.from_dict(entry))
+        return result
+
+
+@dataclass
+class DecayFit:
+    """Least-squares fit of ``ln Var(g) = intercept - rate * num_qubits``.
+
+    ``rate > 0`` means the variance decays exponentially with width — the
+    barren-plateau signature.  ``r_squared`` qualifies the fit.
+    """
+
+    method: str
+    rate: float
+    intercept: float
+    r_squared: float
+
+    def predicted_variance(self, num_qubits: np.ndarray) -> np.ndarray:
+        """Model prediction ``exp(intercept - rate * q)``."""
+        q = np.asarray(num_qubits, dtype=float)
+        return np.exp(self.intercept - self.rate * q)
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "rate": self.rate,
+            "intercept": self.intercept,
+            "r_squared": self.r_squared,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DecayFit":
+        return cls(
+            method=str(payload["method"]),
+            rate=float(payload["rate"]),
+            intercept=float(payload["intercept"]),
+            r_squared=float(payload["r_squared"]),
+        )
+
+
+@dataclass
+class TrainingHistory:
+    """Loss trajectory of one training run (one curve of Fig. 5b/5c)."""
+
+    method: str
+    optimizer: str
+    losses: List[float]
+    gradient_norms: List[float]
+    initial_params: np.ndarray
+    final_params: np.ndarray
+    cost_kind: str = "global"
+
+    @property
+    def initial_loss(self) -> float:
+        """Loss before the first update."""
+        return self.losses[0]
+
+    @property
+    def final_loss(self) -> float:
+        """Loss after the last update."""
+        return self.losses[-1]
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of optimizer steps taken."""
+        return len(self.losses) - 1
+
+    def iterations_to_reach(self, threshold: float) -> Optional[int]:
+        """First iteration whose loss is <= ``threshold`` (None if never)."""
+        for iteration, loss in enumerate(self.losses):
+            if loss <= threshold:
+                return iteration
+        return None
+
+    @property
+    def loss_reduction(self) -> float:
+        """Initial minus final loss (positive = learned something)."""
+        return self.initial_loss - self.final_loss
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "optimizer": self.optimizer,
+            "losses": [float(x) for x in self.losses],
+            "gradient_norms": [float(x) for x in self.gradient_norms],
+            "initial_params": [float(x) for x in self.initial_params],
+            "final_params": [float(x) for x in self.final_params],
+            "cost_kind": self.cost_kind,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainingHistory":
+        return cls(
+            method=str(payload["method"]),
+            optimizer=str(payload["optimizer"]),
+            losses=[float(x) for x in payload["losses"]],
+            gradient_norms=[float(x) for x in payload["gradient_norms"]],
+            initial_params=np.asarray(payload["initial_params"], dtype=float),
+            final_params=np.asarray(payload["final_params"], dtype=float),
+            cost_kind=str(payload.get("cost_kind", "global")),
+        )

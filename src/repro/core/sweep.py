@@ -1,0 +1,87 @@
+"""Generic configuration sweeps over the variance experiment.
+
+The depth ablation (A6) is one instance of a recurring pattern: rerun the
+variance study while one configuration field varies, then compare decay
+rates/improvements across the values.  ``sweep_variance`` generalizes it
+to any ``VarianceConfig`` field, and ``improvement_series`` extracts the
+headline number per swept value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, replace
+from typing import Dict, Optional, Sequence
+
+from repro.core.experiments import (
+    VarianceExperimentOutcome,
+    run_variance_experiment,
+)
+from repro.core.variance import VarianceConfig
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
+
+__all__ = ["sweep_variance", "improvement_series"]
+
+
+def sweep_variance(
+    field_name: str,
+    values: Sequence,
+    base_config: Optional[VarianceConfig] = None,
+    seed: SeedLike = None,
+    paired: bool = True,
+    verbose: bool = False,
+) -> Dict:
+    """Run the variance experiment once per value of one config field.
+
+    Parameters
+    ----------
+    field_name:
+        Any ``VarianceConfig`` dataclass field, e.g. ``"num_layers"`` or
+        ``"cost_kind"``.
+    values:
+        The settings to sweep (become the keys of the returned dict).
+    base_config:
+        Template configuration (library defaults if omitted).
+    seed:
+        Master seed.  With ``paired=True`` every swept value reuses the
+        *same* child seed, so circuit structures and angle draws are
+        shared wherever the configuration allows — isolating the effect
+        of the swept field.  ``paired=False`` gives independent draws.
+    """
+    base = base_config or VarianceConfig()
+    valid = {f.name for f in fields(VarianceConfig)}
+    if field_name not in valid:
+        raise ValueError(
+            f"unknown VarianceConfig field {field_name!r}; "
+            f"choose from {sorted(valid)}"
+        )
+    rng = ensure_rng(seed)
+    shared = spawn_rng(rng)
+    outcomes: Dict = {}
+    for value in values:
+        config = replace(base, **{field_name: value})
+        child = shared if paired else spawn_rng(rng)
+        # Generators are stateful; re-derive a fresh generator with the
+        # same stream for every paired run.
+        run_seed = (
+            child.bit_generator.seed_seq if paired else child
+        )
+        outcomes[value] = run_variance_experiment(
+            config, seed=run_seed, verbose=verbose
+        )
+    return outcomes
+
+
+def improvement_series(
+    outcomes: Dict, method: str = "xavier_normal"
+) -> Dict:
+    """Per-swept-value improvement of ``method`` over random.
+
+    Values where the improvement table is unavailable (degenerate
+    baseline) map to ``None``.
+    """
+    series = {}
+    for key, outcome in outcomes.items():
+        if not isinstance(outcome, VarianceExperimentOutcome):
+            raise TypeError("outcomes must map to VarianceExperimentOutcome")
+        series[key] = outcome.improvements.get(method)
+    return series

@@ -1,0 +1,200 @@
+"""Training-analysis engine (paper Section IV-D, Fig. 5b/5c).
+
+Trains the hardware-efficient ansatz of Eq. 3 to learn the identity
+function under the global cost of Eq. 4, for a fixed iteration budget,
+recording the loss after every update.  Defaults replicate the paper:
+10 qubits, 5 layers (145 gates, 100 parameters), 50 iterations, step size
+0.1, Gradient Descent or Adam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.ansatz.hea import HardwareEfficientAnsatz
+from repro.backend.simulator import StatevectorSimulator
+from repro.core.cost import ObservableCost, make_cost
+from repro.core.results import TrainingHistory
+from repro.initializers import Initializer, get_initializer
+from repro.initializers.registry import PAPER_METHODS
+from repro.optim import Optimizer, get_optimizer
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["TrainingConfig", "Trainer", "train", "train_all_methods"]
+
+
+@dataclass
+class TrainingConfig:
+    """Configuration of the training study (paper defaults)."""
+
+    num_qubits: int = 10
+    num_layers: int = 5
+    iterations: int = 50
+    optimizer: str = "gradient_descent"
+    learning_rate: float = 0.1
+    cost_kind: str = "global"
+    gradient_engine: str = "adjoint"
+    rotation_gates: Sequence[str] = ("RX", "RY")
+    entanglement: str = "chain"
+    entangler: str = "CZ"
+    optimizer_kwargs: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_qubits, "num_qubits")
+        check_positive_int(self.num_layers, "num_layers")
+        check_positive_int(self.iterations, "iterations")
+        if self.learning_rate <= 0:
+            raise ValueError(
+                f"learning_rate must be positive, got {self.learning_rate}"
+            )
+
+    def build_ansatz(self) -> HardwareEfficientAnsatz:
+        """The Eq. 3 ansatz for this configuration."""
+        return HardwareEfficientAnsatz(
+            num_qubits=self.num_qubits,
+            num_layers=self.num_layers,
+            rotation_gates=self.rotation_gates,
+            entanglement=self.entanglement,
+            entangler=self.entangler,
+        )
+
+    def build_optimizer(self) -> Optimizer:
+        """A fresh optimizer instance with the configured step size."""
+        kwargs = dict(self.optimizer_kwargs)
+        kwargs.setdefault("learning_rate", self.learning_rate)
+        return get_optimizer(self.optimizer, **kwargs)
+
+
+class Trainer:
+    """Runs training cycles for one configuration, one method at a time."""
+
+    def __init__(
+        self,
+        config: Optional[TrainingConfig] = None,
+        simulator: Optional[StatevectorSimulator] = None,
+    ):
+        self.config = config or TrainingConfig()
+        self.simulator = simulator or StatevectorSimulator()
+        self._ansatz = self.config.build_ansatz()
+        self._circuit = self._ansatz.build()
+        self._cost = make_cost(
+            self.config.cost_kind,
+            self._circuit,
+            gradient_engine=self.config.gradient_engine,
+            simulator=self.simulator,
+        )
+
+    @property
+    def cost(self) -> ObservableCost:
+        """The cost function being minimized."""
+        return self._cost
+
+    @property
+    def num_parameters(self) -> int:
+        """Trainable parameter count (100 for the paper's configuration)."""
+        return self._circuit.num_parameters
+
+    def initial_parameters(
+        self, method: "str | Initializer", seed: SeedLike = None, **method_kwargs
+    ) -> np.ndarray:
+        """Sample initial angles for the ansatz from a named method."""
+        initializer = (
+            method
+            if isinstance(method, Initializer)
+            else get_initializer(method, **method_kwargs)
+        )
+        return initializer.sample(self._ansatz.parameter_shape, seed)
+
+    def run(
+        self,
+        method: "str | Initializer",
+        seed: SeedLike = None,
+        callback: Optional[Callable[[int, float, np.ndarray], None]] = None,
+        initial_params: Optional[np.ndarray] = None,
+    ) -> TrainingHistory:
+        """Train from one initialization draw.
+
+        Parameters
+        ----------
+        method:
+            Initializer name or instance (names the resulting history).
+        seed:
+            Seed for the initial parameter draw.
+        callback:
+            Optional hook ``callback(iteration, loss, params)`` invoked
+            after every update (and once at iteration 0).
+        initial_params:
+            Explicit starting point overriding the initializer draw.
+        """
+        method_name = method if isinstance(method, str) else method.name
+        if initial_params is None:
+            params = self.initial_parameters(method, seed)
+        else:
+            params = np.asarray(initial_params, dtype=float).copy()
+            if params.shape != (self.num_parameters,):
+                raise ValueError(
+                    f"initial_params must have shape ({self.num_parameters},), "
+                    f"got {params.shape}"
+                )
+        optimizer = self.config.build_optimizer()
+        initial = params.copy()
+
+        loss, grad = self._cost.value_and_gradient(params)
+        losses = [loss]
+        grad_norms = [float(np.linalg.norm(grad))]
+        if callback is not None:
+            callback(0, loss, params)
+        for iteration in range(1, self.config.iterations + 1):
+            params = optimizer.step(params, grad)
+            loss, grad = self._cost.value_and_gradient(params)
+            losses.append(loss)
+            grad_norms.append(float(np.linalg.norm(grad)))
+            if callback is not None:
+                callback(iteration, loss, params)
+        return TrainingHistory(
+            method=method_name,
+            optimizer=self.config.optimizer,
+            losses=losses,
+            gradient_norms=grad_norms,
+            initial_params=initial,
+            final_params=params,
+            cost_kind=self.config.cost_kind,
+        )
+
+
+def train(
+    config: Optional[TrainingConfig] = None,
+    method: str = "xavier_normal",
+    seed: SeedLike = None,
+) -> TrainingHistory:
+    """One-call training run (convenience wrapper around :class:`Trainer`)."""
+    return Trainer(config).run(method, seed=seed)
+
+
+def train_all_methods(
+    config: Optional[TrainingConfig] = None,
+    methods: Sequence[str] = tuple(PAPER_METHODS),
+    seed: SeedLike = None,
+    verbose: bool = False,
+) -> Dict[str, TrainingHistory]:
+    """Train every method on the same configuration (one Fig. 5b/5c panel).
+
+    Each method receives an independent child seed derived from ``seed``,
+    so the comparison is reproducible end to end.
+    """
+    trainer = Trainer(config)
+    rng = ensure_rng(seed)
+    histories: Dict[str, TrainingHistory] = {}
+    for method in methods:
+        histories[method] = trainer.run(method, seed=spawn_rng(rng))
+        if verbose:
+            h = histories[method]
+            print(
+                f"[train:{trainer.config.optimizer}] {method}: "
+                f"{h.initial_loss:.4f} -> {h.final_loss:.4f}"
+            )
+    return histories

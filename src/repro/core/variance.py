@@ -1,0 +1,181 @@
+"""Gradient-variance analysis engine (paper Section IV-C, Fig. 5a).
+
+For every qubit count the engine samples ``num_circuits`` random PQC
+structures (Eq. 2), initializes each with every method under test, and
+records the cost gradient with respect to the circuit's *last* parameter,
+computed with the exact parameter-shift rule (two circuit executions).
+
+Pairing matters: the same circuit structures — and, per structure, the same
+RNG child streams — are reused across methods, so method comparisons are
+paired rather than confounded by structure resampling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ansatz.random_pqc import DEFAULT_GATE_POOL, RandomPQC
+from repro.backend.gradients import parameter_shift
+from repro.backend.observables import Observable
+from repro.backend.simulator import StatevectorSimulator
+from repro.core.cost import make_cost
+from repro.core.results import GradientSamples, VarianceResult
+from repro.initializers import Initializer, get_initializer
+from repro.initializers.registry import PAPER_METHODS
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["VarianceConfig", "VarianceAnalysis"]
+
+
+@dataclass
+class VarianceConfig:
+    """Configuration of the variance study.
+
+    Defaults follow the paper where it is explicit: qubit set
+    {2, 4, 6, 8, 10}, 200 circuits per qubit count, gate pool {RX, RY, RZ},
+    CZ chain entanglement, global identity cost, gradient of the last
+    parameter only.
+
+    The paper never states the variance-analysis circuit depth (only that
+    it is "substantial").  Depth controls the outcome: width-scaled
+    initializers keep per-qubit accumulated angle variance at
+    ``num_layers / num_qubits``, so once ``num_layers >> num_qubits`` every
+    scheme scrambles to a 2-design and the separation from random vanishes
+    (measured in EXPERIMENTS.md and ``bench_ablation_depth``).  The default
+    of 30 layers is deep enough that random initialization shows textbook
+    BP decay (rate ~ 2 ln 2 per qubit) while the classical schemes retain
+    their advantage — the regime the paper reports.
+    """
+
+    qubit_counts: Sequence[int] = (2, 4, 6, 8, 10)
+    num_circuits: int = 200
+    num_layers: int = 30
+    methods: Sequence[str] = tuple(PAPER_METHODS)
+    gate_pool: Sequence[str] = DEFAULT_GATE_POOL
+    entanglement: str = "chain"
+    entangler: str = "CZ"
+    cost_kind: str = "global"
+    #: Which parameter's gradient to probe: the paper differentiates the
+    #: "last" parameter; "first" and "middle" are extensions (McClean et
+    #: al. probe an early-layer angle, where the tail of the circuit also
+    #: scrambles the observable).
+    param_position: str = "last"
+    method_kwargs: Dict[str, dict] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.qubit_counts:
+            raise ValueError("qubit_counts must be non-empty")
+        for q in self.qubit_counts:
+            check_positive_int(int(q), "qubit count")
+        check_positive_int(self.num_circuits, "num_circuits")
+        check_positive_int(self.num_layers, "num_layers")
+        if not self.methods:
+            raise ValueError("methods must be non-empty")
+        if self.param_position not in ("first", "middle", "last"):
+            raise ValueError(
+                "param_position must be 'first', 'middle' or 'last', got "
+                f"{self.param_position!r}"
+            )
+
+    def build_initializers(self) -> Dict[str, Initializer]:
+        """Instantiate the configured initialization methods by name."""
+        return {
+            name: get_initializer(name, **self.method_kwargs.get(name, {}))
+            for name in self.methods
+        }
+
+
+class VarianceAnalysis:
+    """Runs the variance study and returns a :class:`VarianceResult`."""
+
+    def __init__(
+        self,
+        config: Optional[VarianceConfig] = None,
+        simulator: Optional[StatevectorSimulator] = None,
+    ):
+        self.config = config or VarianceConfig()
+        self.simulator = simulator or StatevectorSimulator()
+
+    def run(self, seed: SeedLike = None, verbose: bool = False) -> VarianceResult:
+        """Execute the full (qubit count x method x circuit) grid.
+
+        Parameters
+        ----------
+        seed:
+            Master seed; every circuit instance derives independent child
+            streams for its structure and for each method's angles.
+        verbose:
+            Print one progress line per qubit count.
+        """
+        config = self.config
+        rng = ensure_rng(seed)
+        initializers = config.build_initializers()
+        result = VarianceResult(
+            qubit_counts=[int(q) for q in config.qubit_counts],
+            methods=list(config.methods),
+        )
+        for num_qubits in result.qubit_counts:
+            grads: Dict[str, List[float]] = {m: [] for m in config.methods}
+            for _ in range(config.num_circuits):
+                structure_rng = spawn_rng(rng)
+                angles_rng = spawn_rng(rng)
+                pqc = RandomPQC(
+                    num_qubits=num_qubits,
+                    num_layers=config.num_layers,
+                    gate_pool=config.gate_pool,
+                    entanglement=config.entanglement,
+                    entangler=config.entangler,
+                    seed=structure_rng,
+                )
+                circuit = pqc.build()
+                cost = make_cost(
+                    config.cost_kind, circuit, simulator=self.simulator
+                )
+                shape = pqc.parameter_shape
+                # Per-method child streams derived from one per-circuit
+                # parent keep the comparison paired and order-independent.
+                for method, initializer in initializers.items():
+                    params = initializer.sample(shape, spawn_rng(angles_rng))
+                    grad = self._probe_gradient(cost, params)
+                    grads[method].append(grad)
+            for method in config.methods:
+                result.add(
+                    GradientSamples(
+                        num_qubits=num_qubits,
+                        method=method,
+                        gradients=np.asarray(grads[method]),
+                    )
+                )
+            if verbose:
+                variances = ", ".join(
+                    f"{m}={result.samples[(num_qubits, m)].variance:.3e}"
+                    for m in config.methods
+                )
+                print(f"[variance] q={num_qubits}: {variances}")
+        return result
+
+    def _probe_gradient(self, cost, params: np.ndarray) -> float:
+        """d(cost)/d(theta_probe) via the exact parameter-shift rule.
+
+        The probed index follows ``config.param_position``; the paper's
+        setup is the last parameter.
+        """
+        count = cost.circuit.num_parameters
+        if self.config.param_position == "first":
+            index = 0
+        elif self.config.param_position == "middle":
+            index = count // 2
+        else:
+            index = count - 1
+        raw = parameter_shift(
+            cost.circuit,
+            cost.observable,
+            params,
+            simulator=self.simulator,
+            param_indices=[index],
+        )
+        return float(cost.scale * raw[0])

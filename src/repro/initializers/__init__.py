@@ -1,0 +1,63 @@
+"""Parameter-initialization strategies for PQCs — the paper's contribution.
+
+See Section III of the paper and DESIGN.md.  Use
+:func:`repro.initializers.get_initializer` for name-based construction and
+``PAPER_METHODS`` for the exact set the paper evaluates.
+"""
+
+from repro.initializers.base import FanMode, Initializer, ParameterShape
+from repro.initializers.beta import BetaInitializer
+from repro.initializers.classical import (
+    Constant,
+    HeNormal,
+    HeUniform,
+    LeCunNormal,
+    LeCunUniform,
+    Normal,
+    RandomUniform,
+    Uniform,
+    XavierNormal,
+    XavierUniform,
+    Zeros,
+)
+from repro.initializers.orthogonal import Orthogonal, haar_orthogonal_matrix
+from repro.initializers.variance_scaling import (
+    TruncatedNormal,
+    VarianceScaling,
+    variance_scaling_equivalent,
+)
+from repro.initializers.warm_start import WarmStart
+from repro.initializers.registry import (
+    INITIALIZER_FACTORIES,
+    PAPER_METHODS,
+    available_initializers,
+    get_initializer,
+)
+
+__all__ = [
+    "BetaInitializer",
+    "Constant",
+    "FanMode",
+    "HeNormal",
+    "HeUniform",
+    "INITIALIZER_FACTORIES",
+    "Initializer",
+    "LeCunNormal",
+    "LeCunUniform",
+    "Normal",
+    "Orthogonal",
+    "PAPER_METHODS",
+    "ParameterShape",
+    "RandomUniform",
+    "TruncatedNormal",
+    "Uniform",
+    "VarianceScaling",
+    "WarmStart",
+    "XavierNormal",
+    "XavierUniform",
+    "Zeros",
+    "available_initializers",
+    "get_initializer",
+    "haar_orthogonal_matrix",
+    "variance_scaling_equivalent",
+]

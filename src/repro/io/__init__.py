@@ -1,0 +1,10 @@
+"""JSON persistence for experiment results."""
+
+from repro.io.serialization import (
+    RESULT_TYPES,
+    NumpyJSONEncoder,
+    load_result,
+    save_result,
+)
+
+__all__ = ["NumpyJSONEncoder", "RESULT_TYPES", "load_result", "save_result"]

@@ -1,0 +1,95 @@
+"""JSON persistence for experiment outcomes.
+
+Every result dataclass in :mod:`repro.core` implements
+``to_dict``/``from_dict``; this module adds the file layer with a type tag
+so a saved result round-trips to the right class without the caller
+remembering what it stored.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Type, Union
+
+import numpy as np
+
+from repro.core.experiments import (
+    FullReproductionOutcome,
+    TrainingExperimentOutcome,
+    VarianceExperimentOutcome,
+)
+from repro.core.profile import GradientProfile
+from repro.core.results import (
+    DecayFit,
+    GradientSamples,
+    TrainingHistory,
+    VarianceResult,
+)
+
+__all__ = ["save_result", "load_result", "RESULT_TYPES", "NumpyJSONEncoder"]
+
+PathLike = Union[str, Path]
+
+#: Persistable result classes keyed by their tag.
+RESULT_TYPES: Dict[str, Type] = {
+    "GradientSamples": GradientSamples,
+    "GradientProfile": GradientProfile,
+    "VarianceResult": VarianceResult,
+    "DecayFit": DecayFit,
+    "TrainingHistory": TrainingHistory,
+    "VarianceExperimentOutcome": VarianceExperimentOutcome,
+    "TrainingExperimentOutcome": TrainingExperimentOutcome,
+    "FullReproductionOutcome": FullReproductionOutcome,
+}
+
+
+class NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands numpy scalars and arrays."""
+
+    def default(self, obj: Any) -> Any:
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def save_result(result: Any, path: PathLike, indent: int = 2) -> Path:
+    """Serialize a result object (any class in ``RESULT_TYPES``) to JSON.
+
+    Returns the written path.  Parent directories are created as needed.
+    """
+    type_name = type(result).__name__
+    if type_name not in RESULT_TYPES:
+        raise TypeError(
+            f"{type_name} is not a persistable result type; "
+            f"expected one of {sorted(RESULT_TYPES)}"
+        )
+    payload = {"type": type_name, "data": result.to_dict()}
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent, cls=NumpyJSONEncoder)
+    return target
+
+
+def load_result(path: PathLike) -> Any:
+    """Load a result previously written by :func:`save_result`."""
+    source = Path(path)
+    with source.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise ValueError(f"{source} is not a repro result file (missing type tag)")
+    type_name = payload["type"]
+    try:
+        cls = RESULT_TYPES[type_name]
+    except KeyError:
+        raise ValueError(
+            f"{source} holds unknown result type {type_name!r}"
+        ) from None
+    return cls.from_dict(payload["data"])

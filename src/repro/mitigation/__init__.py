@@ -1,0 +1,18 @@
+"""Barren-plateau mitigation baselines from the paper's related work:
+identity-block initialization [17], layer-wise training [18], BeInit [22],
+and cost-locality analysis [14]/[21]."""
+
+from repro.mitigation.beinit import PerturbedGradientDescent, beinit_defaults
+from repro.mitigation.block_identity import IdentityBlockStrategy
+from repro.mitigation.layerwise import LayerwiseConfig, LayerwiseTrainer
+from repro.mitigation.locality import compare_cost_localities, locality_gap
+
+__all__ = [
+    "IdentityBlockStrategy",
+    "LayerwiseConfig",
+    "LayerwiseTrainer",
+    "PerturbedGradientDescent",
+    "beinit_defaults",
+    "compare_cost_localities",
+    "locality_gap",
+]

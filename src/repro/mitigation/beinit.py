@@ -1,0 +1,69 @@
+"""BeInit (Kulshrestha & Safro 2022, paper Section II-e).
+
+Two ingredients, both implemented here:
+
+1. initial angles drawn from a (moment-fitted) Beta distribution —
+   provided by :class:`repro.initializers.BetaInitializer`;
+2. a small fresh Gaussian perturbation added to the gradient at *every*
+   descent step to kick the iterate off flat regions —
+   :class:`PerturbedGradientDescent`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.initializers.beta import BetaInitializer
+from repro.optim.base import Optimizer
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["PerturbedGradientDescent", "beinit_defaults"]
+
+
+class PerturbedGradientDescent(Optimizer):
+    """GD whose gradient receives i.i.d. Gaussian noise each step.
+
+    ``theta <- theta - lr * (g + xi)`` with ``xi ~ N(0, perturbation_std^2)``
+    redrawn every step.  With ``perturbation_std=0`` this reduces exactly
+    to vanilla gradient descent.
+    """
+
+    name = "perturbed_gd"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        perturbation_std: float = 0.01,
+        seed: SeedLike = None,
+    ):
+        super().__init__(learning_rate)
+        if perturbation_std < 0:
+            raise ValueError(
+                f"perturbation_std must be non-negative, got {perturbation_std}"
+            )
+        self.perturbation_std = float(perturbation_std)
+        self._seed = seed
+        self._rng = ensure_rng(seed)
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        self._check(params, grad)
+        if self.perturbation_std > 0:
+            noise = self._rng.normal(0.0, self.perturbation_std, size=grad.shape)
+            grad = grad + noise
+        return params - self.learning_rate * grad
+
+    def reset(self) -> None:
+        self._rng = ensure_rng(self._seed)
+
+
+def beinit_defaults(scale: float = 2.0 * np.pi) -> BetaInitializer:
+    """The BeInit paper's symmetric starting hyper-parameters.
+
+    ``Beta(2, 2)`` concentrates angles around ``scale/2`` with moderate
+    spread — away from both the degenerate all-zeros point and the
+    2-design-inducing uniform distribution.  Adaptive refits go through
+    :meth:`BetaInitializer.from_samples`.
+    """
+    return BetaInitializer(alpha=2.0, beta=2.0, scale=scale)

@@ -1,0 +1,137 @@
+"""Identity-block initialization (Grant et al. 2019, paper Section II-a).
+
+The strategy builds the circuit as ``M`` blocks, each of the form
+``U_b . U_b^dagger`` — a sub-circuit followed by its structural mirror —
+and initializes the mirror's angles to the negated reversal of the first
+half's.  Every block then evaluates to the identity at initialization, so
+the initial state is exactly ``|0...0>`` and the circuit behaves like a
+shallow (depth-0) network at step 0 while retaining its full expressive
+depth for training: all ``2 * M * d * n * g`` angles remain independently
+trainable afterwards.
+
+Implemented as a strategy object pairing a circuit builder with a matching
+parameter initializer, because the trick constrains *both* the circuit
+topology and the initial angles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.ansatz.entanglement import apply_entanglement, entanglement_pairs
+from repro.backend.circuit import QuantumCircuit
+from repro.initializers import Initializer, RandomUniform
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["IdentityBlockStrategy"]
+
+
+class IdentityBlockStrategy:
+    """Block-identity circuit construction + matched initialization.
+
+    Parameters
+    ----------
+    num_qubits:
+        Circuit width.
+    num_blocks:
+        Number of ``U U^dagger`` blocks (``M``).
+    block_layers:
+        HEA layers inside each half-block (``d``).
+    rotation_gates:
+        Per-qubit rotations of each layer (default RX, RY as in the
+        paper's training ansatz).
+    inner_initializer:
+        Distribution of the *first half*'s angles (Grant et al. use
+        uniform random; any :class:`Initializer` works).
+    entanglement, entangler:
+        Entangling sub-layer configuration.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_blocks: int,
+        block_layers: int = 1,
+        rotation_gates: Sequence[str] = ("RX", "RY"),
+        inner_initializer: Initializer | None = None,
+        entanglement: str = "chain",
+        entangler: str = "CZ",
+    ):
+        check_positive_int(num_qubits, "num_qubits")
+        check_positive_int(num_blocks, "num_blocks")
+        check_positive_int(block_layers, "block_layers")
+        if not rotation_gates:
+            raise ValueError("rotation_gates must be non-empty")
+        entanglement_pairs(entanglement, num_qubits)
+        self.num_qubits = num_qubits
+        self.num_blocks = num_blocks
+        self.block_layers = block_layers
+        self.rotation_gates = tuple(g.upper() for g in rotation_gates)
+        self.inner_initializer = inner_initializer or RandomUniform()
+        self.entanglement = entanglement
+        self.entangler = entangler.upper()
+
+    # ------------------------------------------------------------------
+    @property
+    def params_per_half_block(self) -> int:
+        """Trainable angles in one half-block."""
+        return self.block_layers * self.num_qubits * len(self.rotation_gates)
+
+    @property
+    def num_parameters(self) -> int:
+        """Total trainable angles (both halves of every block)."""
+        return 2 * self.num_blocks * self.params_per_half_block
+
+    def build(self) -> QuantumCircuit:
+        """Construct the blocked circuit.
+
+        Forward half-block (application order): per layer, rotations then
+        entanglement.  Mirror half-block: per layer (reversed), the inverse
+        entanglement then the reversed rotations — so with mirrored
+        negated angles the block is exactly ``U U^dagger = I``.
+        """
+        circuit = QuantumCircuit(self.num_qubits)
+        for _ in range(self.num_blocks):
+            # Forward half.
+            for _ in range(self.block_layers):
+                for qubit in range(self.num_qubits):
+                    for gate in self.rotation_gates:
+                        circuit.append(gate, [qubit])
+                apply_entanglement(circuit, self.entanglement, self.entangler)
+            # Mirror half (self-inverse entanglers assumed, e.g. CZ/CX).
+            for _ in range(self.block_layers):
+                apply_entanglement(circuit, self.entanglement, self.entangler)
+                for qubit in range(self.num_qubits - 1, -1, -1):
+                    for gate in reversed(self.rotation_gates):
+                        circuit.append(gate, [qubit])
+        return circuit
+
+    def initial_parameters(self, seed: SeedLike = None) -> np.ndarray:
+        """Sample first-half angles and mirror them so each block is I.
+
+        The mirror half's angles are the first half's reversed and negated
+        (matching the gate order produced by :meth:`build`).
+        """
+        rng = ensure_rng(seed)
+        from repro.initializers.base import ParameterShape
+
+        half_shape = ParameterShape(
+            num_layers=self.block_layers,
+            num_qubits=self.num_qubits,
+            params_per_qubit=len(self.rotation_gates),
+        )
+        chunks = []
+        for _ in range(self.num_blocks):
+            forward = self.inner_initializer.sample(half_shape, rng)
+            mirror = -forward[::-1]
+            chunks.append(np.concatenate([forward, mirror]))
+        return np.concatenate(chunks)
+
+    def build_with_parameters(
+        self, seed: SeedLike = None
+    ) -> Tuple[QuantumCircuit, np.ndarray]:
+        """Convenience: ``(circuit, initial_params)`` in one call."""
+        return self.build(), self.initial_parameters(seed)

@@ -1,0 +1,165 @@
+"""Layer-wise training (Skolik et al. 2021, paper Section II-c).
+
+The circuit is grown one ansatz layer at a time: each stage appends a
+fresh layer (initialized by the configured scheme), then optimizes for a
+fixed number of iterations.  Shallow early stages avoid the plateau;
+trained layers give later, deeper stages a non-random starting point.
+
+Two knobs control the classic variants: ``freeze_previous`` trains only
+the newest layer's angles each stage (the original scheme), while
+``False`` fine-tunes everything jointly as depth grows.  After the growth
+phase, ``final_sweep_iterations`` optimizes *all* parameters jointly —
+the analogue of Skolik et al.'s second training phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ansatz.hea import HardwareEfficientAnsatz
+from repro.backend.simulator import StatevectorSimulator
+from repro.core.cost import make_cost
+from repro.core.results import TrainingHistory
+from repro.initializers import Initializer, get_initializer
+from repro.optim import get_optimizer
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["LayerwiseConfig", "LayerwiseTrainer"]
+
+
+@dataclass
+class LayerwiseConfig:
+    """Configuration for layer-wise training."""
+
+    num_qubits: int = 10
+    total_layers: int = 5
+    iterations_per_stage: int = 10
+    optimizer: str = "gradient_descent"
+    learning_rate: float = 0.1
+    cost_kind: str = "global"
+    initializer: str = "random"
+    rotation_gates: Sequence[str] = ("RX", "RY")
+    freeze_previous: bool = True
+    final_sweep_iterations: int = 0
+    initializer_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_qubits, "num_qubits")
+        check_positive_int(self.total_layers, "total_layers")
+        check_positive_int(self.iterations_per_stage, "iterations_per_stage")
+        if self.final_sweep_iterations < 0:
+            raise ValueError(
+                "final_sweep_iterations must be non-negative, got "
+                f"{self.final_sweep_iterations}"
+            )
+
+
+class LayerwiseTrainer:
+    """Grows and trains a hardware-efficient ansatz layer by layer."""
+
+    def __init__(
+        self,
+        config: Optional[LayerwiseConfig] = None,
+        simulator: Optional[StatevectorSimulator] = None,
+    ):
+        self.config = config or LayerwiseConfig()
+        self.simulator = simulator or StatevectorSimulator()
+
+    def run(self, seed: SeedLike = None) -> TrainingHistory:
+        """Train through all stages; returns the stitched loss history.
+
+        The history concatenates every stage's per-iteration losses (the
+        initial evaluation of stage 1 first), so its length is
+        ``1 + total_layers * iterations_per_stage +
+        final_sweep_iterations``.
+        """
+        config = self.config
+        rng = ensure_rng(seed)
+        initializer = self._build_initializer()
+
+        params = np.empty(0)
+        losses: List[float] = []
+        grad_norms: List[float] = []
+        initial_params: Optional[np.ndarray] = None
+
+        for stage in range(1, config.total_layers + 1):
+            ansatz = HardwareEfficientAnsatz(
+                num_qubits=config.num_qubits,
+                num_layers=stage,
+                rotation_gates=config.rotation_gates,
+            )
+            circuit = ansatz.build()
+            cost = make_cost(config.cost_kind, circuit, simulator=self.simulator)
+            new_layer = self._sample_layer(initializer, spawn_rng(rng))
+            params = np.concatenate([params, new_layer])
+            if initial_params is None:
+                initial_params = params.copy()
+            frozen = params.size - new_layer.size if config.freeze_previous else 0
+            trainable = np.arange(frozen, params.size)
+
+            optimizer = get_optimizer(
+                config.optimizer, learning_rate=config.learning_rate
+            )
+            if not losses:
+                loss = cost.value(params)
+                losses.append(loss)
+                grad_norms.append(
+                    float(np.linalg.norm(cost.gradient(params)))
+                )
+            for _ in range(config.iterations_per_stage):
+                grad = np.zeros_like(params)
+                grad[trainable] = cost.gradient(params, param_indices=trainable)
+                params = optimizer.step(params, grad)
+                loss = cost.value(params)
+                losses.append(loss)
+                grad_norms.append(float(np.linalg.norm(grad)))
+
+        if config.final_sweep_iterations:
+            # Phase 2: joint fine-tune of the complete, full-depth circuit.
+            ansatz = HardwareEfficientAnsatz(
+                num_qubits=config.num_qubits,
+                num_layers=config.total_layers,
+                rotation_gates=config.rotation_gates,
+            )
+            cost = make_cost(
+                config.cost_kind, ansatz.build(), simulator=self.simulator
+            )
+            optimizer = get_optimizer(
+                config.optimizer, learning_rate=config.learning_rate
+            )
+            for _ in range(config.final_sweep_iterations):
+                grad = cost.gradient(params)
+                params = optimizer.step(params, grad)
+                losses.append(cost.value(params))
+                grad_norms.append(float(np.linalg.norm(grad)))
+
+        return TrainingHistory(
+            method=f"layerwise[{config.initializer}]",
+            optimizer=config.optimizer,
+            losses=losses,
+            gradient_norms=grad_norms,
+            initial_params=initial_params,
+            final_params=params,
+            cost_kind=config.cost_kind,
+        )
+
+    def _build_initializer(self) -> Initializer:
+        return get_initializer(
+            self.config.initializer, **self.config.initializer_kwargs
+        )
+
+    def _sample_layer(
+        self, initializer: Initializer, rng: np.random.Generator
+    ) -> np.ndarray:
+        from repro.initializers.base import ParameterShape
+
+        shape = ParameterShape(
+            num_layers=1,
+            num_qubits=self.config.num_qubits,
+            params_per_qubit=len(self.config.rotation_gates),
+        )
+        return initializer.sample(shape, rng)

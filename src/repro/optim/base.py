@@ -1,0 +1,42 @@
+"""Optimizer interface.
+
+Optimizers are small stateful objects: ``step(params, grad)`` returns the
+updated parameter vector (never mutating its input) and ``reset()`` clears
+accumulated state so one instance can be reused across training runs.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer(abc.ABC):
+    """Base class for first-order parameter-update rules."""
+
+    #: Registry name; subclasses override.
+    name: str = "base"
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+
+    @abc.abstractmethod
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Return updated parameters given the loss gradient."""
+
+    def reset(self) -> None:
+        """Clear internal state (moments, step counters, ...)."""
+
+    def _check(self, params: np.ndarray, grad: np.ndarray) -> None:
+        if params.shape != grad.shape:
+            raise ValueError(
+                f"params shape {params.shape} != grad shape {grad.shape}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(learning_rate={self.learning_rate})"

@@ -1,0 +1,141 @@
+"""First-order optimizers: GD, momentum, Adam, RMSprop, AdaGrad.
+
+The paper trains with vanilla gradient descent and Adam, both at step size
+0.1 (Section V); the others are provided for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+
+__all__ = ["GradientDescent", "Momentum", "Adam", "RMSprop", "AdaGrad"]
+
+
+class GradientDescent(Optimizer):
+    """Vanilla gradient descent: ``theta <- theta - lr * g``."""
+
+    name = "gradient_descent"
+
+    def __init__(self, learning_rate: float = 0.1):
+        super().__init__(learning_rate)
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        self._check(params, grad)
+        return params - self.learning_rate * grad
+
+
+class Momentum(Optimizer):
+    """Heavy-ball momentum: ``v <- beta v + g; theta <- theta - lr v``."""
+
+    name = "momentum"
+
+    def __init__(self, learning_rate: float = 0.1, beta: float = 0.9):
+        super().__init__(learning_rate)
+        if not 0.0 <= beta < 1.0:
+            raise ValueError(f"beta must be in [0, 1), got {beta}")
+        self.beta = float(beta)
+        self._velocity: np.ndarray | None = None
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        self._check(params, grad)
+        if self._velocity is None:
+            self._velocity = np.zeros_like(params)
+        self._velocity = self.beta * self._velocity + grad
+        return params - self.learning_rate * self._velocity
+
+    def reset(self) -> None:
+        self._velocity = None
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias-corrected moments."""
+
+    name = "adam"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(
+                f"betas must be in [0, 1), got beta1={beta1}, beta2={beta2}"
+            )
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._t = 0
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        self._check(params, grad)
+        if self._m is None:
+            self._m = np.zeros_like(params)
+            self._v = np.zeros_like(params)
+        self._t += 1
+        self._m = self.beta1 * self._m + (1.0 - self.beta1) * grad
+        self._v = self.beta2 * self._v + (1.0 - self.beta2) * grad**2
+        m_hat = self._m / (1.0 - self.beta1**self._t)
+        v_hat = self._v / (1.0 - self.beta2**self._t)
+        return params - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+        self._t = 0
+
+
+class RMSprop(Optimizer):
+    """RMSprop: per-parameter learning rates from a running second moment."""
+
+    name = "rmsprop"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        decay: float = 0.9,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        self.decay = float(decay)
+        self.epsilon = float(epsilon)
+        self._sq: np.ndarray | None = None
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        self._check(params, grad)
+        if self._sq is None:
+            self._sq = np.zeros_like(params)
+        self._sq = self.decay * self._sq + (1.0 - self.decay) * grad**2
+        return params - self.learning_rate * grad / (np.sqrt(self._sq) + self.epsilon)
+
+    def reset(self) -> None:
+        self._sq = None
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad: accumulated squared gradients shrink the step over time."""
+
+    name = "adagrad"
+
+    def __init__(self, learning_rate: float = 0.1, epsilon: float = 1e-8):
+        super().__init__(learning_rate)
+        self.epsilon = float(epsilon)
+        self._acc: np.ndarray | None = None
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        self._check(params, grad)
+        if self._acc is None:
+            self._acc = np.zeros_like(params)
+        self._acc = self._acc + grad**2
+        return params - self.learning_rate * grad / (np.sqrt(self._acc) + self.epsilon)
+
+    def reset(self) -> None:
+        self._acc = None

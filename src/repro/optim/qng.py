@@ -1,0 +1,117 @@
+"""Quantum natural gradient (related work, Section II-b of the paper).
+
+QNG preconditions the gradient with the (regularized) Fubini-Study metric
+``g_ij = Re(<d_i psi|d_j psi>) - Re(<d_i psi|psi>) Re(<psi|d_j psi>)``
+— more precisely ``g_ij = Re(<d_i psi|d_j psi> - <d_i psi|psi><psi|d_j psi>)``
+— so steps follow the geometry of state space instead of raw parameter
+space (Stokes et al., 2020).  The paper cites its high per-step cost as a
+limitation; this implementation makes that cost explicit: the exact metric
+needs one state-derivative per parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.backend.circuit import QuantumCircuit
+from repro.backend.gates import ParametricGate
+from repro.backend.simulator import StatevectorSimulator
+from repro.backend.statevector import apply_matrix
+from repro.optim.base import Optimizer
+
+__all__ = ["state_jacobian", "fubini_study_metric", "QuantumNaturalGradient"]
+
+
+def state_jacobian(
+    circuit: QuantumCircuit,
+    params: Sequence[float],
+    simulator: Optional[StatevectorSimulator] = None,
+) -> np.ndarray:
+    """All state derivatives ``|d_k psi>`` as a ``(P, 2**n)`` array.
+
+    One forward sweep: the running state feeds each trainable gate's
+    derivative ``dU_k |psi_before_k>``, and every subsequent gate is applied
+    incrementally to all derivatives created so far, so each derivative
+    accumulates exactly its tail unitary.
+    """
+    simulator = simulator or StatevectorSimulator()
+    params = np.asarray(params, dtype=float).reshape(-1)
+    num_qubits = circuit.num_qubits
+
+    data = np.zeros(2**num_qubits, dtype=complex)
+    data[0] = 1.0
+    jacobian = np.zeros((circuit.num_parameters, 2**num_qubits), dtype=complex)
+    active: list[int] = []  # parameter indices whose tails are accumulating
+    for op in circuit.operations:
+        matrix = op.matrix(params)
+        for index in active:
+            jacobian[index] = apply_matrix(
+                jacobian[index], matrix, op.qubits, num_qubits
+            )
+        if op.is_trainable:
+            gate = op.gate
+            assert isinstance(gate, ParametricGate)
+            d_matrix = gate.derivative(float(params[op.param_index]))
+            jacobian[op.param_index] = apply_matrix(
+                data, d_matrix, op.qubits, num_qubits
+            )
+            active.append(op.param_index)
+        data = apply_matrix(data, matrix, op.qubits, num_qubits)
+    return jacobian
+
+
+def fubini_study_metric(
+    circuit: QuantumCircuit,
+    params: Sequence[float],
+    simulator: Optional[StatevectorSimulator] = None,
+) -> np.ndarray:
+    """Exact Fubini-Study metric tensor, shape ``(P, P)``."""
+    simulator = simulator or StatevectorSimulator()
+    params = np.asarray(params, dtype=float).reshape(-1)
+    psi = simulator.run(circuit, params).data
+    jac = state_jacobian(circuit, params, simulator)
+    overlaps = jac @ psi.conj()  # <d_i psi | psi>^* elementwise -> <psi|d_i psi>
+    gram = jac.conj() @ jac.T
+    metric = np.real(gram - np.outer(overlaps.conj(), overlaps))
+    # Symmetrize against round-off.
+    return 0.5 * (metric + metric.T)
+
+
+class QuantumNaturalGradient(Optimizer):
+    """Natural-gradient descent using the exact Fubini-Study metric.
+
+    Parameters
+    ----------
+    circuit:
+        The ansatz whose geometry defines the metric.
+    learning_rate:
+        Step size.
+    damping:
+        Tikhonov regularization added to the metric before solving
+        (keeps the linear system well posed on plateaus).
+    """
+
+    name = "qng"
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        learning_rate: float = 0.1,
+        damping: float = 1e-6,
+        simulator: Optional[StatevectorSimulator] = None,
+    ):
+        super().__init__(learning_rate)
+        if damping < 0:
+            raise ValueError(f"damping must be non-negative, got {damping}")
+        self.circuit = circuit
+        self.damping = float(damping)
+        self.simulator = simulator or StatevectorSimulator()
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        self._check(params, grad)
+        metric = fubini_study_metric(self.circuit, params, self.simulator)
+        metric = metric + self.damping * np.eye(metric.shape[0])
+        natural = np.linalg.solve(metric, grad)
+        return params - self.learning_rate * natural

@@ -1,0 +1,19 @@
+"""Shared utilities: seeded RNG streams and argument validation."""
+
+from repro.utils.rng import child_rngs, ensure_rng, spawn_rng
+from repro.utils.validation import (
+    check_in_choices,
+    check_positive_int,
+    check_probability,
+    check_qubit_index,
+)
+
+__all__ = [
+    "check_in_choices",
+    "check_positive_int",
+    "check_probability",
+    "check_qubit_index",
+    "child_rngs",
+    "ensure_rng",
+    "spawn_rng",
+]

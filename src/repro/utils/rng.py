@@ -1,0 +1,65 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in this library accepts either an integer seed,
+an existing :class:`numpy.random.Generator`, or ``None`` (fresh OS entropy).
+Experiments spawn independent child generators per trial so that results do
+not depend on execution order or on how many random draws earlier trials
+consumed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, int, SeedSequence or Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Return a statistically independent child generator of ``rng``."""
+    seed_seq = rng.bit_generator.seed_seq
+    if seed_seq is None:  # pragma: no cover - legacy bit generators
+        return np.random.default_rng(rng.integers(0, 2**63))
+    (child,) = seed_seq.spawn(1)
+    return np.random.default_rng(child)
+
+
+def child_rngs(
+    seed: SeedLike, count: Optional[int] = None
+) -> Iterator[np.random.Generator]:
+    """Yield independent child generators derived from ``seed``.
+
+    With ``count=None`` the iterator is unbounded.  Children are derived via
+    ``SeedSequence.spawn`` so each stream is independent regardless of how
+    many draws the others perform.
+    """
+    rng = ensure_rng(seed)
+    produced = 0
+    while count is None or produced < count:
+        yield spawn_rng(rng)
+        produced += 1

@@ -1,0 +1,45 @@
+"""Small argument-validation helpers used across the library.
+
+These raise uniform, descriptive exceptions so user-facing APIs fail fast
+with actionable messages instead of deep numpy stack traces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_qubit_index(qubit: int, num_qubits: int, name: str = "qubit") -> int:
+    """Validate that ``qubit`` is a valid index into ``num_qubits`` wires."""
+    if isinstance(qubit, bool) or not isinstance(qubit, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(qubit).__name__}")
+    if not 0 <= qubit < num_qubits:
+        raise ValueError(
+            f"{name}={qubit} is out of range for a {num_qubits}-qubit system"
+        )
+    return qubit
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_choices(value: str, choices: Iterable[str], name: str) -> str:
+    """Validate that ``value`` is one of ``choices`` and return it."""
+    options = sorted(choices)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
+    return value

@@ -1,0 +1,89 @@
+"""Unit tests for convergence metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    area_under_loss,
+    convergence_rate,
+    iterations_to_threshold,
+    rank_histories,
+)
+from repro.core.results import TrainingHistory
+
+
+def _history(losses, method="m"):
+    return TrainingHistory(
+        method=method,
+        optimizer="gd",
+        losses=list(losses),
+        gradient_norms=[0.0] * len(losses),
+        initial_params=np.zeros(1),
+        final_params=np.zeros(1),
+    )
+
+
+class TestIterationsToThreshold:
+    def test_basic(self):
+        history = _history([1.0, 0.5, 0.09, 0.01])
+        assert iterations_to_threshold(history, 0.1) == 2
+
+    def test_never(self):
+        assert iterations_to_threshold(_history([1.0, 0.9]), 0.1) is None
+
+
+class TestAreaUnderLoss:
+    def test_constant_curve(self):
+        history = _history([0.5] * 5)
+        assert area_under_loss(history) == pytest.approx(0.5 * 4)
+
+    def test_linear_decay(self):
+        history = _history([1.0, 0.5, 0.0])
+        assert area_under_loss(history) == pytest.approx(1.0)
+
+    def test_single_point(self):
+        assert area_under_loss(_history([0.7])) == pytest.approx(0.0)
+
+    def test_faster_convergence_smaller_area(self):
+        fast = _history(np.exp(-0.5 * np.arange(20)))
+        slow = _history(np.exp(-0.1 * np.arange(20)))
+        assert area_under_loss(fast) < area_under_loss(slow)
+
+
+class TestConvergenceRate:
+    def test_exact_exponential(self):
+        history = _history(np.exp(-0.3 * np.arange(30)))
+        assert convergence_rate(history) == pytest.approx(0.3, rel=1e-6)
+
+    def test_floor_excludes_numerical_tail(self):
+        losses = list(np.exp(-0.5 * np.arange(20))) + [1e-12] * 30
+        history = _history(losses)
+        assert convergence_rate(history, floor=1e-8) == pytest.approx(0.5, rel=0.01)
+
+    def test_flat_curve_rate_zero(self):
+        assert convergence_rate(_history([0.5, 0.5, 0.5])) == pytest.approx(0.0)
+
+    def test_all_below_floor(self):
+        assert convergence_rate(_history([1e-9, 1e-9])) == 0.0
+
+
+class TestRanking:
+    def _histories(self):
+        return {
+            "fast": _history(np.exp(-0.6 * np.arange(15)), "fast"),
+            "slow": _history(np.exp(-0.1 * np.arange(15)), "slow"),
+            "stuck": _history([1.0] * 15, "stuck"),
+        }
+
+    @pytest.mark.parametrize(
+        "metric",
+        ["final_loss", "area_under_loss", "convergence_rate", "iterations_to_threshold"],
+    )
+    def test_fast_always_first_stuck_always_last(self, metric):
+        ranking = rank_histories(self._histories(), metric=metric)
+        assert ranking[0] == "fast"
+        assert ranking[-1] == "stuck"
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            rank_histories(self._histories(), metric="vibes")

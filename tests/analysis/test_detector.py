@@ -1,0 +1,72 @@
+"""Unit tests for the barren-plateau risk diagnostic."""
+
+import pytest
+
+from repro.analysis.detector import PlateauDiagnosis, diagnose_plateau
+from repro.core.variance import VarianceConfig
+
+
+@pytest.fixture(scope="module")
+def random_diagnosis():
+    return diagnose_plateau(
+        "random", qubit_counts=(2, 4, 6), num_circuits=25, num_layers=12, seed=1
+    )
+
+
+@pytest.fixture(scope="module")
+def xavier_diagnosis():
+    return diagnose_plateau(
+        "xavier_normal",
+        qubit_counts=(2, 4, 6),
+        num_circuits=25,
+        num_layers=12,
+        seed=1,
+    )
+
+
+class TestVerdicts:
+    def test_random_flags_plateau(self, random_diagnosis):
+        assert random_diagnosis.verdict == "plateau"
+        assert random_diagnosis.severity > 0.75
+
+    def test_xavier_is_not_plateau(self, xavier_diagnosis):
+        assert xavier_diagnosis.verdict in ("healthy", "warning")
+        assert xavier_diagnosis.severity < 0.75
+
+    def test_severity_ordering(self, random_diagnosis, xavier_diagnosis):
+        assert random_diagnosis.severity > xavier_diagnosis.severity
+
+    def test_summary_mentions_verdict(self, random_diagnosis):
+        text = random_diagnosis.summary()
+        assert "plateau" in text
+        assert "%" in text
+
+
+class TestConfiguration:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            diagnose_plateau(plateau_fraction=0.3, warning_fraction=0.5)
+
+    def test_explicit_config_must_include_method(self):
+        config = VarianceConfig(
+            qubit_counts=(2, 3),
+            num_circuits=4,
+            num_layers=4,
+            methods=("zeros",),
+        )
+        with pytest.raises(ValueError):
+            diagnose_plateau("random", config=config)
+
+    def test_explicit_config_used(self):
+        config = VarianceConfig(
+            qubit_counts=(2, 3),
+            num_circuits=6,
+            num_layers=5,
+            methods=("random",),
+        )
+        diagnosis = diagnose_plateau("random", config=config, seed=2)
+        assert diagnosis.qubit_counts == (2, 3)
+
+    def test_diagnosis_is_frozen(self, random_diagnosis):
+        with pytest.raises(AttributeError):
+            random_diagnosis.verdict = "healthy"

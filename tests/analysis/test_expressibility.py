@@ -1,0 +1,117 @@
+"""Unit tests for expressibility and entanglement metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.expressibility import (
+    entangling_capability,
+    expressibility_kl,
+    haar_fidelity_pdf,
+    meyer_wallach_q,
+    sampled_fidelities,
+)
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.backend import QuantumCircuit, Statevector, StatevectorSimulator
+from repro.initializers import RandomUniform, Zeros, get_initializer
+
+
+class TestHaarPdf:
+    def test_normalized(self):
+        f = np.linspace(0, 1, 10_001)
+        pdf = haar_fidelity_pdf(f, num_qubits=3)
+        integral = np.trapezoid(pdf, f)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_concentrates_at_zero_for_many_qubits(self):
+        assert haar_fidelity_pdf(np.array([0.0]), 6)[0] > haar_fidelity_pdf(
+            np.array([0.5]), 6
+        )[0]
+
+
+class TestMeyerWallach:
+    def test_product_state_is_zero(self):
+        assert meyer_wallach_q(Statevector.basis_state("010")) == pytest.approx(0.0)
+
+    def test_single_qubit_is_zero(self):
+        assert meyer_wallach_q(Statevector.basis_state("1")) == pytest.approx(0.0)
+
+    def test_bell_state_is_one(self, simulator, bell_circuit):
+        state = simulator.run(bell_circuit)
+        assert meyer_wallach_q(state) == pytest.approx(1.0)
+
+    def test_ghz_state(self, simulator):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+        state = simulator.run(circuit)
+        # GHZ: every single-qubit marginal is maximally mixed -> Q = 1.
+        assert meyer_wallach_q(state) == pytest.approx(1.0)
+
+    def test_partial_entanglement_between_zero_and_one(self, simulator):
+        circuit = QuantumCircuit(2).ry(0, value=0.5).cx(0, 1)
+        state = simulator.run(circuit)
+        q = meyer_wallach_q(state)
+        assert 0.0 < q < 1.0
+
+
+class TestSampledFidelities:
+    def test_zeros_initializer_gives_unit_fidelities(self):
+        ansatz = HardwareEfficientAnsatz(3, 2)
+        fidelities = sampled_fidelities(ansatz, Zeros(), num_pairs=5, seed=0)
+        assert np.allclose(fidelities, 1.0)
+
+    def test_random_initializer_spreads_fidelities(self):
+        ansatz = HardwareEfficientAnsatz(3, 4)
+        fidelities = sampled_fidelities(
+            ansatz, RandomUniform(), num_pairs=40, seed=1
+        )
+        assert fidelities.std() > 0.01
+        assert np.all((fidelities >= 0) & (fidelities <= 1 + 1e-12))
+
+    def test_reproducible(self):
+        ansatz = HardwareEfficientAnsatz(2, 2)
+        a = sampled_fidelities(ansatz, RandomUniform(), num_pairs=10, seed=5)
+        b = sampled_fidelities(ansatz, RandomUniform(), num_pairs=10, seed=5)
+        assert np.allclose(a, b)
+
+
+class TestExpressibility:
+    def test_random_closer_to_haar_than_xavier(self):
+        """The BP mechanism: random init is far more Haar-expressive."""
+        ansatz = HardwareEfficientAnsatz(4, 6)
+        kl_random = expressibility_kl(
+            ansatz, RandomUniform(), num_pairs=150, seed=3
+        )
+        kl_xavier = expressibility_kl(
+            ansatz, get_initializer("xavier_normal"), num_pairs=150, seed=3
+        )
+        assert kl_random < kl_xavier
+
+    def test_zeros_has_maximal_divergence(self):
+        ansatz = HardwareEfficientAnsatz(3, 2)
+        kl_zeros = expressibility_kl(ansatz, Zeros(), num_pairs=30, seed=4)
+        kl_random = expressibility_kl(
+            ansatz, RandomUniform(), num_pairs=30, seed=4
+        )
+        assert kl_zeros > kl_random
+
+
+class TestEntanglingCapability:
+    def test_zeros_produces_no_entanglement(self):
+        ansatz = HardwareEfficientAnsatz(3, 3)
+        assert entangling_capability(
+            ansatz, Zeros(), num_samples=3, seed=0
+        ) == pytest.approx(0.0, abs=1e-10)
+
+    def test_random_entangles_more_than_xavier(self):
+        ansatz = HardwareEfficientAnsatz(4, 4)
+        q_random = entangling_capability(
+            ansatz, RandomUniform(), num_samples=25, seed=1
+        )
+        q_xavier = entangling_capability(
+            ansatz, get_initializer("xavier_normal"), num_samples=25, seed=1
+        )
+        assert q_random > q_xavier
+
+    def test_bounded(self):
+        ansatz = HardwareEfficientAnsatz(3, 3)
+        q = entangling_capability(ansatz, RandomUniform(), num_samples=10, seed=2)
+        assert 0.0 <= q <= 1.0

@@ -1,0 +1,104 @@
+"""Unit tests for landscape scans."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import LandscapeScan, flatness_metrics, scan_landscape
+from repro.backend import QuantumCircuit
+from repro.core.cost import global_identity_cost
+
+
+def _two_param_cost():
+    circuit = QuantumCircuit(1).rx(0).ry(0)
+    return global_identity_cost(circuit)
+
+
+class TestScan:
+    def test_scan_shape(self):
+        scan = scan_landscape(
+            _two_param_cost(), [0.0, 0.0], resolution=11, span=np.pi
+        )
+        assert scan.values.shape == (11, 11)
+        assert scan.axis_values.shape == (11,)
+
+    def test_center_matches_anchor(self):
+        cost = _two_param_cost()
+        anchor = [0.4, -0.2]
+        scan = scan_landscape(cost, anchor, resolution=11)
+        center = scan.values[5, 5]
+        assert center == pytest.approx(cost.value(anchor))
+
+    def test_known_single_qubit_landscape(self):
+        """C(a, b=0) = sin^2(a/2) along the first axis."""
+        cost = _two_param_cost()
+        scan = scan_landscape(cost, [0.0, 0.0], span=np.pi, resolution=9)
+        mid = 4  # b = 0 row index
+        for i, a in enumerate(scan.axis_values):
+            assert scan.values[i, mid] == pytest.approx(
+                np.sin(a / 2) ** 2, abs=1e-10
+            )
+
+    def test_param_indices_selection(self):
+        circuit = QuantumCircuit(1).rx(0).ry(0).rz(0)
+        cost = global_identity_cost(circuit)
+        # RZ has no effect on p0: scanning (0, 2) varies only axis 0.
+        scan = scan_landscape(
+            cost, [0.0, 0.0, 0.0], param_indices=(0, 2), resolution=7
+        )
+        assert np.allclose(scan.values, scan.values[:, :1])
+
+    def test_rejects_same_indices(self):
+        with pytest.raises(ValueError):
+            scan_landscape(_two_param_cost(), [0, 0], param_indices=(1, 1))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(IndexError):
+            scan_landscape(_two_param_cost(), [0, 0], param_indices=(0, 5))
+
+    def test_rejects_tiny_resolution(self):
+        with pytest.raises(ValueError):
+            scan_landscape(_two_param_cost(), [0, 0], resolution=1)
+
+
+class TestMetrics:
+    def test_flat_surface(self):
+        scan = LandscapeScan(
+            axis_values=np.linspace(-1, 1, 5),
+            values=np.full((5, 5), 0.7),
+            param_indices=(0, 1),
+        )
+        assert scan.cost_range == pytest.approx(0.0)
+        assert scan.cost_std == pytest.approx(0.0)
+        assert scan.mean_gradient_magnitude == pytest.approx(0.0)
+
+    def test_linear_ramp_gradient(self):
+        axis = np.linspace(0.0, 1.0, 5)
+        values = np.tile(axis, (5, 1))  # varies along columns only
+        scan = LandscapeScan(axis_values=axis, values=values, param_indices=(0, 1))
+        assert scan.mean_gradient_magnitude == pytest.approx(1.0)
+        assert scan.cost_range == pytest.approx(1.0)
+
+    def test_flatness_metrics_dict(self):
+        scan = scan_landscape(_two_param_cost(), [0.0, 0.0], resolution=9)
+        metrics = flatness_metrics(scan)
+        assert set(metrics) == {
+            "cost_range",
+            "cost_std",
+            "mean_gradient_magnitude",
+        }
+        assert metrics["cost_range"] > 0.5  # 1-qubit landscape is not flat
+
+    def test_ascii_render(self):
+        scan = scan_landscape(_two_param_cost(), [0.0, 0.0], resolution=8)
+        art = scan.to_ascii()
+        lines = art.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) == 8 for line in lines)
+
+    def test_ascii_flat_surface(self):
+        scan = LandscapeScan(
+            axis_values=np.linspace(-1, 1, 3),
+            values=np.zeros((3, 3)),
+            param_indices=(0, 1),
+        )
+        assert set(scan.to_ascii().replace("\n", "")) == {" "}

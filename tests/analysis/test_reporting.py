@@ -1,0 +1,104 @@
+"""Unit tests for text reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    decay_table,
+    format_table,
+    loss_curve,
+    training_table,
+    variance_table,
+)
+from repro.core.results import (
+    DecayFit,
+    GradientSamples,
+    TrainingHistory,
+    VarianceResult,
+)
+
+
+def _variance_result():
+    result = VarianceResult(qubit_counts=[2, 4], methods=["random", "xavier"])
+    result.add(GradientSamples(2, "random", np.array([0.1, -0.1])))
+    result.add(GradientSamples(4, "random", np.array([0.01, -0.01])))
+    result.add(GradientSamples(2, "xavier", np.array([0.2, -0.2])))
+    result.add(GradientSamples(4, "xavier", np.array([0.15, -0.15])))
+    return result
+
+
+def _history():
+    return TrainingHistory(
+        method="xavier",
+        optimizer="adam",
+        losses=[0.8, 0.4, 0.09],
+        gradient_norms=[1.0, 0.5, 0.1],
+        initial_params=np.zeros(2),
+        final_params=np.ones(2),
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("---")
+        assert "333" in lines[3]
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_indent(self):
+        text = format_table(["x"], [["1"]], indent="  ")
+        assert all(line.startswith("  ") for line in text.splitlines())
+
+
+class TestDomainTables:
+    def test_variance_table_contents(self):
+        text = variance_table(_variance_result())
+        assert "q=2" in text and "q=4" in text
+        assert "random" in text and "xavier" in text
+        assert "e-" in text  # scientific notation
+
+    def test_decay_table_baseline_marker(self):
+        fits = {
+            "random": DecayFit("random", 1.2, 0.0, 0.99),
+            "xavier": DecayFit("xavier", 0.5, 0.0, 0.97),
+        }
+        text = decay_table(fits, {"xavier": 58.3})
+        assert "(baseline)" in text
+        assert "+58.3%" in text
+
+    def test_decay_table_without_improvements(self):
+        fits = {"he": DecayFit("he", 0.8, 0.0, 0.9)}
+        text = decay_table(fits)
+        assert "n/a" in text
+
+    def test_training_table(self):
+        text = training_table({"xavier": _history()})
+        assert "0.8000" in text
+        assert "0.0900" in text
+        assert "2" in text  # reached 0.1 at iteration 2
+
+    def test_training_table_never_reaches(self):
+        history = _history()
+        history.losses = [0.9, 0.8, 0.7]
+        text = training_table({"random": history})
+        assert "never" in text
+
+
+class TestLossCurve:
+    def test_header_and_dimensions(self):
+        text = loss_curve(_history(), width=30, height=6)
+        lines = text.splitlines()
+        assert "xavier (adam)" in lines[0]
+        assert len(lines) == 7  # header + height rows
+        assert any("*" in line for line in lines[1:])
+
+    def test_long_history_downsampled(self):
+        history = _history()
+        history.losses = list(np.linspace(1.0, 0.0, 500))
+        text = loss_curve(history, width=40, height=5)
+        assert max(len(line) for line in text.splitlines()[1:]) <= 40

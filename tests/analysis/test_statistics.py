@@ -1,0 +1,100 @@
+"""Unit tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bootstrap_ci,
+    bootstrap_decay_rate,
+    linear_regression,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == pytest.approx(1.0)
+        assert stats.maximum == pytest.approx(4.0)
+        assert stats.median == pytest.approx(2.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestBootstrapCI:
+    def test_interval_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 1.0, size=500)
+        low, high = bootstrap_ci(data, confidence=0.95, seed=1)
+        assert low < 5.0 < high
+        assert high - low < 0.5  # tight with 500 samples
+
+    def test_custom_statistic(self):
+        data = np.arange(100.0)
+        low, high = bootstrap_ci(data, statistic=np.median, seed=2)
+        assert low < 49.5 < high
+
+    def test_reproducible(self):
+        data = np.arange(50.0)
+        assert bootstrap_ci(data, seed=3) == bootstrap_ci(data, seed=3)
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_rejects_bad_resamples(self):
+        with pytest.raises((ValueError, TypeError)):
+            bootstrap_ci([1.0, 2.0], num_resamples=0)
+
+
+class TestBootstrapDecayRate:
+    def test_ci_brackets_true_rate(self):
+        rng = np.random.default_rng(4)
+        qubits = [2, 4, 6, 8]
+        rate = 0.6
+        matrix = np.stack(
+            [
+                rng.normal(0.0, np.exp(-rate * q / 2.0), size=400)
+                for q in qubits
+            ]
+        )
+        low, high = bootstrap_decay_rate(qubits, matrix, seed=5)
+        assert low < rate < high
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            bootstrap_decay_rate([2, 4], np.zeros((3, 10)))
+
+
+class TestLinearRegression:
+    def test_exact_line(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = 2.0 * x - 1.0
+        slope, intercept, r2 = linear_regression(x, y)
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(-1.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_noisy_line(self):
+        rng = np.random.default_rng(6)
+        x = np.linspace(0, 10, 100)
+        y = 0.5 * x + rng.normal(0, 0.1, 100)
+        slope, _, r2 = linear_regression(x, y)
+        assert slope == pytest.approx(0.5, abs=0.02)
+        assert r2 > 0.98
+
+    def test_flat_data_r_squared(self):
+        _, _, r2 = linear_regression([1, 2, 3], [5.0, 5.0, 5.0])
+        assert r2 == pytest.approx(1.0)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            linear_regression([1, 2], [1.0])

@@ -1,0 +1,67 @@
+"""Unit tests for the analytic barren-plateau reference curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    expected_zero_population,
+    small_angle_variance_prediction,
+    two_design_variance,
+    two_design_variance_slope,
+)
+
+
+class TestTwoDesignReferences:
+    def test_slope_value(self):
+        assert two_design_variance_slope() == pytest.approx(2 * np.log(2))
+
+    def test_variance_curve(self):
+        assert two_design_variance(2) == pytest.approx(1 / 16)
+        assert two_design_variance(10) == pytest.approx(4.0**-10)
+
+    def test_variance_log_slope_matches(self):
+        qs = np.array([2.0, 4.0, 6.0])
+        log_var = np.log(two_design_variance(qs))
+        slope = (log_var[1] - log_var[0]) / 2.0
+        assert -slope == pytest.approx(two_design_variance_slope())
+
+
+class TestZeroPopulation:
+    def test_no_rotation_keeps_population_one(self):
+        assert expected_zero_population(0.0) == pytest.approx(1.0)
+
+    def test_large_variance_scrambles_to_half(self):
+        assert expected_zero_population(1e3) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        values = expected_zero_population(np.linspace(0, 10, 20))
+        assert np.all(np.diff(values) < 0)
+
+
+class TestSmallAnglePrediction:
+    def test_identity_initialization(self):
+        assert small_angle_variance_prediction(10, 0.0, 10) == pytest.approx(1.0)
+
+    def test_shrinking_angle_variance_raises_population(self):
+        tight = small_angle_variance_prediction(10, 0.01, 10)
+        loose = small_angle_variance_prediction(10, 1.0, 10)
+        assert tight > loose
+
+    def test_scaled_initialization_flattens_decay(self):
+        """With sigma^2 = 1/q, log-population decays slower than the
+        2-design slope over the paper's qubit range."""
+        qubits = np.array([2, 4, 6, 8, 10], dtype=float)
+        populations = np.array(
+            [
+                small_angle_variance_prediction(q, 1.0 / q, rotations_per_qubit=10)
+                for q in qubits
+            ]
+        )
+        slopes = -np.diff(np.log(populations)) / np.diff(qubits)
+        assert np.all(slopes < two_design_variance_slope())
+
+    def test_vectorized_over_qubits(self):
+        out = small_angle_variance_prediction(
+            np.array([2, 4]), 0.1, rotations_per_qubit=5
+        )
+        assert out.shape == (2,)

@@ -1,0 +1,60 @@
+"""Unit tests for entanglement patterns."""
+
+import pytest
+
+from repro.ansatz import apply_entanglement, entanglement_pairs
+from repro.backend import QuantumCircuit
+
+
+class TestPatterns:
+    def test_chain(self):
+        assert entanglement_pairs("chain", 4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_chain_single_qubit(self):
+        assert entanglement_pairs("chain", 1) == []
+
+    def test_ring(self):
+        assert entanglement_pairs("ring", 4) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_ring_two_qubits_no_duplicate(self):
+        # The closing pair would duplicate (0,1); it is skipped.
+        assert entanglement_pairs("ring", 2) == [(0, 1)]
+
+    def test_full(self):
+        assert entanglement_pairs("full", 3) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_full_count(self):
+        assert len(entanglement_pairs("full", 6)) == 15
+
+    def test_none(self):
+        assert entanglement_pairs("none", 5) == []
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            entanglement_pairs("star", 4)
+
+    def test_invalid_qubits(self):
+        with pytest.raises(ValueError):
+            entanglement_pairs("chain", 0)
+
+
+class TestApplyEntanglement:
+    def test_appends_cz_chain(self):
+        circuit = QuantumCircuit(4)
+        apply_entanglement(circuit, "chain")
+        assert circuit.gate_counts() == {"CZ": 3}
+
+    def test_custom_gate(self):
+        circuit = QuantumCircuit(3)
+        apply_entanglement(circuit, "ring", gate="CX")
+        assert circuit.gate_counts() == {"CX": 3}
+
+    def test_explicit_pairs_override_pattern(self):
+        circuit = QuantumCircuit(4)
+        apply_entanglement(circuit, "full", pairs=[(0, 3)])
+        assert circuit.num_operations == 1
+        assert circuit.operations[0].qubits == (0, 3)
+
+    def test_returns_circuit(self):
+        circuit = QuantumCircuit(2)
+        assert apply_entanglement(circuit) is circuit

@@ -1,0 +1,122 @@
+"""Unit tests for the hardware-efficient ansatz (paper Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.backend import StatevectorSimulator
+
+
+class TestPaperConfiguration:
+    def test_paper_counts(self):
+        """Section IV-D: 10 qubits, 5 layers -> 145 gates, 100 parameters."""
+        ansatz = HardwareEfficientAnsatz(num_qubits=10, num_layers=5)
+        circuit = ansatz.build()
+        assert circuit.num_operations == 145
+        assert circuit.num_parameters == 100
+        assert ansatz.num_parameters == 100
+
+    def test_gate_composition(self):
+        circuit = HardwareEfficientAnsatz(num_qubits=10, num_layers=5).build()
+        counts = circuit.gate_counts()
+        assert counts == {"RX": 50, "RY": 50, "CZ": 45}
+
+    def test_parameter_shape(self):
+        ansatz = HardwareEfficientAnsatz(num_qubits=10, num_layers=5)
+        shape = ansatz.parameter_shape
+        assert shape.num_layers == 5
+        assert shape.num_qubits == 10
+        assert shape.params_per_qubit == 2
+
+
+class TestStructure:
+    def test_rotation_order_rx_then_ry(self):
+        circuit = HardwareEfficientAnsatz(num_qubits=2, num_layers=1).build()
+        names = [op.gate.name for op in circuit.operations]
+        assert names == ["RX", "RY", "RX", "RY", "CZ"]
+
+    def test_parameter_ordering_layer_major(self):
+        """Param index order: layer, then qubit, then gate within qubit."""
+        circuit = HardwareEfficientAnsatz(num_qubits=2, num_layers=2).build()
+        trainable = circuit.trainable_operations()
+        observed = [
+            (op.param_index, op.gate.name, op.qubits[0]) for _, op in trainable
+        ]
+        assert observed == [
+            (0, "RX", 0), (1, "RY", 0), (2, "RX", 1), (3, "RY", 1),
+            (4, "RX", 0), (5, "RY", 0), (6, "RX", 1), (7, "RY", 1),
+        ]
+
+    def test_custom_rotations(self):
+        ansatz = HardwareEfficientAnsatz(
+            num_qubits=3, num_layers=1, rotation_gates=("RY",)
+        )
+        assert ansatz.params_per_qubit == 1
+        assert ansatz.build().gate_counts() == {"RY": 3, "CZ": 2}
+
+    def test_ring_entanglement(self):
+        circuit = HardwareEfficientAnsatz(
+            num_qubits=4, num_layers=1, entanglement="ring"
+        ).build()
+        assert circuit.gate_counts()["CZ"] == 4
+
+    def test_custom_entangler(self):
+        circuit = HardwareEfficientAnsatz(
+            num_qubits=3, num_layers=1, entangler="CX"
+        ).build()
+        assert "CX" in circuit.gate_counts()
+
+    def test_final_rotation_layer(self):
+        ansatz = HardwareEfficientAnsatz(
+            num_qubits=2, num_layers=2, final_rotation_layer=True
+        )
+        circuit = ansatz.build()
+        assert circuit.num_parameters == 12  # (2 layers + final) * 2 * 2
+        assert ansatz.num_parameters == 12
+        assert circuit.operations[-1].gate.name == "RY"
+
+    def test_build_is_deterministic(self):
+        ansatz = HardwareEfficientAnsatz(num_qubits=3, num_layers=2)
+        a, b = ansatz.build(), ansatz.build()
+        assert [op.gate.name for op in a.operations] == [
+            op.gate.name for op in b.operations
+        ]
+
+
+class TestValidation:
+    def test_rejects_empty_rotations(self):
+        with pytest.raises(ValueError):
+            HardwareEfficientAnsatz(2, 1, rotation_gates=())
+
+    def test_rejects_fixed_rotation_gate(self):
+        with pytest.raises(ValueError):
+            HardwareEfficientAnsatz(2, 1, rotation_gates=("H",))
+
+    def test_rejects_two_qubit_rotation_gate(self):
+        with pytest.raises(ValueError):
+            HardwareEfficientAnsatz(2, 1, rotation_gates=("RXX",))
+
+    def test_rejects_parametric_entangler(self):
+        with pytest.raises(ValueError):
+            HardwareEfficientAnsatz(2, 1, entangler="CRZ")
+
+    def test_rejects_single_qubit_entangler(self):
+        with pytest.raises(ValueError):
+            HardwareEfficientAnsatz(2, 1, entangler="H")
+
+    def test_rejects_bad_pattern(self):
+        with pytest.raises(ValueError):
+            HardwareEfficientAnsatz(2, 1, entanglement="hexagonal")
+
+
+class TestSemantics:
+    def test_zero_angles_give_identity(self, simulator):
+        ansatz = HardwareEfficientAnsatz(num_qubits=4, num_layers=3)
+        circuit = ansatz.build()
+        state = simulator.run(circuit, np.zeros(circuit.num_parameters))
+        assert state.probability_of("0000") == pytest.approx(1.0)
+
+    def test_angles_change_state(self, simulator):
+        circuit = HardwareEfficientAnsatz(num_qubits=2, num_layers=1).build()
+        state = simulator.run(circuit, np.full(circuit.num_parameters, 0.7))
+        assert state.probability_of("00") < 1.0

@@ -1,0 +1,94 @@
+"""Unit tests for the randomly-structured variance-analysis PQC (Eq. 2)."""
+
+import pytest
+
+from repro.ansatz import DEFAULT_GATE_POOL, RandomPQC
+
+
+class TestStructureSampling:
+    def test_structure_shape(self):
+        pqc = RandomPQC(num_qubits=4, num_layers=6, seed=0)
+        assert len(pqc.structure) == 6
+        assert all(len(row) == 4 for row in pqc.structure)
+
+    def test_structure_from_pool(self):
+        pqc = RandomPQC(num_qubits=5, num_layers=10, seed=1)
+        for row in pqc.structure:
+            for name in row:
+                assert name in DEFAULT_GATE_POOL
+
+    def test_seed_reproducibility(self):
+        a = RandomPQC(num_qubits=3, num_layers=5, seed=7)
+        b = RandomPQC(num_qubits=3, num_layers=5, seed=7)
+        assert a.structure == b.structure
+
+    def test_different_seeds_differ(self):
+        a = RandomPQC(num_qubits=5, num_layers=20, seed=1)
+        b = RandomPQC(num_qubits=5, num_layers=20, seed=2)
+        assert a.structure != b.structure
+
+    def test_all_pool_gates_appear_eventually(self):
+        pqc = RandomPQC(num_qubits=10, num_layers=30, seed=3)
+        seen = {name for row in pqc.structure for name in row}
+        assert seen == set(DEFAULT_GATE_POOL)
+
+    def test_custom_pool(self):
+        pqc = RandomPQC(num_qubits=3, num_layers=5, gate_pool=("RY",), seed=0)
+        assert all(name == "RY" for row in pqc.structure for name in row)
+
+
+class TestExplicitStructure:
+    def test_explicit_structure_used(self):
+        structure = [["RX", "RY"], ["RZ", "RX"]]
+        pqc = RandomPQC(num_qubits=2, num_layers=2, structure=structure)
+        assert pqc.structure == structure
+        names = [
+            op.gate.name for op in pqc.build().operations if op.is_parametric
+        ]
+        assert names == ["RX", "RY", "RZ", "RX"]
+
+    def test_rejects_wrong_dimensions(self):
+        with pytest.raises(ValueError):
+            RandomPQC(num_qubits=2, num_layers=2, structure=[["RX", "RY"]])
+
+    def test_rejects_gate_outside_pool(self):
+        with pytest.raises(ValueError):
+            RandomPQC(
+                num_qubits=1,
+                num_layers=1,
+                gate_pool=("RX",),
+                structure=[["RY"]],
+            )
+
+
+class TestBuild:
+    def test_parameter_count(self):
+        pqc = RandomPQC(num_qubits=4, num_layers=7, seed=0)
+        assert pqc.build().num_parameters == 28
+        assert pqc.num_parameters == 28
+
+    def test_entanglement_per_layer(self):
+        pqc = RandomPQC(num_qubits=4, num_layers=3, seed=0)
+        counts = pqc.build().gate_counts()
+        assert counts.get("CZ", 0) == 9  # 3 pairs x 3 layers
+
+    def test_params_per_qubit_is_one(self):
+        assert RandomPQC(num_qubits=2, num_layers=1, seed=0).params_per_qubit == 1
+
+    def test_last_gate(self):
+        pqc = RandomPQC(
+            num_qubits=2, num_layers=2, structure=[["RX", "RY"], ["RZ", "RX"]]
+        )
+        assert pqc.last_gate == "RX"
+
+    def test_build_matches_structure_order(self):
+        pqc = RandomPQC(num_qubits=3, num_layers=2, seed=11)
+        ops = [op for op in pqc.build().operations if op.is_parametric]
+        expected = [name for row in pqc.structure for name in row]
+        assert [op.gate.name for op in ops] == expected
+
+    def test_validation_of_pool(self):
+        with pytest.raises(ValueError):
+            RandomPQC(num_qubits=2, num_layers=1, gate_pool=("H",))
+        with pytest.raises(ValueError):
+            RandomPQC(num_qubits=2, num_layers=1, gate_pool=())

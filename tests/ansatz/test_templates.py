@@ -1,0 +1,46 @@
+"""Unit tests for the extra ansatz templates."""
+
+import numpy as np
+import pytest
+
+from repro.ansatz import BasicEntanglerAnsatz, StronglyEntanglingAnsatz
+
+
+class TestBasicEntangler:
+    def test_counts(self):
+        ansatz = BasicEntanglerAnsatz(num_qubits=4, num_layers=3)
+        circuit = ansatz.build()
+        assert circuit.num_parameters == 12
+        assert circuit.gate_counts() == {"RY": 12, "CX": 12}  # ring of 4
+
+    def test_custom_rotation(self):
+        circuit = BasicEntanglerAnsatz(3, 1, rotation_gate="RX").build()
+        assert "RX" in circuit.gate_counts()
+
+    def test_single_qubit_no_entanglers(self):
+        circuit = BasicEntanglerAnsatz(1, 2).build()
+        assert circuit.gate_counts() == {"RY": 2}
+
+    def test_zero_angles_identity(self, simulator):
+        circuit = BasicEntanglerAnsatz(3, 2).build()
+        state = simulator.run(circuit, np.zeros(circuit.num_parameters))
+        # CX ring with all-zero rotations still maps |000> to |000>.
+        assert state.probability_of("000") == pytest.approx(1.0)
+
+
+class TestStronglyEntangling:
+    def test_counts(self):
+        ansatz = StronglyEntanglingAnsatz(num_qubits=3, num_layers=2)
+        circuit = ansatz.build()
+        assert ansatz.params_per_qubit == 3
+        assert circuit.num_parameters == 18
+        assert circuit.gate_counts() == {"RZ": 12, "RY": 6, "CX": 6}
+
+    def test_parameter_shape(self):
+        shape = StronglyEntanglingAnsatz(4, 5).parameter_shape
+        assert shape.num_parameters == 60
+
+    def test_euler_order(self):
+        circuit = StronglyEntanglingAnsatz(1, 1).build()
+        names = [op.gate.name for op in circuit.operations]
+        assert names == ["RZ", "RY", "RZ"]

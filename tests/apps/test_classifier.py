@@ -1,0 +1,126 @@
+"""Unit tests for the variational quantum classifier."""
+
+import numpy as np
+import pytest
+
+from repro.apps import AngleEncodedClassifier, ClassifierConfig, make_blobs
+from repro.initializers import Zeros
+
+
+def _tiny_config(**overrides):
+    defaults = dict(num_qubits=2, num_layers=1, epochs=3)
+    defaults.update(overrides)
+    return ClassifierConfig(**defaults)
+
+
+class TestConstruction:
+    def test_parameter_count(self):
+        model = AngleEncodedClassifier(_tiny_config(), seed=0)
+        assert model.num_parameters == 4  # 2 qubits x 2 gates x 1 layer
+
+    def test_named_initializer(self):
+        model = AngleEncodedClassifier(_tiny_config(), initializer="he", seed=0)
+        assert model.initializer.name == "he_normal"
+
+    def test_initializer_instance(self):
+        model = AngleEncodedClassifier(_tiny_config(), initializer=Zeros())
+        assert np.all(model.params == 0.0)
+
+    def test_config_validation(self):
+        with pytest.raises((ValueError, TypeError)):
+            ClassifierConfig(num_qubits=0)
+        with pytest.raises((ValueError, TypeError)):
+            ClassifierConfig(epochs=0)
+
+
+class TestEncoding:
+    def test_zero_features_give_zero_state(self):
+        model = AngleEncodedClassifier(_tiny_config(), seed=0)
+        state = model.encode([0.0, 0.0])
+        assert state.probability_of("00") == pytest.approx(1.0)
+
+    def test_single_feature_rotation(self):
+        config = _tiny_config(feature_scale=np.pi)
+        model = AngleEncodedClassifier(config, seed=0)
+        state = model.encode([1.0, 0.0])  # RY(pi) on qubit 0 -> |10>
+        assert state.probability_of("10") == pytest.approx(1.0)
+
+    def test_fewer_features_than_qubits_allowed(self):
+        model = AngleEncodedClassifier(_tiny_config(num_qubits=3), seed=0)
+        state = model.encode([0.5])
+        assert state.num_qubits == 3
+
+    def test_too_many_features_rejected(self):
+        model = AngleEncodedClassifier(_tiny_config(), seed=0)
+        with pytest.raises(ValueError):
+            model.encode([0.1, 0.2, 0.3])
+
+
+class TestInference:
+    def test_proba_in_unit_interval(self):
+        model = AngleEncodedClassifier(_tiny_config(), seed=1)
+        x, _ = make_blobs(num_samples=10, seed=0)
+        probs = model.predict_proba(x)
+        assert np.all((probs >= 0.0) & (probs <= 1.0))
+
+    def test_zeros_model_is_uninformative(self):
+        """With zero angles and zero input, <Z_0> = 1 -> p = 0."""
+        model = AngleEncodedClassifier(_tiny_config(), initializer=Zeros())
+        probs = model.predict_proba(np.zeros((1, 2)))
+        assert probs[0] == pytest.approx(0.0)
+
+    def test_predict_thresholds(self):
+        model = AngleEncodedClassifier(_tiny_config(), seed=2)
+        x, _ = make_blobs(num_samples=6, seed=1)
+        predictions = model.predict(x)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_score_range(self):
+        model = AngleEncodedClassifier(_tiny_config(), seed=3)
+        x, y = make_blobs(num_samples=8, seed=2)
+        assert 0.0 <= model.score(x, y) <= 1.0
+
+
+class TestTraining:
+    def test_gradient_matches_finite_difference(self):
+        model = AngleEncodedClassifier(_tiny_config(), seed=4)
+        x, y = make_blobs(num_samples=4, seed=3)
+        _, grad = model._loss_and_gradient(x, y)
+        eps = 1e-6
+        for k in range(model.num_parameters):
+            saved = model.params.copy()
+            model.params = saved.copy()
+            model.params[k] += eps
+            plus = model.loss(x, y)
+            model.params = saved.copy()
+            model.params[k] -= eps
+            minus = model.loss(x, y)
+            model.params = saved
+            assert grad[k] == pytest.approx((plus - minus) / (2 * eps), abs=1e-5)
+
+    def test_fit_reduces_loss_on_separable_data(self):
+        config = _tiny_config(epochs=15, learning_rate=0.2)
+        model = AngleEncodedClassifier(config, seed=5)
+        x, y = make_blobs(num_samples=24, separation=1.2, noise=0.15, seed=4)
+        log = model.fit(x, y)
+        assert len(log.losses) == 15
+        assert log.final_loss < log.losses[0]
+
+    def test_fit_reaches_good_accuracy(self):
+        config = _tiny_config(epochs=25, learning_rate=0.2)
+        model = AngleEncodedClassifier(config, seed=6)
+        x, y = make_blobs(num_samples=30, separation=1.4, noise=0.1, seed=5)
+        log = model.fit(x, y)
+        assert log.final_accuracy >= 0.8
+
+    def test_fit_rejects_mismatched_data(self):
+        model = AngleEncodedClassifier(_tiny_config(), seed=0)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_continued_training_appends_log(self):
+        model = AngleEncodedClassifier(_tiny_config(epochs=2), seed=7)
+        x, y = make_blobs(num_samples=8, seed=6)
+        model.fit(x, y)
+        model.fit(x, y)
+        assert len(model.log.losses) == 4

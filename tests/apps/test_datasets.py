@@ -1,0 +1,75 @@
+"""Unit tests for the synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import make_blobs, make_circles, make_xor, train_test_split
+
+
+class TestMakeBlobs:
+    def test_shapes(self):
+        x, y = make_blobs(num_samples=50, num_features=3, seed=0)
+        assert x.shape == (50, 3)
+        assert y.shape == (50,)
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_reproducible(self):
+        a = make_blobs(seed=1)
+        b = make_blobs(seed=1)
+        assert np.allclose(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_separation_moves_class_means(self):
+        x, y = make_blobs(num_samples=400, separation=1.2, noise=0.1, seed=2)
+        mean_one = x[y == 1].mean()
+        mean_zero = x[y == 0].mean()
+        assert mean_one - mean_zero > 0.8
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises((ValueError, TypeError)):
+            make_blobs(num_samples=0)
+
+
+class TestMakeCircles:
+    def test_radii_separate_classes(self):
+        x, y = make_circles(num_samples=300, noise=0.0, seed=3)
+        radii = np.linalg.norm(x, axis=1)
+        assert radii[y == 1].max() < radii[y == 0].min()
+
+    def test_shape(self):
+        x, y = make_circles(num_samples=40, seed=0)
+        assert x.shape == (40, 2)
+
+
+class TestMakeXor:
+    def test_labels_match_quadrants_at_zero_noise(self):
+        x, y = make_xor(num_samples=200, noise=0.0, seed=4)
+        expected = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+        assert np.array_equal(y, expected)
+
+    def test_roughly_balanced(self):
+        _, y = make_xor(num_samples=400, seed=5)
+        assert 0.35 < y.mean() < 0.65
+
+
+class TestSplit:
+    def test_sizes(self):
+        x, y = make_blobs(num_samples=100, seed=6)
+        x_tr, y_tr, x_te, y_te = train_test_split(x, y, test_fraction=0.25, seed=0)
+        assert len(x_tr) == 75 and len(x_te) == 25
+        assert len(y_tr) == 75 and len(y_te) == 25
+
+    def test_partition_is_complete(self):
+        x, y = make_blobs(num_samples=40, seed=7)
+        x_tr, _, x_te, _ = train_test_split(x, y, seed=1)
+        combined = np.vstack([x_tr, x_te])
+        assert sorted(map(tuple, combined)) == sorted(map(tuple, x))
+
+    def test_rejects_bad_fraction(self):
+        x, y = make_blobs(num_samples=10, seed=0)
+        with pytest.raises(ValueError):
+            train_test_split(x, y, test_fraction=0.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 2)), np.zeros(4))

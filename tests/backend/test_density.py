@@ -1,0 +1,140 @@
+"""Unit tests for exact density-matrix simulation."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    NoiseModel,
+    PauliString,
+    QuantumCircuit,
+    Statevector,
+    StatevectorSimulator,
+    TrajectorySimulator,
+    amplitude_damping,
+    bit_flip,
+    depolarizing,
+    zero_projector,
+)
+from repro.backend.density import DensityMatrix, DensityMatrixSimulator
+
+
+class TestDensityMatrix:
+    def test_zero_state(self):
+        rho = DensityMatrix.zero_state(2)
+        assert rho.trace() == pytest.approx(1.0)
+        assert rho.purity() == pytest.approx(1.0)
+        assert rho.data[0, 0] == pytest.approx(1.0)
+
+    def test_from_statevector(self):
+        state = Statevector.random_state(3, seed=0)
+        rho = DensityMatrix.from_statevector(state)
+        assert rho.purity() == pytest.approx(1.0)
+        assert rho.fidelity_with_pure(state) == pytest.approx(1.0)
+
+    def test_maximally_mixed(self):
+        rho = DensityMatrix.maximally_mixed(3)
+        assert rho.trace() == pytest.approx(1.0)
+        assert rho.purity() == pytest.approx(1.0 / 8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.eye(4))  # trace 4
+        with pytest.raises(ValueError):
+            DensityMatrix(np.array([[0.5, 0.5j], [0.5j, 0.5]]))  # not Hermitian
+        with pytest.raises(ValueError):
+            DensityMatrix(np.eye(3) / 3.0)  # not power of 2
+
+    def test_expectation_matches_statevector(self):
+        state = Statevector.random_state(3, seed=1)
+        rho = DensityMatrix.from_statevector(state)
+        obs = PauliString(3, "ZXY", coefficient=0.7)
+        assert rho.expectation(obs) == pytest.approx(obs.expectation(state))
+
+    def test_probabilities_match_statevector(self):
+        state = Statevector.random_state(2, seed=2)
+        rho = DensityMatrix.from_statevector(state)
+        assert np.allclose(rho.probabilities(), state.probabilities())
+
+    def test_apply_unitary_arbitrary_qubit(self):
+        from repro.backend.gates import get_gate
+
+        sim = StatevectorSimulator()
+        circuit = QuantumCircuit(3).h(1)
+        state = sim.run(circuit)
+        rho = DensityMatrix.zero_state(3).apply_unitary(
+            get_gate("H").matrix(), [1]
+        )
+        assert rho.fidelity_with_pure(state) == pytest.approx(1.0)
+
+    def test_apply_two_qubit_unitary_out_of_order(self):
+        from repro.backend.gates import get_gate
+
+        sim = StatevectorSimulator()
+        circuit = QuantumCircuit(3).x(2).cx(2, 0)
+        state = sim.run(circuit)
+        rho = DensityMatrix.zero_state(3)
+        rho = rho.apply_unitary(get_gate("X").matrix(), [2])
+        rho = rho.apply_unitary(get_gate("CX").matrix(), [2, 0])
+        assert rho.fidelity_with_pure(state) == pytest.approx(1.0)
+
+    def test_full_depolarizing_gives_maximally_mixed_qubit(self):
+        rho = DensityMatrix.zero_state(1).apply_channel(depolarizing(0.75), [0])
+        # p=3/4 depolarizing is the fully-depolarizing channel.
+        assert np.allclose(rho.data, np.eye(2) / 2.0, atol=1e-12)
+
+
+class TestDensityMatrixSimulator:
+    def test_noiseless_matches_statevector(self, simulator, bell_circuit):
+        rho = DensityMatrixSimulator().run(bell_circuit)
+        state = simulator.run(bell_circuit)
+        assert rho.fidelity_with_pure(state) == pytest.approx(1.0)
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_noise_reduces_purity(self, bell_circuit):
+        noisy = DensityMatrixSimulator(NoiseModel(default=bit_flip(0.1)))
+        rho = noisy.run(bell_circuit)
+        assert rho.purity() < 1.0
+        assert rho.trace() == pytest.approx(1.0)
+
+    def test_depolarizing_z_expectation_analytic(self):
+        """One X gate then depolarizing(p): <Z> = -(1 - 4p/3)."""
+        p = 0.15
+        noisy = DensityMatrixSimulator(NoiseModel(default=depolarizing(p)))
+        value = noisy.expectation(QuantumCircuit(1).x(0), PauliString(1, "Z"))
+        assert value == pytest.approx(-(1.0 - 4.0 * p / 3.0))
+
+    def test_amplitude_damping_analytic(self):
+        """|1> after damping(g): <Z> = 1 - 2(1-g)."""
+        g = 0.3
+        noisy = DensityMatrixSimulator(
+            NoiseModel(default=amplitude_damping(g))
+        )
+        value = noisy.expectation(QuantumCircuit(1).x(0), PauliString(1, "Z"))
+        assert value == pytest.approx(1.0 - 2.0 * (1.0 - g))
+
+    def test_trajectory_simulator_converges_to_density_matrix(self):
+        """The MC sampler's mean must approach the exact DM value."""
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).rx(0, value=0.4)
+        model = NoiseModel(default=depolarizing(0.05))
+        obs = PauliString(2, "ZZ")
+        exact = DensityMatrixSimulator(model).expectation(circuit, obs)
+        sampled = TrajectorySimulator(model).expectation(
+            circuit, obs, trajectories=4000, seed=3
+        )
+        assert sampled == pytest.approx(exact, abs=0.05)
+
+    def test_parameterized_circuit(self):
+        circuit = QuantumCircuit(2).rx(0).ry(1).cz(0, 1)
+        noisy = DensityMatrixSimulator(NoiseModel(default=bit_flip(0.02)))
+        value = noisy.expectation(circuit, zero_projector(2), [0.3, 0.7])
+        assert 0.0 <= value <= 1.0
+
+    def test_trainable_circuit_needs_params(self):
+        with pytest.raises(ValueError):
+            DensityMatrixSimulator().run(QuantumCircuit(1).rx(0))
+
+    def test_initial_state_override(self):
+        rho0 = DensityMatrix.maximally_mixed(1)
+        out = DensityMatrixSimulator().run(QuantumCircuit(1).h(0), initial_state=rho0)
+        # H on the maximally mixed state leaves it maximally mixed.
+        assert np.allclose(out.data, np.eye(2) / 2.0, atol=1e-12)

@@ -1,0 +1,265 @@
+"""Unit tests for the gate library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.gates import (
+    FIXED_GATES,
+    PARAMETRIC_GATES,
+    PAULI_MATRICES,
+    FixedGate,
+    ParametricGate,
+    controlled_matrix,
+    get_gate,
+    is_parametric,
+    pauli_word_matrix,
+)
+
+
+def _is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    dim = matrix.shape[0]
+    return np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=atol)
+
+
+class TestFixedGates:
+    @pytest.mark.parametrize("name", sorted(FIXED_GATES))
+    def test_all_fixed_gates_are_unitary(self, name):
+        assert _is_unitary(FIXED_GATES[name].matrix())
+
+    def test_pauli_algebra(self):
+        x, y, z = (PAULI_MATRICES[k] for k in "XYZ")
+        assert np.allclose(x @ y, 1j * z)
+        assert np.allclose(y @ z, 1j * x)
+        assert np.allclose(z @ x, 1j * y)
+
+    def test_hadamard_conjugates_x_to_z(self):
+        h = FIXED_GATES["H"].matrix()
+        x, z = PAULI_MATRICES["X"], PAULI_MATRICES["Z"]
+        assert np.allclose(h @ x @ h, z)
+
+    def test_s_squared_is_z(self):
+        s = FIXED_GATES["S"].matrix()
+        assert np.allclose(s @ s, PAULI_MATRICES["Z"])
+
+    def test_t_squared_is_s(self):
+        t = FIXED_GATES["T"].matrix()
+        assert np.allclose(t @ t, FIXED_GATES["S"].matrix())
+
+    def test_sx_squared_is_x(self):
+        sx = FIXED_GATES["SX"].matrix()
+        assert np.allclose(sx @ sx, PAULI_MATRICES["X"])
+
+    def test_sdg_is_s_adjoint(self):
+        assert np.allclose(
+            FIXED_GATES["SDG"].matrix(), FIXED_GATES["S"].adjoint_matrix()
+        )
+
+    def test_cx_matrix_convention(self):
+        # Control = most significant qubit: |10> -> |11>.
+        cx = FIXED_GATES["CX"].matrix()
+        state = np.zeros(4)
+        state[2] = 1.0  # |10>
+        assert np.allclose(cx @ state, [0, 0, 0, 1])
+
+    def test_cz_is_diagonal(self):
+        assert FIXED_GATES["CZ"].is_diagonal
+        assert np.allclose(
+            np.diagonal(FIXED_GATES["CZ"].matrix()), [1, 1, 1, -1]
+        )
+
+    def test_swap_swaps(self):
+        swap = FIXED_GATES["SWAP"].matrix()
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        assert np.allclose(swap @ state, [0, 0, 1, 0])  # |10>
+
+    def test_ccx_flips_only_on_both_controls(self):
+        ccx = FIXED_GATES["CCX"].matrix()
+        state = np.zeros(8)
+        state[6] = 1.0  # |110>
+        assert np.allclose(ccx @ state, np.eye(8)[7])  # |111>
+        state = np.zeros(8)
+        state[4] = 1.0  # |100>
+        assert np.allclose(ccx @ state, np.eye(8)[4])
+
+    def test_matrices_are_read_only(self):
+        with pytest.raises(ValueError):
+            FIXED_GATES["X"].matrix()[0, 0] = 5.0
+
+    def test_gate_dim(self):
+        assert FIXED_GATES["H"].dim == 2
+        assert FIXED_GATES["CZ"].dim == 4
+        assert FIXED_GATES["CCX"].dim == 8
+
+    def test_non_power_of_two_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            FixedGate("BAD", np.eye(3))
+
+
+class TestParametricGates:
+    @pytest.mark.parametrize("name", sorted(PARAMETRIC_GATES))
+    @pytest.mark.parametrize("theta", [0.0, 0.3, -1.7, np.pi, 2 * np.pi])
+    def test_all_parametric_gates_are_unitary(self, name, theta):
+        assert _is_unitary(PARAMETRIC_GATES[name].matrix(theta))
+
+    @pytest.mark.parametrize("name", ["RX", "RY", "RZ", "RXX", "RZZ"])
+    def test_rotation_at_zero_is_identity(self, name):
+        gate = PARAMETRIC_GATES[name]
+        assert np.allclose(gate.matrix(0.0), np.eye(gate.dim))
+
+    @pytest.mark.parametrize("name", ["RX", "RY", "RZ"])
+    def test_rotation_at_two_pi_is_minus_identity(self, name):
+        gate = PARAMETRIC_GATES[name]
+        assert np.allclose(gate.matrix(2 * np.pi), -np.eye(2))
+
+    @pytest.mark.parametrize("name", ["RX", "RY", "RZ", "RYY"])
+    def test_rotation_composition(self, name):
+        gate = PARAMETRIC_GATES[name]
+        a, b = 0.7, -1.2
+        assert np.allclose(gate.matrix(a) @ gate.matrix(b), gate.matrix(a + b))
+
+    @pytest.mark.parametrize("name", sorted(PARAMETRIC_GATES))
+    @pytest.mark.parametrize("theta", [0.0, 0.4, -2.2, 3.9])
+    def test_derivative_matches_numerical(self, name, theta):
+        gate = PARAMETRIC_GATES[name]
+        eps = 1e-7
+        numerical = (gate.matrix(theta + eps) - gate.matrix(theta - eps)) / (2 * eps)
+        assert np.allclose(gate.derivative(theta), numerical, atol=1e-6)
+
+    def test_rx_explicit_matrix(self):
+        theta = 0.9
+        expected = np.array(
+            [
+                [np.cos(theta / 2), -1j * np.sin(theta / 2)],
+                [-1j * np.sin(theta / 2), np.cos(theta / 2)],
+            ]
+        )
+        assert np.allclose(PARAMETRIC_GATES["RX"].matrix(theta), expected)
+
+    def test_rz_is_diagonal_phase(self):
+        theta = 1.1
+        matrix = PARAMETRIC_GATES["RZ"].matrix(theta)
+        expected = np.diag([np.exp(-1j * theta / 2), np.exp(1j * theta / 2)])
+        assert np.allclose(matrix, expected)
+
+    def test_phase_gate(self):
+        theta = 0.5
+        matrix = PARAMETRIC_GATES["PHASE"].matrix(theta)
+        assert np.allclose(matrix, np.diag([1.0, np.exp(1j * theta)]))
+
+    def test_pauli_rotations_have_shift_rule(self):
+        for name in ("RX", "RY", "RZ", "RXX", "RYY", "RZZ", "PHASE"):
+            coeff, shift = PARAMETRIC_GATES[name].shift_rule
+            assert coeff == pytest.approx(0.5)
+            assert shift == pytest.approx(np.pi / 2)
+
+    def test_controlled_rotations_have_four_term_rule(self):
+        for name in ("CRX", "CRY", "CRZ"):
+            gate = PARAMETRIC_GATES[name]
+            assert gate.shift_rule is None
+            assert len(gate.shift_terms) == 4
+            # Coefficients must sum to zero (rule kills constants).
+            assert sum(c for c, _ in gate.shift_terms) == pytest.approx(0.0)
+
+    def test_two_term_gates_expose_shift_terms(self):
+        gate = PARAMETRIC_GATES["RX"]
+        assert gate.shift_terms == (
+            (0.5, np.pi / 2),
+            (-0.5, -np.pi / 2),
+        )
+
+    def test_shift_terms_exact_on_trig_polynomials(self):
+        """The 4-term rule differentiates freq-{1/2, 1} functions exactly."""
+        terms = PARAMETRIC_GATES["CRX"].shift_terms
+
+        def apply_rule(fn, theta):
+            return sum(c * fn(theta + s) for c, s in terms)
+
+        for theta in (0.0, 0.9, -2.2):
+            assert apply_rule(lambda t: np.sin(t / 2), theta) == pytest.approx(
+                0.5 * np.cos(theta / 2)
+            )
+            assert apply_rule(np.sin, theta) == pytest.approx(np.cos(theta))
+            assert apply_rule(lambda t: 3.0, theta) == pytest.approx(0.0)
+
+    def test_crx_controls_on_first_qubit(self):
+        crx = PARAMETRIC_GATES["CRX"].matrix(np.pi)
+        # |0x> subspace untouched.
+        assert np.allclose(crx[:2, :2], np.eye(2))
+        # |1x> subspace gets RX(pi) = -iX.
+        assert np.allclose(crx[2:, 2:], -1j * PAULI_MATRICES["X"])
+
+    def test_adjoint_matrix(self):
+        gate = PARAMETRIC_GATES["RY"]
+        theta = 0.8
+        assert np.allclose(
+            gate.adjoint_matrix(theta) @ gate.matrix(theta), np.eye(2)
+        )
+
+
+class TestPauliWordsAndHelpers:
+    def test_pauli_word_matrix_kron_order(self):
+        xz = pauli_word_matrix("XZ")
+        assert np.allclose(xz, np.kron(PAULI_MATRICES["X"], PAULI_MATRICES["Z"]))
+
+    def test_pauli_word_identity(self):
+        assert np.allclose(pauli_word_matrix("II"), np.eye(4))
+
+    def test_pauli_word_rejects_bad_letters(self):
+        with pytest.raises(ValueError):
+            pauli_word_matrix("XA")
+
+    def test_pauli_word_rejects_empty(self):
+        with pytest.raises(ValueError):
+            pauli_word_matrix("")
+
+    def test_controlled_matrix_structure(self):
+        u = pauli_word_matrix("Y")
+        cu = controlled_matrix(u)
+        assert np.allclose(cu[:2, :2], np.eye(2))
+        assert np.allclose(cu[2:, 2:], u)
+        assert np.allclose(cu[:2, 2:], 0)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_gate("rx") is get_gate("RX")
+
+    def test_aliases(self):
+        assert get_gate("CNOT") is get_gate("CX")
+        assert get_gate("toffoli") is get_gate("CCX")
+        assert get_gate("P") is get_gate("PHASE")
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            get_gate("NOPE")
+
+    def test_is_parametric(self):
+        assert is_parametric("RX")
+        assert not is_parametric("H")
+        assert not is_parametric("UNKNOWN")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    name=st.sampled_from(sorted(PARAMETRIC_GATES)),
+    theta=st.floats(-10.0, 10.0, allow_nan=False),
+)
+def test_parametric_gates_unitary_property(name, theta):
+    """Every parametric gate is unitary for any angle."""
+    gate = PARAMETRIC_GATES[name]
+    assert _is_unitary(gate.matrix(theta))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    name=st.sampled_from(["RX", "RY", "RZ", "RXX", "RYY", "RZZ"]),
+    theta=st.floats(-6.0, 6.0, allow_nan=False),
+)
+def test_rotation_inverse_is_negated_angle(name, theta):
+    """R(theta) R(-theta) = I for all Pauli rotations."""
+    gate = PARAMETRIC_GATES[name]
+    product = gate.matrix(theta) @ gate.matrix(-theta)
+    assert np.allclose(product, np.eye(gate.dim), atol=1e-10)

@@ -1,0 +1,199 @@
+"""Unit tests for the gradient engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import (
+    PauliString,
+    QuantumCircuit,
+    Statevector,
+    StatevectorSimulator,
+    adjoint_gradient,
+    finite_difference,
+    get_gradient_fn,
+    parameter_shift,
+    zero_projector,
+)
+from repro.backend.gradients import GRADIENT_ENGINES
+
+from tests.conftest import random_angles
+
+
+class TestAnalyticCases:
+    def test_ry_z_gradient(self, simulator):
+        """d<Z>/dtheta for RY|0> is -sin(theta)."""
+        circuit = QuantumCircuit(1).ry(0)
+        obs = PauliString(1, "Z")
+        for theta in (0.0, 0.5, 1.7, -2.3):
+            grad = parameter_shift(circuit, obs, [theta], simulator)
+            assert grad[0] == pytest.approx(-np.sin(theta), abs=1e-10)
+
+    def test_rx_projector_gradient(self, simulator):
+        """d p0 / dtheta for RX|0> is -sin(theta)/2."""
+        circuit = QuantumCircuit(1).rx(0)
+        obs = zero_projector(1)
+        theta = 0.8
+        grad = adjoint_gradient(circuit, obs, [theta], simulator)
+        assert grad[0] == pytest.approx(-np.sin(theta) / 2.0, abs=1e-10)
+
+    def test_rz_on_zero_state_has_zero_gradient(self, simulator):
+        """RZ only adds phase to |0>, so every engine must return 0."""
+        circuit = QuantumCircuit(1).rz(0)
+        obs = zero_projector(1)
+        for engine in ("parameter_shift", "adjoint"):
+            grad = get_gradient_fn(engine)(circuit, obs, [0.7], simulator)
+            assert grad[0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestEngineAgreement:
+    def test_three_engines_agree(self, simulator, small_trainable_circuit):
+        params = random_angles(small_trainable_circuit, seed=5)
+        obs = zero_projector(3)
+        ps = parameter_shift(small_trainable_circuit, obs, params, simulator)
+        adj = adjoint_gradient(small_trainable_circuit, obs, params, simulator)
+        fd = finite_difference(small_trainable_circuit, obs, params, simulator)
+        assert np.allclose(ps, adj, atol=1e-10)
+        assert np.allclose(ps, fd, atol=1e-5)
+
+    def test_agreement_with_pauli_sum_observable(self, simulator):
+        from repro.backend import total_z
+
+        circuit = QuantumCircuit(2).rx(0).ry(1).cz(0, 1).ry(0)
+        params = np.array([0.3, -0.9, 1.4])
+        obs = total_z(2)
+        ps = parameter_shift(circuit, obs, params, simulator)
+        adj = adjoint_gradient(circuit, obs, params, simulator)
+        assert np.allclose(ps, adj, atol=1e-10)
+
+    def test_agreement_with_initial_state(self, simulator):
+        circuit = QuantumCircuit(2).rx(0).ry(1)
+        params = np.array([0.4, 1.1])
+        initial = Statevector.basis_state("10")
+        obs = zero_projector(2)
+        ps = parameter_shift(
+            circuit, obs, params, simulator, initial_state=initial
+        )
+        adj = adjoint_gradient(
+            circuit, obs, params, simulator, initial_state=initial
+        )
+        fd = finite_difference(
+            circuit, obs, params, simulator, initial_state=initial
+        )
+        assert np.allclose(ps, adj, atol=1e-10)
+        assert np.allclose(ps, fd, atol=1e-5)
+
+    def test_adjoint_handles_controlled_rotation(self, simulator):
+        circuit = QuantumCircuit(2).h(0).crx(0, 1)
+        params = np.array([0.9])
+        obs = PauliString(2, {1: "Z"})
+        adj = adjoint_gradient(circuit, obs, params, simulator)
+        fd = finite_difference(circuit, obs, params, simulator)
+        assert np.allclose(adj, fd, atol=1e-5)
+
+    @pytest.mark.parametrize("gate", ["crx", "cry", "crz"])
+    def test_four_term_rule_for_controlled_rotations(self, simulator, gate):
+        """Controlled rotations use the exact 4-term shift rule."""
+        circuit = QuantumCircuit(2).h(0).ry(1, value=0.3)
+        getattr(circuit, gate)(0, 1)
+        for theta in (0.0, 0.7, -1.9, 2.4):
+            ps = parameter_shift(circuit, zero_projector(2), [theta], simulator)
+            adj = adjoint_gradient(circuit, zero_projector(2), [theta], simulator)
+            assert ps[0] == pytest.approx(adj[0], abs=1e-10)
+
+
+class TestParamSubsets:
+    def test_subset_indices(self, simulator, small_trainable_circuit):
+        params = random_angles(small_trainable_circuit, seed=6)
+        obs = zero_projector(3)
+        full = adjoint_gradient(small_trainable_circuit, obs, params, simulator)
+        subset = adjoint_gradient(
+            small_trainable_circuit, obs, params, simulator,
+            param_indices=[0, 5, 11],
+        )
+        assert np.allclose(subset, full[[0, 5, 11]], atol=1e-12)
+
+    def test_last_parameter_only(self, simulator, small_trainable_circuit):
+        params = random_angles(small_trainable_circuit, seed=7)
+        obs = zero_projector(3)
+        last = small_trainable_circuit.num_parameters - 1
+        ps = parameter_shift(
+            small_trainable_circuit, obs, params, simulator, param_indices=[last]
+        )
+        full = parameter_shift(small_trainable_circuit, obs, params, simulator)
+        assert ps.shape == (1,)
+        assert ps[0] == pytest.approx(full[last])
+
+    def test_subset_preserves_requested_order(self, simulator):
+        circuit = QuantumCircuit(1).rx(0).ry(0)
+        params = np.array([0.3, 0.8])
+        obs = zero_projector(1)
+        forward = parameter_shift(
+            circuit, obs, params, simulator, param_indices=[0, 1]
+        )
+        reversed_ = parameter_shift(
+            circuit, obs, params, simulator, param_indices=[1, 0]
+        )
+        assert np.allclose(forward, reversed_[::-1])
+
+    def test_out_of_range_index(self, simulator):
+        circuit = QuantumCircuit(1).rx(0)
+        with pytest.raises(IndexError):
+            parameter_shift(
+                circuit, zero_projector(1), [0.1], simulator, param_indices=[3]
+            )
+
+
+class TestFiniteDifference:
+    def test_forward_scheme(self, simulator):
+        circuit = QuantumCircuit(1).ry(0)
+        obs = PauliString(1, "Z")
+        theta = 0.4
+        grad = finite_difference(
+            circuit, obs, [theta], simulator, scheme="forward", step=1e-7
+        )
+        assert grad[0] == pytest.approx(-np.sin(theta), abs=1e-5)
+
+    def test_invalid_scheme(self, simulator):
+        circuit = QuantumCircuit(1).ry(0)
+        with pytest.raises(ValueError):
+            finite_difference(
+                circuit, PauliString(1, "Z"), [0.1], simulator, scheme="bogus"
+            )
+
+
+class TestEngineRegistry:
+    def test_known_engines(self):
+        assert set(GRADIENT_ENGINES) == {
+            "parameter_shift",
+            "adjoint",
+            "finite_difference",
+        }
+
+    def test_get_gradient_fn(self):
+        assert get_gradient_fn("adjoint") is adjoint_gradient
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            get_gradient_fn("autograd")
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), num_qubits=st.integers(1, 4))
+def test_engines_agree_on_random_circuits(seed, num_qubits):
+    """Property: parameter-shift == adjoint on random HEA circuits."""
+    gen = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(2):
+        for q in range(num_qubits):
+            gate = ["rx", "ry", "rz"][gen.integers(3)]
+            getattr(circuit, gate)(q)
+        for q in range(num_qubits - 1):
+            circuit.cz(q, q + 1)
+    params = gen.uniform(0, 2 * np.pi, circuit.num_parameters)
+    obs = zero_projector(num_qubits)
+    simulator = StatevectorSimulator()
+    ps = parameter_shift(circuit, obs, params, simulator)
+    adj = adjoint_gradient(circuit, obs, params, simulator)
+    assert np.allclose(ps, adj, atol=1e-9)

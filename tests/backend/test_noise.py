@@ -1,0 +1,141 @@
+"""Unit tests for noise channels and the trajectory simulator."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    KrausChannel,
+    NoiseModel,
+    PauliString,
+    QuantumCircuit,
+    TrajectorySimulator,
+    amplitude_damping,
+    bit_flip,
+    depolarizing,
+    phase_damping,
+    phase_flip,
+)
+
+
+class TestChannels:
+    @pytest.mark.parametrize(
+        "factory,arg",
+        [
+            (bit_flip, 0.1),
+            (phase_flip, 0.25),
+            (depolarizing, 0.3),
+            (amplitude_damping, 0.4),
+            (phase_damping, 0.2),
+        ],
+    )
+    def test_trace_preserving(self, factory, arg):
+        channel = factory(arg)
+        dim = 2**channel.num_qubits
+        total = sum(
+            k.conj().T @ k for k in channel.kraus_operators
+        )
+        assert np.allclose(total, np.eye(dim))
+
+    def test_rejects_non_tp(self):
+        with pytest.raises(ValueError):
+            KrausChannel("bad", [np.eye(2) * 0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            KrausChannel("empty", [])
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            bit_flip(1.5)
+        with pytest.raises(ValueError):
+            depolarizing(-0.1)
+
+    def test_zero_probability_bit_flip_first_kraus_is_identity(self):
+        channel = bit_flip(0.0)
+        assert np.allclose(channel.kraus_operators[0], np.eye(2))
+
+    def test_is_trivial(self):
+        identity = KrausChannel("id", [np.eye(2)])
+        assert identity.is_trivial
+        assert not bit_flip(0.2).is_trivial
+
+
+class TestNoiseModel:
+    def test_default_applies_everywhere(self):
+        model = NoiseModel(default=bit_flip(0.1))
+        assert model.channel_for("H") is model.default
+        assert model.channel_for("CZ") is model.default
+
+    def test_per_gate_override(self):
+        special = phase_flip(0.3)
+        model = NoiseModel(default=bit_flip(0.1), per_gate={"cz": special})
+        assert model.channel_for("CZ") is special
+        assert model.channel_for("H") is model.default
+
+    def test_explicit_none_disables(self):
+        model = NoiseModel(default=bit_flip(0.1), per_gate={"H": None})
+        assert model.channel_for("H") is None
+
+    def test_is_trivial(self):
+        assert NoiseModel().is_trivial
+        assert not NoiseModel(default=bit_flip(0.5)).is_trivial
+
+
+class TestTrajectorySimulator:
+    def test_noiseless_model_matches_exact(self, simulator, bell_circuit):
+        trajectory = TrajectorySimulator(NoiseModel())
+        state = trajectory.run_trajectory(bell_circuit, seed=0)
+        exact = simulator.run(bell_circuit)
+        assert state.allclose(exact)
+
+    def test_certain_bit_flip(self):
+        trajectory = TrajectorySimulator(NoiseModel(default=bit_flip(1.0)))
+        circuit = QuantumCircuit(1).h(0).h(0)  # identity up to noise
+        state = trajectory.run_trajectory(circuit, seed=1)
+        # Two H gates, each followed by a certain X: X H X H |0> = |1>... the
+        # net effect must be a deterministic basis state.
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_amplitude_damping_full_decay(self):
+        trajectory = TrajectorySimulator(
+            NoiseModel(default=amplitude_damping(1.0))
+        )
+        circuit = QuantumCircuit(1).x(0)
+        state = trajectory.run_trajectory(circuit, seed=2)
+        # gamma=1 relaxes |1> straight back to |0>.
+        assert state.probability_of("0") == pytest.approx(1.0)
+
+    def test_depolarizing_shrinks_z_expectation(self):
+        p = 0.2
+        trajectory = TrajectorySimulator(NoiseModel(default=depolarizing(p)))
+        circuit = QuantumCircuit(1).x(0)  # <Z> = -1 noiseless
+        estimate = trajectory.expectation(
+            circuit, PauliString(1, "Z"), trajectories=3000, seed=3
+        )
+        expected = -(1.0 - 4.0 * p / 3.0)
+        assert estimate == pytest.approx(expected, abs=0.05)
+
+    def test_expectation_reproducible(self, bell_circuit):
+        trajectory = TrajectorySimulator(NoiseModel(default=bit_flip(0.05)))
+        obs = PauliString(2, "ZZ")
+        a = trajectory.expectation(bell_circuit, obs, trajectories=50, seed=7)
+        b = trajectory.expectation(bell_circuit, obs, trajectories=50, seed=7)
+        assert a == pytest.approx(b)
+
+    def test_trainable_circuit_needs_params(self):
+        trajectory = TrajectorySimulator(NoiseModel())
+        with pytest.raises(ValueError):
+            trajectory.run_trajectory(QuantumCircuit(1).rx(0), seed=0)
+
+    def test_parameterized_noisy_run(self):
+        trajectory = TrajectorySimulator(NoiseModel(default=phase_damping(0.1)))
+        circuit = QuantumCircuit(2).rx(0).ry(1).cz(0, 1)
+        state = trajectory.run_trajectory(circuit, params=[0.3, 0.8], seed=4)
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_invalid_trajectories(self, bell_circuit):
+        trajectory = TrajectorySimulator(NoiseModel())
+        with pytest.raises(ValueError):
+            trajectory.expectation(
+                bell_circuit, PauliString(2, "ZZ"), trajectories=0
+            )

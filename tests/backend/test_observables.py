@@ -1,0 +1,192 @@
+"""Unit tests for observables."""
+
+import numpy as np
+import pytest
+
+from repro.backend import Statevector
+from repro.backend.gates import FIXED_GATES, pauli_word_matrix
+from repro.backend.observables import (
+    PauliString,
+    PauliSum,
+    Projector,
+    single_z,
+    total_z,
+    zero_projector,
+)
+
+
+class TestPauliString:
+    def test_word_and_mapping_equivalent(self):
+        by_word = PauliString(3, "IZX")
+        by_map = PauliString(3, {1: "Z", 2: "X"})
+        assert by_word.word == by_map.word == "IZX"
+
+    def test_matrix_matches_kron(self):
+        obs = PauliString(2, "XZ", coefficient=2.0)
+        assert np.allclose(obs.matrix(), 2.0 * pauli_word_matrix("XZ"))
+
+    def test_apply_matches_matrix(self):
+        state = Statevector.random_state(3, seed=0)
+        obs = PauliString(3, "XYZ", coefficient=-1.5)
+        assert np.allclose(obs.apply(state.data), obs.matrix() @ state.data)
+
+    def test_expectation_matches_dense(self):
+        state = Statevector.random_state(3, seed=1)
+        obs = PauliString(3, {0: "X", 2: "Y"})
+        dense = np.real(np.vdot(state.data, obs.matrix() @ state.data))
+        assert obs.expectation(state) == pytest.approx(dense)
+
+    def test_identity_string(self):
+        obs = PauliString(2, "II", coefficient=3.0)
+        assert obs.is_identity
+        state = Statevector.random_state(2, seed=2)
+        assert obs.expectation(state) == pytest.approx(3.0)
+
+    def test_apply_does_not_alias_input(self):
+        obs = PauliString(1, "I")
+        data = Statevector.zero_state(1).data
+        out = obs.apply(data)
+        assert out is not data
+
+    def test_is_diagonal(self):
+        assert PauliString(2, "ZZ").is_diagonal
+        assert PauliString(2, "IZ").is_diagonal
+        assert not PauliString(2, "XZ").is_diagonal
+
+    def test_weight(self):
+        assert PauliString(4, "IXYI").weight == 2
+        assert PauliString(4, "IIII").weight == 0
+
+    def test_rejects_complex_coefficient(self):
+        with pytest.raises(ValueError):
+            PauliString(1, "Z", coefficient=1j)
+
+    def test_rejects_bad_letter(self):
+        with pytest.raises(ValueError):
+            PauliString(1, "Q")
+
+    def test_rejects_wrong_word_length(self):
+        with pytest.raises(ValueError):
+            PauliString(2, "XYZ")
+
+    def test_rejects_out_of_range_qubit(self):
+        with pytest.raises(ValueError):
+            PauliString(2, {5: "Z"})
+
+    def test_variance_of_eigenstate_is_zero(self):
+        obs = PauliString(1, "Z")
+        assert obs.variance(Statevector.basis_state("0")) == pytest.approx(0.0)
+
+    def test_variance_of_superposition(self):
+        obs = PauliString(1, "Z")
+        plus = Statevector(np.array([1.0, 1.0]) / np.sqrt(2))
+        assert obs.variance(plus) == pytest.approx(1.0)
+
+    def test_qubit_count_mismatch(self):
+        with pytest.raises(ValueError):
+            PauliString(2, "ZZ").expectation(Statevector.zero_state(3))
+
+
+class TestDiagonalizingRotations:
+    @pytest.mark.parametrize("word", ["X", "Y", "Z", "XY", "YX", "XZ"])
+    def test_rotations_map_to_z_basis(self, word):
+        """R O R^dag must equal the same-support Z word."""
+        obs = PauliString(len(word), word)
+        rotation = np.eye(2 ** len(word), dtype=complex)
+        for gate_name, qubit in obs.diagonalizing_rotations():
+            gate = FIXED_GATES[gate_name].matrix()
+            ops = [np.eye(2, dtype=complex)] * len(word)
+            ops[qubit] = gate
+            full = ops[0]
+            for op in ops[1:]:
+                full = np.kron(full, op)
+            rotation = full @ rotation
+        conjugated = rotation @ obs.matrix() @ rotation.conj().T
+        z_word = "".join("Z" if c != "I" else "I" for c in word)
+        assert np.allclose(conjugated, pauli_word_matrix(z_word))
+
+    def test_z_needs_no_rotation(self):
+        assert PauliString(2, "ZZ").diagonalizing_rotations() == []
+
+    def test_eigenvalue_of_bits(self):
+        obs = PauliString(3, "ZIZ", coefficient=2.0)
+        assert obs.eigenvalue_of_bits([0, 1, 0]) == pytest.approx(2.0)
+        assert obs.eigenvalue_of_bits([1, 0, 0]) == pytest.approx(-2.0)
+        assert obs.eigenvalue_of_bits([1, 0, 1]) == pytest.approx(2.0)
+
+
+class TestPauliSum:
+    def test_expectation_is_sum_of_terms(self):
+        state = Statevector.random_state(2, seed=3)
+        a = PauliString(2, "ZI", coefficient=0.5)
+        b = PauliString(2, "IX", coefficient=-1.0)
+        total = PauliSum([a, b])
+        assert total.expectation(state) == pytest.approx(
+            a.expectation(state) + b.expectation(state)
+        )
+
+    def test_matrix(self):
+        a = PauliString(2, "ZZ")
+        b = PauliString(2, "XX")
+        assert np.allclose(
+            PauliSum([a, b]).matrix(), a.matrix() + b.matrix()
+        )
+
+    def test_len(self):
+        assert len(total_z(4)) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PauliSum([])
+
+    def test_rejects_mixed_sizes(self):
+        with pytest.raises(ValueError):
+            PauliSum([PauliString(1, "Z"), PauliString(2, "ZZ")])
+
+
+class TestProjector:
+    def test_zero_projector_on_zero_state(self):
+        obs = zero_projector(3)
+        assert obs.expectation(Statevector.zero_state(3)) == pytest.approx(1.0)
+
+    def test_projector_index(self):
+        assert Projector("101").index == 5
+
+    def test_expectation_is_probability(self):
+        state = Statevector.random_state(2, seed=4)
+        obs = Projector("10")
+        assert obs.expectation(state) == pytest.approx(state.probability_of("10"))
+
+    def test_apply(self):
+        state = Statevector.uniform_superposition(2)
+        out = Projector("11").apply(state.data)
+        expected = np.zeros(4, dtype=complex)
+        expected[3] = 0.5
+        assert np.allclose(out, expected)
+
+    def test_matrix_is_rank_one(self):
+        matrix = Projector("01").matrix()
+        assert np.linalg.matrix_rank(matrix) == 1
+        assert matrix[1, 1] == pytest.approx(1.0)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            Projector("012")
+
+    def test_qubit_count_mismatch(self):
+        with pytest.raises(ValueError):
+            Projector("00").expectation(Statevector.zero_state(3))
+
+
+class TestConvenienceBuilders:
+    def test_single_z(self):
+        obs = single_z(1, 3)
+        assert obs.word == "IZI"
+
+    def test_total_z_expectation(self):
+        state = Statevector.zero_state(3)
+        assert total_z(3).expectation(state) == pytest.approx(3.0)
+
+    def test_total_z_on_basis_state(self):
+        state = Statevector.basis_state("101")
+        assert total_z(3).expectation(state) == pytest.approx(-1.0)

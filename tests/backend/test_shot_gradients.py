@@ -1,0 +1,66 @@
+"""Unit tests for shot-based (stochastic) parameter-shift gradients and
+non-finite parameter validation."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    PauliString,
+    QuantumCircuit,
+    StatevectorSimulator,
+    parameter_shift,
+    zero_projector,
+)
+
+
+class TestShotBasedParameterShift:
+    def test_converges_to_exact(self, simulator):
+        circuit = QuantumCircuit(1).ry(0)
+        obs = PauliString(1, "Z")
+        theta = 0.8
+        exact = parameter_shift(circuit, obs, [theta], simulator)
+        noisy = parameter_shift(
+            circuit, obs, [theta], simulator, shots=40000, seed=0
+        )
+        assert noisy[0] == pytest.approx(exact[0], abs=0.02)
+
+    def test_stochastic_across_seeds(self, simulator):
+        circuit = QuantumCircuit(1).ry(0)
+        obs = PauliString(1, "Z")
+        a = parameter_shift(circuit, obs, [0.8], simulator, shots=100, seed=1)
+        b = parameter_shift(circuit, obs, [0.8], simulator, shots=100, seed=2)
+        assert a[0] != b[0]
+
+    def test_reproducible_with_seed(self, simulator):
+        circuit = QuantumCircuit(1).ry(0)
+        obs = PauliString(1, "Z")
+        a = parameter_shift(circuit, obs, [0.8], simulator, shots=100, seed=5)
+        b = parameter_shift(circuit, obs, [0.8], simulator, shots=100, seed=5)
+        assert a[0] == pytest.approx(b[0])
+
+    def test_multi_parameter_shot_gradient(self, simulator):
+        circuit = QuantumCircuit(2).rx(0).ry(1).cz(0, 1)
+        obs = zero_projector(2)
+        params = np.array([0.4, 1.2])
+        exact = parameter_shift(circuit, obs, params, simulator)
+        noisy = parameter_shift(
+            circuit, obs, params, simulator, shots=30000, seed=3
+        )
+        assert np.allclose(noisy, exact, atol=0.03)
+
+
+class TestNonFiniteParameterValidation:
+    def test_nan_rejected(self, simulator):
+        circuit = QuantumCircuit(1).rx(0)
+        with pytest.raises(ValueError, match="NaN or infinity"):
+            simulator.run(circuit, [float("nan")])
+
+    def test_inf_rejected(self, simulator):
+        circuit = QuantumCircuit(1).rx(0)
+        with pytest.raises(ValueError, match="NaN or infinity"):
+            simulator.expectation(circuit, zero_projector(1), [float("inf")])
+
+    def test_finite_accepted(self, simulator):
+        circuit = QuantumCircuit(1).rx(0)
+        state = simulator.run(circuit, [1e300 % (2 * np.pi)])
+        assert state.norm() == pytest.approx(1.0)

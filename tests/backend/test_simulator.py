@@ -1,0 +1,179 @@
+"""Unit tests for the exact statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    PauliString,
+    PauliSum,
+    QuantumCircuit,
+    Statevector,
+    StatevectorSimulator,
+    zero_projector,
+)
+
+
+class TestRun:
+    def test_bell_state(self, simulator, bell_circuit):
+        state = simulator.run(bell_circuit)
+        expected = np.zeros(4, dtype=complex)
+        expected[0] = expected[3] = 1 / np.sqrt(2)
+        assert np.allclose(state.data, expected)
+
+    def test_ghz_state(self, simulator):
+        circuit = QuantumCircuit(4).h(0).cx(0, 1).cx(1, 2).cx(2, 3)
+        state = simulator.run(circuit)
+        assert state.probability_of("0000") == pytest.approx(0.5)
+        assert state.probability_of("1111") == pytest.approx(0.5)
+
+    def test_x_prepares_one(self, simulator):
+        state = simulator.run(QuantumCircuit(1).x(0))
+        assert state.probability_of("1") == pytest.approx(1.0)
+
+    def test_trainable_circuit_needs_params(self, simulator):
+        circuit = QuantumCircuit(1).rx(0)
+        with pytest.raises(ValueError):
+            simulator.run(circuit)
+
+    def test_param_count_mismatch(self, simulator):
+        circuit = QuantumCircuit(1).rx(0)
+        with pytest.raises(ValueError):
+            simulator.run(circuit, [0.1, 0.2])
+
+    def test_rx_rotation_angle(self, simulator):
+        theta = 1.1
+        state = simulator.run(QuantumCircuit(1).rx(0), [theta])
+        assert state.probability_of("1") == pytest.approx(np.sin(theta / 2) ** 2)
+
+    def test_initial_state(self, simulator):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        initial = Statevector.basis_state("10")
+        state = simulator.run(circuit, initial_state=initial)
+        assert state.probability_of("11") == pytest.approx(1.0)
+
+    def test_initial_state_qubit_mismatch(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.run(
+                QuantumCircuit(2).h(0), initial_state=Statevector.zero_state(3)
+            )
+
+    def test_initial_state_not_mutated(self, simulator):
+        initial = Statevector.zero_state(1)
+        before = initial.data.copy()
+        simulator.run(QuantumCircuit(1).x(0), initial_state=initial)
+        assert np.allclose(initial.data, before)
+
+
+class TestExpectation:
+    def test_z_expectation_zero_state(self, simulator):
+        circuit = QuantumCircuit(1).h(0).h(0)  # identity
+        z = PauliString(1, "Z")
+        assert simulator.expectation(circuit, z) == pytest.approx(1.0)
+
+    def test_zz_on_bell(self, simulator, bell_circuit):
+        assert simulator.expectation(
+            bell_circuit, PauliString(2, "ZZ")
+        ) == pytest.approx(1.0)
+        assert simulator.expectation(
+            bell_circuit, PauliString(2, "XX")
+        ) == pytest.approx(1.0)
+        assert simulator.expectation(
+            bell_circuit, PauliString(2, {0: "Z"})
+        ) == pytest.approx(0.0)
+
+    def test_projector_expectation(self, simulator, bell_circuit):
+        assert simulator.expectation(
+            bell_circuit, zero_projector(2)
+        ) == pytest.approx(0.5)
+
+    def test_ry_z_expectation(self, simulator):
+        theta = 0.6
+        value = simulator.expectation(
+            QuantumCircuit(1).ry(0), PauliString(1, "Z"), [theta]
+        )
+        assert value == pytest.approx(np.cos(theta))
+
+
+class TestShotBasedExpectation:
+    def test_projector_sampling_converges(self, simulator, bell_circuit):
+        estimate = simulator.expectation(
+            bell_circuit, zero_projector(2), shots=20000, seed=0
+        )
+        assert estimate == pytest.approx(0.5, abs=0.02)
+
+    def test_diagonal_pauli_sampling(self, simulator):
+        theta = 0.9
+        exact = np.cos(theta)
+        estimate = simulator.expectation(
+            QuantumCircuit(1).ry(0), PauliString(1, "Z"), [theta],
+            shots=40000, seed=1,
+        )
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_x_pauli_sampling_uses_rotation(self, simulator):
+        # <X> on |+> is 1; sampling must rotate to the Z basis to see it.
+        circuit = QuantumCircuit(1).h(0)
+        estimate = simulator.expectation(
+            circuit, PauliString(1, "X"), shots=5000, seed=2
+        )
+        assert estimate == pytest.approx(1.0)
+
+    def test_y_pauli_sampling(self, simulator):
+        # S|+> = (|0> + i|1>)/sqrt(2) has <Y> = 1.
+        circuit = QuantumCircuit(1).h(0).s(0)
+        estimate = simulator.expectation(
+            circuit, PauliString(1, "Y"), shots=5000, seed=3
+        )
+        assert estimate == pytest.approx(1.0)
+
+    def test_pauli_sum_sampling(self, simulator, bell_circuit):
+        observable = PauliSum(
+            [PauliString(2, "ZZ"), PauliString(2, "XX", coefficient=2.0)]
+        )
+        estimate = simulator.expectation(
+            bell_circuit, observable, shots=20000, seed=4
+        )
+        assert estimate == pytest.approx(3.0, abs=0.05)
+
+    def test_identity_term_sampling(self, simulator):
+        observable = PauliString(1, "I", coefficient=1.5)
+        estimate = simulator.expectation(
+            QuantumCircuit(1).h(0), observable, shots=10, seed=5
+        )
+        assert estimate == pytest.approx(1.5)
+
+    def test_invalid_shots(self, simulator, bell_circuit):
+        with pytest.raises(ValueError):
+            simulator.expectation(
+                bell_circuit, zero_projector(2), shots=0, seed=0
+            )
+
+
+class TestProbabilitiesAndSampling:
+    def test_probabilities(self, simulator, bell_circuit):
+        probs = simulator.probabilities(bell_circuit)
+        assert np.allclose(probs, [0.5, 0.0, 0.0, 0.5])
+
+    def test_sample_shape(self, simulator, bell_circuit):
+        bits = simulator.sample(bell_circuit, shots=64, seed=0)
+        assert bits.shape == (64, 2)
+        # Bell correlations: both bits always equal.
+        assert np.all(bits[:, 0] == bits[:, 1])
+
+
+class TestUnitary:
+    def test_unitary_of_h(self, simulator):
+        unitary = simulator.unitary(QuantumCircuit(1).h(0))
+        expected = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        assert np.allclose(unitary, expected)
+
+    def test_unitary_is_unitary(self, simulator, small_trainable_circuit):
+        params = np.linspace(0.1, 1.2, small_trainable_circuit.num_parameters)
+        unitary = simulator.unitary(small_trainable_circuit, params)
+        dim = 2**small_trainable_circuit.num_qubits
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(dim), atol=1e-10)
+
+    def test_unitary_consistent_with_run(self, simulator, bell_circuit):
+        unitary = simulator.unitary(bell_circuit)
+        state = simulator.run(bell_circuit)
+        assert np.allclose(unitary[:, 0], state.data)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import QuantumCircuit, StatevectorSimulator
+
+
+@pytest.fixture
+def simulator() -> StatevectorSimulator:
+    """A shared exact simulator (stateless, safe to reuse)."""
+    return StatevectorSimulator()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def bell_circuit() -> QuantumCircuit:
+    """H(0) + CNOT(0,1): prepares (|00> + |11>)/sqrt(2)."""
+    return QuantumCircuit(2).h(0).cx(0, 1)
+
+
+@pytest.fixture
+def small_trainable_circuit() -> QuantumCircuit:
+    """3-qubit, 2-layer HEA-style circuit with 12 trainable parameters."""
+    circuit = QuantumCircuit(3)
+    for _ in range(2):
+        for q in range(3):
+            circuit.rx(q)
+            circuit.ry(q)
+        circuit.cz(0, 1).cz(1, 2)
+    return circuit
+
+
+def random_angles(circuit: QuantumCircuit, seed: int = 0) -> np.ndarray:
+    """Uniform angles in [0, 2*pi) for a circuit's parameters."""
+    gen = np.random.default_rng(seed)
+    return gen.uniform(0.0, 2.0 * np.pi, circuit.num_parameters)

@@ -1,0 +1,156 @@
+"""Unit tests for the cost functions."""
+
+import numpy as np
+import pytest
+
+from repro.backend import PauliString, QuantumCircuit
+from repro.core.cost import (
+    ObservableCost,
+    global_identity_cost,
+    local_identity_cost,
+    make_cost,
+)
+
+
+def _hea(num_qubits=3, num_layers=2):
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(num_layers):
+        for q in range(num_qubits):
+            circuit.rx(q)
+            circuit.ry(q)
+        for q in range(num_qubits - 1):
+            circuit.cz(q, q + 1)
+    return circuit
+
+
+class TestGlobalCost:
+    def test_identity_circuit_costs_zero(self):
+        cost = global_identity_cost(_hea())
+        assert cost.value(np.zeros(cost.num_parameters)) == pytest.approx(0.0)
+
+    def test_flipped_state_costs_one(self):
+        circuit = QuantumCircuit(2).rx(0).rx(1)
+        cost = global_identity_cost(circuit)
+        assert cost.value([np.pi, np.pi]) == pytest.approx(1.0)
+
+    def test_cost_in_unit_interval(self):
+        circuit = _hea()
+        cost = global_identity_cost(circuit)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            value = cost.value(rng.uniform(0, 2 * np.pi, cost.num_parameters))
+            assert 0.0 <= value <= 1.0
+
+    def test_single_qubit_analytic(self):
+        """C(theta) = 1 - cos^2(theta/2) = sin^2(theta/2) for RX|0>."""
+        circuit = QuantumCircuit(1).rx(0)
+        cost = global_identity_cost(circuit)
+        for theta in (0.0, 0.4, np.pi / 2, np.pi):
+            assert cost.value([theta]) == pytest.approx(np.sin(theta / 2) ** 2)
+
+    def test_gradient_sign(self):
+        """At small positive theta, increasing theta increases the cost."""
+        circuit = QuantumCircuit(1).rx(0)
+        cost = global_identity_cost(circuit)
+        grad = cost.gradient([0.3])
+        assert grad[0] == pytest.approx(np.sin(0.3) / 2.0)
+
+    def test_gradient_matches_numeric(self):
+        circuit = _hea()
+        cost = global_identity_cost(circuit)
+        rng = np.random.default_rng(1)
+        params = rng.uniform(0, 2 * np.pi, cost.num_parameters)
+        grad = cost.gradient(params)
+        eps = 1e-6
+        for k in (0, 5, cost.num_parameters - 1):
+            shifted = params.copy()
+            shifted[k] += eps
+            plus = cost.value(shifted)
+            shifted[k] -= 2 * eps
+            minus = cost.value(shifted)
+            assert grad[k] == pytest.approx((plus - minus) / (2 * eps), abs=1e-5)
+
+
+class TestLocalCost:
+    def test_identity_circuit_costs_zero(self):
+        cost = local_identity_cost(_hea())
+        assert cost.value(np.zeros(cost.num_parameters)) == pytest.approx(0.0)
+
+    def test_single_flip_costs_one_over_n(self):
+        circuit = QuantumCircuit(4).rx(0).rx(1, value=0.0).rx(2, value=0.0).rx(3, value=0.0)
+        cost = local_identity_cost(circuit)
+        assert cost.value([np.pi]) == pytest.approx(0.25)
+
+    def test_all_flipped_costs_one(self):
+        circuit = QuantumCircuit(3).rx(0).rx(1).rx(2)
+        cost = local_identity_cost(circuit)
+        assert cost.value([np.pi] * 3) == pytest.approx(1.0)
+
+    def test_local_leq_global_signal(self):
+        """On |1...1> both costs are 1; on single flips local is milder."""
+        circuit = QuantumCircuit(3).rx(0).rx(1, value=0.0).rx(2, value=0.0)
+        local = local_identity_cost(circuit).value([np.pi])
+        from repro.core.cost import global_identity_cost as gic
+
+        global_ = gic(circuit).value([np.pi])
+        assert local == pytest.approx(1.0 / 3.0)
+        assert global_ == pytest.approx(1.0)
+
+
+class TestObservableCost:
+    def test_affine_transform(self):
+        circuit = QuantumCircuit(1).h(0)
+        obs = PauliString(1, "X")
+        cost = ObservableCost(circuit, obs, offset=2.0, scale=3.0)
+        # <X> on |+> is 1 -> cost = 2 + 3.
+        assert cost.value(None) == pytest.approx(5.0)
+
+    def test_callable(self):
+        circuit = QuantumCircuit(1).ry(0)
+        cost = global_identity_cost(circuit)
+        assert cost([0.5]) == pytest.approx(cost.value([0.5]))
+
+    def test_value_and_gradient(self):
+        circuit = QuantumCircuit(1).ry(0)
+        cost = global_identity_cost(circuit)
+        value, grad = cost.value_and_gradient([0.7])
+        assert value == pytest.approx(cost.value([0.7]))
+        assert np.allclose(grad, cost.gradient([0.7]))
+
+    def test_gradient_subset(self):
+        circuit = _hea(2, 1)
+        cost = global_identity_cost(circuit)
+        params = np.linspace(0.1, 0.8, cost.num_parameters)
+        full = cost.gradient(params)
+        subset = cost.gradient(params, param_indices=[2, 0])
+        assert np.allclose(subset, full[[2, 0]])
+
+    def test_qubit_mismatch_rejected(self):
+        circuit = QuantumCircuit(2).h(0)
+        with pytest.raises(ValueError):
+            ObservableCost(circuit, PauliString(3, "ZZZ"))
+
+    def test_gradient_engine_selection(self):
+        circuit = _hea(2, 1)
+        params = np.linspace(0.2, 1.0, circuit.num_parameters)
+        values = {}
+        for engine in ("adjoint", "parameter_shift", "finite_difference"):
+            cost = global_identity_cost(circuit, gradient_engine=engine)
+            values[engine] = cost.gradient(params)
+        assert np.allclose(values["adjoint"], values["parameter_shift"], atol=1e-10)
+        assert np.allclose(values["adjoint"], values["finite_difference"], atol=1e-5)
+
+
+class TestMakeCost:
+    def test_builders(self):
+        circuit = _hea(2, 1)
+        assert make_cost("global", circuit).offset == pytest.approx(1.0)
+        assert make_cost("local", circuit).offset == pytest.approx(0.5)
+
+    def test_case_insensitive(self):
+        circuit = _hea(2, 1)
+        assert make_cost("GLOBAL", circuit).scale == pytest.approx(-1.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_cost("medium", _hea(2, 1))

@@ -1,0 +1,140 @@
+"""Unit tests for decay-rate fitting and the improvement table."""
+
+import numpy as np
+import pytest
+
+from repro.core.decay import (
+    fit_all_methods,
+    fit_decay_rate,
+    improvement_over_random,
+    rank_methods,
+)
+from repro.core.results import DecayFit, GradientSamples, VarianceResult
+
+
+class TestFitDecayRate:
+    def test_exact_exponential_recovered(self):
+        qubits = [2, 4, 6, 8, 10]
+        rate, intercept = 0.8, -1.0
+        variances = np.exp(intercept - rate * np.asarray(qubits, dtype=float))
+        fit = fit_decay_rate(qubits, variances, method="test")
+        assert fit.rate == pytest.approx(rate)
+        assert fit.intercept == pytest.approx(intercept)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.method == "test"
+
+    def test_two_design_slope_recovered(self):
+        """Var = 4^-q must fit rate = 2 ln 2."""
+        qubits = np.array([2, 4, 6, 8])
+        fit = fit_decay_rate(qubits, 4.0 ** (-qubits.astype(float)))
+        assert fit.rate == pytest.approx(2 * np.log(2))
+
+    def test_flat_variance_zero_rate(self):
+        fit = fit_decay_rate([2, 4, 6], [0.1, 0.1, 0.1])
+        assert fit.rate == pytest.approx(0.0)
+
+    def test_growing_variance_negative_rate(self):
+        fit = fit_decay_rate([2, 4], [0.1, 0.2])
+        assert fit.rate < 0
+
+    def test_noisy_fit_r_squared_below_one(self):
+        rng = np.random.default_rng(0)
+        qubits = np.arange(2, 12)
+        variances = np.exp(-0.5 * qubits + rng.normal(0, 0.3, qubits.size))
+        fit = fit_decay_rate(qubits, variances)
+        assert 0.5 < fit.r_squared < 1.0
+
+    def test_predicted_variance(self):
+        fit = DecayFit(method="m", rate=0.5, intercept=-1.0, r_squared=1.0)
+        predicted = fit.predicted_variance(np.array([2.0, 4.0]))
+        assert np.allclose(predicted, np.exp([-2.0, -3.0]))
+
+    def test_zero_variance_guarded(self):
+        fit = fit_decay_rate([2, 4], [1e-5, 0.0])
+        assert np.isfinite(fit.rate)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_decay_rate([4], [0.1])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_decay_rate([2, 4], [0.1])
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ValueError):
+            fit_decay_rate([2, 4], [0.1, -0.1])
+
+    def test_rejects_degenerate_qubits(self):
+        with pytest.raises(ValueError):
+            fit_decay_rate([4, 4], [0.1, 0.2])
+
+
+def _make_result():
+    result = VarianceResult(qubit_counts=[2, 4, 6], methods=["random", "xavier"])
+    # random decays at rate ln(10) per 2 qubits; xavier at half that.
+    for q, var_r, var_x in [(2, 1e-1, 1e-1), (4, 1e-2, 10**-1.5), (6, 1e-3, 1e-2)]:
+        rng = np.random.default_rng(q)
+        result.add(
+            GradientSamples(q, "random", rng.normal(0, np.sqrt(var_r), 4000))
+        )
+        result.add(
+            GradientSamples(q, "xavier", rng.normal(0, np.sqrt(var_x), 4000))
+        )
+    return result
+
+
+class TestImprovementTable:
+    def test_fit_all_methods(self):
+        fits = fit_all_methods(_make_result())
+        assert set(fits) == {"random", "xavier"}
+        assert fits["random"].rate > fits["xavier"].rate
+
+    def test_improvement_percent(self):
+        fits = {
+            "random": DecayFit("random", rate=1.0, intercept=0, r_squared=1),
+            "xavier": DecayFit("xavier", rate=0.4, intercept=0, r_squared=1),
+            "he": DecayFit("he", rate=0.7, intercept=0, r_squared=1),
+        }
+        improvements = improvement_over_random(fits)
+        assert improvements["xavier"] == pytest.approx(60.0)
+        assert improvements["he"] == pytest.approx(30.0)
+        assert "random" not in improvements
+
+    def test_missing_baseline(self):
+        fits = {"xavier": DecayFit("xavier", 0.4, 0, 1)}
+        with pytest.raises(KeyError):
+            improvement_over_random(fits)
+
+    def test_non_positive_baseline_rate(self):
+        fits = {
+            "random": DecayFit("random", rate=0.0, intercept=0, r_squared=1),
+            "xavier": DecayFit("xavier", rate=0.4, intercept=0, r_squared=1),
+        }
+        with pytest.raises(ValueError):
+            improvement_over_random(fits)
+
+    def test_custom_baseline(self):
+        fits = {
+            "zeros": DecayFit("zeros", rate=2.0, intercept=0, r_squared=1),
+            "ones": DecayFit("ones", rate=1.0, intercept=0, r_squared=1),
+        }
+        improvements = improvement_over_random(fits, baseline="zeros")
+        assert improvements["ones"] == pytest.approx(50.0)
+
+
+class TestRanking:
+    def test_rank_best_first(self):
+        fits = {
+            "random": DecayFit("random", rate=1.4, intercept=0, r_squared=1),
+            "xavier": DecayFit("xavier", rate=0.5, intercept=0, r_squared=1),
+            "he": DecayFit("he", rate=0.9, intercept=0, r_squared=1),
+        }
+        assert rank_methods(fits) == ["xavier", "he", "random"]
+
+    def test_rank_excluding_baseline(self):
+        fits = {
+            "random": DecayFit("random", rate=0.1, intercept=0, r_squared=1),
+            "he": DecayFit("he", rate=0.9, intercept=0, r_squared=1),
+        }
+        assert rank_methods(fits, include_baseline=False) == ["he"]

@@ -1,0 +1,89 @@
+"""Unit tests for gradient-variance profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import (
+    GradientProfile,
+    ProfileConfig,
+    gradient_profile,
+    profile_all_methods,
+)
+
+
+def _tiny_config(**overrides):
+    defaults = dict(num_qubits=3, num_layers=2, num_samples=12)
+    defaults.update(overrides)
+    return ProfileConfig(**defaults)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = ProfileConfig()
+        assert config.num_qubits == 6
+        assert config.cost_kind == "global"
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"num_qubits": 0}, {"num_layers": 0}, {"num_samples": 0}]
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            _tiny_config(**kwargs)
+
+
+class TestProfile:
+    def test_shapes(self):
+        profile = gradient_profile("random", _tiny_config(), seed=0)
+        assert profile.per_parameter_variance.shape == (12,)  # 2*3*2
+        assert profile.per_layer_variance.shape == (2,)
+        assert profile.params_per_layer == 6
+
+    def test_total_variance_consistent(self):
+        profile = gradient_profile("xavier_normal", _tiny_config(), seed=1)
+        assert profile.total_variance == pytest.approx(
+            float(profile.per_parameter_variance.mean())
+        )
+
+    def test_reproducible(self):
+        a = gradient_profile("he_normal", _tiny_config(), seed=3)
+        b = gradient_profile("he_normal", _tiny_config(), seed=3)
+        assert np.allclose(a.per_parameter_variance, b.per_parameter_variance)
+
+    def test_zeros_profile_is_degenerate(self):
+        profile = gradient_profile("zeros", _tiny_config(), seed=4)
+        # Identical draws -> zero variance everywhere.
+        assert np.allclose(profile.per_parameter_variance, 0.0)
+
+    def test_xavier_profile_retains_more_signal_than_random(self):
+        config = _tiny_config(num_qubits=5, num_layers=4, num_samples=40)
+        random_profile = gradient_profile("random", config, seed=5)
+        xavier_profile = gradient_profile("xavier_normal", config, seed=5)
+        assert xavier_profile.total_variance > random_profile.total_variance
+
+    def test_method_kwargs_forwarded(self):
+        profile = gradient_profile(
+            "constant", _tiny_config(), seed=6, value=0.0
+        )
+        assert np.allclose(profile.per_parameter_variance, 0.0)
+
+    def test_round_trip(self):
+        profile = gradient_profile("random", _tiny_config(), seed=7)
+        restored = GradientProfile.from_dict(profile.to_dict())
+        assert restored.method == "random"
+        assert np.allclose(
+            restored.per_parameter_variance, profile.per_parameter_variance
+        )
+
+
+class TestProfileAllMethods:
+    def test_multiple_methods(self):
+        profiles = profile_all_methods(
+            ("random", "zeros"), _tiny_config(), seed=8
+        )
+        assert set(profiles) == {"random", "zeros"}
+
+    def test_local_cost_variant(self):
+        profile = gradient_profile(
+            "random", _tiny_config(cost_kind="local"), seed=9
+        )
+        assert np.all(profile.per_parameter_variance >= 0.0)

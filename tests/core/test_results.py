@@ -1,0 +1,109 @@
+"""Unit tests for result containers and their dict round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import (
+    DecayFit,
+    GradientSamples,
+    TrainingHistory,
+    VarianceResult,
+)
+
+
+def _history(**overrides):
+    defaults = dict(
+        method="xavier_normal",
+        optimizer="adam",
+        losses=[0.9, 0.5, 0.2, 0.05],
+        gradient_norms=[1.0, 0.8, 0.3, 0.1],
+        initial_params=np.array([0.1, 0.2]),
+        final_params=np.array([0.3, -0.4]),
+    )
+    defaults.update(overrides)
+    return TrainingHistory(**defaults)
+
+
+class TestGradientSamples:
+    def test_variance_and_mean(self):
+        samples = GradientSamples(4, "random", np.array([1.0, -1.0, 1.0, -1.0]))
+        assert samples.variance == pytest.approx(1.0)
+        assert samples.mean == pytest.approx(0.0)
+
+    def test_round_trip(self):
+        samples = GradientSamples(6, "he_normal", np.array([0.1, 0.2]))
+        restored = GradientSamples.from_dict(samples.to_dict())
+        assert restored.num_qubits == 6
+        assert restored.method == "he_normal"
+        assert np.allclose(restored.gradients, samples.gradients)
+
+
+class TestVarianceResult:
+    def _result(self):
+        result = VarianceResult(qubit_counts=[2, 4], methods=["random"])
+        result.add(GradientSamples(2, "random", np.array([0.5, -0.5])))
+        result.add(GradientSamples(4, "random", np.array([0.1, -0.1])))
+        return result
+
+    def test_variance_series(self):
+        series = self._result().variance_series("random")
+        assert series == pytest.approx([0.25, 0.01])
+
+    def test_gradient_matrix(self):
+        matrix = self._result().gradient_matrix("random")
+        assert matrix.shape == (2, 2)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            self._result().variance_series("he")
+
+    def test_add_validates_grid(self):
+        result = VarianceResult(qubit_counts=[2], methods=["random"])
+        with pytest.raises(ValueError):
+            result.add(GradientSamples(3, "random", np.array([0.0])))
+        with pytest.raises(ValueError):
+            result.add(GradientSamples(2, "bogus", np.array([0.0])))
+
+    def test_round_trip(self):
+        result = self._result()
+        restored = VarianceResult.from_dict(result.to_dict())
+        assert restored.qubit_counts == result.qubit_counts
+        assert np.allclose(
+            restored.variance_series("random"), result.variance_series("random")
+        )
+
+
+class TestDecayFit:
+    def test_round_trip(self):
+        fit = DecayFit("xavier", rate=0.62, intercept=-0.5, r_squared=0.98)
+        restored = DecayFit.from_dict(fit.to_dict())
+        assert restored == fit
+
+
+class TestTrainingHistory:
+    def test_initial_final(self):
+        history = _history()
+        assert history.initial_loss == pytest.approx(0.9)
+        assert history.final_loss == pytest.approx(0.05)
+        assert history.num_iterations == 3
+        assert history.loss_reduction == pytest.approx(0.85)
+
+    def test_iterations_to_reach(self):
+        history = _history()
+        assert history.iterations_to_reach(0.5) == 1
+        assert history.iterations_to_reach(0.01) is None
+        assert history.iterations_to_reach(2.0) == 0
+
+    def test_round_trip(self):
+        history = _history()
+        restored = TrainingHistory.from_dict(history.to_dict())
+        assert restored.method == history.method
+        assert restored.losses == history.losses
+        assert np.allclose(restored.final_params, history.final_params)
+        assert restored.cost_kind == "global"
+
+    def test_cost_kind_default_on_old_payloads(self):
+        payload = _history().to_dict()
+        del payload["cost_kind"]
+        restored = TrainingHistory.from_dict(payload)
+        assert restored.cost_kind == "global"

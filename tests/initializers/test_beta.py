@@ -1,0 +1,68 @@
+"""Unit tests for the BeInit beta-distribution initializer."""
+
+import numpy as np
+import pytest
+
+from repro.initializers import BetaInitializer, ParameterShape
+
+_SHAPE = ParameterShape(num_layers=400, num_qubits=10, params_per_qubit=2)
+
+
+class TestSampling:
+    def test_range(self):
+        params = BetaInitializer(2.0, 2.0, scale=2 * np.pi).sample(_SHAPE, seed=0)
+        assert params.min() >= 0.0
+        assert params.max() <= 2 * np.pi
+
+    def test_moments_symmetric(self):
+        params = BetaInitializer(2.0, 2.0, scale=1.0).sample(_SHAPE, seed=1)
+        assert params.mean() == pytest.approx(0.5, abs=0.01)
+        # Beta(2,2) variance = 4 / (16 * 5) = 0.05.
+        assert params.var() == pytest.approx(0.05, rel=0.05)
+
+    def test_asymmetric_mean(self):
+        params = BetaInitializer(4.0, 1.0, scale=1.0).sample(_SHAPE, seed=2)
+        assert params.mean() == pytest.approx(0.8, abs=0.01)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            BetaInitializer(alpha=0.0, beta=2.0)
+        with pytest.raises(ValueError):
+            BetaInitializer(alpha=2.0, beta=-1.0)
+
+
+class TestMomentFitting:
+    def test_round_trip(self):
+        init = BetaInitializer.from_moments(mean=0.3, variance=0.02, scale=1.0)
+        # Analytic moments of the recovered distribution match the targets.
+        total = init.alpha + init.beta
+        assert init.alpha / total == pytest.approx(0.3)
+        fitted_var = (init.alpha * init.beta) / (total**2 * (total + 1.0))
+        assert fitted_var == pytest.approx(0.02)
+
+    def test_sampled_moments_match(self):
+        init = BetaInitializer.from_moments(mean=0.6, variance=0.03, scale=1.0)
+        params = init.sample(_SHAPE, seed=3)
+        assert params.mean() == pytest.approx(0.6, abs=0.01)
+        assert params.var() == pytest.approx(0.03, rel=0.1)
+
+    def test_from_samples(self):
+        source = BetaInitializer(3.0, 5.0, scale=2 * np.pi)
+        draws = source.sample(_SHAPE, seed=4)
+        refit = BetaInitializer.from_samples(draws, scale=2 * np.pi)
+        assert refit.alpha == pytest.approx(3.0, rel=0.1)
+        assert refit.beta == pytest.approx(5.0, rel=0.1)
+
+    @pytest.mark.parametrize("mean", [0.0, 1.0, -0.5, 1.5])
+    def test_rejects_invalid_mean(self, mean):
+        with pytest.raises(ValueError):
+            BetaInitializer.from_moments(mean=mean, variance=0.01)
+
+    def test_rejects_excessive_variance(self):
+        # Var must be < mean*(1-mean) = 0.25 at mean 0.5.
+        with pytest.raises(ValueError):
+            BetaInitializer.from_moments(mean=0.5, variance=0.3)
+
+    def test_rejects_zero_variance(self):
+        with pytest.raises(ValueError):
+            BetaInitializer.from_moments(mean=0.5, variance=0.0)

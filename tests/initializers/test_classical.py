@@ -1,0 +1,140 @@
+"""Statistical unit tests for the classical initialization schemes."""
+
+import numpy as np
+import pytest
+
+from repro.initializers import (
+    Constant,
+    FanMode,
+    HeNormal,
+    HeUniform,
+    LeCunNormal,
+    LeCunUniform,
+    Normal,
+    ParameterShape,
+    RandomUniform,
+    Uniform,
+    XavierNormal,
+    XavierUniform,
+    Zeros,
+)
+
+# Big sample for tight statistical assertions.
+_BIG = ParameterShape(num_layers=500, num_qubits=10, params_per_qubit=2)
+
+
+def _draw(initializer, seed=0):
+    return initializer.sample(_BIG, seed=seed)
+
+
+class TestRandomUniform:
+    def test_range(self):
+        params = _draw(RandomUniform())
+        assert params.min() >= 0.0
+        assert params.max() < 2 * np.pi
+
+    def test_moments(self):
+        params = _draw(RandomUniform())
+        assert params.mean() == pytest.approx(np.pi, rel=0.02)
+        assert params.var() == pytest.approx((2 * np.pi) ** 2 / 12.0, rel=0.05)
+
+    def test_custom_range(self):
+        params = _draw(RandomUniform(low=-1.0, high=1.0))
+        assert params.min() >= -1.0
+        assert params.max() < 1.0
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            RandomUniform(low=2.0, high=1.0)
+
+
+class TestScaledSchemes:
+    """Variance of each scheme under the default QUBITS fan (fan=10)."""
+
+    @pytest.mark.parametrize(
+        "initializer,expected_var",
+        [
+            (XavierNormal(), 2.0 / 20.0),
+            (HeNormal(), 2.0 / 10.0),
+            (LeCunNormal(), 1.0 / 10.0),
+            (XavierUniform(), 2.0 / 20.0),  # U(-a,a) has var a^2/3 = 2/(in+out)
+            (HeUniform(), 2.0 / 10.0),
+            (LeCunUniform(), 1.0 / 30.0),  # paper's +-1/sqrt(fan): var 1/(3 fan)
+        ],
+    )
+    def test_variance(self, initializer, expected_var):
+        params = _draw(initializer)
+        assert params.var() == pytest.approx(expected_var, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "initializer",
+        [XavierNormal(), HeNormal(), LeCunNormal(), XavierUniform()],
+    )
+    def test_zero_mean(self, initializer):
+        params = _draw(initializer)
+        assert abs(params.mean()) < 3 * params.std() / np.sqrt(params.size)
+
+    def test_xavier_uniform_limits(self):
+        params = _draw(XavierUniform())
+        limit = np.sqrt(6.0 / 20.0)
+        assert params.min() >= -limit
+        assert params.max() <= limit
+
+    def test_lecun_uniform_limits(self):
+        params = _draw(LeCunUniform())
+        limit = 1.0 / np.sqrt(10.0)
+        assert params.min() >= -limit
+        assert params.max() <= limit
+
+    def test_variance_shrinks_with_width(self):
+        """More qubits -> smaller angles, the anti-BP property."""
+        narrow = ParameterShape(num_layers=200, num_qubits=2)
+        wide = ParameterShape(num_layers=200, num_qubits=32)
+        init = XavierNormal()
+        assert init.sample(wide, seed=0).var() < init.sample(narrow, seed=0).var()
+
+    def test_fan_mode_changes_scale(self):
+        shape = ParameterShape(num_layers=300, num_qubits=8, params_per_qubit=2)
+        default = XavierNormal().sample(shape, seed=0).var()
+        per_layer = XavierNormal(
+            fan_mode=FanMode.PARAMS_PER_LAYER
+        ).sample(shape, seed=0).var()
+        # fan 8 -> variance 1/8; fan 16 -> 1/16.
+        assert default == pytest.approx(1.0 / 8.0, rel=0.1)
+        assert per_layer == pytest.approx(1.0 / 16.0, rel=0.1)
+
+    def test_he_is_double_lecun(self):
+        he = _draw(HeNormal(), seed=3).var()
+        lecun = _draw(LeCunNormal(), seed=3).var()
+        assert he / lecun == pytest.approx(2.0, rel=0.1)
+
+
+class TestGenericInitializers:
+    def test_normal_stddev(self):
+        params = _draw(Normal(stddev=0.25))
+        assert params.std() == pytest.approx(0.25, rel=0.05)
+
+    def test_normal_zero_stddev(self):
+        params = _draw(Normal(stddev=0.0))
+        assert np.all(params == 0.0)
+
+    def test_normal_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Normal(stddev=-0.1)
+
+    def test_uniform_range(self):
+        params = _draw(Uniform(low=0.5, high=0.7))
+        assert params.min() >= 0.5
+        assert params.max() < 0.7
+
+    def test_uniform_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Uniform(low=1.0, high=0.0)
+
+    def test_zeros(self):
+        params = _draw(Zeros())
+        assert np.all(params == 0.0)
+
+    def test_constant(self):
+        params = _draw(Constant(1.25))
+        assert np.all(params == 1.25)

@@ -1,0 +1,65 @@
+"""Unit tests for the initializer registry."""
+
+import pytest
+
+from repro.initializers import (
+    HeNormal,
+    Orthogonal,
+    PAPER_METHODS,
+    RandomUniform,
+    XavierNormal,
+    available_initializers,
+    get_initializer,
+)
+
+
+class TestLookup:
+    def test_basic_lookup(self):
+        assert isinstance(get_initializer("random"), RandomUniform)
+        assert isinstance(get_initializer("xavier_normal"), XavierNormal)
+
+    def test_case_insensitive(self):
+        assert isinstance(get_initializer("Xavier_Normal"), XavierNormal)
+
+    def test_aliases(self):
+        assert isinstance(get_initializer("he"), HeNormal)
+        assert isinstance(get_initializer("glorot_normal"), XavierNormal)
+        assert isinstance(get_initializer("xavier"), XavierNormal)
+
+    def test_kwargs_forwarding(self):
+        init = get_initializer("orthogonal", gain=0.5)
+        assert isinstance(init, Orthogonal)
+        assert init.gain == pytest.approx(0.5)
+
+    def test_constant_requires_value(self):
+        init = get_initializer("constant", value=0.3)
+        assert init.value == pytest.approx(0.3)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown initializer"):
+            get_initializer("kaiming_super")
+
+
+class TestPaperMethods:
+    def test_exact_set(self):
+        assert PAPER_METHODS == [
+            "random",
+            "xavier_normal",
+            "xavier_uniform",
+            "he_normal",
+            "lecun_normal",
+            "orthogonal",
+        ]
+
+    def test_all_paper_methods_constructible(self):
+        for name in PAPER_METHODS:
+            assert get_initializer(name) is not None
+
+    def test_available_contains_paper_methods(self):
+        names = available_initializers()
+        for method in PAPER_METHODS:
+            assert method in names
+
+    def test_available_is_sorted(self):
+        names = available_initializers()
+        assert names == sorted(names)

@@ -1,0 +1,114 @@
+"""Unit tests for the generic variance-scaling initializers."""
+
+import numpy as np
+import pytest
+
+from repro.initializers import (
+    HeNormal,
+    LeCunNormal,
+    ParameterShape,
+    TruncatedNormal,
+    VarianceScaling,
+    XavierNormal,
+    XavierUniform,
+    get_initializer,
+    variance_scaling_equivalent,
+)
+
+_BIG = ParameterShape(num_layers=500, num_qubits=10, params_per_qubit=2)
+
+
+class TestVarianceScaling:
+    @pytest.mark.parametrize(
+        "scale,mode,expected_var",
+        [
+            (1.0, "fan_in", 0.1),
+            (2.0, "fan_in", 0.2),
+            (1.0, "fan_avg", 0.1),
+            (3.0, "fan_out", 0.3),
+        ],
+    )
+    def test_normal_variance(self, scale, mode, expected_var):
+        init = VarianceScaling(scale=scale, mode=mode, distribution="normal")
+        params = init.sample(_BIG, seed=0)
+        assert params.var() == pytest.approx(expected_var, rel=0.05)
+
+    def test_uniform_variance_matched(self):
+        init = VarianceScaling(scale=1.5, mode="fan_in", distribution="uniform")
+        params = init.sample(_BIG, seed=1)
+        assert params.var() == pytest.approx(0.15, rel=0.05)
+        limit = np.sqrt(3.0 * 0.15)
+        assert params.min() >= -limit and params.max() <= limit
+
+    def test_truncated_normal_variance_matched(self):
+        init = VarianceScaling(
+            scale=1.0, mode="fan_in", distribution="truncated_normal"
+        )
+        params = init.sample(_BIG, seed=2)
+        assert params.var() == pytest.approx(0.1, rel=0.05)
+
+    def test_truncated_normal_bounded(self):
+        init = VarianceScaling(
+            scale=1.0, mode="fan_in", distribution="truncated_normal"
+        )
+        params = init.sample(_BIG, seed=3)
+        # Pre-truncation sigma = sqrt(0.1)/0.8796; bound = 2 sigma.
+        bound = 2.0 * np.sqrt(0.1) / 0.879596566170685
+        assert np.abs(params).max() <= bound + 1e-12
+
+    def test_registry_entry(self):
+        init = get_initializer("variance_scaling", scale=2.0, mode="fan_avg")
+        assert isinstance(init, VarianceScaling)
+        assert init.scale == pytest.approx(2.0)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            VarianceScaling(scale=0.0)
+        with pytest.raises(ValueError):
+            VarianceScaling(mode="fan_min")
+        with pytest.raises(ValueError):
+            VarianceScaling(distribution="levy")
+
+
+class TestEquivalences:
+    @pytest.mark.parametrize(
+        "name,reference",
+        [
+            ("xavier_normal", XavierNormal()),
+            ("he_normal", HeNormal()),
+            ("lecun_normal", LeCunNormal()),
+            ("xavier_uniform", XavierUniform()),
+        ],
+    )
+    def test_matches_classical_scheme_statistically(self, name, reference):
+        generic = variance_scaling_equivalent(name)
+        var_generic = generic.sample(_BIG, seed=4).var()
+        var_reference = reference.sample(_BIG, seed=5).var()
+        assert var_generic == pytest.approx(var_reference, rel=0.05)
+
+    def test_unknown_equivalent(self):
+        with pytest.raises(ValueError):
+            variance_scaling_equivalent("orthogonal")
+
+
+class TestTruncatedNormal:
+    def test_hard_bound(self):
+        params = TruncatedNormal(stddev=0.5).sample(_BIG, seed=6)
+        assert np.abs(params).max() <= 1.0 + 1e-12
+
+    def test_zero_stddev(self):
+        params = TruncatedNormal(stddev=0.0).sample(_BIG, seed=7)
+        assert np.all(params == 0.0)
+
+    def test_std_below_nominal(self):
+        """Truncation removes tails, so the realized std is < stddev."""
+        params = TruncatedNormal(stddev=0.5).sample(_BIG, seed=8)
+        assert 0.38 < params.std() < 0.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TruncatedNormal(stddev=-1.0)
+
+    def test_registry(self):
+        init = get_initializer("truncated_normal", stddev=0.2)
+        assert isinstance(init, TruncatedNormal)

@@ -1,0 +1,79 @@
+"""Unit tests for warm-start initialization."""
+
+import numpy as np
+import pytest
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.core import Trainer, TrainingConfig, global_identity_cost
+from repro.initializers import Normal, ParameterShape
+from repro.initializers.warm_start import WarmStart
+
+
+class TestWarmStart:
+    def test_prefix_copied_rest_zero(self):
+        trained = np.arange(1.0, 9.0)  # two layers of a 2-qubit x 2-gate circuit
+        shape = ParameterShape(num_layers=3, num_qubits=2, params_per_qubit=2)
+        params = WarmStart(trained).sample(shape, seed=0)
+        assert np.array_equal(params[:8], trained)
+        assert np.all(params[8:] == 0.0)
+
+    def test_fill_initializer_used_for_new_layers(self):
+        trained = np.zeros(4)
+        shape = ParameterShape(num_layers=3, num_qubits=2, params_per_qubit=2)
+        params = WarmStart(trained, fill=Normal(stddev=0.5)).sample(shape, seed=1)
+        assert np.all(params[:4] == 0.0)
+        assert params[4:].std() > 0.0
+
+    def test_repeated_sampling_resets_cursor(self):
+        trained = np.arange(4.0)
+        shape = ParameterShape(num_layers=2, num_qubits=2, params_per_qubit=1)
+        init = WarmStart(trained)
+        a = init.sample(shape, seed=0)
+        b = init.sample(shape, seed=0)
+        assert np.array_equal(a, b)
+
+    def test_rejects_params_longer_than_target(self):
+        init = WarmStart(np.zeros(10))
+        shape = ParameterShape(num_layers=1, num_qubits=2, params_per_qubit=2)
+        with pytest.raises(ValueError, match="only has"):
+            init.sample(shape, seed=0)
+
+    def test_rejects_partial_layer(self):
+        init = WarmStart(np.zeros(3))  # not a whole 4-angle layer
+        shape = ParameterShape(num_layers=2, num_qubits=2, params_per_qubit=2)
+        with pytest.raises(ValueError, match="whole number"):
+            init.sample(shape, seed=0)
+
+    def test_rejects_empty_or_nonfinite(self):
+        with pytest.raises(ValueError):
+            WarmStart([])
+        with pytest.raises(ValueError):
+            WarmStart([np.nan])
+
+    def test_warm_start_preserves_trained_cost(self, simulator):
+        """Growing a trained circuit with zero-filled layers keeps its loss."""
+        shallow_config = TrainingConfig(num_qubits=3, num_layers=2, iterations=20)
+        shallow = Trainer(shallow_config).run("xavier_normal", seed=3)
+
+        deep_ansatz = HardwareEfficientAnsatz(num_qubits=3, num_layers=4)
+        deep_circuit = deep_ansatz.build()
+        warm = WarmStart(shallow.final_params).sample(
+            deep_ansatz.parameter_shape, seed=0
+        )
+        deep_cost = global_identity_cost(deep_circuit)
+        assert deep_cost.value(warm) == pytest.approx(
+            shallow.final_loss, abs=1e-10
+        )
+
+    def test_warm_started_training_beats_cold_start(self):
+        """Continuing from a trained prefix converges at least as well."""
+        shallow = Trainer(
+            TrainingConfig(num_qubits=3, num_layers=2, iterations=25)
+        ).run("xavier_normal", seed=5)
+        deep_config = TrainingConfig(num_qubits=3, num_layers=4, iterations=10)
+        trainer = Trainer(deep_config)
+        warm_history = trainer.run(
+            WarmStart(shallow.final_params), seed=0
+        )
+        cold_history = trainer.run("random", seed=0)
+        assert warm_history.final_loss < cold_history.final_loss

@@ -1,0 +1,107 @@
+"""Unit tests for JSON persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import run_training_experiment, run_variance_experiment
+from repro.core.results import DecayFit, GradientSamples, TrainingHistory
+from repro.core.training import TrainingConfig
+from repro.core.variance import VarianceConfig
+from repro.io import NumpyJSONEncoder, load_result, save_result
+
+
+class TestSaveLoad:
+    def test_decay_fit_round_trip(self, tmp_path):
+        fit = DecayFit("xavier", rate=0.62, intercept=-1.1, r_squared=0.99)
+        path = save_result(fit, tmp_path / "fit.json")
+        assert load_result(path) == fit
+
+    def test_gradient_samples_round_trip(self, tmp_path):
+        samples = GradientSamples(4, "random", np.array([0.1, -0.2, 0.3]))
+        restored = load_result(save_result(samples, tmp_path / "s.json"))
+        assert np.allclose(restored.gradients, samples.gradients)
+
+    def test_training_history_round_trip(self, tmp_path):
+        history = TrainingHistory(
+            method="he_normal",
+            optimizer="adam",
+            losses=[1.0, 0.5],
+            gradient_norms=[0.9, 0.4],
+            initial_params=np.array([0.1]),
+            final_params=np.array([0.2]),
+        )
+        restored = load_result(save_result(history, tmp_path / "h.json"))
+        assert restored.losses == history.losses
+        assert restored.method == "he_normal"
+
+    def test_experiment_outcome_round_trip(self, tmp_path):
+        outcome = run_variance_experiment(
+            VarianceConfig(
+                qubit_counts=(2, 3),
+                num_circuits=4,
+                num_layers=3,
+                methods=("random", "zeros"),
+            ),
+            seed=0,
+        )
+        restored = load_result(save_result(outcome, tmp_path / "v.json"))
+        assert restored.ranking == outcome.ranking
+
+    def test_training_outcome_round_trip(self, tmp_path):
+        outcome = run_training_experiment(
+            TrainingConfig(num_qubits=2, num_layers=1, iterations=2),
+            methods=("zeros",),
+            seed=0,
+        )
+        restored = load_result(save_result(outcome, tmp_path / "t.json"))
+        assert restored.histories["zeros"].losses == outcome.histories[
+            "zeros"
+        ].losses
+
+    def test_creates_parent_directories(self, tmp_path):
+        fit = DecayFit("m", 0.1, 0.0, 1.0)
+        path = save_result(fit, tmp_path / "deep" / "nested" / "fit.json")
+        assert path.exists()
+
+    def test_file_is_valid_json_with_type_tag(self, tmp_path):
+        fit = DecayFit("m", 0.1, 0.0, 1.0)
+        path = save_result(fit, tmp_path / "fit.json")
+        payload = json.loads(path.read_text())
+        assert payload["type"] == "DecayFit"
+        assert "data" in payload
+
+
+class TestErrors:
+    def test_rejects_unknown_object(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_result({"not": "a result"}, tmp_path / "x.json")
+
+    def test_rejects_untagged_file(self, tmp_path):
+        path = tmp_path / "plain.json"
+        path.write_text('{"rate": 1.0}')
+        with pytest.raises(ValueError, match="missing type tag"):
+            load_result(path)
+
+    def test_rejects_unknown_type_tag(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text('{"type": "Mystery", "data": {}}')
+        with pytest.raises(ValueError, match="unknown result type"):
+            load_result(path)
+
+
+class TestNumpyEncoder:
+    def test_numpy_scalars(self):
+        payload = {
+            "i": np.int64(4),
+            "f": np.float64(0.5),
+            "b": np.bool_(True),
+            "a": np.array([1.0, 2.0]),
+        }
+        text = json.dumps(payload, cls=NumpyJSONEncoder)
+        assert json.loads(text) == {"i": 4, "f": 0.5, "b": True, "a": [1.0, 2.0]}
+
+    def test_unknown_type_still_raises(self):
+        with pytest.raises(TypeError):
+            json.dumps({"x": object()}, cls=NumpyJSONEncoder)

@@ -1,0 +1,66 @@
+"""Unit tests for the BeInit mitigation strategy."""
+
+import numpy as np
+import pytest
+
+from repro.initializers import BetaInitializer
+from repro.mitigation import PerturbedGradientDescent, beinit_defaults
+from repro.optim import GradientDescent
+
+
+class TestPerturbedGradientDescent:
+    def test_zero_perturbation_equals_gd(self):
+        perturbed = PerturbedGradientDescent(0.1, perturbation_std=0.0)
+        vanilla = GradientDescent(0.1)
+        params = np.array([1.0, -2.0])
+        grad = np.array([0.3, 0.4])
+        assert np.allclose(
+            perturbed.step(params, grad), vanilla.step(params, grad)
+        )
+
+    def test_perturbation_changes_step(self):
+        optimizer = PerturbedGradientDescent(0.1, perturbation_std=0.5, seed=0)
+        params = np.array([1.0])
+        grad = np.array([0.0])
+        stepped = optimizer.step(params, grad)
+        assert stepped[0] != pytest.approx(1.0)
+
+    def test_reproducible_with_seed(self):
+        a = PerturbedGradientDescent(0.1, perturbation_std=0.1, seed=5)
+        b = PerturbedGradientDescent(0.1, perturbation_std=0.1, seed=5)
+        params = np.array([0.5, 0.5])
+        grad = np.array([0.1, -0.1])
+        assert np.allclose(a.step(params, grad), b.step(params, grad))
+
+    def test_reset_restores_noise_stream(self):
+        optimizer = PerturbedGradientDescent(0.1, perturbation_std=0.2, seed=7)
+        params = np.array([0.0])
+        grad = np.array([1.0])
+        first = optimizer.step(params, grad)
+        optimizer.reset()
+        again = optimizer.step(params, grad)
+        assert np.allclose(first, again)
+
+    def test_perturbation_escapes_flat_gradient(self):
+        """On an exactly flat landscape, the iterate still moves."""
+        optimizer = PerturbedGradientDescent(0.5, perturbation_std=0.1, seed=1)
+        params = np.zeros(4)
+        for _ in range(3):
+            params = optimizer.step(params, np.zeros(4))
+        assert np.linalg.norm(params) > 0.0
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            PerturbedGradientDescent(0.1, perturbation_std=-0.5)
+
+
+class TestBeinitDefaults:
+    def test_returns_symmetric_beta(self):
+        init = beinit_defaults()
+        assert isinstance(init, BetaInitializer)
+        assert init.alpha == pytest.approx(2.0)
+        assert init.beta == pytest.approx(2.0)
+
+    def test_custom_scale(self):
+        init = beinit_defaults(scale=np.pi)
+        assert init.scale == pytest.approx(np.pi)

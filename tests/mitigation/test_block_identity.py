@@ -1,0 +1,87 @@
+"""Unit tests for the identity-block strategy (Grant et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import global_identity_cost
+from repro.initializers import HeNormal, RandomUniform
+from repro.mitigation import IdentityBlockStrategy
+
+
+class TestConstruction:
+    def test_parameter_count(self):
+        strategy = IdentityBlockStrategy(num_qubits=4, num_blocks=3, block_layers=2)
+        circuit = strategy.build()
+        # 2 halves x 3 blocks x 2 layers x 4 qubits x 2 gates = 96.
+        assert strategy.num_parameters == 96
+        assert circuit.num_parameters == 96
+
+    def test_params_per_half_block(self):
+        strategy = IdentityBlockStrategy(num_qubits=3, num_blocks=1, block_layers=2)
+        assert strategy.params_per_half_block == 12
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises((ValueError, TypeError)):
+            IdentityBlockStrategy(num_qubits=0, num_blocks=1)
+        with pytest.raises((ValueError, TypeError)):
+            IdentityBlockStrategy(num_qubits=2, num_blocks=0)
+        with pytest.raises(ValueError):
+            IdentityBlockStrategy(num_qubits=2, num_blocks=1, rotation_gates=())
+
+
+class TestIdentityProperty:
+    @pytest.mark.parametrize("num_blocks,block_layers", [(1, 1), (2, 1), (1, 2), (3, 2)])
+    def test_initial_circuit_is_identity(self, simulator, num_blocks, block_layers):
+        strategy = IdentityBlockStrategy(
+            num_qubits=3, num_blocks=num_blocks, block_layers=block_layers
+        )
+        circuit, params = strategy.build_with_parameters(seed=0)
+        state = simulator.run(circuit, params)
+        assert state.probability_of("000") == pytest.approx(1.0, abs=1e-10)
+
+    def test_initial_cost_is_zero(self):
+        strategy = IdentityBlockStrategy(num_qubits=5, num_blocks=2)
+        circuit, params = strategy.build_with_parameters(seed=1)
+        cost = global_identity_cost(circuit)
+        assert cost.value(params) == pytest.approx(0.0, abs=1e-10)
+
+    def test_identity_holds_for_any_inner_initializer(self, simulator):
+        strategy = IdentityBlockStrategy(
+            num_qubits=3, num_blocks=2, inner_initializer=HeNormal()
+        )
+        circuit, params = strategy.build_with_parameters(seed=2)
+        state = simulator.run(circuit, params)
+        assert state.probability_of("000") == pytest.approx(1.0, abs=1e-10)
+
+    def test_identity_with_ring_entanglement(self, simulator):
+        strategy = IdentityBlockStrategy(
+            num_qubits=4, num_blocks=1, entanglement="ring"
+        )
+        circuit, params = strategy.build_with_parameters(seed=3)
+        state = simulator.run(circuit, params)
+        assert state.probability_of("0000") == pytest.approx(1.0, abs=1e-10)
+
+    def test_perturbation_breaks_identity(self, simulator):
+        """Gradients exist: nudging one angle moves the state."""
+        strategy = IdentityBlockStrategy(num_qubits=3, num_blocks=1)
+        circuit, params = strategy.build_with_parameters(seed=4)
+        params[0] += 0.3
+        state = simulator.run(circuit, params)
+        assert state.probability_of("000") < 1.0
+
+
+class TestReproducibility:
+    def test_same_seed_same_params(self):
+        strategy = IdentityBlockStrategy(num_qubits=3, num_blocks=2)
+        a = strategy.initial_parameters(seed=9)
+        b = strategy.initial_parameters(seed=9)
+        assert np.array_equal(a, b)
+
+    def test_inner_angles_are_random(self):
+        strategy = IdentityBlockStrategy(
+            num_qubits=3, num_blocks=1, inner_initializer=RandomUniform()
+        )
+        params = strategy.initial_parameters(seed=5)
+        half = strategy.params_per_half_block
+        assert np.std(params[:half]) > 0.1
+        assert np.allclose(params[half:], -params[:half][::-1])

@@ -1,0 +1,91 @@
+"""Unit tests for layer-wise training (Skolik et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.mitigation import LayerwiseConfig, LayerwiseTrainer
+
+
+def _config(**overrides):
+    defaults = dict(
+        num_qubits=3,
+        total_layers=3,
+        iterations_per_stage=4,
+        initializer="xavier_normal",
+    )
+    defaults.update(overrides)
+    return LayerwiseConfig(**defaults)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = LayerwiseConfig()
+        assert config.num_qubits == 10
+        assert config.total_layers == 5
+        assert config.freeze_previous
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"num_qubits": 0}, {"total_layers": 0}, {"iterations_per_stage": 0}],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            _config(**kwargs)
+
+
+class TestRun:
+    def test_history_length(self):
+        history = LayerwiseTrainer(_config()).run(seed=0)
+        assert len(history.losses) == 1 + 3 * 4
+
+    def test_method_label(self):
+        history = LayerwiseTrainer(_config()).run(seed=0)
+        assert history.method == "layerwise[xavier_normal]"
+
+    def test_final_params_size_matches_full_depth(self):
+        config = _config()
+        history = LayerwiseTrainer(config).run(seed=0)
+        expected = config.total_layers * config.num_qubits * 2
+        assert history.final_params.shape == (expected,)
+
+    def test_reproducible(self):
+        a = LayerwiseTrainer(_config()).run(seed=3)
+        b = LayerwiseTrainer(_config()).run(seed=3)
+        assert np.allclose(a.losses, b.losses)
+
+    def test_loss_decreases_within_each_stage(self):
+        """Appending a fresh layer may bump the loss, but every stage's
+        own iterations must make progress."""
+        config = _config(iterations_per_stage=10)
+        history = LayerwiseTrainer(config).run(seed=1)
+        per_stage = 10
+        for stage in range(config.total_layers):
+            start = history.losses[stage * per_stage + (1 if stage else 0)]
+            end = history.losses[(stage + 1) * per_stage]
+            assert end < start + 1e-12
+
+    def test_final_sweep_recovers_loss(self):
+        config = _config(iterations_per_stage=10, final_sweep_iterations=30)
+        history = LayerwiseTrainer(config).run(seed=1)
+        assert len(history.losses) == 1 + 3 * 10 + 30
+        assert history.final_loss < history.initial_loss
+
+    def test_rejects_negative_final_sweep(self):
+        with pytest.raises(ValueError):
+            _config(final_sweep_iterations=-1)
+
+    def test_joint_finetuning_variant(self):
+        config = _config(freeze_previous=False, iterations_per_stage=6)
+        history = LayerwiseTrainer(config).run(seed=2)
+        assert len(history.losses) == 1 + 3 * 6
+        assert history.final_loss < 1.0
+
+    def test_adam_variant(self):
+        config = _config(optimizer="adam")
+        history = LayerwiseTrainer(config).run(seed=0)
+        assert history.optimizer == "adam"
+
+    def test_local_cost_variant(self):
+        config = _config(cost_kind="local")
+        history = LayerwiseTrainer(config).run(seed=0)
+        assert history.cost_kind == "local"

@@ -1,0 +1,40 @@
+"""Unit tests for the cost-locality comparison."""
+
+import pytest
+
+from repro.core.variance import VarianceConfig
+from repro.mitigation import compare_cost_localities, locality_gap
+
+_CONFIG = VarianceConfig(
+    qubit_counts=(2, 4, 6),
+    num_circuits=25,
+    num_layers=12,
+    methods=("random",),
+)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return compare_cost_localities(_CONFIG, seed=11)
+
+
+class TestCompare:
+    def test_both_kinds_present(self, outcomes):
+        assert set(outcomes) == {"global", "local"}
+
+    def test_configs_share_grid(self, outcomes):
+        assert outcomes["global"].result.qubit_counts == [2, 4, 6]
+        assert outcomes["local"].result.qubit_counts == [2, 4, 6]
+
+    def test_local_cost_decays_slower_for_random_init(self, outcomes):
+        """Cerezo et al.: local costs mitigate the plateau."""
+        gap = locality_gap(outcomes, method="random")
+        assert gap > 0.0
+
+    def test_locality_gap_unknown_method(self, outcomes):
+        with pytest.raises(KeyError):
+            locality_gap(outcomes, method="he_normal")
+
+    def test_locality_gap_missing_kind(self, outcomes):
+        with pytest.raises(KeyError):
+            locality_gap({"global": outcomes["global"]})

@@ -1,0 +1,160 @@
+"""Unit tests for the first-order optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.optim import (
+    AdaGrad,
+    Adam,
+    GradientDescent,
+    Momentum,
+    RMSprop,
+    available_optimizers,
+    get_optimizer,
+)
+
+
+def _minimize_quadratic(optimizer, start=5.0, steps=200):
+    """Minimize f(x) = x^2 (gradient 2x) from a scalar start."""
+    params = np.array([start])
+    for _ in range(steps):
+        params = optimizer.step(params, 2.0 * params)
+    return float(params[0])
+
+
+class TestGradientDescent:
+    def test_single_step(self):
+        optimizer = GradientDescent(learning_rate=0.1)
+        params = optimizer.step(np.array([1.0, 2.0]), np.array([0.5, -0.5]))
+        assert np.allclose(params, [0.95, 2.05])
+
+    def test_does_not_mutate_input(self):
+        optimizer = GradientDescent(0.1)
+        params = np.array([1.0])
+        optimizer.step(params, np.array([1.0]))
+        assert params[0] == pytest.approx(1.0)
+
+    def test_converges_on_quadratic(self):
+        assert abs(_minimize_quadratic(GradientDescent(0.1))) < 1e-6
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            GradientDescent(learning_rate=0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GradientDescent(0.1).step(np.zeros(2), np.zeros(3))
+
+
+class TestMomentum:
+    def test_accumulates_velocity(self):
+        optimizer = Momentum(learning_rate=1.0, beta=0.5)
+        params = np.array([0.0])
+        grad = np.array([1.0])
+        params = optimizer.step(params, grad)  # v=1, p=-1
+        assert params[0] == pytest.approx(-1.0)
+        params = optimizer.step(params, grad)  # v=1.5, p=-2.5
+        assert params[0] == pytest.approx(-2.5)
+
+    def test_reset_clears_velocity(self):
+        optimizer = Momentum(learning_rate=1.0, beta=0.9)
+        optimizer.step(np.array([0.0]), np.array([1.0]))
+        optimizer.reset()
+        params = optimizer.step(np.array([0.0]), np.array([1.0]))
+        assert params[0] == pytest.approx(-1.0)
+
+    def test_converges_on_quadratic(self):
+        assert abs(_minimize_quadratic(Momentum(0.05, beta=0.8))) < 1e-6
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            Momentum(0.1, beta=1.0)
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        """With bias correction, the first Adam step is ~lr in gradient sign."""
+        optimizer = Adam(learning_rate=0.1)
+        params = optimizer.step(np.array([1.0]), np.array([1e-3]))
+        assert params[0] == pytest.approx(1.0 - 0.1, abs=1e-3)
+
+    def test_converges_on_quadratic(self):
+        assert abs(_minimize_quadratic(Adam(0.1), steps=400)) < 1e-4
+
+    def test_reset(self):
+        optimizer = Adam(0.1)
+        first = optimizer.step(np.array([1.0]), np.array([0.5]))
+        optimizer.reset()
+        again = optimizer.step(np.array([1.0]), np.array([0.5]))
+        assert first[0] == pytest.approx(again[0])
+
+    def test_step_counter_advances(self):
+        optimizer = Adam(0.1)
+        optimizer.step(np.zeros(1), np.ones(1))
+        optimizer.step(np.zeros(1), np.ones(1))
+        assert optimizer._t == 2
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam(0.1, beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(0.1, beta2=-0.1)
+
+
+class TestRMSprop:
+    def test_normalizes_gradient_scale(self):
+        """Step size is ~lr regardless of gradient magnitude."""
+        big = RMSprop(learning_rate=0.01, decay=0.0)
+        small = RMSprop(learning_rate=0.01, decay=0.0)
+        step_big = 1.0 - big.step(np.array([1.0]), np.array([100.0]))[0]
+        step_small = 1.0 - small.step(np.array([1.0]), np.array([0.01]))[0]
+        assert step_big == pytest.approx(step_small, rel=1e-4)
+
+    def test_converges_to_lr_neighborhood_on_quadratic(self):
+        # RMSprop normalizes gradient magnitude, so it oscillates in a
+        # neighborhood of the optimum whose radius scales with lr.
+        assert abs(_minimize_quadratic(RMSprop(0.01), steps=800)) < 0.05
+
+    def test_reset(self):
+        optimizer = RMSprop(0.01)
+        optimizer.step(np.zeros(1), np.ones(1))
+        optimizer.reset()
+        assert optimizer._sq is None
+
+
+class TestAdaGrad:
+    def test_steps_shrink(self):
+        optimizer = AdaGrad(learning_rate=1.0)
+        params = np.array([10.0])
+        deltas = []
+        for _ in range(3):
+            new = optimizer.step(params, np.array([1.0]))
+            deltas.append(abs(new[0] - params[0]))
+            params = new
+        assert deltas[0] > deltas[1] > deltas[2]
+
+    def test_converges_on_quadratic(self):
+        assert abs(_minimize_quadratic(AdaGrad(2.0), steps=500)) < 1e-2
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_optimizer("adam"), Adam)
+        assert isinstance(get_optimizer("gradient_descent"), GradientDescent)
+
+    def test_aliases(self):
+        assert isinstance(get_optimizer("gd"), GradientDescent)
+        assert isinstance(get_optimizer("sgd"), GradientDescent)
+
+    def test_kwargs(self):
+        optimizer = get_optimizer("momentum", learning_rate=0.3, beta=0.7)
+        assert optimizer.learning_rate == pytest.approx(0.3)
+        assert optimizer.beta == pytest.approx(0.7)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_optimizer("lbfgs")
+
+    def test_available(self):
+        names = available_optimizers()
+        assert "adam" in names and "gradient_descent" in names

@@ -1,0 +1,109 @@
+"""Unit tests for quantum natural gradient."""
+
+import numpy as np
+import pytest
+
+from repro.backend import QuantumCircuit, StatevectorSimulator
+from repro.core.cost import global_identity_cost
+from repro.optim import QuantumNaturalGradient, fubini_study_metric, state_jacobian
+
+
+def _hea(num_qubits=3, num_layers=2):
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(num_layers):
+        for q in range(num_qubits):
+            circuit.rx(q)
+            circuit.ry(q)
+        for q in range(num_qubits - 1):
+            circuit.cz(q, q + 1)
+    return circuit
+
+
+class TestStateJacobian:
+    def test_matches_finite_difference(self, simulator):
+        circuit = _hea()
+        rng = np.random.default_rng(0)
+        params = rng.uniform(0, 2 * np.pi, circuit.num_parameters)
+        jacobian = state_jacobian(circuit, params, simulator)
+        eps = 1e-6
+        for k in range(circuit.num_parameters):
+            plus = params.copy()
+            plus[k] += eps
+            minus = params.copy()
+            minus[k] -= eps
+            fd = (simulator.run(circuit, plus).data - simulator.run(circuit, minus).data) / (2 * eps)
+            assert np.allclose(jacobian[k], fd, atol=1e-6), k
+
+    def test_shape(self, simulator):
+        circuit = _hea(2, 1)
+        jacobian = state_jacobian(circuit, np.zeros(4), simulator)
+        assert jacobian.shape == (4, 4)
+
+    def test_bound_parameters_skipped(self, simulator):
+        circuit = QuantumCircuit(1).rx(0, value=0.3).ry(0)
+        jacobian = state_jacobian(circuit, [0.5], simulator)
+        assert jacobian.shape == (1, 2)
+
+
+class TestFubiniStudyMetric:
+    def test_symmetric_positive_semidefinite(self, simulator):
+        circuit = _hea()
+        rng = np.random.default_rng(1)
+        params = rng.uniform(0, 2 * np.pi, circuit.num_parameters)
+        metric = fubini_study_metric(circuit, params, simulator)
+        assert np.allclose(metric, metric.T)
+        eigenvalues = np.linalg.eigvalsh(metric)
+        assert eigenvalues.min() > -1e-10
+
+    def test_single_rotation_metric_is_quarter(self, simulator):
+        """For RY|0>, g = Var(G) with G = Y/2: <Y^2>/4 - <Y>^2/4 = 1/4 at theta=0."""
+        circuit = QuantumCircuit(1).ry(0)
+        metric = fubini_study_metric(circuit, [0.0], simulator)
+        assert metric[0, 0] == pytest.approx(0.25)
+
+    def test_rz_on_zero_state_has_zero_metric(self, simulator):
+        """RZ only changes phase on |0>: no state-space motion."""
+        circuit = QuantumCircuit(1).rz(0)
+        metric = fubini_study_metric(circuit, [0.7], simulator)
+        assert metric[0, 0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestQNGOptimizer:
+    def test_step_moves_against_gradient(self, simulator):
+        circuit = QuantumCircuit(1).ry(0)
+        cost = global_identity_cost(circuit)
+        optimizer = QuantumNaturalGradient(circuit, learning_rate=0.1)
+        theta = np.array([0.5])
+        new = optimizer.step(theta, cost.gradient(theta))
+        assert new[0] < theta[0]  # moving towards 0 lowers the cost
+
+    def test_qng_rescales_by_metric(self, simulator):
+        """For RY, metric = 1/4, so QNG steps 4x vanilla GD."""
+        circuit = QuantumCircuit(1).ry(0)
+        cost = global_identity_cost(circuit)
+        theta = np.array([0.8])
+        grad = cost.gradient(theta)
+        qng = QuantumNaturalGradient(circuit, learning_rate=0.1, damping=0.0)
+        moved = theta - qng.step(theta, grad)
+        vanilla = 0.1 * grad
+        assert moved[0] == pytest.approx(4.0 * vanilla[0], rel=1e-6)
+
+    def test_converges_faster_than_gd_on_identity_task(self, simulator):
+        circuit = _hea(2, 1)
+        cost = global_identity_cost(circuit)
+        rng = np.random.default_rng(3)
+        start = rng.normal(0, 0.4, circuit.num_parameters)
+
+        from repro.optim import GradientDescent
+
+        qng = QuantumNaturalGradient(circuit, learning_rate=0.1, damping=1e-4)
+        gd = GradientDescent(learning_rate=0.1)
+        params_qng, params_gd = start.copy(), start.copy()
+        for _ in range(15):
+            params_qng = qng.step(params_qng, cost.gradient(params_qng))
+            params_gd = gd.step(params_gd, cost.gradient(params_gd))
+        assert cost.value(params_qng) <= cost.value(params_gd) + 1e-9
+
+    def test_rejects_negative_damping(self):
+        with pytest.raises(ValueError):
+            QuantumNaturalGradient(_hea(), damping=-1.0)

@@ -1,0 +1,124 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_variance_defaults(self):
+        args = build_parser().parse_args(["variance"])
+        assert args.qubits == [2, 4, 6]
+        assert args.circuits == 50
+        assert args.cost == "global"
+
+    def test_train_defaults_match_paper(self):
+        args = build_parser().parse_args(["train"])
+        assert args.qubits == 10
+        assert args.layers == 5
+        assert args.iterations == 50
+        assert args.learning_rate == pytest.approx(0.1)
+
+
+class TestInfo:
+    def test_lists_registries(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro 1" in out
+        assert "xavier_normal" in out
+        assert "adam" in out
+        assert "CZ" in out
+
+
+class TestVarianceCommand:
+    def test_tiny_run(self, capsys):
+        code = main(
+            [
+                "variance",
+                "--qubits", "2", "3",
+                "--circuits", "5",
+                "--layers", "4",
+                "--methods", "random", "zeros",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decay_rate" in out
+        assert "random" in out and "zeros" in out
+
+    def test_output_file(self, capsys, tmp_path):
+        target = tmp_path / "variance.json"
+        code = main(
+            [
+                "variance",
+                "--qubits", "2", "3",
+                "--circuits", "4",
+                "--layers", "3",
+                "--methods", "random",
+                "--output", str(target),
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+        from repro.io import load_result
+
+        outcome = load_result(target)
+        assert outcome.result.qubit_counts == [2, 3]
+
+
+class TestTrainCommand:
+    def test_tiny_run(self, capsys):
+        code = main(
+            [
+                "train",
+                "--qubits", "2",
+                "--layers", "1",
+                "--iterations", "2",
+                "--methods", "zeros", "random",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final_loss" in out
+        assert "ranking" in out
+
+    def test_adam_option(self, capsys):
+        code = main(
+            [
+                "train",
+                "--qubits", "2",
+                "--layers", "1",
+                "--iterations", "2",
+                "--optimizer", "adam",
+                "--methods", "zeros",
+            ]
+        )
+        assert code == 0
+        assert "adam" not in capsys.readouterr().err
+
+
+class TestLandscapeCommand:
+    def test_prints_map_and_metrics(self, capsys):
+        code = main(
+            [
+                "landscape",
+                "--qubits", "2",
+                "--layers", "3",
+                "--resolution", "7",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost range" in out
+        # 7 ascii rows follow the metrics line.
+        assert len(out.strip().splitlines()) == 8

@@ -1,0 +1,149 @@
+"""Cross-subsystem consistency tests.
+
+Each test ties two independent implementations of the same physics
+together — statevector vs density matrix, exact vs sampled, library vs
+CLI — so a regression in either one breaks an equality instead of
+drifting silently.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ansatz import HardwareEfficientAnsatz, RandomPQC
+from repro.backend import (
+    NoiseModel,
+    PauliString,
+    QuantumCircuit,
+    StatevectorSimulator,
+    bit_flip,
+    total_z,
+    zero_projector,
+)
+from repro.backend.density import DensityMatrix, DensityMatrixSimulator
+from repro.cli import main as cli_main
+from repro.core import (
+    Trainer,
+    TrainingConfig,
+    VarianceConfig,
+    run_variance_experiment,
+)
+from repro.io import load_result, save_result
+
+_SIM = StatevectorSimulator()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), num_qubits=st.integers(2, 4))
+def test_density_matrix_agrees_with_statevector_noiselessly(seed, num_qubits):
+    """Pure-state evolution must agree between the two simulators."""
+    pqc = RandomPQC(num_qubits, num_layers=3, seed=seed)
+    circuit = pqc.build()
+    rng = np.random.default_rng(seed)
+    params = rng.uniform(0, 2 * np.pi, circuit.num_parameters)
+    state = _SIM.run(circuit, params)
+    rho = DensityMatrixSimulator().run(circuit, params)
+    assert rho.fidelity_with_pure(state) == pytest.approx(1.0, abs=1e-10)
+    for observable in (zero_projector(num_qubits), total_z(num_qubits)):
+        assert rho.expectation(observable) == pytest.approx(
+            observable.expectation(state), abs=1e-10
+        )
+
+
+def test_noisy_expectations_agree_between_dm_and_probabilistic_mixture():
+    """bit_flip(p) after one X equals the analytic two-outcome mixture."""
+    p = 0.3
+    circuit = QuantumCircuit(1).x(0)
+    noisy = DensityMatrixSimulator(NoiseModel(default=bit_flip(p)))
+    z_value = noisy.expectation(circuit, PauliString(1, "Z"))
+    # With prob 1-p the state is |1> (<Z> = -1), with prob p it is |0>.
+    assert z_value == pytest.approx(-(1 - p) + p)
+
+
+def test_purity_never_increases_under_noise():
+    circuit = QuantumCircuit(2).h(0).cx(0, 1).rx(0, value=0.3).cz(0, 1)
+    simulator = DensityMatrixSimulator(NoiseModel(default=bit_flip(0.05)))
+    rho = DensityMatrix.zero_state(2)
+    purities = [rho.purity()]
+    for op in circuit.operations:
+        rho = rho.apply_unitary(op.matrix(None), op.qubits)
+        channel = simulator.noise_model.channel_for(op.gate.name)
+        for qubit in op.qubits:
+            rho = rho.apply_channel(channel, [qubit])
+        purities.append(rho.purity())
+    assert all(b <= a + 1e-10 for a, b in zip(purities, purities[1:]))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_shot_expectation_is_unbiased(seed):
+    """Mean of many small-shot estimates converges to the exact value."""
+    circuit = QuantumCircuit(2).h(0).cry(0, 1, value=0.9)
+    obs = zero_projector(2)
+    exact = _SIM.expectation(circuit, obs)
+    rng = np.random.default_rng(seed)
+    estimates = [
+        _SIM.expectation(circuit, obs, shots=200, seed=rng) for _ in range(50)
+    ]
+    standard_error = np.std(estimates) / np.sqrt(len(estimates))
+    assert abs(np.mean(estimates) - exact) < 5 * standard_error + 1e-3
+
+
+def test_cli_variance_matches_library_run(capsys, tmp_path):
+    """The CLI is a thin shell: same seed => byte-identical outcome."""
+    target = tmp_path / "cli.json"
+    cli_main(
+        [
+            "variance",
+            "--qubits", "2", "3",
+            "--circuits", "5",
+            "--layers", "4",
+            "--methods", "random",
+            "--seed", "17",
+            "--output", str(target),
+        ]
+    )
+    capsys.readouterr()
+    via_cli = load_result(target)
+    via_lib = run_variance_experiment(
+        VarianceConfig(
+            qubit_counts=(2, 3),
+            num_circuits=5,
+            num_layers=4,
+            methods=("random",),
+        ),
+        seed=17,
+    )
+    assert np.allclose(
+        via_cli.result.samples[(2, "random")].gradients,
+        via_lib.result.samples[(2, "random")].gradients,
+    )
+
+
+def test_training_history_roundtrips_through_disk(tmp_path):
+    config = TrainingConfig(num_qubits=2, num_layers=1, iterations=3)
+    history = Trainer(config).run("xavier_normal", seed=9)
+    restored = load_result(save_result(history, tmp_path / "h.json"))
+    assert restored.losses == history.losses
+    assert np.allclose(restored.final_params, history.final_params)
+
+
+def test_paper_ansatz_drawing_has_all_wires():
+    circuit = HardwareEfficientAnsatz(num_qubits=4, num_layers=1).build()
+    drawing = circuit.draw(max_width=200)
+    lines = drawing.splitlines()
+    assert len(lines) == 4
+    assert all(line.startswith(f"q{i}:") for i, line in enumerate(lines))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_inverse_composition_is_identity_for_random_pqcs(seed):
+    pqc = RandomPQC(3, num_layers=2, seed=seed)
+    circuit = pqc.build()
+    rng = np.random.default_rng(seed)
+    params = rng.uniform(0, 2 * np.pi, circuit.num_parameters)
+    roundtrip = circuit.bind(params).compose(circuit.inverse(params))
+    state = _SIM.run(roundtrip)
+    assert state.probability_of("000") == pytest.approx(1.0, abs=1e-10)

@@ -1,0 +1,139 @@
+"""Integration tests: the paper's qualitative claims at reduced scale.
+
+These run the actual experiment engines (not mocks) with scaled-down
+parameters and assert the *shape* of the paper's findings:
+
+* random initialization has the steepest gradient-variance decay (Fig. 5a);
+* classical schemes improve the decay rate (Section VI-A);
+* training mirrors the variance ranking — random stays on the plateau,
+  Xavier converges (Fig. 5b/5c);
+* the landscape flattens with qubit count (Fig. 1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import flatness_metrics, scan_landscape
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.core import (
+    TrainingConfig,
+    VarianceConfig,
+    global_identity_cost,
+    run_training_experiment,
+    run_variance_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def variance_outcome():
+    config = VarianceConfig(
+        qubit_counts=(2, 4, 6),
+        num_circuits=60,
+        num_layers=30,
+        methods=("random", "xavier_normal", "he_normal"),
+    )
+    return run_variance_experiment(config, seed=2024)
+
+
+@pytest.fixture(scope="module")
+def training_outcomes():
+    config = TrainingConfig(num_qubits=6, num_layers=3, iterations=30)
+    gd = run_training_experiment(
+        config, methods=("random", "xavier_normal", "he_normal"), seed=7
+    )
+    adam_config = TrainingConfig(
+        num_qubits=6, num_layers=3, iterations=30, optimizer="adam"
+    )
+    adam = run_training_experiment(
+        adam_config, methods=("random", "xavier_normal"), seed=7
+    )
+    return {"gd": gd, "adam": adam}
+
+
+class TestVarianceShape:
+    def test_random_has_steepest_decay(self, variance_outcome):
+        rates = {m: f.rate for m, f in variance_outcome.fits.items()}
+        assert rates["random"] == max(rates.values())
+
+    def test_classical_methods_improve(self, variance_outcome):
+        for method, improvement in variance_outcome.improvements.items():
+            assert improvement > 0.0, method
+
+    def test_xavier_improvement_substantial(self, variance_outcome):
+        assert variance_outcome.improvements["xavier_normal"] > 20.0
+
+    def test_random_rate_near_two_design_regime(self, variance_outcome):
+        """The random baseline decays within the BP order of magnitude."""
+        from repro.analysis import two_design_variance_slope
+
+        rate = variance_outcome.fits["random"].rate
+        assert 0.4 * two_design_variance_slope() < rate < 1.5 * two_design_variance_slope()
+
+    def test_variances_monotone_for_random(self, variance_outcome):
+        series = variance_outcome.result.variance_series("random")
+        assert np.all(np.diff(series) < 0)
+
+    def test_fit_quality(self, variance_outcome):
+        assert variance_outcome.fits["random"].r_squared > 0.9
+
+
+class TestTrainingShape:
+    def test_random_stays_on_plateau_gd(self, training_outcomes):
+        history = training_outcomes["gd"].histories["random"]
+        # Global cost at 6 qubits: random init barely moves in 30 GD steps.
+        assert history.final_loss > 0.5
+        assert history.loss_reduction < 0.3
+
+    def test_xavier_learns_gd(self, training_outcomes):
+        history = training_outcomes["gd"].histories["xavier_normal"]
+        assert history.final_loss < 0.3
+        assert history.final_loss < history.initial_loss
+
+    def test_xavier_beats_random_gd(self, training_outcomes):
+        histories = training_outcomes["gd"].histories
+        assert (
+            histories["xavier_normal"].final_loss
+            < histories["random"].final_loss
+        )
+
+    def test_ranking_mirrors_variance_study(self, training_outcomes):
+        ranking = training_outcomes["gd"].ranking()
+        assert ranking[-1] == "random"
+        assert ranking[0] == "xavier_normal"
+
+    def test_adam_also_separates_methods(self, training_outcomes):
+        histories = training_outcomes["adam"].histories
+        assert (
+            histories["xavier_normal"].final_loss
+            < histories["random"].final_loss
+        )
+
+    def test_losses_in_unit_interval(self, training_outcomes):
+        for outcome in training_outcomes.values():
+            for history in outcome.histories.values():
+                assert all(-1e-9 <= loss <= 1.0 + 1e-9 for loss in history.losses)
+
+
+class TestLandscapeFlattening:
+    def test_flatness_decays_with_qubits(self):
+        """Fig. 1: grid gradient magnitude shrinks as width grows."""
+        metrics = {}
+        for num_qubits in (2, 4, 6):
+            ansatz = HardwareEfficientAnsatz(
+                num_qubits=num_qubits, num_layers=8
+            )
+            circuit = ansatz.build()
+            cost = global_identity_cost(circuit)
+            rng = np.random.default_rng(1)
+            base = rng.uniform(0, 2 * np.pi, circuit.num_parameters)
+            scan = scan_landscape(
+                cost,
+                base,
+                param_indices=(circuit.num_parameters - 2, circuit.num_parameters - 1),
+                resolution=9,
+            )
+            metrics[num_qubits] = flatness_metrics(scan)
+        grad_2 = metrics[2]["mean_gradient_magnitude"]
+        grad_6 = metrics[6]["mean_gradient_magnitude"]
+        assert grad_6 < grad_2
+        assert metrics[6]["cost_range"] < metrics[2]["cost_range"]

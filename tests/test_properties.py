@@ -1,0 +1,129 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These check invariants that must hold across the whole stack for *any*
+valid input: unitarity of simulation, exactness of gradients, statistical
+contracts of initializers, and cost-function bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ansatz import HardwareEfficientAnsatz, RandomPQC
+from repro.backend import (
+    QuantumCircuit,
+    StatevectorSimulator,
+    adjoint_gradient,
+    parameter_shift,
+    zero_projector,
+)
+from repro.core.cost import global_identity_cost, local_identity_cost
+from repro.initializers import ParameterShape, get_initializer
+from repro.initializers.registry import PAPER_METHODS
+
+_SIM = StatevectorSimulator()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_qubits=st.integers(2, 5),
+    num_layers=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_hea_simulation_preserves_norm(num_qubits, num_layers, seed):
+    circuit = HardwareEfficientAnsatz(num_qubits, num_layers).build()
+    rng = np.random.default_rng(seed)
+    params = rng.uniform(0, 2 * np.pi, circuit.num_parameters)
+    state = _SIM.run(circuit, params)
+    assert state.norm() == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_qubits=st.integers(2, 4),
+    num_layers=st.integers(1, 3),
+    seed=st.integers(0, 10_000),
+)
+def test_random_pqc_gradient_engines_agree(num_qubits, num_layers, seed):
+    pqc = RandomPQC(num_qubits, num_layers, seed=seed)
+    circuit = pqc.build()
+    rng = np.random.default_rng(seed + 1)
+    params = rng.uniform(0, 2 * np.pi, circuit.num_parameters)
+    obs = zero_projector(num_qubits)
+    ps = parameter_shift(circuit, obs, params, _SIM)
+    adj = adjoint_gradient(circuit, obs, params, _SIM)
+    assert np.allclose(ps, adj, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    method=st.sampled_from(PAPER_METHODS),
+    num_qubits=st.integers(2, 12),
+    num_layers=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_initializers_produce_finite_correctly_sized_vectors(
+    method, num_qubits, num_layers, seed
+):
+    shape = ParameterShape(num_layers, num_qubits, params_per_qubit=2)
+    params = get_initializer(method).sample(shape, seed=seed)
+    assert params.shape == (shape.num_parameters,)
+    assert np.all(np.isfinite(params))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    method=st.sampled_from(["xavier_normal", "he_normal", "lecun_normal"]),
+    seed=st.integers(0, 1000),
+)
+def test_scaled_initializer_angles_shrink_with_width(method, seed):
+    """The anti-BP contract: more qubits -> strictly smaller RMS angles."""
+    init = get_initializer(method)
+    narrow = ParameterShape(num_layers=50, num_qubits=2, params_per_qubit=2)
+    wide = ParameterShape(num_layers=50, num_qubits=16, params_per_qubit=2)
+    rms_narrow = np.sqrt(np.mean(init.sample(narrow, seed=seed) ** 2))
+    rms_wide = np.sqrt(np.mean(init.sample(wide, seed=seed) ** 2))
+    assert rms_wide < rms_narrow
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_qubits=st.integers(2, 4),
+    num_layers=st.integers(1, 3),
+    seed=st.integers(0, 10_000),
+    kind=st.sampled_from(["global", "local"]),
+)
+def test_cost_functions_bounded_in_unit_interval(num_qubits, num_layers, seed, kind):
+    circuit = HardwareEfficientAnsatz(num_qubits, num_layers).build()
+    cost = (
+        global_identity_cost(circuit) if kind == "global" else local_identity_cost(circuit)
+    )
+    rng = np.random.default_rng(seed)
+    params = rng.uniform(0, 2 * np.pi, circuit.num_parameters)
+    value = cost.value(params)
+    assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_qubits=st.integers(2, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_local_cost_never_exceeds_global(num_qubits, seed):
+    """1 - (1/n) sum p0_q <= 1 - p(0...0): single-qubit marginals are at
+    least the joint probability."""
+    circuit = HardwareEfficientAnsatz(num_qubits, 2).build()
+    rng = np.random.default_rng(seed)
+    params = rng.uniform(0, 2 * np.pi, circuit.num_parameters)
+    local = local_identity_cost(circuit).value(params)
+    global_ = global_identity_cost(circuit).value(params)
+    assert local <= global_ + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_gradient_of_bound_circuit_is_empty(seed):
+    circuit = QuantumCircuit(2).rx(0, value=0.5).ry(1, value=-0.2)
+    grad = adjoint_gradient(circuit, zero_projector(2), [], _SIM)
+    assert grad.shape == (0,)

@@ -1,0 +1,66 @@
+"""Unit tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import child_rngs, ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(7).integers(0, 1000, 5)
+        b = ensure_rng(7).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(42)
+        gen = ensure_rng(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawn:
+    def test_children_are_independent_of_parent_consumption(self):
+        """Spawned streams depend only on spawn order, not on draws."""
+        parent_a = ensure_rng(3)
+        child_a = spawn_rng(parent_a)
+
+        parent_b = ensure_rng(3)
+        parent_b.integers(0, 10, 100)  # consume some draws
+        child_b = spawn_rng(parent_b)
+        assert np.array_equal(
+            child_a.integers(0, 1000, 5), child_b.integers(0, 1000, 5)
+        )
+
+    def test_successive_children_differ(self):
+        parent = ensure_rng(1)
+        a = spawn_rng(parent)
+        b = spawn_rng(parent)
+        assert not np.array_equal(a.integers(0, 1000, 8), b.integers(0, 1000, 8))
+
+
+class TestChildRngs:
+    def test_bounded_count(self):
+        children = list(child_rngs(5, count=4))
+        assert len(children) == 4
+
+    def test_streams_reproducible(self):
+        first = [g.integers(0, 100, 3) for g in child_rngs(9, count=3)]
+        second = [g.integers(0, 100, 3) for g in child_rngs(9, count=3)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_unbounded_iterator(self):
+        iterator = child_rngs(2)
+        taken = [next(iterator) for _ in range(5)]
+        assert len(taken) == 5

@@ -1,0 +1,60 @@
+"""Unit tests for validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_choices,
+    check_positive_int,
+    check_probability,
+    check_qubit_index,
+)
+
+
+class TestPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "n") == 3
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError):
+            check_positive_int(value, "n")
+
+    @pytest.mark.parametrize("value", [1.5, "2", True])
+    def test_rejects_non_int(self, value):
+        with pytest.raises(TypeError):
+            check_positive_int(value, "n")
+
+
+class TestQubitIndex:
+    def test_accepts_valid(self):
+        assert check_qubit_index(2, 4) == 2
+        assert check_qubit_index(0, 1) == 0
+
+    @pytest.mark.parametrize("qubit", [-1, 4, 10])
+    def test_rejects_out_of_range(self, qubit):
+        with pytest.raises(ValueError):
+            check_qubit_index(qubit, 4)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_qubit_index(True, 4)
+
+
+class TestProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestChoices:
+    def test_accepts_member(self):
+        assert check_in_choices("a", ["a", "b"], "x") == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="must be one of"):
+            check_in_choices("c", ["a", "b"], "x")
