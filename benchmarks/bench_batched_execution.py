@@ -1,0 +1,100 @@
+"""Throughput bench — batched vs sequential variance execution.
+
+The Fig. 5a workload evaluates every (structure, method) cell with two
+parameter-shift executions.  The batched engine folds all methods' draws
+and both shift terms per structure into one ``(B, 2**n)`` statevector
+evolution; this bench runs the same reduced-scale workload both ways,
+prints a per-width throughput table, and asserts:
+
+* the two modes produce bit-identical gradient samples (same seed), and
+* batching delivers at least a 3x end-to-end speedup.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import VarianceAnalysis, VarianceConfig
+
+QUBIT_COUNTS = (2, 4, 6, 8)
+NUM_CIRCUITS = 25
+NUM_LAYERS = 30
+SEED = 2311
+#: methods x shift terms folded per batched execution.
+METHODS = ("random", "xavier_normal", "he_normal", "xavier_uniform", "he_uniform")
+
+
+def _run_mode(batched, qubit_counts):
+    config = VarianceConfig(
+        qubit_counts=qubit_counts,
+        num_circuits=NUM_CIRCUITS,
+        num_layers=NUM_LAYERS,
+        methods=METHODS,
+        batched=batched,
+    )
+    start = time.perf_counter()
+    result = VarianceAnalysis(config).run(seed=SEED)
+    return result, time.perf_counter() - start
+
+
+def _run():
+    per_width = []
+    for q in QUBIT_COUNTS:
+        batched_result, batched_time = _run_mode(True, (q,))
+        sequential_result, sequential_time = _run_mode(False, (q,))
+        per_width.append(
+            (q, batched_time, sequential_time, batched_result, sequential_result)
+        )
+    return per_width
+
+
+def test_batched_execution_throughput(run_once):
+    per_width = run_once(_run)
+
+    executions = NUM_CIRCUITS * len(METHODS) * 2  # two shift terms each
+    print()
+    print("=" * 72)
+    print("Batched vs sequential statevector execution (reduced Fig. 5a)")
+    print(
+        f"  circuits={NUM_CIRCUITS}, layers={NUM_LAYERS}, "
+        f"methods={len(METHODS)}, executions/width={executions}"
+    )
+    print("=" * 72)
+    rows = []
+    for q, batched_time, sequential_time, _, _ in per_width:
+        rows.append(
+            [
+                str(q),
+                f"{executions / sequential_time:.0f}/s",
+                f"{executions / batched_time:.0f}/s",
+                f"{sequential_time / batched_time:.1f}x",
+            ]
+        )
+    total_batched = sum(r[1] for r in per_width)
+    total_sequential = sum(r[2] for r in per_width)
+    rows.append(
+        [
+            "all",
+            f"{len(per_width) * executions / total_sequential:.0f}/s",
+            f"{len(per_width) * executions / total_batched:.0f}/s",
+            f"{total_sequential / total_batched:.1f}x",
+        ]
+    )
+    print(
+        format_table(
+            ["qubits", "sequential", "batched", "speedup"], rows
+        )
+    )
+
+    # Same seed, same samples — batching is a pure throughput change.
+    for _, _, _, batched_result, sequential_result in per_width:
+        for key in batched_result.samples:
+            assert np.array_equal(
+                batched_result.samples[key].gradients,
+                sequential_result.samples[key].gradients,
+            ), key
+    # The acceptance bar: >= 3x end to end on the reduced workload.
+    assert total_sequential / total_batched >= 3.0, (
+        f"expected >= 3x speedup, got {total_sequential / total_batched:.2f}x"
+    )

@@ -30,7 +30,12 @@ __all__ = [
 
 @dataclass(frozen=True)
 class SummaryStats:
-    """Five-number-style summary of a sample."""
+    """Five-number-style summary of a sample.
+
+    ``std`` is the *sample* standard deviation (``ddof=1``, Bessel's
+    correction), matching the summary's role of describing draws from a
+    larger population; it is 0.0 for a single observation.
+    """
 
     count: int
     mean: float
@@ -48,7 +53,7 @@ def summarize(samples: Sequence[float]) -> SummaryStats:
     return SummaryStats(
         count=int(data.size),
         mean=float(data.mean()),
-        std=float(data.std()),
+        std=float(data.std(ddof=1)) if data.size > 1 else 0.0,
         minimum=float(data.min()),
         median=float(np.median(data)),
         maximum=float(data.max()),

@@ -4,6 +4,22 @@ This package is the reproduction's stand-in for PennyLane's
 ``default.qubit`` device (see DESIGN.md, substitutions table): an exact
 NumPy statevector simulator plus parameter-shift / adjoint / finite
 difference differentiation engines and optional Kraus-channel noise.
+
+Batch API
+---------
+The hot-path entry points broadcast over a leading batch axis so sweeps
+evaluate many parameter vectors per circuit pass:
+
+* ``apply_matrix`` / ``apply_diagonal`` accept ``(B, 2**n)`` amplitude
+  buffers and optional per-element gate stacks;
+* ``StatevectorSimulator.run_batch`` / ``expectation_batch`` evolve all
+  ``B`` rows through one circuit at once;
+* ``batch_parameter_shift`` folds every shift term of every requested
+  parameter (for one or many base vectors) into a single batched
+  execution, registered in ``GRADIENT_ENGINES``.
+
+Batched results are bit-identical to their sequential counterparts —
+batching is a throughput optimization, never a numerics change.
 """
 
 from repro.backend.circuit import Operation, QuantumCircuit
@@ -23,6 +39,7 @@ from repro.backend.gates import (
 from repro.backend.gradients import (
     GRADIENT_ENGINES,
     adjoint_gradient,
+    batch_parameter_shift,
     finite_difference,
     get_gradient_fn,
     parameter_shift,
@@ -76,6 +93,7 @@ __all__ = [
     "amplitude_damping",
     "apply_diagonal",
     "apply_matrix",
+    "batch_parameter_shift",
     "bit_flip",
     "controlled_matrix",
     "depolarizing",

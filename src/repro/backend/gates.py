@@ -153,6 +153,11 @@ class ParametricGate(Gate):
         ``dE/dtheta = sum_i c_i * E(theta + s_i)``.  Derived from
         ``shift_rule`` when omitted; supply explicitly for gates needing
         more than two terms (e.g. controlled rotations).
+    batch_matrix_fn:
+        Optional vectorized form of ``matrix_fn`` mapping a length-``B``
+        parameter array to a ``(B, 2**k, 2**k)`` stack.  Used by
+        :meth:`matrix_batch` on the batched-execution hot path; omitted,
+        the stack is built one scalar ``matrix_fn`` call at a time.
     """
 
     def __init__(
@@ -164,10 +169,12 @@ class ParametricGate(Gate):
         shift_rule: Optional[Tuple[float, float]] = None,
         shift_terms: Optional[Tuple[Tuple[float, float], ...]] = None,
         is_diagonal: bool = False,
+        batch_matrix_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ):
         super().__init__(name, num_qubits, num_params=1)
         self._matrix_fn = matrix_fn
         self._derivative_fn = derivative_fn
+        self._batch_matrix_fn = batch_matrix_fn
         self.shift_rule = shift_rule
         if shift_terms is None and shift_rule is not None:
             coefficient, shift = shift_rule
@@ -188,6 +195,18 @@ class ParametricGate(Gate):
         """Return ``dU/dtheta`` evaluated at ``theta``."""
         return self._derivative_fn(float(theta))
 
+    def matrix_batch(self, thetas: np.ndarray) -> np.ndarray:
+        """Return the ``(B, 2**k, 2**k)`` stack ``[U(t) for t in thetas]``.
+
+        Uses the vectorized ``batch_matrix_fn`` when the gate provides one
+        (all built-in rotations do); the fallback stacks scalar ``matrix``
+        calls, so any custom gate is batchable, just more slowly.
+        """
+        thetas = np.asarray(thetas, dtype=float).reshape(-1)
+        if self._batch_matrix_fn is not None:
+            return self._batch_matrix_fn(thetas)
+        return np.stack([self._matrix_fn(float(t)) for t in thetas])
+
 
 def _pauli_rotation(name: str, word: str) -> ParametricGate:
     """Build the Pauli-word rotation ``exp(-i theta P / 2)``.
@@ -205,6 +224,11 @@ def _pauli_rotation(name: str, word: str) -> ParametricGate:
     def derivative_fn(theta: float, _p=pauli, _i=identity) -> np.ndarray:
         return -0.5 * np.sin(theta / 2.0) * _i - 0.5j * np.cos(theta / 2.0) * _p
 
+    def batch_matrix_fn(thetas: np.ndarray, _p=pauli, _i=identity) -> np.ndarray:
+        cos = np.cos(thetas / 2.0)[:, None, None]
+        sin = (1j * np.sin(thetas / 2.0))[:, None, None]
+        return cos * _i - sin * _p
+
     return ParametricGate(
         name,
         num_qubits=len(word),
@@ -212,6 +236,7 @@ def _pauli_rotation(name: str, word: str) -> ParametricGate:
         derivative_fn=derivative_fn,
         shift_rule=(0.5, np.pi / 2.0),
         is_diagonal=all(letter in "IZ" for letter in word),
+        batch_matrix_fn=batch_matrix_fn,
     )
 
 
@@ -229,6 +254,12 @@ def _phase_shift_gate() -> ParametricGate:
     def derivative_fn(theta: float) -> np.ndarray:
         return np.array([[0.0, 0.0], [0.0, 1j * np.exp(1j * theta)]], dtype=complex)
 
+    def batch_matrix_fn(thetas: np.ndarray) -> np.ndarray:
+        out = np.zeros((thetas.size, 2, 2), dtype=complex)
+        out[:, 0, 0] = 1.0
+        out[:, 1, 1] = np.exp(1j * thetas)
+        return out
+
     return ParametricGate(
         "PHASE",
         num_qubits=1,
@@ -236,6 +267,7 @@ def _phase_shift_gate() -> ParametricGate:
         derivative_fn=derivative_fn,
         shift_rule=(0.5, np.pi / 2.0),
         is_diagonal=True,
+        batch_matrix_fn=batch_matrix_fn,
     )
 
 
@@ -266,6 +298,14 @@ def _controlled_rotation(name: str, axis_word: str) -> ParametricGate:
         out[dim:, dim:] = d_rot
         return out
 
+    def batch_matrix_fn(thetas: np.ndarray, _p=pauli, _i=identity) -> np.ndarray:
+        cos = np.cos(thetas / 2.0)[:, None, None]
+        sin = (1j * np.sin(thetas / 2.0))[:, None, None]
+        out = np.zeros((thetas.size, 2 * dim, 2 * dim), dtype=complex)
+        out[:, range(dim), range(dim)] = 1.0
+        out[:, dim:, dim:] = cos * _i - sin * _p
+        return out
+
     c_plus = (np.sqrt(2.0) + 1.0) / (4.0 * np.sqrt(2.0))
     c_minus = (np.sqrt(2.0) - 1.0) / (4.0 * np.sqrt(2.0))
     four_term = (
@@ -282,6 +322,7 @@ def _controlled_rotation(name: str, axis_word: str) -> ParametricGate:
         shift_rule=None,
         shift_terms=four_term,
         is_diagonal=all(letter in "IZ" for letter in axis_word),
+        batch_matrix_fn=batch_matrix_fn,
     )
 
 

@@ -9,6 +9,18 @@ The hot path — applying a ``k``-qubit gate — reshapes the state into an
 ``n``-dimensional tensor of shape ``(2,) * n`` and contracts the gate over
 the targeted axes with :func:`numpy.tensordot`; diagonal gates use a cheaper
 elementwise multiply.
+
+Batched execution
+-----------------
+:func:`apply_matrix` and :func:`apply_diagonal` also broadcast over a
+leading batch axis: passing a ``(B, 2**n)`` amplitude buffer (optionally
+with per-element gate matrices ``(B, 2**k, 2**k)`` / diagonals
+``(B, 2**k)``) evolves ``B`` states through the gate in one vectorized
+call.  Per batch element the arithmetic is the same GEMM the sequential
+path performs, so batched and sequential evolution of identical inputs
+produce bit-identical amplitudes — the property the variance experiment's
+``batched`` mode relies on.  :meth:`StatevectorSimulator.run_batch` builds
+on these kernels.
 """
 
 from __future__ import annotations
@@ -23,6 +35,29 @@ from repro.utils.validation import check_positive_int, check_qubit_index
 __all__ = ["Statevector", "apply_matrix", "apply_diagonal"]
 
 
+def _batch_size(state: np.ndarray, operand: np.ndarray, batched_operand: bool) -> int:
+    """Resolve the common batch size of a state/operand pair (see callers)."""
+    sizes = set()
+    if state.ndim == 2:
+        sizes.add(state.shape[0])
+    elif state.ndim != 1:
+        raise ValueError(
+            f"state must be 1-D or (batch, dim) 2-D, got shape {state.shape}"
+        )
+    if batched_operand:
+        sizes.add(operand.shape[0])
+    if not sizes:
+        raise ValueError(
+            f"gate operand has unsupported shape {operand.shape} for a 1-D state"
+        )
+    if len(sizes) > 1:
+        raise ValueError(
+            f"batch-size mismatch: state has {state.shape[0]}, "
+            f"operand has {operand.shape[0]}"
+        )
+    return sizes.pop()
+
+
 def apply_matrix(
     state: np.ndarray,
     matrix: np.ndarray,
@@ -34,25 +69,58 @@ def apply_matrix(
     Parameters
     ----------
     state:
-        Flat complex array of length ``2**num_qubits``.
+        Flat complex array of length ``2**num_qubits``, or a batch of
+        ``B`` such vectors with shape ``(B, 2**num_qubits)``.
     matrix:
         ``(2**k, 2**k)`` matrix acting on ``qubits`` (most significant
-        gate qubit first).
+        gate qubit first), or a per-batch-element stack of shape
+        ``(B, 2**k, 2**k)``.  A 2-D matrix combined with a batched state
+        is shared across the batch; a 3-D matrix with a 1-D state
+        broadcasts the state.
     qubits:
         Distinct target qubit indices.
     num_qubits:
         Total number of qubits in ``state``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The evolved amplitudes, with the same leading batch axis (if any)
+        as the inputs.
     """
     k = len(qubits)
     if len(set(qubits)) != k:
         raise ValueError(f"target qubits must be distinct, got {tuple(qubits)}")
-    tensor = state.reshape((2,) * num_qubits)
-    gate = matrix.reshape((2,) * (2 * k))
-    # Contract gate input axes (the trailing k axes of the reshaped gate)
-    # with the targeted state axes, then move the gate output axes back.
-    tensor = np.tensordot(gate, tensor, axes=(range(k, 2 * k), qubits))
-    tensor = np.moveaxis(tensor, range(k), qubits)
-    return np.ascontiguousarray(tensor).reshape(-1)
+    if state.ndim == 1 and matrix.ndim == 2:
+        tensor = state.reshape((2,) * num_qubits)
+        gate = matrix.reshape((2,) * (2 * k))
+        # Contract gate input axes (the trailing k axes of the reshaped gate)
+        # with the targeted state axes, then move the gate output axes back.
+        tensor = np.tensordot(gate, tensor, axes=(range(k, 2 * k), qubits))
+        tensor = np.moveaxis(tensor, range(k), qubits)
+        return np.ascontiguousarray(tensor).reshape(-1)
+
+    batch = _batch_size(state, matrix, matrix.ndim == 3)
+    states = state if state.ndim == 2 else np.broadcast_to(state, (batch, state.size))
+    tensor = states.reshape((batch,) + (2,) * num_qubits)
+    # Bring the targeted axes up front (after the batch axis) so every
+    # batch element is the same (2**k, rest) matrix the sequential kernel
+    # contracts — one GEMM per element via the stacked matmul below.
+    # Explicit transpose permutations (rather than np.moveaxis) keep the
+    # per-gate Python overhead low on this hot path.
+    target_set = set(q + 1 for q in qubits)
+    forward = (
+        [0]
+        + [q + 1 for q in qubits]
+        + [ax for ax in range(1, num_qubits + 1) if ax not in target_set]
+    )
+    inverse = [0] * (num_qubits + 1)
+    for position, axis in enumerate(forward):
+        inverse[axis] = position
+    tensor = tensor.transpose(forward).reshape(batch, 2**k, -1)
+    tensor = np.matmul(matrix, tensor)
+    tensor = tensor.reshape((batch,) + (2,) * num_qubits).transpose(inverse)
+    return np.ascontiguousarray(tensor).reshape(batch, -1)
 
 
 def apply_diagonal(
@@ -61,16 +129,35 @@ def apply_diagonal(
     qubits: Sequence[int],
     num_qubits: int,
 ) -> np.ndarray:
-    """Apply a diagonal gate given its diagonal entries (length ``2**k``)."""
+    """Apply a diagonal gate given its diagonal entries (length ``2**k``).
+
+    Accepts the same batched layouts as :func:`apply_matrix`: ``state``
+    may be ``(B, 2**n)`` and ``diagonal`` may be ``(B, 2**k)``.
+    """
     k = len(qubits)
-    tensor = state.reshape((2,) * num_qubits)
-    diag = diagonal.reshape((2,) * k)
-    # Pad with size-1 axes, then move the diagonal's axes onto the target
-    # qubit positions so plain broadcasting applies it elementwise.
-    expanded = np.moveaxis(
-        diag.reshape(diag.shape + (1,) * (num_qubits - k)), range(k), qubits
-    )
-    return (tensor * expanded).reshape(-1)
+    if state.ndim == 1 and diagonal.ndim == 1:
+        tensor = state.reshape((2,) * num_qubits)
+        diag = diagonal.reshape((2,) * k)
+        # Pad with size-1 axes, then move the diagonal's axes onto the target
+        # qubit positions so plain broadcasting applies it elementwise.
+        expanded = np.moveaxis(
+            diag.reshape(diag.shape + (1,) * (num_qubits - k)), range(k), qubits
+        )
+        return (tensor * expanded).reshape(-1)
+
+    batch = _batch_size(state, diagonal, diagonal.ndim == 2)
+    states = state if state.ndim == 2 else np.broadcast_to(state, (batch, state.size))
+    tensor = states.reshape((batch,) + (2,) * num_qubits)
+    lead = diagonal.shape[0] if diagonal.ndim == 2 else 1
+    diag = diagonal.reshape((lead,) + (2,) * k + (1,) * (num_qubits - k))
+    # Transpose the (batch, diag axes, padding) layout so diag axis ``i``
+    # lands on state axis ``qubits[i] + 1`` and broadcasting applies the
+    # entries elementwise (explicit permutation — see apply_matrix).
+    order = [0] + list(range(k + 1, num_qubits + 1))
+    for destination, source in sorted(zip((q + 1 for q in qubits), range(1, k + 1))):
+        order.insert(destination, source)
+    expanded = diag.transpose(order)
+    return (tensor * expanded).reshape(batch, -1)
 
 
 class Statevector:
@@ -225,17 +312,33 @@ class Statevector:
         rng = ensure_rng(seed)
         target = list(qubits) if qubits is not None else list(range(self.num_qubits))
         probs = self.marginal_probabilities(target)
-        probs = probs / probs.sum()
+        total = probs.sum()
+        if not np.isfinite(total) or total <= 0.0:
+            raise ValueError(
+                "cannot sample: the marginal distribution has zero total "
+                f"probability (sum={total!r}); the state is not normalizable "
+                "over the requested qubits (e.g. after projector-style "
+                "manipulation of .data)"
+            )
+        probs = probs / total
         outcomes = rng.choice(probs.size, size=shots, p=probs)
         k = len(target)
         bits = ((outcomes[:, None] >> np.arange(k - 1, -1, -1)) & 1).astype(np.int8)
         return bits
 
     def sample_counts(
-        self, shots: int, seed: SeedLike = None
+        self,
+        shots: int,
+        seed: SeedLike = None,
+        qubits: Optional[Sequence[int]] = None,
     ) -> "dict[str, int]":
-        """Sample and aggregate outcomes into a ``{bitstring: count}`` dict."""
-        bits = self.sample(shots, seed=seed)
+        """Sample and aggregate outcomes into a ``{bitstring: count}`` dict.
+
+        ``qubits`` restricts the measurement to a subset (same semantics as
+        :meth:`sample`): keys are then ``len(qubits)``-bit strings over the
+        marginal distribution of those qubits, in the given order.
+        """
+        bits = self.sample(shots, seed=seed, qubits=qubits)
         counts: dict[str, int] = {}
         for row in bits:
             key = "".join(str(b) for b in row)

@@ -44,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
     variance.add_argument("--layers", type=int, default=30)
     variance.add_argument("--methods", nargs="+", default=None)
     variance.add_argument("--cost", choices=("global", "local"), default="global")
+    variance.add_argument(
+        "--sequential",
+        action="store_true",
+        help="disable batched execution (same seeded results, slower; "
+        "the reference path for cross-checking the batched engine)",
+    )
     variance.add_argument("--seed", type=int, default=0)
     variance.add_argument("--output", default=None)
 
@@ -84,6 +90,7 @@ def _cmd_variance(args: argparse.Namespace) -> int:
         num_layers=args.layers,
         methods=tuple(args.methods) if args.methods else tuple(PAPER_METHODS),
         cost_kind=args.cost,
+        batched=not args.sequential,
     )
     outcome = run_variance_experiment(config, seed=args.seed, verbose=True)
     print()

@@ -35,8 +35,11 @@ def sweep_variance(
     Parameters
     ----------
     field_name:
-        Any ``VarianceConfig`` dataclass field, e.g. ``"num_layers"`` or
-        ``"cost_kind"``.
+        Any ``VarianceConfig`` dataclass field, e.g. ``"num_layers"``,
+        ``"cost_kind"`` or ``"batched"`` (sweeping ``batched`` over
+        ``(True, False)`` with ``paired=True`` is the cheap way to verify
+        the batched execution path end to end: both outcomes must match
+        bit for bit).
     values:
         The settings to sweep (become the keys of the returned dict).
     base_config:

@@ -20,6 +20,20 @@ class TestSummarize:
         assert stats.maximum == pytest.approx(4.0)
         assert stats.median == pytest.approx(2.5)
 
+    def test_std_is_sample_std(self):
+        """Regression: std uses ddof=1 (Bessel), not the population form.
+
+        For [1, 2, 3, 4]: squared deviations sum to 5.0, so the sample
+        std is sqrt(5/3) ~ 1.29099, while the population std would be
+        sqrt(5/4) ~ 1.11803.
+        """
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.std == pytest.approx(np.sqrt(5.0 / 3.0), abs=1e-12)
+        assert stats.std != pytest.approx(np.sqrt(5.0 / 4.0), abs=1e-3)
+
+    def test_single_observation_std_is_zero(self):
+        assert summarize([3.5]).std == 0.0
+
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             summarize([])

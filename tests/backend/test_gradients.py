@@ -167,6 +167,7 @@ class TestEngineRegistry:
     def test_known_engines(self):
         assert set(GRADIENT_ENGINES) == {
             "parameter_shift",
+            "batch_parameter_shift",
             "adjoint",
             "finite_difference",
         }

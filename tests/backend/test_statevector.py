@@ -204,6 +204,95 @@ class TestApplyMatrixKernel:
             assert np.allclose(fast, slow)
 
 
+class TestBatchedKernels:
+    """The leading batch axis of apply_matrix / apply_diagonal."""
+
+    @staticmethod
+    def _random_batch(rng, batch, dim):
+        raw = rng.normal(size=(batch, dim)) + 1j * rng.normal(size=(batch, dim))
+        return raw / np.linalg.norm(raw, axis=1, keepdims=True)
+
+    def test_batched_matrix_matches_per_row(self):
+        """Shared matrix over (B, 2**n) rows == row-by-row sequential."""
+        rng = np.random.default_rng(10)
+        states = self._random_batch(rng, 5, 8)
+        gate = FIXED_GATES["CX"].matrix()
+        for pair in ([0, 1], [1, 2], [2, 0]):
+            out = apply_matrix(states, gate, pair, 3)
+            assert out.shape == (5, 8)
+            for b in range(5):
+                row = apply_matrix(states[b], gate, pair, 3)
+                assert np.array_equal(out[b], row)
+
+    def test_per_element_matrices(self):
+        """A (B, d, d) stack applies matrix b to row b, bit-identically."""
+        rng = np.random.default_rng(11)
+        states = self._random_batch(rng, 4, 16)
+        rx = PARAMETRIC_GATES["RX"]
+        thetas = rng.uniform(0, 2 * np.pi, 4)
+        stack = rx.matrix_batch(thetas)
+        out = apply_matrix(states, stack, [2], 4)
+        for b in range(4):
+            row = apply_matrix(states[b], rx.matrix(thetas[b]), [2], 4)
+            assert np.array_equal(out[b], row)
+
+    def test_matrix_batch_matches_scalar_matrices(self):
+        for name in ("RX", "RY", "RZ", "PHASE", "CRX", "CRY", "CRZ", "RZZ"):
+            gate = PARAMETRIC_GATES[name]
+            thetas = np.linspace(-np.pi, np.pi, 7)
+            stack = gate.matrix_batch(thetas)
+            for theta, matrix in zip(thetas, stack):
+                assert np.array_equal(matrix, gate.matrix(theta)), name
+
+    def test_shared_state_batched_matrices(self):
+        """1-D state + (B, d, d) matrices broadcasts the state."""
+        rng = np.random.default_rng(12)
+        state = self._random_batch(rng, 1, 8)[0]
+        ry = PARAMETRIC_GATES["RY"]
+        thetas = rng.uniform(0, 2 * np.pi, 3)
+        out = apply_matrix(state, ry.matrix_batch(thetas), [1], 3)
+        for b in range(3):
+            assert np.array_equal(
+                out[b], apply_matrix(state, ry.matrix(thetas[b]), [1], 3)
+            )
+
+    def test_batched_diagonal_matches_per_row(self):
+        rng = np.random.default_rng(13)
+        states = self._random_batch(rng, 6, 8)
+        rz = PARAMETRIC_GATES["RZ"]
+        thetas = rng.uniform(0, 2 * np.pi, 6)
+        diagonals = np.diagonal(rz.matrix_batch(thetas), axis1=-2, axis2=-1)
+        for qubit in (0, 1, 2):
+            out = apply_diagonal(states, diagonals, [qubit], 3)
+            for b in range(6):
+                row = apply_diagonal(
+                    states[b], np.diagonal(rz.matrix(thetas[b])), [qubit], 3
+                )
+                assert np.array_equal(out[b], row)
+
+    def test_batched_diagonal_unsorted_two_qubit_targets(self):
+        rng = np.random.default_rng(14)
+        states = self._random_batch(rng, 3, 16)
+        cz_diag = np.diagonal(FIXED_GATES["CZ"].matrix())
+        for pair in ([0, 1], [3, 1], [2, 0]):
+            out = apply_diagonal(states, cz_diag, pair, 4)
+            for b in range(3):
+                assert np.array_equal(
+                    out[b], apply_diagonal(states[b], cz_diag, pair, 4)
+                )
+
+    def test_batch_size_mismatch_raises(self):
+        rng = np.random.default_rng(15)
+        states = self._random_batch(rng, 3, 4)
+        rx = PARAMETRIC_GATES["RX"]
+        stack = rx.matrix_batch(np.zeros(4))  # 4 matrices vs 3 states
+        with pytest.raises(ValueError, match="batch-size mismatch"):
+            apply_matrix(states, stack, [0], 2)
+        diagonals = np.ones((4, 2), dtype=complex)
+        with pytest.raises(ValueError, match="batch-size mismatch"):
+            apply_diagonal(states, diagonals, [0], 2)
+
+
 class TestSampling:
     def test_sample_shape_and_values(self):
         state = Statevector.uniform_superposition(3)
@@ -230,9 +319,42 @@ class TestSampling:
         counts = Statevector.basis_state("11").sample_counts(25, seed=4)
         assert counts == {"11": 25}
 
+    def test_sample_counts_qubit_subset(self):
+        """Regression: sample_counts forwards ``qubits`` to sample."""
+        state = Statevector.basis_state("101")
+        counts = state.sample_counts(30, seed=5, qubits=[0, 2])
+        assert counts == {"11": 30}
+
+    def test_sample_counts_marginal_statistics(self):
+        """Counts over a 2-qubit marginal follow the marginal distribution."""
+        state = Statevector.uniform_superposition(1).tensor(
+            Statevector.basis_state("01")
+        )
+        counts = state.sample_counts(4000, seed=6, qubits=[1, 2])
+        assert set(counts) == {"01"}  # qubits 1,2 are deterministic
+        counts = state.sample_counts(4000, seed=7, qubits=[0, 2])
+        assert set(counts) == {"01", "11"}
+        assert counts["01"] + counts["11"] == 4000
+        assert counts["01"] == pytest.approx(2000, abs=150)
+
     def test_sample_rejects_bad_shots(self):
         with pytest.raises(ValueError):
             Statevector.zero_state(1).sample(0)
+
+    def test_sample_zero_probability_raises_clear_error(self):
+        """Regression: a zero-norm buffer raises ValueError, not NaN chaos."""
+        state = Statevector.zero_state(2)
+        state.data[:] = 0.0  # projector-style manipulation
+        with pytest.raises(ValueError, match="zero total"):
+            state.sample(10, seed=0)
+
+    def test_sample_zero_probability_marginal_raises(self):
+        state = Statevector.basis_state("00")
+        state.data[:] = 0.0  # kill all amplitude, then ask for a marginal
+        with pytest.raises(ValueError, match="zero total"):
+            state.sample(5, qubits=[1])
+        with pytest.raises(ValueError, match="zero total"):
+            state.sample_counts(5, qubits=[1])
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,5 +1,7 @@
 """Unit tests for the variance-analysis engine."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -126,3 +128,35 @@ class TestRun:
     def test_rejects_unknown_position(self):
         with pytest.raises(ValueError):
             _tiny_config(param_position="penultimate")
+
+
+class TestBatchedExecution:
+    """The batched hot path is a pure throughput change: same results."""
+
+    def test_batched_is_default(self):
+        assert VarianceConfig().batched is True
+
+    def test_batched_bit_identical_to_sequential(self):
+        config = _tiny_config(
+            methods=("random", "xavier_normal", "he_normal"), num_circuits=6
+        )
+        batched = VarianceAnalysis(replace(config, batched=True)).run(seed=42)
+        sequential = VarianceAnalysis(replace(config, batched=False)).run(seed=42)
+        assert set(batched.samples) == set(sequential.samples)
+        for key in batched.samples:
+            assert np.array_equal(
+                batched.samples[key].gradients, sequential.samples[key].gradients
+            ), key
+
+    @pytest.mark.parametrize("cost_kind", ["global", "local"])
+    @pytest.mark.parametrize("position", ["first", "middle", "last"])
+    def test_bit_identity_across_configurations(self, cost_kind, position):
+        config = _tiny_config(
+            num_circuits=4, cost_kind=cost_kind, param_position=position
+        )
+        batched = VarianceAnalysis(replace(config, batched=True)).run(seed=7)
+        sequential = VarianceAnalysis(replace(config, batched=False)).run(seed=7)
+        for key in batched.samples:
+            assert np.array_equal(
+                batched.samples[key].gradients, sequential.samples[key].gradients
+            )
