@@ -1,0 +1,131 @@
+"""Process-pool sharding bench — multi-worker vs single-process wall clock.
+
+The Fig. 5a grid is embarrassingly parallel over (qubit count, structure):
+shards carry pre-reserved RNG children, so the ``process_pool`` executor
+must reproduce the single-process gradients bit for bit while spreading
+the work over cores.  This bench runs the reduced grid both ways, prints
+the comparison, emits ``BENCH_parallel_sweep.json`` at the repo root, and
+asserts:
+
+* the two executors produce bit-identical gradient samples (always), and
+* the pool delivers >= 1.5x end-to-end speedup — on hosts with 2+ cores
+  (a single-core runner cannot speed anything up; identity still holds).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.analysis import format_table
+from repro.core import ExperimentSpec, VarianceConfig
+
+QUBIT_COUNTS = (2, 4, 6, 8)
+NUM_CIRCUITS = 24
+NUM_LAYERS = 30
+SEED = 2311
+METHODS = ("random", "xavier_normal", "he_normal", "xavier_uniform", "he_uniform")
+WORKERS = 2
+
+_CONFIG = VarianceConfig(
+    qubit_counts=QUBIT_COUNTS,
+    num_circuits=NUM_CIRCUITS,
+    num_layers=NUM_LAYERS,
+    methods=METHODS,
+)
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def _run_executor(executor: str, workers: int):
+    spec = ExperimentSpec(
+        kind="variance",
+        config=_CONFIG,
+        seed=SEED,
+        executor=executor,
+        workers=workers,
+    )
+    start = time.perf_counter()
+    outcome = repro.run(spec)
+    return outcome, time.perf_counter() - start
+
+
+def _run():
+    single, single_time = _run_executor("batched", 1)
+    pooled, pooled_time = _run_executor("process_pool", WORKERS)
+    return single, single_time, pooled, pooled_time
+
+
+def test_parallel_sweep_speedup(run_once):
+    single, single_time, pooled, pooled_time = run_once(_run)
+
+    cores = _available_cores()
+    speedup = single_time / pooled_time
+    identical = all(
+        np.array_equal(
+            single.result.samples[key].gradients,
+            pooled.result.samples[key].gradients,
+        )
+        for key in single.result.samples
+    )
+
+    print()
+    print("=" * 72)
+    print("Process-pool sharding vs single process (reduced Fig. 5a)")
+    print(
+        f"  qubits={QUBIT_COUNTS}, circuits={NUM_CIRCUITS}, "
+        f"layers={NUM_LAYERS}, methods={len(METHODS)}, cores={cores}"
+    )
+    print("=" * 72)
+    print(
+        format_table(
+            ["executor", "workers", "seconds", "speedup"],
+            [
+                ["batched", "1", f"{single_time:.2f}", "1.0x"],
+                [
+                    "process_pool",
+                    str(WORKERS),
+                    f"{pooled_time:.2f}",
+                    f"{speedup:.2f}x",
+                ],
+            ],
+        )
+    )
+    print(f"bit-identical gradients: {identical}")
+
+    payload = {
+        "grid": {
+            "qubit_counts": list(QUBIT_COUNTS),
+            "num_circuits": NUM_CIRCUITS,
+            "num_layers": NUM_LAYERS,
+            "methods": list(METHODS),
+            "seed": SEED,
+        },
+        "cores": cores,
+        "workers": WORKERS,
+        "single_process_seconds": single_time,
+        "process_pool_seconds": pooled_time,
+        "speedup": speedup,
+        "bit_identical": identical,
+    }
+    target = Path(__file__).resolve().parents[1] / "BENCH_parallel_sweep.json"
+    target.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {target}")
+
+    # Sharding must never change results, on any machine.
+    assert identical, "process-pool gradients diverged from single-process"
+    # The speedup bar only applies where parallelism is physically possible.
+    if cores >= 2:
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x speedup on {cores} cores, got {speedup:.2f}x"
+        )
+    else:
+        print("single-core host: speedup assertion skipped (identity verified)")

@@ -14,7 +14,9 @@ The library is organised bottom-up:
     Hardware-efficient ansatz variants used by the paper's two experiments.
 ``repro.core``
     Variance-decay and training-analysis experiment engines, cost
-    functions, decay-rate fits, and paper-level experiment runners.
+    functions, decay-rate fits, and paper-level experiment runners —
+    driven declaratively via :class:`ExperimentSpec` and :func:`run`
+    over pluggable executors (serial / batched / process-pool).
 ``repro.optim``
     Gradient-based optimizers (GD, Adam, ...) plus quantum natural gradient.
 ``repro.mitigation``
@@ -25,7 +27,7 @@ The library is organised bottom-up:
     JSON persistence for experiment results.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.ansatz import HardwareEfficientAnsatz, RandomPQC
 from repro.backend import (
@@ -37,12 +39,15 @@ from repro.backend import (
     zero_projector,
 )
 from repro.core import (
+    ExperimentSpec,
     Trainer,
     TrainingConfig,
     VarianceAnalysis,
     VarianceConfig,
+    available_executors,
     global_identity_cost,
     local_identity_cost,
+    run,
     run_full_reproduction,
     run_training_experiment,
     run_variance_experiment,
@@ -51,6 +56,7 @@ from repro.core import (
 from repro.initializers import PAPER_METHODS, ParameterShape, get_initializer
 
 __all__ = [
+    "ExperimentSpec",
     "HardwareEfficientAnsatz",
     "PAPER_METHODS",
     "ParameterShape",
@@ -63,10 +69,12 @@ __all__ = [
     "VarianceAnalysis",
     "VarianceConfig",
     "adjoint_gradient",
+    "available_executors",
     "get_initializer",
     "global_identity_cost",
     "local_identity_cost",
     "parameter_shift",
+    "run",
     "run_full_reproduction",
     "run_training_experiment",
     "run_variance_experiment",

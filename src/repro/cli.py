@@ -1,19 +1,25 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the paper's workflow end to end:
+Five subcommands cover the paper's workflow end to end:
 
 ``variance``
     Fig. 5a — gradient-variance decay study with the improvement table.
 ``train``
     Fig. 5b/5c — identity-learning training comparison.
+``run``
+    Execute a saved :class:`~repro.core.spec.ExperimentSpec` JSON file
+    (variance / training / sweep) through the executor registry.
 ``landscape``
     Fig. 1 — ASCII landscape scan with flatness metrics.
 ``info``
-    Library version plus the available initializers, optimizers and gates.
+    Library version plus the available initializers, optimizers,
+    executors and gates.
 
 Every command accepts ``--seed`` for exact reproducibility and the study
 commands accept ``--output FILE`` to persist the outcome as JSON
-(reloadable via :func:`repro.io.load_result`).
+(reloadable via :func:`repro.io.load_result`).  ``variance``, ``train``
+and ``run`` accept ``--workers N`` to shard work over a process pool —
+seeded results are bit-identical to the single-process run.
 """
 
 from __future__ import annotations
@@ -52,6 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     variance.add_argument("--seed", type=int, default=0)
     variance.add_argument("--output", default=None)
+    variance.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the grid over N worker processes (same seeded results)",
+    )
+    variance.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist per-shard results here and resume interrupted runs",
+    )
 
     train = sub.add_parser("train", help="run the Fig. 5b/5c training study")
     train.add_argument("--qubits", type=int, default=10)
@@ -65,6 +82,36 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--cost", choices=("global", "local"), default="global")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--output", default=None)
+    train.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="train methods in N worker processes (same seeded results)",
+    )
+    train.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist per-method results here and resume interrupted runs",
+    )
+
+    run_cmd = sub.add_parser(
+        "run", help="execute an ExperimentSpec JSON file"
+    )
+    run_cmd.add_argument("spec", help="path to the spec JSON file")
+    run_cmd.add_argument(
+        "--executor",
+        default=None,
+        help="override the spec's executor (see `repro info`)",
+    )
+    run_cmd.add_argument(
+        "--workers", type=int, default=None, help="override the spec's workers"
+    )
+    run_cmd.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="override the spec's checkpoint directory",
+    )
+    run_cmd.add_argument("--output", default=None)
 
     landscape = sub.add_parser(
         "landscape", help="scan and print a Fig. 1 style cost landscape"
@@ -78,11 +125,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_variance(args: argparse.Namespace) -> int:
+def _print_variance_outcome(outcome, output: Optional[str]) -> None:
     from repro.analysis import decay_table, variance_table
-    from repro.core import VarianceConfig, run_variance_experiment
-    from repro.initializers.registry import PAPER_METHODS
     from repro.io import save_result
+
+    print()
+    print(variance_table(outcome.result))
+    print()
+    print(decay_table(outcome.fits, outcome.improvements))
+    print(f"ranking (best decay first): {outcome.ranking}")
+    if output:
+        print(f"saved to {save_result(outcome, output)}")
+
+
+def _print_training_outcome(outcome, output: Optional[str]) -> None:
+    from repro.analysis import training_table
+    from repro.io import save_result
+
+    print()
+    print(training_table(outcome.histories))
+    print(f"final-loss ranking (best first): {outcome.ranking()}")
+    if output:
+        print(f"saved to {save_result(outcome, output)}")
+
+
+def _cmd_variance(args: argparse.Namespace) -> int:
+    import repro
+    from repro.core import ExperimentSpec, VarianceConfig
+    from repro.initializers.registry import PAPER_METHODS
 
     config = VarianceConfig(
         qubit_counts=tuple(args.qubits),
@@ -92,22 +162,23 @@ def _cmd_variance(args: argparse.Namespace) -> int:
         cost_kind=args.cost,
         batched=not args.sequential,
     )
-    outcome = run_variance_experiment(config, seed=args.seed, verbose=True)
-    print()
-    print(variance_table(outcome.result))
-    print()
-    print(decay_table(outcome.fits, outcome.improvements))
-    print(f"ranking (best decay first): {outcome.ranking}")
-    if args.output:
-        print(f"saved to {save_result(outcome, args.output)}")
+    spec = ExperimentSpec(
+        kind="variance",
+        config=config,
+        seed=args.seed,
+        executor="process_pool" if args.workers > 1 else None,
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    outcome = repro.run(spec, verbose=True)
+    _print_variance_outcome(outcome, args.output)
     return 0
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.analysis import training_table
-    from repro.core import TrainingConfig, run_training_experiment
+    import repro
+    from repro.core import ExperimentSpec, TrainingConfig
     from repro.initializers.registry import PAPER_METHODS
-    from repro.io import save_result
 
     config = TrainingConfig(
         num_qubits=args.qubits,
@@ -117,15 +188,61 @@ def _cmd_train(args: argparse.Namespace) -> int:
         learning_rate=args.learning_rate,
         cost_kind=args.cost,
     )
-    methods = tuple(args.methods) if args.methods else tuple(PAPER_METHODS)
-    outcome = run_training_experiment(
-        config, methods=methods, seed=args.seed, verbose=True
+    spec = ExperimentSpec(
+        kind="training",
+        config=config,
+        seed=args.seed,
+        methods=tuple(args.methods) if args.methods else tuple(PAPER_METHODS),
+        executor="process_pool" if args.workers > 1 else None,
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
     )
-    print()
-    print(training_table(outcome.histories))
-    print(f"final-loss ranking (best first): {outcome.ranking()}")
-    if args.output:
-        print(f"saved to {save_result(outcome, args.output)}")
+    outcome = repro.run(spec, verbose=True)
+    _print_training_outcome(outcome, args.output)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    import repro
+    from repro.core import ExperimentSpec
+
+    spec = ExperimentSpec.from_file(args.spec)
+    if spec.kind == "sweep" and args.output:
+        # Fail fast: don't burn the whole sweep before reporting this.
+        print(
+            "--output is not supported for sweep specs (outcomes are "
+            "per-value); use --checkpoint-dir or save values individually",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = {}
+    if args.executor is not None:
+        overrides["executor"] = args.executor
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+        if args.executor is None and args.workers > 1:
+            overrides["executor"] = "process_pool"
+    if args.checkpoint_dir is not None:
+        overrides["checkpoint_dir"] = args.checkpoint_dir
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    print(
+        f"[run] kind={spec.kind} executor={spec.resolved_executor()} "
+        f"workers={spec.workers}"
+    )
+    outcome = repro.run(spec, verbose=True)
+    if spec.kind == "variance":
+        _print_variance_outcome(outcome, args.output)
+    elif spec.kind == "training":
+        _print_training_outcome(outcome, args.output)
+    else:
+        for value, sub_outcome in outcome.items():
+            print(
+                f"[sweep {spec.sweep_field}={value}] "
+                f"ranking: {sub_outcome.ranking}"
+            )
     return 0
 
 
@@ -158,12 +275,14 @@ def _cmd_landscape(args: argparse.Namespace) -> int:
 def _cmd_info(_args: argparse.Namespace) -> int:
     import repro
     from repro.backend.gates import FIXED_GATES, PARAMETRIC_GATES
+    from repro.core import available_executors
     from repro.initializers import available_initializers
     from repro.optim import available_optimizers
 
     print(f"repro {repro.__version__}")
     print(f"initializers: {', '.join(available_initializers())}")
     print(f"optimizers:   {', '.join(available_optimizers())}")
+    print(f"executors:    {', '.join(available_executors())}")
     print(f"fixed gates:  {', '.join(sorted(FIXED_GATES))}")
     print(f"param gates:  {', '.join(sorted(PARAMETRIC_GATES))}")
     return 0
@@ -172,6 +291,7 @@ def _cmd_info(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "variance": _cmd_variance,
     "train": _cmd_train,
+    "run": _cmd_run,
     "landscape": _cmd_landscape,
     "info": _cmd_info,
 }

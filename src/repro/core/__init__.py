@@ -1,5 +1,10 @@
 """The paper's experiment engines: cost functions, variance analysis,
-decay-rate fits, training loops, and paper-level runners."""
+decay-rate fits, training loops, and paper-level runners.
+
+Experiments are described declaratively by :class:`ExperimentSpec` and
+executed by :func:`repro.core.spec.run` (exported as ``repro.run``)
+through a pluggable executor registry (serial / batched / process-pool);
+see :mod:`repro.core.spec` for the quickstart."""
 
 from repro.core.cost import (
     ObservableCost,
@@ -20,6 +25,17 @@ from repro.core.profile import (
     gradient_profile,
     profile_all_methods,
 )
+from repro.core.executor import (
+    BatchedExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ShardCheckpoint,
+    WorkUnit,
+    available_executors,
+    get_executor,
+    register_executor,
+)
 from repro.core.experiments import (
     FullReproductionOutcome,
     TrainingExperimentOutcome,
@@ -27,7 +43,9 @@ from repro.core.experiments import (
     run_full_reproduction,
     run_training_experiment,
     run_variance_experiment,
+    variance_outcome_from_result,
 )
+from repro.core.spec import ExperimentSpec, run
 from repro.core.results import (
     DecayFit,
     GradientSamples,
@@ -39,14 +57,25 @@ from repro.core.training import Trainer, TrainingConfig, train, train_all_method
 from repro.core.variance import VarianceAnalysis, VarianceConfig
 
 __all__ = [
+    "BatchedExecutor",
     "DecayFit",
+    "Executor",
+    "ExperimentSpec",
     "FullReproductionOutcome",
     "GradientProfile",
     "GradientSamples",
     "ObservableCost",
+    "ProcessPoolExecutor",
     "ProfileConfig",
+    "SerialExecutor",
+    "ShardCheckpoint",
+    "WorkUnit",
+    "available_executors",
+    "get_executor",
     "gradient_profile",
     "profile_all_methods",
+    "register_executor",
+    "run",
     "Trainer",
     "TrainingConfig",
     "TrainingExperimentOutcome",
@@ -70,4 +99,5 @@ __all__ = [
     "state_learning_cost",
     "train",
     "train_all_methods",
+    "variance_outcome_from_result",
 ]

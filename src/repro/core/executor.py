@@ -1,0 +1,324 @@
+"""Pluggable execution backends for experiment work units.
+
+An :class:`Executor` schedules a list of :class:`WorkUnit` items — picklable
+``(id, function, args)`` triples produced by the spec layer — and returns
+their outputs in unit order.  Three registered strategies cover the
+library's workloads:
+
+``serial``
+    In-process loop using the sequential per-structure statevector path
+    (``VarianceConfig.batched=False``) — the reference implementation.
+``batched``
+    In-process loop using the batched statevector kernels
+    (``VarianceConfig.batched=True``) — the default since PR 1.
+``process_pool``
+    Shards units across OS processes via :mod:`concurrent.futures`.  Work
+    units carry pre-reserved RNG children (see
+    :func:`repro.utils.rng.spawn_seeds`), so a seeded run is bit-identical
+    to serial regardless of worker count or completion order.
+
+All executors support checkpoint/resume: given a ``checkpoint_dir``, each
+completed unit's output is persisted through :mod:`repro.io` as a
+:class:`ShardCheckpoint`, and a restarted run re-executes only the units
+without a matching (fingerprinted) checkpoint.
+
+Register custom strategies with :func:`register_executor`; the registry
+backs ``repro info`` and the CLI's ``--workers`` routing.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent import futures
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
+
+__all__ = [
+    "WorkUnit",
+    "ShardCheckpoint",
+    "Executor",
+    "SerialExecutor",
+    "BatchedExecutor",
+    "ProcessPoolExecutor",
+    "EXECUTORS",
+    "register_executor",
+    "get_executor",
+    "available_executors",
+]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable piece of work: a picklable function plus arguments.
+
+    ``fn(*args)`` must return a JSON-encodable value (plain dicts, lists
+    and scalars) so outputs can round-trip through shard checkpoints.
+    """
+
+    unit_id: str
+    fn: Callable[..., Any]
+    args: Tuple = ()
+
+
+@dataclass
+class ShardCheckpoint:
+    """Persisted output of one completed work unit.
+
+    ``fingerprint`` ties the checkpoint to the exact (kind, config, seed,
+    plan) it came from; a resumed run ignores checkpoints whose
+    fingerprint does not match, so stale files from a different grid can
+    never leak into a result.
+    """
+
+    unit_id: str
+    fingerprint: str
+    data: Any
+
+    def to_dict(self) -> dict:
+        return {
+            "unit_id": self.unit_id,
+            "fingerprint": self.fingerprint,
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardCheckpoint":
+        return cls(
+            unit_id=str(payload["unit_id"]),
+            fingerprint=str(payload["fingerprint"]),
+            data=payload["data"],
+        )
+
+
+#: Registered executor classes keyed by their ``name``.
+EXECUTORS: Dict[str, Type["Executor"]] = {}
+
+
+def register_executor(cls: Type["Executor"]) -> Type["Executor"]:
+    """Class decorator adding an executor to the registry by its ``name``."""
+    EXECUTORS[cls.name] = cls
+    return cls
+
+
+def get_executor(
+    name: Union[str, "Executor"],
+    workers: int = 1,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+) -> "Executor":
+    """Instantiate a registered executor by name (instances pass through)."""
+    if isinstance(name, Executor):
+        return name
+    try:
+        cls = EXECUTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; choose from {available_executors()}"
+        ) from None
+    return cls(workers=workers, checkpoint_dir=checkpoint_dir)
+
+
+def available_executors() -> List[str]:
+    """Sorted names of the registered execution strategies."""
+    return sorted(EXECUTORS)
+
+
+class Executor(ABC):
+    """Schedules work units; subclasses choose where/how they execute."""
+
+    name: ClassVar[str]
+    #: Forced value for ``VarianceConfig.batched`` on variance shards
+    #: (``None`` = honour the config; the spec layer applies this).
+    variance_batched: ClassVar[Optional[bool]] = None
+
+    def __init__(
+        self,
+        workers: int = 1,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+    ):
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+
+    def circuits_per_shard(self, num_circuits: int) -> Optional[int]:
+        """Advised shard granularity (``None`` = one shard per qubit count)."""
+        return None
+
+    def map_units(
+        self,
+        units: Sequence[WorkUnit],
+        fingerprint: str = "",
+        verbose: bool = False,
+        on_result: Optional[Callable[[WorkUnit, Any], None]] = None,
+    ) -> List[Any]:
+        """Execute ``units`` and return their outputs in unit order.
+
+        With a ``checkpoint_dir``, outputs of units already checkpointed
+        under the same ``fingerprint`` are loaded instead of recomputed,
+        and every fresh completion is checkpointed before the next unit's
+        result is awaited — an interrupted run loses at most the units in
+        flight.
+
+        ``on_result`` is invoked once per unit output — checkpoint-loaded
+        ones first (in unit order), then fresh completions as they land —
+        so callers can stream progress during long grids.
+        """
+        ids = [unit.unit_id for unit in units]
+        if len(set(ids)) != len(ids):
+            raise ValueError("work unit ids must be unique")
+        completed = self._load_checkpoints(set(ids), fingerprint)
+        if verbose and completed:
+            print(
+                f"[executor:{self.name}] resuming: "
+                f"{len(completed)}/{len(units)} units checkpointed"
+            )
+        if on_result is not None:
+            for unit in units:
+                if unit.unit_id in completed:
+                    on_result(unit, completed[unit.unit_id])
+        pending = [unit for unit in units if unit.unit_id not in completed]
+        for unit, output in self._execute(pending):
+            completed[unit.unit_id] = output
+            self._write_checkpoint(unit, output, fingerprint)
+            if on_result is not None:
+                on_result(unit, output)
+        return [completed[unit.unit_id] for unit in units]
+
+    @abstractmethod
+    def _execute(
+        self, units: Sequence[WorkUnit]
+    ) -> Iterator[Tuple[WorkUnit, Any]]:
+        """Yield ``(unit, output)`` pairs as units complete (any order)."""
+
+    # -- checkpoint layer -------------------------------------------------
+
+    def _checkpoint_path(self, unit_id: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in unit_id)
+        return self.checkpoint_dir / f"shard-{safe}.json"
+
+    def _load_checkpoints(
+        self, unit_ids: set, fingerprint: str
+    ) -> Dict[str, Any]:
+        if self.checkpoint_dir is None or not self.checkpoint_dir.is_dir():
+            return {}
+        from repro.io import load_result
+
+        completed: Dict[str, Any] = {}
+        for path in sorted(self.checkpoint_dir.glob("shard-*.json")):
+            try:
+                checkpoint = load_result(path)
+            except (ValueError, OSError):
+                # Truncated/corrupt file from an interrupted write: the
+                # unit simply re-runs.
+                continue
+            if not isinstance(checkpoint, ShardCheckpoint):
+                continue
+            if checkpoint.fingerprint != fingerprint:
+                continue
+            if checkpoint.unit_id in unit_ids:
+                completed[checkpoint.unit_id] = checkpoint.data
+        return completed
+
+    def _write_checkpoint(
+        self, unit: WorkUnit, output: Any, fingerprint: str
+    ) -> None:
+        if self.checkpoint_dir is None:
+            return
+        from repro.io import save_result
+
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        target = self._checkpoint_path(unit.unit_id)
+        temp = target.with_suffix(".json.tmp")
+        save_result(
+            ShardCheckpoint(
+                unit_id=unit.unit_id, fingerprint=fingerprint, data=output
+            ),
+            temp,
+        )
+        # Atomic replace: a kill mid-write leaves a .tmp file, never a
+        # corrupt checkpoint.
+        os.replace(temp, target)
+
+
+@register_executor
+class SerialExecutor(Executor):
+    """In-process loop over the sequential per-structure reference path."""
+
+    name = "serial"
+    variance_batched: ClassVar[Optional[bool]] = False
+
+    def _execute(
+        self, units: Sequence[WorkUnit]
+    ) -> Iterator[Tuple[WorkUnit, Any]]:
+        for unit in units:
+            yield unit, unit.fn(*unit.args)
+
+
+@register_executor
+class BatchedExecutor(SerialExecutor):
+    """In-process loop over the batched statevector kernels (default)."""
+
+    name = "batched"
+    variance_batched: ClassVar[Optional[bool]] = True
+
+
+@register_executor
+class ProcessPoolExecutor(Executor):
+    """Shards work units across OS processes.
+
+    The variance grid is embarrassingly parallel over (qubit count,
+    structure); units arrive with their RNG children pre-reserved, so any
+    placement/completion order reproduces the serial streams exactly.
+    Honours ``VarianceConfig.batched`` (default on) inside each worker.
+    """
+
+    name = "process_pool"
+    variance_batched: ClassVar[Optional[bool]] = None
+
+    def __init__(
+        self,
+        workers: int = 0,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+    ):
+        super().__init__(
+            workers=int(workers) or os.cpu_count() or 1,
+            checkpoint_dir=checkpoint_dir,
+        )
+
+    def circuits_per_shard(self, num_circuits: int) -> Optional[int]:
+        # ~2 shards per worker within each qubit count: fine enough that
+        # the exponentially-expensive widest row spreads across workers,
+        # coarse enough to amortize task dispatch.
+        return max(1, -(-num_circuits // (2 * self.workers)))
+
+    def _execute(
+        self, units: Sequence[WorkUnit]
+    ) -> Iterator[Tuple[WorkUnit, Any]]:
+        if not units:
+            return
+        if self.workers == 1:
+            # No parallelism to win; skip the fork + pickle overhead.
+            for unit in units:
+                yield unit, unit.fn(*unit.args)
+            return
+        with futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
+            submitted = {
+                pool.submit(unit.fn, *unit.args): unit for unit in units
+            }
+            for future in futures.as_completed(submitted):
+                yield submitted[future], future.result()

@@ -8,6 +8,13 @@ These compose the engines into one call per paper artifact:
   descent) or Fig. 5c (Adam);
 * :func:`run_full_reproduction` — everything, returning a single
   serializable summary.
+
+``run_variance_experiment`` and ``run_training_experiment`` are kept as
+deprecation shims: their signatures and seeded outputs are frozen, but
+internally they route through :class:`repro.core.spec.ExperimentSpec` and
+the executor registry.  New code should build a spec and call
+:func:`repro.run` directly — that path adds worker sharding and
+checkpoint/resume for free.
 """
 
 from __future__ import annotations
@@ -17,8 +24,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.decay import fit_all_methods, improvement_over_random, rank_methods
 from repro.core.results import DecayFit, TrainingHistory, VarianceResult
-from repro.core.training import TrainingConfig, train_all_methods
-from repro.core.variance import VarianceAnalysis, VarianceConfig
+from repro.core.spec import ExperimentSpec, run
+from repro.core.training import TrainingConfig
+from repro.core.variance import VarianceConfig
 from repro.initializers.registry import PAPER_METHODS
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
 
@@ -26,6 +34,7 @@ __all__ = [
     "VarianceExperimentOutcome",
     "TrainingExperimentOutcome",
     "FullReproductionOutcome",
+    "variance_outcome_from_result",
     "run_variance_experiment",
     "run_training_experiment",
     "run_full_reproduction",
@@ -119,22 +128,10 @@ class FullReproductionOutcome:
         )
 
 
-def run_variance_experiment(
-    config: Optional[VarianceConfig] = None,
-    seed: SeedLike = None,
-    verbose: bool = False,
-    batched: Optional[bool] = None,
+def variance_outcome_from_result(
+    result: VarianceResult,
 ) -> VarianceExperimentOutcome:
-    """Run the variance study and derive the paper's headline metrics.
-
-    ``batched`` overrides ``config.batched`` when given: ``True`` folds
-    every method's draws and shift terms per structure into one batched
-    statevector execution (the default, and bit-identical to sequential
-    for a fixed seed), ``False`` forces the sequential reference path.
-    """
-    if batched is not None:
-        config = replace(config or VarianceConfig(), batched=batched)
-    result = VarianceAnalysis(config).run(seed=seed, verbose=verbose)
+    """Derive the paper's headline metrics from a raw variance result."""
     fits = fit_all_methods(result)
     # The improvement table needs a positive random-baseline decay rate;
     # degenerate (tiny/noisy) runs fall back to an empty table rather than
@@ -151,17 +148,49 @@ def run_variance_experiment(
     )
 
 
+def run_variance_experiment(
+    config: Optional[VarianceConfig] = None,
+    seed: SeedLike = None,
+    verbose: bool = False,
+    batched: Optional[bool] = None,
+) -> VarianceExperimentOutcome:
+    """Run the variance study and derive the paper's headline metrics.
+
+    .. deprecated:: 1.1
+        Thin shim over ``repro.run(ExperimentSpec(kind="variance", ...))``;
+        the spec path additionally offers multi-process sharding and
+        checkpoint/resume.  Signature and seeded outputs are frozen.
+
+    ``batched`` overrides ``config.batched`` when given: ``True`` folds
+    every method's draws and shift terms per structure into one batched
+    statevector execution (the default, and bit-identical to sequential
+    for a fixed seed), ``False`` forces the sequential reference path.
+    """
+    if batched is not None:
+        config = replace(config or VarianceConfig(), batched=batched)
+    return run(
+        ExperimentSpec(kind="variance", config=config, seed=seed),
+        verbose=verbose,
+    )
+
+
 def run_training_experiment(
     config: Optional[TrainingConfig] = None,
     methods: Sequence[str] = tuple(PAPER_METHODS),
     seed: SeedLike = None,
     verbose: bool = False,
 ) -> TrainingExperimentOutcome:
-    """Train every method under one optimizer configuration."""
-    config = config or TrainingConfig()
-    histories = train_all_methods(config, methods, seed=seed, verbose=verbose)
-    return TrainingExperimentOutcome(
-        optimizer=config.optimizer, histories=histories
+    """Train every method under one optimizer configuration.
+
+    .. deprecated:: 1.1
+        Thin shim over ``repro.run(ExperimentSpec(kind="training", ...))``;
+        signature and seeded outputs are frozen.
+    """
+    return run(
+        ExperimentSpec(
+            kind="training", config=config, seed=seed, methods=tuple(methods)
+        ),
+        verbose=verbose,
     )
 
 

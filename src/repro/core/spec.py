@@ -1,0 +1,486 @@
+"""Declarative experiment specification — the ``repro.run`` entry point.
+
+Every paper artifact is reachable through one object and one call: an
+:class:`ExperimentSpec` names *what* to run (kind + config + seed) and
+*how* to run it (executor + workers + checkpointing), and :func:`run`
+dispatches it.  The legacy entry points (``run_variance_experiment``,
+``run_training_experiment``, ``sweep_variance``) are thin shims over this
+path.
+
+Quickstart
+----------
+Run the Fig. 5a variance study on the default (batched) executor::
+
+    import repro
+    from repro import ExperimentSpec, VarianceConfig
+
+    spec = ExperimentSpec(
+        kind="variance",
+        config=VarianceConfig(qubit_counts=(2, 4, 6), num_circuits=50),
+        seed=0,
+    )
+    outcome = repro.run(spec)           # VarianceExperimentOutcome
+    print(outcome.ranking)
+
+Shard the same grid over 4 worker processes, with checkpoint/resume —
+seeded results are bit-identical to the serial run::
+
+    spec = ExperimentSpec(
+        kind="variance",
+        config=VarianceConfig(qubit_counts=(2, 4, 6), num_circuits=50),
+        seed=0,
+        executor="process_pool",
+        workers=4,
+        checkpoint_dir="checkpoints/fig5a",
+    )
+    outcome = repro.run(spec)           # interrupted? rerun to resume
+
+Training (one Fig. 5b/5c panel) and sweeps use the same shape::
+
+    repro.run(ExperimentSpec(kind="training", seed=1, methods=("random", "zeros")))
+    repro.run(ExperimentSpec(
+        kind="sweep", sweep_field="num_layers", sweep_values=[10, 30, 60], seed=2,
+    ))
+
+Specs serialize: ``spec.to_dict()`` / ``ExperimentSpec.from_file(path)``
+round-trip through JSON, and the CLI runs a saved file directly::
+
+    python -m repro run spec.json --workers 4
+
+Executors live in a registry (:mod:`repro.core.executor`): ``serial``
+(sequential reference path), ``batched`` (default), ``process_pool``
+(multi-process sharding).  ``repro info`` lists them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.executor import Executor, WorkUnit, get_executor
+from repro.core.training import TrainingConfig
+from repro.core.variance import (
+    VarianceConfig,
+    format_variance_progress,
+    merge_variance_outputs,
+    plan_variance_shards,
+)
+from repro.core import variance as _variance_module
+from repro.initializers.registry import PAPER_METHODS
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rng, spawn_seeds
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ExperimentSpec", "run", "EXPERIMENT_KINDS"]
+
+#: Supported experiment kinds and their config classes.
+EXPERIMENT_KINDS: Dict[str, type] = {
+    "variance": VarianceConfig,
+    "training": TrainingConfig,
+    "sweep": VarianceConfig,
+}
+
+
+def _encode_seed(seed: SeedLike) -> Any:
+    """JSON-encodable form of a seed (``None``/int pass through)."""
+    if seed is None or isinstance(seed, int):
+        return seed
+    if isinstance(seed, np.integer):
+        return int(seed)
+    if isinstance(seed, np.random.Generator):
+        seed_seq = seed.bit_generator.seed_seq
+        if seed_seq is None:  # pragma: no cover - legacy bit generators
+            raise ValueError(
+                "cannot serialize a Generator without a SeedSequence; "
+                "pass an int seed instead"
+            )
+        seed = seed_seq
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if isinstance(entropy, (list, tuple)):
+            entropy = [int(e) for e in entropy]
+        elif entropy is not None:
+            entropy = int(entropy)
+        return {
+            "entropy": entropy,
+            "spawn_key": [int(k) for k in seed.spawn_key],
+            "pool_size": int(seed.pool_size),
+            "n_children_spawned": int(seed.n_children_spawned),
+        }
+    raise TypeError(f"cannot serialize seed of type {type(seed).__name__}")
+
+
+def _decode_seed(payload: Any) -> SeedLike:
+    """Inverse of :func:`_encode_seed`."""
+    if payload is None or isinstance(payload, int):
+        return payload
+    if isinstance(payload, dict):
+        return np.random.SeedSequence(
+            entropy=payload.get("entropy"),
+            spawn_key=tuple(payload.get("spawn_key", ())),
+            pool_size=int(payload.get("pool_size", 4)),
+            n_children_spawned=int(payload.get("n_children_spawned", 0)),
+        )
+    raise TypeError(f"cannot decode seed payload {payload!r}")
+
+
+@dataclass
+class ExperimentSpec:
+    """One declarative experiment: what to run, with what seed, and how.
+
+    Parameters
+    ----------
+    kind:
+        ``"variance"`` (Fig. 5a), ``"training"`` (one Fig. 5b/5c panel) or
+        ``"sweep"`` (variance grid per swept config value).
+    config:
+        Kind-matched config object (:class:`VarianceConfig` /
+        :class:`TrainingConfig`), a plain dict of its fields, or ``None``
+        for library defaults.  Sweeps take the *base* variance config.
+    seed:
+        Master seed.  Ints/None serialize directly; ``SeedSequence`` (and
+        generators carrying one) serialize via their entropy/spawn state.
+    executor:
+        Registered executor name, or ``None`` to derive one from the
+        config (``batched``/``serial`` per ``VarianceConfig.batched``).
+    workers:
+        Worker count for multi-process executors (``process_pool``).
+    checkpoint_dir:
+        Directory for per-shard checkpoints; a rerun of the same spec
+        resumes from completed shards.
+    circuits_per_shard:
+        Variance shard granularity override (default: executor's choice).
+    methods:
+        Initializer names for ``training`` specs (``None`` = the paper's
+        methods); variance methods belong in ``config.methods``.
+    sweep_field / sweep_values / paired:
+        For ``sweep`` specs: the :class:`VarianceConfig` field to vary,
+        the values it takes, and whether runs share paired RNG streams.
+    """
+
+    kind: str
+    config: Any = None
+    seed: SeedLike = None
+    executor: Optional[str] = None
+    workers: int = 1
+    checkpoint_dir: Optional[Union[str, Path]] = None
+    circuits_per_shard: Optional[int] = None
+    methods: Optional[Sequence[str]] = None
+    sweep_field: Optional[str] = None
+    sweep_values: Optional[Sequence] = None
+    paired: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in EXPERIMENT_KINDS:
+            raise ValueError(
+                f"unknown experiment kind {self.kind!r}; "
+                f"choose from {sorted(EXPERIMENT_KINDS)}"
+            )
+        config_cls = EXPERIMENT_KINDS[self.kind]
+        if isinstance(self.config, dict):
+            # JSON round-trips turn tuple fields into lists; normalize back
+            # so reconstructed configs compare equal to handwritten ones.
+            normalized = {
+                key: tuple(value) if isinstance(value, list) else value
+                for key, value in self.config.items()
+            }
+            self.config = config_cls(**normalized)
+        elif self.config is not None and not isinstance(self.config, config_cls):
+            raise TypeError(
+                f"{self.kind} specs take a {config_cls.__name__} "
+                f"(or a dict of its fields), got {type(self.config).__name__}"
+            )
+        check_positive_int(self.workers, "workers")
+        if self.methods is not None and self.kind != "training":
+            raise ValueError(
+                "methods applies to training specs only; variance methods "
+                "belong in config.methods"
+            )
+        if self.kind == "sweep":
+            if self.sweep_field is None or self.sweep_values is None:
+                raise ValueError(
+                    "sweep specs require sweep_field and sweep_values"
+                )
+            valid = {f.name for f in fields(VarianceConfig)}
+            if self.sweep_field not in valid:
+                raise ValueError(
+                    f"unknown VarianceConfig field {self.sweep_field!r}; "
+                    f"choose from {sorted(valid)}"
+                )
+        elif self.sweep_field is not None or self.sweep_values is not None:
+            raise ValueError(
+                f"sweep_field/sweep_values apply to sweep specs only, "
+                f"not kind={self.kind!r}"
+            )
+
+    def resolved_executor(self) -> str:
+        """The executor name to run with (deriving one if unset)."""
+        if self.executor is not None:
+            return self.executor
+        if self.kind == "training":
+            return "serial"
+        config = self.config or VarianceConfig()
+        return "batched" if config.batched else "serial"
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "config": asdict(self.config) if self.config is not None else None,
+            "seed": _encode_seed(self.seed),
+            "executor": self.executor,
+            "workers": self.workers,
+            "checkpoint_dir": (
+                str(self.checkpoint_dir) if self.checkpoint_dir else None
+            ),
+            "circuits_per_shard": self.circuits_per_shard,
+            "methods": list(self.methods) if self.methods is not None else None,
+            "sweep_field": self.sweep_field,
+            "sweep_values": (
+                list(self.sweep_values) if self.sweep_values is not None else None
+            ),
+            "paired": self.paired,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            # A typo'd key (e.g. "sede") would otherwise silently run a
+            # different experiment than the file describes.
+            raise ValueError(
+                f"unknown spec field(s) {unknown}; "
+                f"valid fields: {sorted(known)}"
+            )
+        if "kind" not in payload:
+            raise ValueError(
+                f"spec is missing its 'kind' field; "
+                f"choose from {sorted(EXPERIMENT_KINDS)}"
+            )
+        # Handwritten spec files may carry explicit nulls for optional
+        # scalars; treat them like absent keys.
+        workers = payload.get("workers")
+        paired = payload.get("paired")
+        return cls(
+            kind=str(payload["kind"]),
+            config=payload.get("config"),
+            seed=_decode_seed(payload.get("seed")),
+            executor=payload.get("executor"),
+            workers=1 if workers is None else int(workers),
+            checkpoint_dir=payload.get("checkpoint_dir"),
+            circuits_per_shard=payload.get("circuits_per_shard"),
+            methods=payload.get("methods"),
+            sweep_field=payload.get("sweep_field"),
+            sweep_values=payload.get("sweep_values"),
+            paired=True if paired is None else bool(paired),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ExperimentSpec":
+        """Load a spec from a JSON file.
+
+        Accepts both a bare spec dict and a :func:`repro.io.save_result`
+        payload wrapping one.
+        """
+        with Path(path).open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path} does not contain a spec object")
+        if payload.get("type") == "ExperimentSpec" and "data" in payload:
+            payload = payload["data"]
+        return cls.from_dict(payload)
+
+
+def _fingerprint(
+    kind: str, config: Any, spec: ExperimentSpec, plan: Any = None
+) -> str:
+    """Stable digest tying shard checkpoints to their exact experiment.
+
+    ``plan`` captures anything that changes how the work is cut into
+    units (e.g. the variance shard granularity): resuming under a
+    different plan must invalidate old checkpoints, not mis-merge them.
+    """
+    try:
+        seed = _encode_seed(spec.seed)
+    except (TypeError, ValueError):
+        raise ValueError(
+            "checkpointing requires a serializable seed (int, None, or "
+            "SeedSequence-backed); got a transient generator"
+        ) from None
+    canonical = json.dumps(
+        {
+            "kind": kind,
+            "config": asdict(config) if config is not None else None,
+            "seed": seed,
+            "methods": list(spec.methods) if spec.methods else None,
+            "plan": plan,
+        },
+        sort_keys=True,
+        default=list,
+    )
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+
+
+def run(
+    spec: Union[ExperimentSpec, dict, str, Path], verbose: bool = False
+) -> Any:
+    """Execute an :class:`ExperimentSpec` (or a dict / JSON file of one).
+
+    Returns the kind's outcome type: ``VarianceExperimentOutcome`` for
+    ``variance``, ``TrainingExperimentOutcome`` for ``training``, and a
+    ``{value: VarianceExperimentOutcome}`` dict for ``sweep``.
+    """
+    if isinstance(spec, (str, Path)):
+        spec = ExperimentSpec.from_file(spec)
+    elif isinstance(spec, dict):
+        spec = ExperimentSpec.from_dict(spec)
+    if spec.kind == "sweep":
+        return _run_sweep(spec, verbose)
+    executor = get_executor(
+        spec.resolved_executor(),
+        workers=spec.workers,
+        checkpoint_dir=spec.checkpoint_dir,
+    )
+    if spec.kind == "variance":
+        return _run_variance(spec, executor, verbose)
+    return _run_training(spec, executor, verbose)
+
+
+def _run_variance(
+    spec: ExperimentSpec, executor: Executor, verbose: bool
+) -> Any:
+    """Plan variance shards, execute them, and derive the Fig. 5a outcome."""
+    config = spec.config or VarianceConfig()
+    if executor.variance_batched is not None:
+        config = replace(config, batched=executor.variance_batched)
+    per_shard = spec.circuits_per_shard
+    if per_shard is None:
+        per_shard = executor.circuits_per_shard(config.num_circuits)
+    fingerprint = ""
+    if executor.checkpoint_dir is not None:
+        fingerprint = _fingerprint(
+            "variance", config, spec, plan={"circuits_per_shard": per_shard}
+        )
+    shards = plan_variance_shards(
+        config, spec.seed, circuits_per_shard=per_shard
+    )
+    # Look the work function up through the module so tests can inject
+    # failures (and so monkeypatched fakes reach every executor).
+    units = [
+        WorkUnit(shard.unit_id, _variance_module.run_variance_shard, (config, shard))
+        for shard in shards
+    ]
+    on_result = None
+    if verbose:
+        # Stream one progress line per qubit count, as soon as its last
+        # shard completes — long grids stay observably alive.
+        pending = {int(q): 0 for q in config.qubit_counts}
+        for shard in shards:
+            pending[shard.num_qubits] += 1
+        rows: Dict[int, list] = {int(q): [] for q in config.qubit_counts}
+
+        def on_result(unit, output):
+            num_qubits = int(output["num_qubits"])
+            rows[num_qubits].append(output)
+            if len(rows[num_qubits]) == pending[num_qubits]:
+                print(
+                    format_variance_progress(config, num_qubits, rows[num_qubits])
+                )
+
+    outputs = executor.map_units(
+        units, fingerprint=fingerprint, verbose=verbose, on_result=on_result
+    )
+    result = merge_variance_outputs(config, outputs)
+    from repro.core.experiments import variance_outcome_from_result
+
+    return variance_outcome_from_result(result)
+
+
+def _run_training(
+    spec: ExperimentSpec, executor: Executor, verbose: bool
+) -> Any:
+    """Train every method as an independent work unit (one per child seed)."""
+    from repro.core.experiments import TrainingExperimentOutcome
+    from repro.core.results import TrainingHistory
+    from repro.core import training as _training_module
+
+    config = spec.config or TrainingConfig()
+    methods = tuple(spec.methods) if spec.methods else tuple(PAPER_METHODS)
+    fingerprint = ""
+    if executor.checkpoint_dir is not None:
+        fingerprint = _fingerprint("training", config, spec)
+    seeds = spawn_seeds(spec.seed, len(methods))
+    units = [
+        WorkUnit(
+            f"train-{method}",
+            _training_module.run_training_unit,
+            (config, method, seed),
+        )
+        for method, seed in zip(methods, seeds)
+    ]
+    on_result = None
+    if verbose:
+
+        def on_result(unit, output):
+            print(
+                f"[train:{config.optimizer}] {output['method']}: "
+                f"{output['losses'][0]:.4f} -> {output['losses'][-1]:.4f}"
+            )
+
+    outputs = executor.map_units(
+        units, fingerprint=fingerprint, verbose=verbose, on_result=on_result
+    )
+    histories = {
+        method: TrainingHistory.from_dict(output)
+        for method, output in zip(methods, outputs)
+    }
+    return TrainingExperimentOutcome(
+        optimizer=config.optimizer, histories=histories
+    )
+
+
+def _run_sweep(spec: ExperimentSpec, verbose: bool) -> Dict:
+    """Run one variance experiment per swept value.
+
+    Every replaced config is validated *before* anything runs, so a bad
+    swept value fails fast instead of mid-sweep after burning the earlier
+    runs.  With ``paired=True`` all values consume the same child seed
+    stream, isolating the effect of the swept field.
+    """
+    base = spec.config or VarianceConfig()
+    values = list(spec.sweep_values)
+    configs = [
+        replace(base, **{spec.sweep_field: value}) for value in values
+    ]
+    rng = ensure_rng(spec.seed)
+    shared = spawn_rng(rng)
+    outcomes: Dict = {}
+    for index, (value, config) in enumerate(zip(values, configs)):
+        child = shared if spec.paired else spawn_rng(rng)
+        run_seed = child.bit_generator.seed_seq if spec.paired else child
+        checkpoint_dir = None
+        if spec.checkpoint_dir is not None:
+            checkpoint_dir = Path(spec.checkpoint_dir) / f"value-{index:03d}"
+        outcomes[value] = run(
+            ExperimentSpec(
+                kind="variance",
+                config=config,
+                seed=run_seed,
+                executor=spec.executor,
+                workers=spec.workers,
+                checkpoint_dir=checkpoint_dir,
+                circuits_per_shard=spec.circuits_per_shard,
+            ),
+            verbose=verbose,
+        )
+    return outcomes

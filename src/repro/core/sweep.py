@@ -5,19 +5,22 @@ variance study while one configuration field varies, then compare decay
 rates/improvements across the values.  ``sweep_variance`` generalizes it
 to any ``VarianceConfig`` field, and ``improvement_series`` extracts the
 headline number per swept value.
+
+``sweep_variance`` is a deprecation shim over the spec path: it builds an
+``ExperimentSpec(kind="sweep", ...)`` and hands it to :func:`repro.run`.
+Every swept value is ``replace()``-d into the base config *before* any run
+starts, so an invalid value fails fast instead of mid-sweep after burning
+the earlier runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import fields, replace
 from typing import Dict, Optional, Sequence
 
-from repro.core.experiments import (
-    VarianceExperimentOutcome,
-    run_variance_experiment,
-)
+from repro.core.experiments import VarianceExperimentOutcome
+from repro.core.spec import ExperimentSpec, run
 from repro.core.variance import VarianceConfig
-from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
+from repro.utils.rng import SeedLike
 
 __all__ = ["sweep_variance", "improvement_series"]
 
@@ -32,6 +35,10 @@ def sweep_variance(
 ) -> Dict:
     """Run the variance experiment once per value of one config field.
 
+    .. deprecated:: 1.1
+        Thin shim over ``repro.run(ExperimentSpec(kind="sweep", ...))``;
+        signature and seeded outputs are frozen.
+
     Parameters
     ----------
     field_name:
@@ -42,6 +49,7 @@ def sweep_variance(
         bit for bit).
     values:
         The settings to sweep (become the keys of the returned dict).
+        All values are validated eagerly, before the first run.
     base_config:
         Template configuration (library defaults if omitted).
     seed:
@@ -50,28 +58,17 @@ def sweep_variance(
         shared wherever the configuration allows — isolating the effect
         of the swept field.  ``paired=False`` gives independent draws.
     """
-    base = base_config or VarianceConfig()
-    valid = {f.name for f in fields(VarianceConfig)}
-    if field_name not in valid:
-        raise ValueError(
-            f"unknown VarianceConfig field {field_name!r}; "
-            f"choose from {sorted(valid)}"
-        )
-    rng = ensure_rng(seed)
-    shared = spawn_rng(rng)
-    outcomes: Dict = {}
-    for value in values:
-        config = replace(base, **{field_name: value})
-        child = shared if paired else spawn_rng(rng)
-        # Generators are stateful; re-derive a fresh generator with the
-        # same stream for every paired run.
-        run_seed = (
-            child.bit_generator.seed_seq if paired else child
-        )
-        outcomes[value] = run_variance_experiment(
-            config, seed=run_seed, verbose=verbose
-        )
-    return outcomes
+    return run(
+        ExperimentSpec(
+            kind="sweep",
+            config=base_config,
+            seed=seed,
+            sweep_field=field_name,
+            sweep_values=list(values),
+            paired=paired,
+        ),
+        verbose=verbose,
+    )
 
 
 def improvement_series(

@@ -24,7 +24,13 @@ from repro.optim import Optimizer, get_optimizer
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["TrainingConfig", "Trainer", "train", "train_all_methods"]
+__all__ = [
+    "TrainingConfig",
+    "Trainer",
+    "train",
+    "train_all_methods",
+    "run_training_unit",
+]
 
 
 @dataclass
@@ -173,6 +179,18 @@ def train(
 ) -> TrainingHistory:
     """One-call training run (convenience wrapper around :class:`Trainer`)."""
     return Trainer(config).run(method, seed=seed)
+
+
+def run_training_unit(
+    config: TrainingConfig, method: str, seed: SeedLike
+) -> dict:
+    """Picklable work unit: train one method, return its history as a dict.
+
+    This is what executors (including process pools) schedule for
+    ``training`` specs; the dict round-trips through shard checkpoints and
+    rehydrates via :meth:`TrainingHistory.from_dict`.
+    """
+    return Trainer(config).run(method, seed=ensure_rng(seed)).to_dict()
 
 
 def train_all_methods(

@@ -32,10 +32,18 @@ from repro.core.cost import make_cost
 from repro.core.results import GradientSamples, VarianceResult
 from repro.initializers import Initializer, get_initializer
 from repro.initializers.registry import PAPER_METHODS
-from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rng, spawn_seeds
 from repro.utils.validation import check_positive_int
 
-__all__ = ["VarianceConfig", "VarianceAnalysis"]
+__all__ = [
+    "VarianceConfig",
+    "VarianceAnalysis",
+    "VarianceShard",
+    "plan_variance_shards",
+    "run_variance_shard",
+    "merge_variance_outputs",
+    "format_variance_progress",
+]
 
 
 @dataclass
@@ -100,8 +108,230 @@ class VarianceConfig:
         }
 
 
+@dataclass(frozen=True)
+class VarianceShard:
+    """One schedulable slice of the variance grid.
+
+    A shard is a contiguous run of circuit instances for a single qubit
+    count, carrying the *pre-reserved* RNG children (two per circuit:
+    structure, angles) it will consume.  Because the children are reserved
+    up front via :func:`repro.utils.rng.spawn_seeds`, executing shards in
+    any order — or in other processes — reproduces the serial streams bit
+    for bit.
+    """
+
+    num_qubits: int
+    #: Index of the shard's first circuit within its qubit count's grid row.
+    start: int
+    #: ``(structure, angles)`` seed pairs, flattened: ``2 * num_circuits``.
+    seeds: Tuple[np.random.SeedSequence, ...]
+
+    @property
+    def num_circuits(self) -> int:
+        return len(self.seeds) // 2
+
+    @property
+    def unit_id(self) -> str:
+        return f"variance-q{self.num_qubits}-c{self.start:05d}"
+
+
+def plan_variance_shards(
+    config: VarianceConfig,
+    seed: SeedLike = None,
+    circuits_per_shard: Optional[int] = None,
+) -> List[VarianceShard]:
+    """Split the (qubit count x circuit) grid into executable shards.
+
+    All RNG children are reserved here, in the exact order the serial loop
+    would spawn them, so the plan — not the execution schedule — fixes
+    every random stream.  ``circuits_per_shard=None`` yields one shard per
+    qubit count; smaller values subdivide each qubit count's row for load
+    balancing across workers.
+    """
+    counts = [int(q) for q in config.qubit_counts]
+    per_count = config.num_circuits
+    children = spawn_seeds(seed, 2 * per_count * len(counts))
+    step = per_count if circuits_per_shard is None else max(1, int(circuits_per_shard))
+    shards: List[VarianceShard] = []
+    for k, num_qubits in enumerate(counts):
+        base = 2 * per_count * k
+        for start in range(0, per_count, step):
+            stop = min(start + step, per_count)
+            shards.append(
+                VarianceShard(
+                    num_qubits=num_qubits,
+                    start=start,
+                    seeds=tuple(children[base + 2 * start : base + 2 * stop]),
+                )
+            )
+    return shards
+
+
+def _probe_index(config: VarianceConfig, count: int) -> int:
+    """Resolve ``config.param_position`` to a parameter index."""
+    if config.param_position == "first":
+        return 0
+    if config.param_position == "middle":
+        return count // 2
+    return count - 1
+
+
+def _probe_gradient(
+    config: VarianceConfig, cost, params: np.ndarray, simulator
+) -> float:
+    """d(cost)/d(theta_probe) via the exact parameter-shift rule.
+
+    The probed index follows ``config.param_position``; the paper's setup
+    is the last parameter.  Sequential reference path for
+    ``batched=False``.
+    """
+    index = _probe_index(config, cost.circuit.num_parameters)
+    raw = parameter_shift(
+        cost.circuit,
+        cost.observable,
+        params,
+        simulator=simulator,
+        param_indices=[index],
+    )
+    return float(cost.scale * raw[0])
+
+
+def run_variance_shard(
+    config: VarianceConfig,
+    shard: VarianceShard,
+    simulator: Optional[StatevectorSimulator] = None,
+) -> dict:
+    """Execute one shard and return a JSON-able output record.
+
+    This is the picklable work-unit function shipped to executor workers
+    (and written to shard checkpoints): plain ``dict``/``list``/``float``
+    payloads only, keyed so :func:`merge_variance_outputs` can reassemble
+    the full grid in order.
+    """
+    simulator = simulator or StatevectorSimulator()
+    initializers = config.build_initializers()
+    grads: Dict[str, List[float]] = {m: [] for m in config.methods}
+    for i in range(shard.num_circuits):
+        structure_rng = ensure_rng(shard.seeds[2 * i])
+        angles_rng = ensure_rng(shard.seeds[2 * i + 1])
+        pqc = RandomPQC(
+            num_qubits=shard.num_qubits,
+            num_layers=config.num_layers,
+            gate_pool=config.gate_pool,
+            entanglement=config.entanglement,
+            entangler=config.entangler,
+            seed=structure_rng,
+        )
+        circuit = pqc.build()
+        cost = make_cost(config.cost_kind, circuit, simulator=simulator)
+        shape = pqc.parameter_shape
+        # Per-method child streams derived from one per-circuit parent keep
+        # the comparison paired and order-independent.  Sampling every
+        # method's angles before any evaluation consumes the streams
+        # identically in batched and sequential modes.
+        draws = {
+            method: initializer.sample(shape, spawn_rng(angles_rng))
+            for method, initializer in initializers.items()
+        }
+        if config.batched:
+            index = _probe_index(config, cost.circuit.num_parameters)
+            matrix = np.stack(
+                [
+                    np.asarray(draws[m], dtype=float).reshape(-1)
+                    for m in config.methods
+                ]
+            )
+            raw = batch_parameter_shift(
+                cost.circuit,
+                cost.observable,
+                matrix,
+                simulator=simulator,
+                param_indices=[index],
+            )
+            for slot, method in enumerate(config.methods):
+                grads[method].append(float(cost.scale * raw[slot, 0]))
+        else:
+            for method in config.methods:
+                grads[method].append(
+                    _probe_gradient(config, cost, draws[method], simulator)
+                )
+    return {
+        "num_qubits": shard.num_qubits,
+        "start": shard.start,
+        "gradients": grads,
+    }
+
+
+def merge_variance_outputs(
+    config: VarianceConfig, outputs: Sequence[dict]
+) -> VarianceResult:
+    """Reassemble shard outputs into a :class:`VarianceResult`.
+
+    Shards may arrive in any order (process pools complete out of order;
+    resumed runs mix checkpointed and fresh shards); rows are re-sorted by
+    their ``start`` offset and validated against the configured grid.
+    """
+    by_count: Dict[int, List[dict]] = {int(q): [] for q in config.qubit_counts}
+    for output in outputs:
+        num_qubits = int(output["num_qubits"])
+        if num_qubits not in by_count:
+            raise ValueError(f"unexpected shard for {num_qubits} qubits")
+        by_count[num_qubits].append(output)
+    result = VarianceResult(
+        qubit_counts=[int(q) for q in config.qubit_counts],
+        methods=list(config.methods),
+    )
+    for num_qubits, rows in by_count.items():
+        rows.sort(key=lambda row: int(row["start"]))
+        for method in config.methods:
+            gradients = [
+                float(g) for row in rows for g in row["gradients"][method]
+            ]
+            if len(gradients) != config.num_circuits:
+                raise ValueError(
+                    f"incomplete grid row for q={num_qubits}, {method!r}: "
+                    f"{len(gradients)} of {config.num_circuits} circuits"
+                )
+            result.add(
+                GradientSamples(
+                    num_qubits=num_qubits,
+                    method=method,
+                    gradients=np.asarray(gradients),
+                )
+            )
+    return result
+
+
+def format_variance_progress(
+    config: VarianceConfig, num_qubits: int, rows: Sequence[dict]
+) -> str:
+    """The one-line-per-qubit-count progress message used by verbose runs.
+
+    ``rows`` are the shard outputs covering one qubit count (any order).
+    """
+    ordered = sorted(rows, key=lambda row: int(row["start"]))
+    variances = ", ".join(
+        "{}={:.3e}".format(
+            method,
+            np.var(
+                np.asarray(
+                    [g for row in ordered for g in row["gradients"][method]]
+                )
+            ),
+        )
+        for method in config.methods
+    )
+    return f"[variance] q={num_qubits}: {variances}"
+
+
 class VarianceAnalysis:
-    """Runs the variance study and returns a :class:`VarianceResult`."""
+    """Runs the variance study and returns a :class:`VarianceResult`.
+
+    This is the in-process entry point; it plans one shard per qubit count
+    and executes them serially.  For sharded / multi-process execution use
+    :func:`repro.run` with an :class:`~repro.core.spec.ExperimentSpec`,
+    which routes the same shard functions through a pluggable executor.
+    """
 
     def __init__(
         self,
@@ -123,98 +353,14 @@ class VarianceAnalysis:
             Print one progress line per qubit count.
         """
         config = self.config
-        rng = ensure_rng(seed)
-        initializers = config.build_initializers()
-        result = VarianceResult(
-            qubit_counts=[int(q) for q in config.qubit_counts],
-            methods=list(config.methods),
-        )
-        for num_qubits in result.qubit_counts:
-            grads: Dict[str, List[float]] = {m: [] for m in config.methods}
-            for _ in range(config.num_circuits):
-                structure_rng = spawn_rng(rng)
-                angles_rng = spawn_rng(rng)
-                pqc = RandomPQC(
-                    num_qubits=num_qubits,
-                    num_layers=config.num_layers,
-                    gate_pool=config.gate_pool,
-                    entanglement=config.entanglement,
-                    entangler=config.entangler,
-                    seed=structure_rng,
-                )
-                circuit = pqc.build()
-                cost = make_cost(
-                    config.cost_kind, circuit, simulator=self.simulator
-                )
-                shape = pqc.parameter_shape
-                # Per-method child streams derived from one per-circuit
-                # parent keep the comparison paired and order-independent.
-                # Sampling every method's angles before any evaluation
-                # consumes the streams identically in batched and
-                # sequential modes.
-                draws = {
-                    method: initializer.sample(shape, spawn_rng(angles_rng))
-                    for method, initializer in initializers.items()
-                }
-                if config.batched:
-                    index = self._probe_index(cost.circuit.num_parameters)
-                    matrix = np.stack(
-                        [
-                            np.asarray(draws[m], dtype=float).reshape(-1)
-                            for m in config.methods
-                        ]
-                    )
-                    raw = batch_parameter_shift(
-                        cost.circuit,
-                        cost.observable,
-                        matrix,
-                        simulator=self.simulator,
-                        param_indices=[index],
-                    )
-                    for slot, method in enumerate(config.methods):
-                        grads[method].append(float(cost.scale * raw[slot, 0]))
-                else:
-                    for method in config.methods:
-                        grads[method].append(
-                            self._probe_gradient(cost, draws[method])
-                        )
-            for method in config.methods:
-                result.add(
-                    GradientSamples(
-                        num_qubits=num_qubits,
-                        method=method,
-                        gradients=np.asarray(grads[method]),
-                    )
-                )
+        shards = plan_variance_shards(config, seed)
+        outputs = []
+        for shard in shards:
+            output = run_variance_shard(config, shard, simulator=self.simulator)
+            outputs.append(output)
             if verbose:
-                variances = ", ".join(
-                    f"{m}={result.samples[(num_qubits, m)].variance:.3e}"
-                    for m in config.methods
+                # One shard per qubit count here, so the row is complete.
+                print(
+                    format_variance_progress(config, shard.num_qubits, [output])
                 )
-                print(f"[variance] q={num_qubits}: {variances}")
-        return result
-
-    def _probe_index(self, count: int) -> int:
-        """Resolve ``config.param_position`` to a parameter index."""
-        if self.config.param_position == "first":
-            return 0
-        if self.config.param_position == "middle":
-            return count // 2
-        return count - 1
-
-    def _probe_gradient(self, cost, params: np.ndarray) -> float:
-        """d(cost)/d(theta_probe) via the exact parameter-shift rule.
-
-        The probed index follows ``config.param_position``; the paper's
-        setup is the last parameter.  Sequential reference path for
-        ``batched=False``.
-        """
-        index = self._probe_index(cost.circuit.num_parameters)
-        raw = parameter_shift(
-            cost.circuit,
-            cost.observable,
-            params,
-            simulator=self.simulator,
-            param_indices=[index],
-        )
-        return float(cost.scale * raw[0])
+        return merge_variance_outputs(config, outputs)

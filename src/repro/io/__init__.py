@@ -2,9 +2,16 @@
 
 from repro.io.serialization import (
     RESULT_TYPES,
+    SCHEMA_VERSION,
     NumpyJSONEncoder,
     load_result,
     save_result,
 )
 
-__all__ = ["NumpyJSONEncoder", "RESULT_TYPES", "load_result", "save_result"]
+__all__ = [
+    "NumpyJSONEncoder",
+    "RESULT_TYPES",
+    "SCHEMA_VERSION",
+    "load_result",
+    "save_result",
+]

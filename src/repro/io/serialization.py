@@ -2,8 +2,10 @@
 
 Every result dataclass in :mod:`repro.core` implements
 ``to_dict``/``from_dict``; this module adds the file layer with a type tag
-so a saved result round-trips to the right class without the caller
-remembering what it stored.
+and a ``schema_version`` so a saved result round-trips to the right class
+without the caller remembering what it stored.  Files written before
+versioning (no ``schema_version`` key) still load and are treated as
+version 1.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from typing import Any, Dict, Type, Union
 
 import numpy as np
 
+from repro.core.executor import ShardCheckpoint
 from repro.core.experiments import (
     FullReproductionOutcome,
     TrainingExperimentOutcome,
@@ -26,10 +29,22 @@ from repro.core.results import (
     TrainingHistory,
     VarianceResult,
 )
+from repro.core.spec import ExperimentSpec
 
-__all__ = ["save_result", "load_result", "RESULT_TYPES", "NumpyJSONEncoder"]
+__all__ = [
+    "save_result",
+    "load_result",
+    "RESULT_TYPES",
+    "SCHEMA_VERSION",
+    "NumpyJSONEncoder",
+]
 
 PathLike = Union[str, Path]
+
+#: Version stamped into every saved payload.  Bump when the envelope (not
+#: the per-type ``data``) changes shape; readers accept anything up to
+#: the current version and treat missing stamps as version 1.
+SCHEMA_VERSION = 2
 
 #: Persistable result classes keyed by their tag.
 RESULT_TYPES: Dict[str, Type] = {
@@ -41,6 +56,8 @@ RESULT_TYPES: Dict[str, Type] = {
     "VarianceExperimentOutcome": VarianceExperimentOutcome,
     "TrainingExperimentOutcome": TrainingExperimentOutcome,
     "FullReproductionOutcome": FullReproductionOutcome,
+    "ExperimentSpec": ExperimentSpec,
+    "ShardCheckpoint": ShardCheckpoint,
 }
 
 
@@ -70,7 +87,11 @@ def save_result(result: Any, path: PathLike, indent: int = 2) -> Path:
             f"{type_name} is not a persistable result type; "
             f"expected one of {sorted(RESULT_TYPES)}"
         )
-    payload = {"type": type_name, "data": result.to_dict()}
+    payload = {
+        "type": type_name,
+        "schema_version": SCHEMA_VERSION,
+        "data": result.to_dict(),
+    }
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     with target.open("w", encoding="utf-8") as handle:
@@ -79,17 +100,39 @@ def save_result(result: Any, path: PathLike, indent: int = 2) -> Path:
 
 
 def load_result(path: PathLike) -> Any:
-    """Load a result previously written by :func:`save_result`."""
+    """Load a result previously written by :func:`save_result`.
+
+    Raises a :class:`ValueError` naming the file and the problem for
+    every malformed payload: missing type tag, unknown type, missing
+    data, or a schema newer than this library understands.
+    """
     source = Path(path)
     with source.open("r", encoding="utf-8") as handle:
-        payload = json.load(handle)
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{source} is not valid JSON: {error}") from None
     if not isinstance(payload, dict) or "type" not in payload:
         raise ValueError(f"{source} is not a repro result file (missing type tag)")
     type_name = payload["type"]
     try:
         cls = RESULT_TYPES[type_name]
-    except KeyError:
+    except (KeyError, TypeError):
         raise ValueError(
-            f"{source} holds unknown result type {type_name!r}"
+            f"{source} holds unknown result type {type_name!r}; "
+            f"known types: {sorted(RESULT_TYPES)}"
         ) from None
+    version = payload.get("schema_version", 1)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ValueError(
+            f"{source} has a malformed schema_version {version!r}"
+        )
+    if version > SCHEMA_VERSION:
+        raise ValueError(
+            f"{source} was written with schema version {version}, but this "
+            f"library reads up to version {SCHEMA_VERSION}; upgrade repro "
+            f"to load it"
+        )
+    if "data" not in payload:
+        raise ValueError(f"{source} is missing its data payload")
     return cls.from_dict(payload["data"])

@@ -9,7 +9,7 @@ consumed.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Union
+from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -47,6 +47,29 @@ def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
         return np.random.default_rng(rng.integers(0, 2**63))
     (child,) = seed_seq.spawn(1)
     return np.random.default_rng(child)
+
+
+def spawn_seeds(seed: SeedLike, count: int) -> List[np.random.SeedSequence]:
+    """Reserve ``count`` child seed sequences from ``seed`` in spawn order.
+
+    Produces exactly the same child spawn keys as ``count`` sequential
+    :func:`spawn_rng` calls would (and advances the parent's spawn counter
+    identically), but returns the picklable :class:`~numpy.random.SeedSequence`
+    objects themselves.  That makes the children shippable to worker
+    processes: an executor can hand shard *k* its pre-reserved slice of
+    children and every stream stays bit-identical to a serial run,
+    regardless of shard order or placement.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = ensure_rng(seed)
+    seed_seq = rng.bit_generator.seed_seq
+    if seed_seq is None:  # pragma: no cover - legacy bit generators
+        return [
+            np.random.SeedSequence(int(rng.integers(0, 2**63)))
+            for _ in range(count)
+        ]
+    return list(seed_seq.spawn(count))
 
 
 def child_rngs(

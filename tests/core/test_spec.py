@@ -1,0 +1,270 @@
+"""Unit tests for the declarative ExperimentSpec API and repro.run."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.experiments import (
+    TrainingExperimentOutcome,
+    VarianceExperimentOutcome,
+    run_training_experiment,
+    run_variance_experiment,
+)
+from repro.core.spec import EXPERIMENT_KINDS, ExperimentSpec, run
+from repro.core.sweep import sweep_variance
+from repro.core.training import TrainingConfig
+from repro.core.variance import VarianceConfig
+
+_VAR_CONFIG = VarianceConfig(
+    qubit_counts=(2, 3),
+    num_circuits=5,
+    num_layers=4,
+    methods=("random", "xavier_normal"),
+)
+_TRAIN_CONFIG = TrainingConfig(num_qubits=2, num_layers=1, iterations=3)
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown experiment kind"):
+            ExperimentSpec(kind="teleportation")
+
+    def test_kinds_registry(self):
+        assert set(EXPERIMENT_KINDS) == {"variance", "training", "sweep"}
+
+    def test_config_dict_coercion(self):
+        spec = ExperimentSpec(
+            kind="variance", config={"qubit_counts": [2], "num_circuits": 3}
+        )
+        assert isinstance(spec.config, VarianceConfig)
+        assert spec.config.num_circuits == 3
+
+    def test_wrong_config_type(self):
+        with pytest.raises(TypeError, match="TrainingConfig"):
+            ExperimentSpec(kind="training", config=_VAR_CONFIG)
+
+    def test_methods_only_for_training(self):
+        with pytest.raises(ValueError, match="training specs only"):
+            ExperimentSpec(kind="variance", methods=("random",))
+
+    def test_sweep_requires_field_and_values(self):
+        with pytest.raises(ValueError, match="sweep_field"):
+            ExperimentSpec(kind="sweep")
+
+    def test_sweep_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown VarianceConfig field"):
+            ExperimentSpec(kind="sweep", sweep_field="depth", sweep_values=[1])
+
+    def test_sweep_fields_rejected_elsewhere(self):
+        with pytest.raises(ValueError, match="sweep specs only"):
+            ExperimentSpec(
+                kind="variance", sweep_field="num_layers", sweep_values=[1]
+            )
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(kind="variance", workers=0)
+
+
+class TestResolvedExecutor:
+    def test_explicit_name_wins(self):
+        spec = ExperimentSpec(kind="variance", executor="process_pool")
+        assert spec.resolved_executor() == "process_pool"
+
+    def test_derived_from_batched_flag(self):
+        batched = ExperimentSpec(kind="variance", config=_VAR_CONFIG)
+        sequential = ExperimentSpec(
+            kind="variance",
+            config=VarianceConfig(
+                qubit_counts=(2,), num_circuits=2, num_layers=2, batched=False
+            ),
+        )
+        assert batched.resolved_executor() == "batched"
+        assert sequential.resolved_executor() == "serial"
+
+    def test_training_default(self):
+        assert ExperimentSpec(kind="training").resolved_executor() == "serial"
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        spec = ExperimentSpec(
+            kind="variance",
+            config=_VAR_CONFIG,
+            seed=7,
+            executor="process_pool",
+            workers=3,
+        )
+        restored = ExperimentSpec.from_dict(spec.to_dict())
+        assert restored.kind == "variance"
+        assert restored.config == _VAR_CONFIG
+        assert restored.seed == 7
+        assert restored.workers == 3
+
+    def test_json_round_trip_is_pure_json(self):
+        spec = ExperimentSpec(kind="training", config=_TRAIN_CONFIG, seed=1)
+        text = json.dumps(spec.to_dict())
+        restored = ExperimentSpec.from_json(text)
+        assert restored.config == _TRAIN_CONFIG
+
+    def test_seed_sequence_round_trip(self):
+        seed_seq = np.random.SeedSequence(42, spawn_key=(3,))
+        seed_seq.spawn(2)  # advance the child counter
+        spec = ExperimentSpec(kind="variance", seed=seed_seq)
+        restored = ExperimentSpec.from_dict(spec.to_dict())
+        assert restored.seed.entropy == 42
+        assert restored.seed.spawn_key == (3,)
+        assert restored.seed.n_children_spawned == 2
+
+    def test_generator_seed_round_trips_via_seed_sequence(self):
+        rng = np.random.default_rng(5)
+        spec = ExperimentSpec(kind="variance", seed=rng)
+        restored = ExperimentSpec.from_dict(spec.to_dict())
+        assert isinstance(restored.seed, np.random.SeedSequence)
+
+    def test_from_file_bare_and_wrapped(self, tmp_path):
+        from repro.io import save_result
+
+        spec = ExperimentSpec(kind="variance", config=_VAR_CONFIG, seed=2)
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(spec.to_dict()))
+        wrapped = save_result(spec, tmp_path / "wrapped.json")
+        for path in (bare, wrapped):
+            restored = ExperimentSpec.from_file(path)
+            assert restored.config == _VAR_CONFIG
+            assert restored.seed == 2
+
+    def test_from_file_rejects_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="spec object"):
+            ExperimentSpec.from_file(path)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        """A typo'd field must not silently change the experiment."""
+        with pytest.raises(ValueError, match="sede"):
+            ExperimentSpec.from_dict({"kind": "variance", "sede": 5})
+
+    def test_from_dict_missing_kind_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="missing its 'kind'"):
+            ExperimentSpec.from_dict({"seed": 1})
+
+    def test_from_dict_tolerates_explicit_nulls(self):
+        """Handwritten spec JSON with nulls for optional scalars loads."""
+        spec = ExperimentSpec.from_dict(
+            {
+                "kind": "variance",
+                "config": None,
+                "seed": None,
+                "executor": None,
+                "workers": None,
+                "paired": None,
+            }
+        )
+        assert spec.workers == 1
+        assert spec.paired is True
+
+
+class TestRun:
+    def test_variance_matches_legacy_entry_point(self):
+        via_spec = run(
+            ExperimentSpec(kind="variance", config=_VAR_CONFIG, seed=0)
+        )
+        via_legacy = run_variance_experiment(_VAR_CONFIG, seed=0)
+        assert isinstance(via_spec, VarianceExperimentOutcome)
+        for key in via_legacy.result.samples:
+            assert np.array_equal(
+                via_spec.result.samples[key].gradients,
+                via_legacy.result.samples[key].gradients,
+            ), key
+
+    def test_training_matches_legacy_entry_point(self):
+        methods = ("random", "zeros")
+        via_spec = run(
+            ExperimentSpec(
+                kind="training", config=_TRAIN_CONFIG, seed=0, methods=methods
+            )
+        )
+        via_legacy = run_training_experiment(
+            _TRAIN_CONFIG, methods=methods, seed=0
+        )
+        assert isinstance(via_spec, TrainingExperimentOutcome)
+        for method in methods:
+            assert (
+                via_spec.histories[method].losses
+                == via_legacy.histories[method].losses
+            )
+
+    def test_sweep_matches_legacy_entry_point(self):
+        spec = ExperimentSpec(
+            kind="sweep",
+            config=_VAR_CONFIG,
+            seed=4,
+            sweep_field="num_layers",
+            sweep_values=[2, 5],
+        )
+        via_spec = run(spec)
+        via_legacy = sweep_variance(
+            "num_layers", [2, 5], base_config=_VAR_CONFIG, seed=4
+        )
+        assert set(via_spec) == {2, 5}
+        for value in (2, 5):
+            assert np.array_equal(
+                via_spec[value].result.samples[(2, "random")].gradients,
+                via_legacy[value].result.samples[(2, "random")].gradients,
+            )
+
+    def test_accepts_dict_and_file(self, tmp_path):
+        spec = ExperimentSpec(kind="variance", config=_VAR_CONFIG, seed=1)
+        from_obj = run(spec)
+        from_dict = run(spec.to_dict())
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        from_file = run(str(path))
+        for other in (from_dict, from_file):
+            assert np.array_equal(
+                from_obj.result.samples[(2, "random")].gradients,
+                other.result.samples[(2, "random")].gradients,
+            )
+
+    def test_repro_run_is_the_spec_runner(self):
+        assert repro.run is run
+
+    def test_unknown_executor_rejected_at_run_time(self):
+        spec = ExperimentSpec(kind="variance", config=_VAR_CONFIG, executor="gpu")
+        with pytest.raises(ValueError, match="unknown executor"):
+            run(spec)
+
+    def test_verbose_streams_per_qubit_count(self, capsys):
+        run(
+            ExperimentSpec(kind="variance", config=_VAR_CONFIG, seed=0),
+            verbose=True,
+        )
+        out = capsys.readouterr().out
+        assert "[variance] q=2:" in out
+        assert "[variance] q=3:" in out
+
+    def test_sweep_validates_values_before_running(self, monkeypatch):
+        """A bad swept value fails eagerly, before any run burns time."""
+        import repro.core.variance as vmod
+
+        calls = []
+        original = vmod.run_variance_shard
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(vmod, "run_variance_shard", counting)
+        spec = ExperimentSpec(
+            kind="sweep",
+            config=_VAR_CONFIG,
+            seed=0,
+            sweep_field="num_circuits",
+            sweep_values=[3, -1],
+        )
+        with pytest.raises(ValueError):
+            run(spec)
+        assert calls == []

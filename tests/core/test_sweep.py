@@ -59,6 +59,22 @@ class TestSweepVariance:
         with pytest.raises(ValueError):
             sweep_variance("depth", [1], base_config=_BASE)
 
+    def test_bad_value_fails_before_any_run(self, monkeypatch):
+        """Invalid swept values are rejected eagerly, not mid-sweep."""
+        import repro.core.variance as vmod
+
+        calls = []
+        original = vmod.run_variance_shard
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(vmod, "run_variance_shard", counting)
+        with pytest.raises(ValueError):
+            sweep_variance("num_circuits", [4, 0], base_config=_BASE, seed=0)
+        assert calls == []  # the valid value 4 never burned a run
+
 
 class TestImprovementSeries:
     def test_extracts_improvements(self):

@@ -73,6 +73,78 @@ class TestSaveLoad:
         assert "data" in payload
 
 
+class TestSchemaVersion:
+    def test_saved_payloads_are_stamped(self, tmp_path):
+        from repro.io import SCHEMA_VERSION
+
+        fit = DecayFit("m", 0.1, 0.0, 1.0)
+        payload = json.loads(save_result(fit, tmp_path / "f.json").read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_legacy_unstamped_file_still_loads(self, tmp_path):
+        """Files written before schema versioning are treated as v1."""
+        path = tmp_path / "legacy.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "type": "DecayFit",
+                    "data": {
+                        "method": "m",
+                        "rate": 0.5,
+                        "intercept": -1.0,
+                        "r_squared": 0.9,
+                    },
+                }
+            )
+        )
+        fit = load_result(path)
+        assert fit == DecayFit("m", 0.5, -1.0, 0.9)
+
+    def test_newer_schema_rejected_with_clear_message(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            '{"type": "DecayFit", "schema_version": 99, "data": {}}'
+        )
+        with pytest.raises(ValueError, match="schema version 99"):
+            load_result(path)
+
+    def test_malformed_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(
+            '{"type": "DecayFit", "schema_version": "two", "data": {}}'
+        )
+        with pytest.raises(ValueError, match="malformed schema_version"):
+            load_result(path)
+
+
+class TestSpecAndShardTypes:
+    def test_experiment_spec_round_trip(self, tmp_path):
+        from repro.core.spec import ExperimentSpec
+
+        spec = ExperimentSpec(
+            kind="variance",
+            config=VarianceConfig(
+                qubit_counts=(2,), num_circuits=3, num_layers=2
+            ),
+            seed=5,
+            executor="process_pool",
+            workers=2,
+        )
+        restored = load_result(save_result(spec, tmp_path / "spec.json"))
+        assert restored.kind == "variance"
+        assert restored.config == spec.config
+        assert restored.workers == 2
+
+    def test_shard_checkpoint_round_trip(self, tmp_path):
+        from repro.core.executor import ShardCheckpoint
+
+        checkpoint = ShardCheckpoint(
+            unit_id="u1", fingerprint="fp", data={"k": [1.0, 2.0]}
+        )
+        restored = load_result(save_result(checkpoint, tmp_path / "c.json"))
+        assert restored == checkpoint
+
+
 class TestErrors:
     def test_rejects_unknown_object(self, tmp_path):
         with pytest.raises(TypeError):
@@ -85,9 +157,22 @@ class TestErrors:
             load_result(path)
 
     def test_rejects_unknown_type_tag(self, tmp_path):
+        """An unknown tag names the problem instead of a raw KeyError."""
         path = tmp_path / "odd.json"
         path.write_text('{"type": "Mystery", "data": {}}')
         with pytest.raises(ValueError, match="unknown result type"):
+            load_result(path)
+
+    def test_rejects_missing_data(self, tmp_path):
+        path = tmp_path / "nodata.json"
+        path.write_text('{"type": "DecayFit", "schema_version": 2}')
+        with pytest.raises(ValueError, match="missing its data payload"):
+            load_result(path)
+
+    def test_rejects_invalid_json_with_filename(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{ nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
             load_result(path)
 
 

@@ -37,6 +37,13 @@ class TestInfo:
         assert "adam" in out
         assert "CZ" in out
 
+    def test_lists_executors(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "executors:" in out
+        for name in ("serial", "batched", "process_pool"):
+            assert name in out
+
 
 class TestVarianceCommand:
     def test_tiny_run(self, capsys):
@@ -105,6 +112,142 @@ class TestTrainCommand:
         )
         assert code == 0
         assert "adam" not in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def _write_spec(self, tmp_path, **overrides):
+        import json
+
+        from repro.core import ExperimentSpec, VarianceConfig
+
+        spec = ExperimentSpec(
+            kind="variance",
+            config=VarianceConfig(
+                qubit_counts=(2, 3),
+                num_circuits=4,
+                num_layers=3,
+                methods=("random",),
+            ),
+            seed=3,
+            **overrides,
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        return path
+
+    def test_parses_spec_argument(self):
+        args = build_parser().parse_args(["run", "spec.json", "--workers", "2"])
+        assert args.spec == "spec.json"
+        assert args.workers == 2
+
+    def test_runs_spec_file(self, capsys, tmp_path):
+        path = self._write_spec(tmp_path)
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "kind=variance" in out
+        assert "decay_rate" in out
+
+    def test_workers_override_routes_to_process_pool(self, capsys, tmp_path):
+        path = self._write_spec(tmp_path)
+        assert main(["run", str(path), "--workers", "2"]) == 0
+        assert "executor=process_pool workers=2" in capsys.readouterr().out
+
+    def test_output_round_trips(self, capsys, tmp_path):
+        from repro.io import load_result
+
+        path = self._write_spec(tmp_path)
+        target = tmp_path / "out.json"
+        assert main(["run", str(path), "--output", str(target)]) == 0
+        capsys.readouterr()
+        outcome = load_result(target)
+        assert outcome.result.qubit_counts == [2, 3]
+
+    def test_sweep_spec(self, capsys, tmp_path):
+        import json
+
+        from repro.core import ExperimentSpec, VarianceConfig
+
+        spec = ExperimentSpec(
+            kind="sweep",
+            config=VarianceConfig(
+                qubit_counts=(2, 3),
+                num_circuits=3,
+                num_layers=2,
+                methods=("random",),
+            ),
+            seed=1,
+            sweep_field="num_layers",
+            sweep_values=[2, 4],
+        )
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep num_layers=2" in out
+        assert "sweep num_layers=4" in out
+
+    def test_sweep_with_output_fails_fast(self, capsys, tmp_path, monkeypatch):
+        """--output on a sweep spec exits before any experiment runs."""
+        import json
+
+        import repro.core.variance as vmod
+        from repro.core import ExperimentSpec, VarianceConfig
+
+        calls = []
+        original = vmod.run_variance_shard
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(vmod, "run_variance_shard", counting)
+        spec = ExperimentSpec(
+            kind="sweep",
+            config=VarianceConfig(
+                qubit_counts=(2, 3), num_circuits=3, num_layers=2,
+                methods=("random",),
+            ),
+            seed=1,
+            sweep_field="num_layers",
+            sweep_values=[2, 4],
+        )
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        code = main(["run", str(path), "--output", str(tmp_path / "out.json")])
+        assert code == 2
+        assert calls == []
+        assert "not supported for sweep" in capsys.readouterr().err
+
+    def test_train_checkpoint_dir_flag(self, capsys, tmp_path):
+        target = tmp_path / "ck"
+        code = main(
+            [
+                "train",
+                "--qubits", "2",
+                "--layers", "1",
+                "--iterations", "2",
+                "--methods", "zeros",
+                "--checkpoint-dir", str(target),
+            ]
+        )
+        assert code == 0
+        assert len(list(target.glob("shard-*.json"))) == 1
+        capsys.readouterr()
+
+    def test_variance_workers_flag(self, capsys):
+        code = main(
+            [
+                "variance",
+                "--qubits", "2", "3",
+                "--circuits", "3",
+                "--layers", "2",
+                "--methods", "random",
+                "--seed", "1",
+                "--workers", "1",
+            ]
+        )
+        assert code == 0
+        assert "decay_rate" in capsys.readouterr().out
 
 
 class TestLandscapeCommand:

@@ -116,6 +116,23 @@ class TestExamplesRun:
         assert "verdict" in out
         assert "KL_from_Haar" in out
 
+    def test_spec_driven_experiments(self, capsys, monkeypatch):
+        module = _load("spec_driven_experiments")
+        _run_main(
+            module,
+            [
+                "--qubits", "2", "3",
+                "--circuits", "4",
+                "--layers", "3",
+                "--workers", "1",
+                "--seed", "1",
+            ],
+            monkeypatch,
+        )
+        out = capsys.readouterr().out
+        assert "bit-identical to single process: True" in out
+        assert "spec round-trips" in out
+
     def test_reproduce_paper_arguments_parse(self, monkeypatch):
         module = _load("reproduce_paper")
         monkeypatch.setattr(sys, "argv", ["x", "--fast", "--seed", "7"])
