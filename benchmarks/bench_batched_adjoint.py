@@ -1,0 +1,146 @@
+"""Lock-step training bench — batched adjoint vs sequential trajectories.
+
+The Fig. 5b/5c study trains ~9 initialization methods under one config.
+Sequentially that costs ``B x iterations`` adjoint sweeps; lock-step mode
+folds all trajectories into a ``(B, 2**n)`` stack and runs ``iterations``
+batched sweeps instead.  This bench trains the paper's 10-qubit/5-layer
+configuration (100 parameters) both ways at a reduced iteration budget,
+prints the comparison, emits ``BENCH_batched_adjoint.json`` at the repo
+root, and asserts:
+
+* every method's ``TrainingHistory`` (losses, gradient norms, initial and
+  final parameters) is bit-identical between the modes, and
+* lock-step delivers at least a 3x end-to-end speedup for the >= 8
+  trajectories the acceptance bar names.
+
+A small smoke configuration of the same comparison is slow-marked for the
+test-suite conventions in ``pytest.ini``::
+
+    pytest benchmarks/bench_batched_adjoint.py -m slow --benchmark-only
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core.training import TrainingConfig, train_all_methods
+
+NUM_QUBITS = 10
+NUM_LAYERS = 5
+ITERATIONS = 15
+SEED = 2311
+#: 9 trajectories, mirroring the paper's method comparison (>= 8 required).
+METHODS = (
+    "random",
+    "xavier_normal",
+    "xavier_uniform",
+    "he_normal",
+    "he_uniform",
+    "lecun_normal",
+    "lecun_uniform",
+    "orthogonal",
+    "truncated_normal",
+)
+
+
+def _train(config, methods, lockstep):
+    start = time.perf_counter()
+    histories = train_all_methods(
+        config, methods=methods, seed=SEED, lockstep=lockstep
+    )
+    return histories, time.perf_counter() - start
+
+
+def _histories_identical(sequential, lockstep):
+    if set(sequential) != set(lockstep):
+        return False
+    return all(
+        sequential[m].losses == lockstep[m].losses
+        and sequential[m].gradient_norms == lockstep[m].gradient_norms
+        and np.array_equal(sequential[m].initial_params, lockstep[m].initial_params)
+        and np.array_equal(sequential[m].final_params, lockstep[m].final_params)
+        for m in sequential
+    )
+
+
+def _run():
+    config = TrainingConfig(
+        num_qubits=NUM_QUBITS, num_layers=NUM_LAYERS, iterations=ITERATIONS
+    )
+    sequential, sequential_time = _train(config, METHODS, lockstep=False)
+    lockstep, lockstep_time = _train(config, METHODS, lockstep=True)
+    return sequential, sequential_time, lockstep, lockstep_time
+
+
+def test_batched_adjoint_training_speedup(run_once):
+    sequential, sequential_time, lockstep, lockstep_time = run_once(_run)
+
+    speedup = sequential_time / lockstep_time
+    identical = _histories_identical(sequential, lockstep)
+    sweeps = len(METHODS) * (ITERATIONS + 1)
+
+    print()
+    print("=" * 72)
+    print("Lock-step (batched adjoint) vs sequential training (reduced Fig. 5b)")
+    print(
+        f"  qubits={NUM_QUBITS}, layers={NUM_LAYERS}, "
+        f"iterations={ITERATIONS}, trajectories={len(METHODS)}"
+    )
+    print("=" * 72)
+    print(
+        format_table(
+            ["mode", "adjoint sweeps", "seconds", "speedup"],
+            [
+                ["sequential", str(sweeps), f"{sequential_time:.2f}", "1.0x"],
+                [
+                    "lock-step",
+                    f"{ITERATIONS + 1} (batched)",
+                    f"{lockstep_time:.2f}",
+                    f"{speedup:.2f}x",
+                ],
+            ],
+        )
+    )
+    print(f"bit-identical histories: {identical}")
+
+    payload = {
+        "config": {
+            "num_qubits": NUM_QUBITS,
+            "num_layers": NUM_LAYERS,
+            "iterations": ITERATIONS,
+            "methods": list(METHODS),
+            "seed": SEED,
+        },
+        "trajectories": len(METHODS),
+        "sequential_seconds": sequential_time,
+        "lockstep_seconds": lockstep_time,
+        "speedup": speedup,
+        "bit_identical": identical,
+    }
+    target = Path(__file__).resolve().parents[1] / "BENCH_batched_adjoint.json"
+    target.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {target}")
+
+    # Lock-step must never change results.
+    assert identical, "lock-step histories diverged from sequential training"
+    # The acceptance bar: >= 3x for >= 8 trajectories at paper scale.
+    assert speedup >= 3.0, f"expected >= 3x speedup, got {speedup:.2f}x"
+
+
+@pytest.mark.slow
+def test_batched_adjoint_smoke(run_once):
+    """Fast smoke configuration: identity only, no speedup bar."""
+    config = TrainingConfig(num_qubits=4, num_layers=2, iterations=5)
+    methods = METHODS[:4]
+
+    def _smoke():
+        sequential, _ = _train(config, methods, lockstep=False)
+        lockstep, _ = _train(config, methods, lockstep=True)
+        return sequential, lockstep
+
+    sequential, lockstep = run_once(_smoke)
+    assert _histories_identical(sequential, lockstep)

@@ -16,7 +16,11 @@ evaluate many parameter vectors per circuit pass:
   ``B`` rows through one circuit at once;
 * ``batch_parameter_shift`` folds every shift term of every requested
   parameter (for one or many base vectors) into a single batched
-  execution, registered in ``GRADIENT_ENGINES``.
+  execution, registered in ``GRADIENT_ENGINES``;
+* ``batch_adjoint_gradient`` runs the adjoint backward sweep over a
+  ``(B, 2**n)`` stack (registered as ``batch_adjoint``), and the
+  ``*_value_and_gradient`` variants also return the expectation read off
+  the shared forward pass — the engine behind lock-step training.
 
 Batched results are bit-identical to their sequential counterparts —
 batching is a throughput optimization, never a numerics change.
@@ -39,6 +43,9 @@ from repro.backend.gates import (
 from repro.backend.gradients import (
     GRADIENT_ENGINES,
     adjoint_gradient,
+    adjoint_value_and_gradient,
+    batch_adjoint_gradient,
+    batch_adjoint_value_and_gradient,
     batch_parameter_shift,
     finite_difference,
     get_gradient_fn,
@@ -90,9 +97,12 @@ __all__ = [
     "StatevectorSimulator",
     "TrajectorySimulator",
     "adjoint_gradient",
+    "adjoint_value_and_gradient",
     "amplitude_damping",
     "apply_diagonal",
     "apply_matrix",
+    "batch_adjoint_gradient",
+    "batch_adjoint_value_and_gradient",
     "batch_parameter_shift",
     "bit_flip",
     "controlled_matrix",

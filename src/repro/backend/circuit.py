@@ -95,6 +95,10 @@ class QuantumCircuit:
         self.num_qubits = num_qubits
         self.operations: List[Operation] = []
         self._num_parameters = 0
+        # Lazily-built {position: (matrix, adjoint)} for non-trainable
+        # operations; see static_matrices().
+        self._static_matrices: Optional[Dict[int, Tuple[np.ndarray, np.ndarray]]] = None
+        self._static_matrices_key: Optional[Tuple[Operation, ...]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -308,6 +312,29 @@ class QuantumCircuit:
             for pos, op in enumerate(self.operations)
             if op.is_trainable
         }
+
+    def static_matrices(self) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+        """Cached ``{position: (matrix, adjoint)}`` for non-trainable operations.
+
+        Fixed and bound-parameter gates have parameter-independent unitaries,
+        so the adjoint differentiation engines would otherwise rebuild the
+        same matrix and conjugate transpose on every backward sweep of every
+        call — per training iteration, per trajectory.  The cache is built
+        on first use and invalidated whenever the operation sequence no
+        longer compares equal to the one it was built from (appends, and
+        in-place edits of the public ``operations`` list); entries must
+        not be mutated.
+        """
+        key = tuple(self.operations)
+        if self._static_matrices_key != key:
+            cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+            for pos, op in enumerate(key):
+                if not op.is_trainable:
+                    matrix = op.matrix(None)
+                    cache[pos] = (matrix, matrix.conj().T)
+            self._static_matrices = cache
+            self._static_matrices_key = key
+        return self._static_matrices
 
     def draw(self, params: Optional[np.ndarray] = None, max_width: int = 120) -> str:
         """Render a plain-text sketch of the circuit, one line per qubit."""

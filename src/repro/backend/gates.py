@@ -4,7 +4,9 @@ Defines the fixed (non-parameterized) and parametric gates used throughout
 the library, together with the metadata the differentiation engines need:
 
 * every parametric gate exposes ``matrix(theta)`` and ``derivative(theta)``
-  (``dU/dtheta``), which powers adjoint differentiation;
+  (``dU/dtheta``), which powers adjoint differentiation — plus the
+  vectorized ``matrix_batch(thetas)`` / ``derivative_batch(thetas)`` stacks
+  behind the batched execution and batched adjoint engines;
 * Pauli-word rotations ``exp(-i theta P / 2)`` additionally carry the exact
   two-term parameter-shift rule ``(coefficient=1/2, shift=pi/2)``.
 
@@ -158,6 +160,10 @@ class ParametricGate(Gate):
         parameter array to a ``(B, 2**k, 2**k)`` stack.  Used by
         :meth:`matrix_batch` on the batched-execution hot path; omitted,
         the stack is built one scalar ``matrix_fn`` call at a time.
+    batch_derivative_fn:
+        Optional vectorized form of ``derivative_fn`` with the same batch
+        contract as ``batch_matrix_fn``.  Used by :meth:`derivative_batch`
+        on the batched adjoint-differentiation hot path.
     """
 
     def __init__(
@@ -170,11 +176,13 @@ class ParametricGate(Gate):
         shift_terms: Optional[Tuple[Tuple[float, float], ...]] = None,
         is_diagonal: bool = False,
         batch_matrix_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        batch_derivative_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ):
         super().__init__(name, num_qubits, num_params=1)
         self._matrix_fn = matrix_fn
         self._derivative_fn = derivative_fn
         self._batch_matrix_fn = batch_matrix_fn
+        self._batch_derivative_fn = batch_derivative_fn
         self.shift_rule = shift_rule
         if shift_terms is None and shift_rule is not None:
             coefficient, shift = shift_rule
@@ -207,6 +215,19 @@ class ParametricGate(Gate):
             return self._batch_matrix_fn(thetas)
         return np.stack([self._matrix_fn(float(t)) for t in thetas])
 
+    def derivative_batch(self, thetas: np.ndarray) -> np.ndarray:
+        """Return the ``(B, 2**k, 2**k)`` stack ``[dU/dtheta (t) for t in thetas]``.
+
+        Same contract as :meth:`matrix_batch`: the vectorized
+        ``batch_derivative_fn`` is used when available (all built-in
+        rotations provide one), otherwise scalar ``derivative`` calls are
+        stacked so any custom gate stays batchable.
+        """
+        thetas = np.asarray(thetas, dtype=float).reshape(-1)
+        if self._batch_derivative_fn is not None:
+            return self._batch_derivative_fn(thetas)
+        return np.stack([self._derivative_fn(float(t)) for t in thetas])
+
 
 def _pauli_rotation(name: str, word: str) -> ParametricGate:
     """Build the Pauli-word rotation ``exp(-i theta P / 2)``.
@@ -229,6 +250,11 @@ def _pauli_rotation(name: str, word: str) -> ParametricGate:
         sin = (1j * np.sin(thetas / 2.0))[:, None, None]
         return cos * _i - sin * _p
 
+    def batch_derivative_fn(thetas: np.ndarray, _p=pauli, _i=identity) -> np.ndarray:
+        sin = (-0.5 * np.sin(thetas / 2.0))[:, None, None]
+        cos = (0.5j * np.cos(thetas / 2.0))[:, None, None]
+        return sin * _i - cos * _p
+
     return ParametricGate(
         name,
         num_qubits=len(word),
@@ -237,6 +263,7 @@ def _pauli_rotation(name: str, word: str) -> ParametricGate:
         shift_rule=(0.5, np.pi / 2.0),
         is_diagonal=all(letter in "IZ" for letter in word),
         batch_matrix_fn=batch_matrix_fn,
+        batch_derivative_fn=batch_derivative_fn,
     )
 
 
@@ -260,6 +287,11 @@ def _phase_shift_gate() -> ParametricGate:
         out[:, 1, 1] = np.exp(1j * thetas)
         return out
 
+    def batch_derivative_fn(thetas: np.ndarray) -> np.ndarray:
+        out = np.zeros((thetas.size, 2, 2), dtype=complex)
+        out[:, 1, 1] = 1j * np.exp(1j * thetas)
+        return out
+
     return ParametricGate(
         "PHASE",
         num_qubits=1,
@@ -268,6 +300,7 @@ def _phase_shift_gate() -> ParametricGate:
         shift_rule=(0.5, np.pi / 2.0),
         is_diagonal=True,
         batch_matrix_fn=batch_matrix_fn,
+        batch_derivative_fn=batch_derivative_fn,
     )
 
 
@@ -306,6 +339,13 @@ def _controlled_rotation(name: str, axis_word: str) -> ParametricGate:
         out[:, dim:, dim:] = cos * _i - sin * _p
         return out
 
+    def batch_derivative_fn(thetas: np.ndarray, _p=pauli, _i=identity) -> np.ndarray:
+        sin = (-0.5 * np.sin(thetas / 2.0))[:, None, None]
+        cos = (0.5j * np.cos(thetas / 2.0))[:, None, None]
+        out = np.zeros((thetas.size, 2 * dim, 2 * dim), dtype=complex)
+        out[:, dim:, dim:] = sin * _i - cos * _p
+        return out
+
     c_plus = (np.sqrt(2.0) + 1.0) / (4.0 * np.sqrt(2.0))
     c_minus = (np.sqrt(2.0) - 1.0) / (4.0 * np.sqrt(2.0))
     four_term = (
@@ -323,6 +363,7 @@ def _controlled_rotation(name: str, axis_word: str) -> ParametricGate:
         shift_terms=four_term,
         is_diagonal=all(letter in "IZ" for letter in axis_word),
         batch_matrix_fn=batch_matrix_fn,
+        batch_derivative_fn=batch_derivative_fn,
     )
 
 

@@ -15,7 +15,22 @@ Three interchangeable engines compute ``d <O> / d params``:
 ``adjoint_gradient``
     Reverse-mode differentiation through the statevector (Jones & Gacon,
     2020).  One forward pass plus one backward sweep gives the *full*
-    gradient in ``O(#gates)`` — the engine used for training.
+    gradient in ``O(#gates)`` — the engine used for training.  Fixed and
+    bound-parameter gate adjoints are cached on the circuit
+    (:meth:`QuantumCircuit.static_matrices`), so repeated sweeps — one per
+    training iteration — rebuild only the trainable matrices.
+
+``batch_adjoint``
+    The adjoint sweep over a ``(B, 2**n)`` statevector stack: one
+    :meth:`StatevectorSimulator.run_batch` forward pass, then a single
+    backward sweep applying per-row adjoint/derivative stacks
+    (:meth:`ParametricGate.matrix_batch` / ``derivative_batch``) through
+    the broadcasting kernels.  Row ``b`` is bit-identical to
+    ``adjoint_gradient(..., params[b])``; throughput is what changes —
+    this engine powers lock-step multi-trajectory training.
+    :func:`adjoint_value_and_gradient` / :func:`batch_adjoint_value_and_gradient`
+    additionally return the expectation read off the same forward pass, so
+    training loops get loss and full gradient from one execution.
 
 ``finite_difference``
     Numerical fallback that works for any gate; used mainly to cross-check
@@ -47,6 +62,9 @@ __all__ = [
     "batch_parameter_shift",
     "finite_difference",
     "adjoint_gradient",
+    "adjoint_value_and_gradient",
+    "batch_adjoint_gradient",
+    "batch_adjoint_value_and_gradient",
     "get_gradient_fn",
     "GRADIENT_ENGINES",
 ]
@@ -280,6 +298,54 @@ def finite_difference(
     return grads
 
 
+def _adjoint_sweep(
+    circuit: QuantumCircuit,
+    observable: Observable,
+    params: np.ndarray,
+    simulator: StatevectorSimulator,
+    indices: Sequence[int],
+    initial_state: Optional[Statevector],
+    want_value: bool,
+) -> Tuple[Optional[float], np.ndarray]:
+    """Sequential adjoint forward pass + backward sweep.
+
+    Returns ``(expectation, grads)``; the expectation is read off the
+    forward pass (``None`` unless ``want_value``), so callers needing loss
+    *and* gradient execute the circuit exactly once.
+    """
+    wanted = set(indices)
+    num_qubits = circuit.num_qubits
+    static = circuit.static_matrices()
+
+    # Forward pass.
+    final_state = simulator.run(circuit, params, initial_state)
+    value = observable.expectation(final_state) if want_value else None
+    psi = final_state.data.copy()
+    lam = observable.apply(psi)
+
+    grads_by_index = {}
+    for pos in range(len(circuit.operations) - 1, -1, -1):
+        op = circuit.operations[pos]
+        if op.is_trainable:
+            adjoint = op.matrix(params).conj().T
+        else:
+            adjoint = static[pos][1]
+        # Undo this gate: |psi_k> (state before the gate).
+        psi = apply_matrix(psi, adjoint, op.qubits, num_qubits)
+        if op.is_trainable and op.param_index in wanted:
+            gate = op.gate
+            assert isinstance(gate, ParametricGate)
+            d_matrix = gate.derivative(float(params[op.param_index]))
+            d_psi = apply_matrix(psi, d_matrix, op.qubits, num_qubits)
+            grads_by_index[op.param_index] = 2.0 * float(
+                np.real(np.vdot(lam, d_psi))
+            )
+        lam = apply_matrix(lam, adjoint, op.qubits, num_qubits)
+
+    grads = np.array([grads_by_index.get(i, 0.0) for i in indices], dtype=float)
+    return value, grads
+
+
 def adjoint_gradient(
     circuit: QuantumCircuit,
     observable: Observable,
@@ -299,40 +365,174 @@ def adjoint_gradient(
     simulator = simulator or StatevectorSimulator()
     params = np.asarray(params, dtype=float).reshape(-1)
     indices = _resolve_indices(circuit, param_indices)
-    wanted = set(indices)
+    _, grads = _adjoint_sweep(
+        circuit, observable, params, simulator, indices, initial_state,
+        want_value=False,
+    )
+    return grads
+
+
+def adjoint_value_and_gradient(
+    circuit: QuantumCircuit,
+    observable: Observable,
+    params: Sequence[float],
+    simulator: Optional[StatevectorSimulator] = None,
+    param_indices: Optional[Sequence[int]] = None,
+    initial_state: Optional[Statevector] = None,
+) -> Tuple[float, np.ndarray]:
+    """``(<O>, gradient)`` from one adjoint pass — no second execution.
+
+    The expectation is evaluated on the forward-pass state, so it carries
+    exactly the same bits as ``simulator.expectation(circuit, observable,
+    params)``, and the gradient matches :func:`adjoint_gradient`.
+    """
+    simulator = simulator or StatevectorSimulator()
+    params = np.asarray(params, dtype=float).reshape(-1)
+    indices = _resolve_indices(circuit, param_indices)
+    value, grads = _adjoint_sweep(
+        circuit, observable, params, simulator, indices, initial_state,
+        want_value=True,
+    )
+    return value, grads
+
+
+def _batch_adjoint_sweep(
+    circuit: QuantumCircuit,
+    observable: Observable,
+    batch: np.ndarray,
+    simulator: StatevectorSimulator,
+    indices: Sequence[int],
+    initial_state: Optional[Statevector],
+    want_values: bool,
+) -> Tuple[Optional[np.ndarray], np.ndarray]:
+    """Adjoint forward pass + backward sweep over a ``(B, 2**n)`` stack.
+
+    Per row the arithmetic mirrors :func:`_adjoint_sweep` through the
+    broadcasting kernels, so results are bit-identical to ``B`` sequential
+    sweeps; the final inner products stay per-row ``vdot`` calls for the
+    same reason.
+    """
     num_qubits = circuit.num_qubits
+    static = circuit.static_matrices()
 
-    # Forward pass.
-    final_state = simulator.run(circuit, params, initial_state)
-    psi = final_state.data.copy()
-    lam = observable.apply(psi)
+    # Forward pass: one batched execution for all rows.
+    psi = simulator.run_batch(circuit, batch, initial_state)
+    values = observable.expectation_batch(psi) if want_values else None
+    lam = observable.apply_batch(psi)
 
-    grads_by_index = {}
-    for op in reversed(circuit.operations):
-        matrix = op.matrix(params)
-        adjoint = matrix.conj().T
-        # Undo this gate: |psi_k> (state before the gate).
-        psi = apply_matrix(psi, adjoint, op.qubits, num_qubits)
-        if op.is_trainable and op.param_index in wanted:
+    grads = np.zeros((batch.shape[0], len(indices)), dtype=float)
+    slot_of = {index: slot for slot, index in enumerate(indices)}
+    for pos in range(len(circuit.operations) - 1, -1, -1):
+        op = circuit.operations[pos]
+        if op.is_trainable:
+            thetas = batch[:, op.param_index]
             gate = op.gate
             assert isinstance(gate, ParametricGate)
-            d_matrix = gate.derivative(float(params[op.param_index]))
-            d_psi = apply_matrix(psi, d_matrix, op.qubits, num_qubits)
-            grads_by_index[op.param_index] = 2.0 * float(
-                np.real(np.vdot(lam, d_psi))
-            )
+            adjoint = gate.matrix_batch(thetas).conj().transpose(0, 2, 1)
+        else:
+            adjoint = static[pos][1]
+        # Undo this gate on every row: |psi_k> (states before the gate).
+        psi = apply_matrix(psi, adjoint, op.qubits, num_qubits)
+        if op.is_trainable and op.param_index in slot_of:
+            d_matrices = gate.derivative_batch(thetas)
+            d_psi = apply_matrix(psi, d_matrices, op.qubits, num_qubits)
+            grads[:, slot_of[op.param_index]] = [
+                2.0 * float(np.real(np.vdot(l, d)))
+                for l, d in zip(lam, d_psi)
+            ]
         lam = apply_matrix(lam, adjoint, op.qubits, num_qubits)
+    return values, grads
 
-    return np.array([grads_by_index.get(i, 0.0) for i in indices], dtype=float)
+
+def _coerce_batch(circuit: QuantumCircuit, params: Sequence[float]) -> Tuple[np.ndarray, bool]:
+    """Normalize 1-D/2-D ``params`` to ``(B, P)`` plus a was-single flag."""
+    array = np.asarray(params, dtype=float)
+    if array.ndim not in (1, 2):
+        raise ValueError(
+            f"params must be 1-D or 2-D (batch, num_parameters), "
+            f"got shape {array.shape}"
+        )
+    single = array.ndim == 1
+    return array.reshape(1, -1) if single else array, single
 
 
-#: Named registry of gradient engines.  ``batch_parameter_shift`` shares
-#: the standard engine signature (1-D ``params``) and returns the same
-#: values as ``parameter_shift`` from one batched execution.
+def batch_adjoint_gradient(
+    circuit: QuantumCircuit,
+    observable: Observable,
+    params: Sequence[float],
+    simulator: Optional[StatevectorSimulator] = None,
+    param_indices: Optional[Sequence[int]] = None,
+    initial_state: Optional[Statevector] = None,
+) -> np.ndarray:
+    """Adjoint gradients for one or many parameter vectors in one sweep.
+
+    Parameters
+    ----------
+    circuit, observable:
+        The expectation function being differentiated.
+    params:
+        One parameter vector (shape ``(P,)``) or a stack of ``B`` vectors
+        (shape ``(B, P)``) sharing the circuit — e.g. one trajectory per
+        initialization method in lock-step training.
+    simulator:
+        Reused if given, else a fresh one is created.
+    param_indices:
+        Subset of parameters to differentiate (default: all).
+    initial_state:
+        Optional non-default input state shared by every row.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(len(param_indices),)`` for 1-D ``params``, else
+        ``(B, len(param_indices))``; row ``b`` bit-identical to
+        ``adjoint_gradient(circuit, observable, params[b], ...)``.
+    """
+    simulator = simulator or StatevectorSimulator()
+    batch, single = _coerce_batch(circuit, params)
+    indices = _resolve_indices(circuit, param_indices)
+    _, grads = _batch_adjoint_sweep(
+        circuit, observable, batch, simulator, indices, initial_state,
+        want_values=False,
+    )
+    return grads[0] if single else grads
+
+
+def batch_adjoint_value_and_gradient(
+    circuit: QuantumCircuit,
+    observable: Observable,
+    params: Sequence[float],
+    simulator: Optional[StatevectorSimulator] = None,
+    param_indices: Optional[Sequence[int]] = None,
+    initial_state: Optional[Statevector] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(<O> per row, gradients)`` from one batched adjoint pass.
+
+    Expectations are read off the shared forward pass — the batched
+    counterpart of :func:`adjoint_value_and_gradient`.  For 1-D ``params``
+    returns ``(float, (len(indices),))``, else ``((B,), (B, len(indices)))``.
+    """
+    simulator = simulator or StatevectorSimulator()
+    batch, single = _coerce_batch(circuit, params)
+    indices = _resolve_indices(circuit, param_indices)
+    values, grads = _batch_adjoint_sweep(
+        circuit, observable, batch, simulator, indices, initial_state,
+        want_values=True,
+    )
+    if single:
+        return float(values[0]), grads[0]
+    return values, grads
+
+
+#: Named registry of gradient engines.  The ``batch_*`` engines share the
+#: standard engine signature (and additionally accept ``(B, P)`` parameter
+#: stacks), returning the same values as their sequential counterparts
+#: from one batched execution.
 GRADIENT_ENGINES = {
     "parameter_shift": parameter_shift,
     "batch_parameter_shift": batch_parameter_shift,
     "adjoint": adjoint_gradient,
+    "batch_adjoint": batch_adjoint_gradient,
     "finite_difference": finite_difference,
 }
 
@@ -341,7 +541,7 @@ def get_gradient_fn(name: str) -> GradientFn:
     """Look up a gradient engine by name.
 
     Valid names: ``parameter_shift``, ``batch_parameter_shift``,
-    ``adjoint``, ``finite_difference``.
+    ``adjoint``, ``batch_adjoint``, ``finite_difference``.
     """
     try:
         return GRADIENT_ENGINES[name]

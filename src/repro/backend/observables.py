@@ -4,7 +4,9 @@ Observables support three operations used across the library:
 
 * ``expectation(state)`` — exact ``<psi|O|psi>``;
 * ``apply(data)`` — the matrix-vector product ``O|psi>`` on a flat amplitude
-  buffer (the seed of the adjoint differentiation backward pass);
+  buffer (the seed of the adjoint differentiation backward pass), with
+  ``apply_batch(states)`` as the per-row-bit-identical ``(B, 2**n)`` form
+  seeding the batched adjoint engine;
 * ``matrix()`` — a dense matrix, used by tests and by shot-based sampling of
   non-diagonal observables.
 
@@ -83,6 +85,17 @@ class Observable(abc.ABC):
             ],
             dtype=float,
         )
+
+    def apply_batch(self, states: np.ndarray) -> np.ndarray:
+        """``O @ row`` for each row of a ``(B, 2**n)`` amplitude buffer.
+
+        The default loops :meth:`apply` over rows (bit-identical to
+        sequential evaluation by construction); subclasses whose
+        :meth:`apply` broadcasts through the batched kernels override it
+        with the vectorized form, which preserves the same per-row bits.
+        """
+        states = self._check_states_batch(states)
+        return np.stack([self.apply(row) for row in states])
 
     def _check_states_batch(self, states: np.ndarray) -> np.ndarray:
         """Validate and coerce a ``(B, 2**n)`` batch of amplitude rows."""
@@ -195,6 +208,10 @@ class PauliString(Observable):
     def expectation_batch(self, states: np.ndarray) -> np.ndarray:
         return self._expectation_batch_via_apply(states)
 
+    def apply_batch(self, states: np.ndarray) -> np.ndarray:
+        # apply() already broadcasts over the batch axis via the kernels.
+        return self.apply(self._check_states_batch(states))
+
     def matrix(self) -> np.ndarray:
         return self.coefficient * pauli_word_matrix(self.word)
 
@@ -249,6 +266,10 @@ class PauliSum(Observable):
     def expectation_batch(self, states: np.ndarray) -> np.ndarray:
         return self._expectation_batch_via_apply(states)
 
+    def apply_batch(self, states: np.ndarray) -> np.ndarray:
+        # Each term broadcasts; the accumulation order matches apply().
+        return self.apply(self._check_states_batch(states))
+
     def matrix(self) -> np.ndarray:
         return sum(term.matrix() for term in self.terms)
 
@@ -299,6 +320,14 @@ class Projector(Observable):
         return np.array(
             [float(abs(a) ** 2) for a in states[:, self.index]], dtype=float
         )
+
+    def apply_batch(self, states: np.ndarray) -> np.ndarray:
+        # apply() indexes the flat buffer, so the batched form keeps one
+        # amplitude per row instead; copying amplitudes is exact.
+        states = self._check_states_batch(states)
+        out = np.zeros_like(states)
+        out[:, self.index] = states[:, self.index]
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Projector({''.join(map(str, self.bits))})"

@@ -34,7 +34,7 @@ from repro.backend.statevector import Statevector, apply_diagonal, apply_matrix
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["StatevectorSimulator", "apply_operation"]
+__all__ = ["StatevectorSimulator", "apply_operation", "apply_operation_batch"]
 
 
 def apply_operation(data, op, params, num_qubits):
@@ -46,6 +46,28 @@ def apply_operation(data, op, params, num_qubits):
     """
     matrix = op.matrix(params)
     if getattr(op.gate, "is_diagonal", False):
+        return apply_diagonal(data, np.diagonal(matrix), op.qubits, num_qubits)
+    return apply_matrix(data, matrix, op.qubits, num_qubits)
+
+
+def apply_operation_batch(data, op, batch_params, num_qubits):
+    """Apply one circuit operation to a ``(B, 2**n)`` amplitude buffer.
+
+    Trainable gates gather their per-row angles from ``batch_params``
+    (shape ``(B, num_parameters)``) and apply a ``(B, 2**k, 2**k)`` matrix
+    stack; fixed and bound-parameter gates share one matrix across all
+    rows.  Row ``b`` of the result is bit-identical to
+    ``apply_operation(data[b], op, batch_params[b], num_qubits)``.
+    """
+    gate = op.gate
+    if op.is_trainable:
+        matrices = gate.matrix_batch(batch_params[:, op.param_index])
+        if getattr(gate, "is_diagonal", False):
+            diagonals = np.diagonal(matrices, axis1=-2, axis2=-1)
+            return apply_diagonal(data, diagonals, op.qubits, num_qubits)
+        return apply_matrix(data, matrices, op.qubits, num_qubits)
+    matrix = op.matrix(None)
+    if getattr(gate, "is_diagonal", False):
         return apply_diagonal(data, np.diagonal(matrix), op.qubits, num_qubits)
     return apply_matrix(data, matrix, op.qubits, num_qubits)
 
@@ -124,23 +146,7 @@ class StatevectorSimulator:
                 )
             data = np.tile(initial_state.data, (batch, 1))
         for op in circuit.operations:
-            if op.is_trainable:
-                gate = op.gate
-                matrices = gate.matrix_batch(batch_array[:, op.param_index])
-                if getattr(gate, "is_diagonal", False):
-                    diagonals = np.diagonal(matrices, axis1=-2, axis2=-1)
-                    data = apply_diagonal(data, diagonals, op.qubits, num_qubits)
-                else:
-                    data = apply_matrix(data, matrices, op.qubits, num_qubits)
-            else:
-                # Fixed or bound-parameter gate: one matrix shared by all rows.
-                matrix = op.matrix(None)
-                if getattr(op.gate, "is_diagonal", False):
-                    data = apply_diagonal(
-                        data, np.diagonal(matrix), op.qubits, num_qubits
-                    )
-                else:
-                    data = apply_matrix(data, matrix, op.qubits, num_qubits)
+            data = apply_operation_batch(data, op, batch_array, num_qubits)
         return data
 
     def expectation(

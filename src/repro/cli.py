@@ -19,7 +19,10 @@ Every command accepts ``--seed`` for exact reproducibility and the study
 commands accept ``--output FILE`` to persist the outcome as JSON
 (reloadable via :func:`repro.io.load_result`).  ``variance``, ``train``
 and ``run`` accept ``--workers N`` to shard work over a process pool —
-seeded results are bit-identical to the single-process run.
+seeded results are bit-identical to the single-process run.  ``train``
+additionally accepts ``--batch-trajectories`` (lock-step training of all
+``--restarts`` x methods trajectories through the batched adjoint
+engine) — again bit-identical, just faster.
 """
 
 from __future__ import annotations
@@ -87,6 +90,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="train methods in N worker processes (same seeded results)",
+    )
+    train.add_argument(
+        "--batch-trajectories",
+        action="store_true",
+        help="advance all (method, restart) trajectories in lock step "
+        "through the batched adjoint engine (same seeded results, one "
+        "batched sweep per iteration instead of one per trajectory)",
+    )
+    train.add_argument(
+        "--restarts",
+        type=int,
+        default=1,
+        help="independent restarts per method (trajectories are labelled "
+        "METHOD#rK when greater than 1)",
     )
     train.add_argument(
         "--checkpoint-dir",
@@ -188,12 +205,24 @@ def _cmd_train(args: argparse.Namespace) -> int:
         learning_rate=args.learning_rate,
         cost_kind=args.cost,
     )
+    if args.batch_trajectories:
+        executor = "lockstep"
+        if args.workers > 1:
+            print(
+                "--batch-trajectories runs in-process; ignoring --workers",
+                file=sys.stderr,
+            )
+    elif args.workers > 1:
+        executor = "process_pool"
+    else:
+        executor = None
     spec = ExperimentSpec(
         kind="training",
         config=config,
         seed=args.seed,
         methods=tuple(args.methods) if args.methods else tuple(PAPER_METHODS),
-        executor="process_pool" if args.workers > 1 else None,
+        restarts=args.restarts,
+        executor=executor,
         workers=args.workers,
         checkpoint_dir=args.checkpoint_dir,
     )

@@ -28,6 +28,7 @@ from repro.core.profile import (
 from repro.core.executor import (
     BatchedExecutor,
     Executor,
+    LockstepExecutor,
     ProcessPoolExecutor,
     SerialExecutor,
     ShardCheckpoint,
@@ -53,13 +54,20 @@ from repro.core.results import (
     VarianceResult,
 )
 from repro.core.sweep import improvement_series, sweep_variance
-from repro.core.training import Trainer, TrainingConfig, train, train_all_methods
+from repro.core.training import (
+    Trainer,
+    TrainingConfig,
+    expand_trajectories,
+    train,
+    train_all_methods,
+)
 from repro.core.variance import VarianceAnalysis, VarianceConfig
 
 __all__ = [
     "BatchedExecutor",
     "DecayFit",
     "Executor",
+    "LockstepExecutor",
     "ExperimentSpec",
     "FullReproductionOutcome",
     "GradientProfile",
@@ -99,5 +107,6 @@ __all__ = [
     "state_learning_cost",
     "train",
     "train_all_methods",
+    "expand_trajectories",
     "variance_outcome_from_result",
 ]

@@ -22,7 +22,12 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.backend.circuit import QuantumCircuit
-from repro.backend.gradients import get_gradient_fn
+from repro.backend.gradients import (
+    adjoint_value_and_gradient,
+    batch_adjoint_value_and_gradient,
+    batch_parameter_shift,
+    get_gradient_fn,
+)
 from repro.backend.observables import (
     Observable,
     StateProjector,
@@ -53,8 +58,9 @@ class ObservableCost:
     offset, scale:
         Affine transform mapping the expectation to the cost.
     gradient_engine:
-        Default differentiation method (``"adjoint"``,
-        ``"parameter_shift"`` or ``"finite_difference"``).
+        Default differentiation method (``"adjoint"``, ``"batch_adjoint"``,
+        ``"parameter_shift"``, ``"batch_parameter_shift"`` or
+        ``"finite_difference"``).
     simulator:
         Shared simulator instance (a fresh one is created if omitted).
     """
@@ -109,8 +115,67 @@ class ObservableCost:
     def value_and_gradient(
         self, params: Sequence[float]
     ) -> Tuple[float, np.ndarray]:
-        """Convenience pair used by training loops."""
+        """Loss and full gradient, sharing work where the engine allows.
+
+        With an adjoint-family engine the expectation is read off the
+        adjoint forward pass, so the circuit executes once instead of
+        twice; both numbers carry exactly the bits the separate
+        :meth:`value` / :meth:`gradient` calls would produce.  Other
+        engines fall back to those two calls.
+        """
+        if self.gradient_engine in ("adjoint", "batch_adjoint"):
+            fused = (
+                adjoint_value_and_gradient
+                if self.gradient_engine == "adjoint"
+                else batch_adjoint_value_and_gradient
+            )
+            expectation, raw = fused(
+                self.circuit, self.observable, params, simulator=self.simulator
+            )
+            return self.offset + self.scale * expectation, self.scale * raw
         return self.value(params), self.gradient(params)
+
+    def value_and_gradient_batch(
+        self, params_batch: Sequence[Sequence[float]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Losses and full gradients for a ``(B, P)`` stack of trajectories.
+
+        Row ``b`` is bit-identical to ``value_and_gradient(params_batch[b])``
+        — the property lock-step training relies on.  Adjoint-family
+        engines use one batched adjoint sweep (loss read off the shared
+        forward pass); shift-rule engines use one batched-shift execution
+        plus one batched forward pass for the losses; anything else loops
+        rows through the sequential pair.
+
+        Returns
+        -------
+        (numpy.ndarray, numpy.ndarray)
+            Losses of shape ``(B,)`` and gradients of shape ``(B, P)``.
+        """
+        batch = np.asarray(params_batch, dtype=float)
+        if batch.ndim != 2:
+            raise ValueError(
+                f"params_batch must be 2-D (batch, num_parameters), "
+                f"got shape {batch.shape}"
+            )
+        if self.gradient_engine in ("adjoint", "batch_adjoint"):
+            expectations, raw = batch_adjoint_value_and_gradient(
+                self.circuit, self.observable, batch, simulator=self.simulator
+            )
+        elif self.gradient_engine in ("parameter_shift", "batch_parameter_shift"):
+            raw = batch_parameter_shift(
+                self.circuit, self.observable, batch, simulator=self.simulator
+            )
+            expectations = self.simulator.expectation_batch(
+                self.circuit, self.observable, batch
+            )
+        else:
+            pairs = [self.value_and_gradient(row) for row in batch]
+            return (
+                np.array([value for value, _ in pairs], dtype=float),
+                np.stack([grad for _, grad in pairs]),
+            )
+        return self.offset + self.scale * expectations, self.scale * raw
 
     def __call__(self, params: Sequence[float]) -> float:
         return self.value(params)

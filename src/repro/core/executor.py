@@ -11,6 +11,11 @@ library's workloads:
 ``batched``
     In-process loop using the batched statevector kernels
     (``VarianceConfig.batched=True``) — the default since PR 1.
+``lockstep``
+    Like ``batched``, and additionally advertises lock-step training
+    (``training_lockstep``): the spec layer folds all training
+    trajectories into one batched-adjoint work unit instead of one unit
+    per trajectory, with bit-identical histories.
 ``process_pool``
     Shards units across OS processes via :mod:`concurrent.futures`.  Work
     units carry pre-reserved RNG children (see
@@ -53,6 +58,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "BatchedExecutor",
+    "LockstepExecutor",
     "ProcessPoolExecutor",
     "EXECUTORS",
     "register_executor",
@@ -143,6 +149,10 @@ class Executor(ABC):
     #: Forced value for ``VarianceConfig.batched`` on variance shards
     #: (``None`` = honour the config; the spec layer applies this).
     variance_batched: ClassVar[Optional[bool]] = None
+    #: True when training trajectories should be folded into one lock-step
+    #: batched unit instead of one unit per trajectory (the spec layer
+    #: applies this; results are bit-identical either way).
+    training_lockstep: ClassVar[bool] = False
 
     def __init__(
         self,
@@ -275,6 +285,21 @@ class BatchedExecutor(SerialExecutor):
 
     name = "batched"
     variance_batched: ClassVar[Optional[bool]] = True
+
+
+@register_executor
+class LockstepExecutor(BatchedExecutor):
+    """Batched executor that also trains all trajectories in lock step.
+
+    For ``training`` specs the spec layer hands this executor a single
+    work unit advancing every (method, restart) trajectory simultaneously
+    through the batched adjoint engine — ``B x iterations`` sequential
+    sweeps become ``iterations`` batched ones, with bit-identical
+    histories.  Variance specs behave exactly like ``batched``.
+    """
+
+    name = "lockstep"
+    training_lockstep: ClassVar[bool] = True
 
 
 @register_executor

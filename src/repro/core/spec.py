@@ -35,9 +35,15 @@ seeded results are bit-identical to the serial run::
     )
     outcome = repro.run(spec)           # interrupted? rerun to resume
 
-Training (one Fig. 5b/5c panel) and sweeps use the same shape::
+Training (one Fig. 5b/5c panel) and sweeps use the same shape; the
+``lockstep`` executor advances every (method, restart) trajectory
+simultaneously through the batched adjoint engine — bit-identical
+histories, one batched sweep per iteration::
 
     repro.run(ExperimentSpec(kind="training", seed=1, methods=("random", "zeros")))
+    repro.run(ExperimentSpec(
+        kind="training", seed=1, restarts=5, executor="lockstep",
+    ))
     repro.run(ExperimentSpec(
         kind="sweep", sweep_field="num_layers", sweep_values=[10, 30, 60], seed=2,
     ))
@@ -48,8 +54,9 @@ round-trip through JSON, and the CLI runs a saved file directly::
     python -m repro run spec.json --workers 4
 
 Executors live in a registry (:mod:`repro.core.executor`): ``serial``
-(sequential reference path), ``batched`` (default), ``process_pool``
-(multi-process sharding).  ``repro info`` lists them.
+(sequential reference path), ``batched`` (default), ``lockstep``
+(batched + lock-step training), ``process_pool`` (multi-process
+sharding).  ``repro info`` lists them.
 """
 
 from __future__ import annotations
@@ -157,6 +164,12 @@ class ExperimentSpec:
     methods:
         Initializer names for ``training`` specs (``None`` = the paper's
         methods); variance methods belong in ``config.methods``.
+    restarts:
+        Independent restarts per method for ``training`` specs: the run
+        covers every ``(method, restart)`` trajectory (labelled
+        ``"<method>#r<k>"`` when greater than one), sharded across
+        executor units — or folded into one lock-step batch by the
+        ``lockstep`` executor.
     sweep_field / sweep_values / paired:
         For ``sweep`` specs: the :class:`VarianceConfig` field to vary,
         the values it takes, and whether runs share paired RNG streams.
@@ -170,6 +183,7 @@ class ExperimentSpec:
     checkpoint_dir: Optional[Union[str, Path]] = None
     circuits_per_shard: Optional[int] = None
     methods: Optional[Sequence[str]] = None
+    restarts: int = 1
     sweep_field: Optional[str] = None
     sweep_values: Optional[Sequence] = None
     paired: bool = True
@@ -195,10 +209,16 @@ class ExperimentSpec:
                 f"(or a dict of its fields), got {type(self.config).__name__}"
             )
         check_positive_int(self.workers, "workers")
+        check_positive_int(self.restarts, "restarts")
         if self.methods is not None and self.kind != "training":
             raise ValueError(
                 "methods applies to training specs only; variance methods "
                 "belong in config.methods"
+            )
+        if self.restarts != 1 and self.kind != "training":
+            raise ValueError(
+                f"restarts applies to training specs only, not "
+                f"kind={self.kind!r}"
             )
         if self.kind == "sweep":
             if self.sweep_field is None or self.sweep_values is None:
@@ -240,6 +260,7 @@ class ExperimentSpec:
             ),
             "circuits_per_shard": self.circuits_per_shard,
             "methods": list(self.methods) if self.methods is not None else None,
+            "restarts": self.restarts,
             "sweep_field": self.sweep_field,
             "sweep_values": (
                 list(self.sweep_values) if self.sweep_values is not None else None
@@ -267,6 +288,7 @@ class ExperimentSpec:
         # scalars; treat them like absent keys.
         workers = payload.get("workers")
         paired = payload.get("paired")
+        restarts = payload.get("restarts")
         return cls(
             kind=str(payload["kind"]),
             config=payload.get("config"),
@@ -276,6 +298,7 @@ class ExperimentSpec:
             checkpoint_dir=payload.get("checkpoint_dir"),
             circuits_per_shard=payload.get("circuits_per_shard"),
             methods=payload.get("methods"),
+            restarts=1 if restarts is None else int(restarts),
             sweep_field=payload.get("sweep_field"),
             sweep_values=payload.get("sweep_values"),
             paired=True if paired is None else bool(paired),
@@ -317,17 +340,18 @@ def _fingerprint(
             "checkpointing requires a serializable seed (int, None, or "
             "SeedSequence-backed); got a transient generator"
         ) from None
-    canonical = json.dumps(
-        {
-            "kind": kind,
-            "config": asdict(config) if config is not None else None,
-            "seed": seed,
-            "methods": list(spec.methods) if spec.methods else None,
-            "plan": plan,
-        },
-        sort_keys=True,
-        default=list,
-    )
+    payload = {
+        "kind": kind,
+        "config": asdict(config) if config is not None else None,
+        "seed": seed,
+        "methods": list(spec.methods) if spec.methods else None,
+        "plan": plan,
+    }
+    if spec.restarts != 1:
+        # Only stamped when used, so single-restart checkpoints keep their
+        # historical fingerprints.
+        payload["restarts"] = spec.restarts
+    canonical = json.dumps(payload, sort_keys=True, default=list)
     return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
 
 
@@ -409,40 +433,66 @@ def _run_variance(
 def _run_training(
     spec: ExperimentSpec, executor: Executor, verbose: bool
 ) -> Any:
-    """Train every method as an independent work unit (one per child seed)."""
+    """Train every ``(method, restart)`` trajectory through the executor.
+
+    Trajectories are independent work units (one per pre-reserved child
+    seed), so multi-restart studies shard across process pools; a
+    lock-step executor instead receives one unit that advances all
+    trajectories simultaneously through the batched adjoint engine.
+    Either way the seed layout — and therefore every history — is
+    bit-identical across executors.
+    """
     from repro.core.experiments import TrainingExperimentOutcome
     from repro.core.results import TrainingHistory
     from repro.core import training as _training_module
 
     config = spec.config or TrainingConfig()
     methods = tuple(spec.methods) if spec.methods else tuple(PAPER_METHODS)
+    labels, trajectory_methods = _training_module.expand_trajectories(
+        methods, spec.restarts
+    )
     fingerprint = ""
     if executor.checkpoint_dir is not None:
         fingerprint = _fingerprint("training", config, spec)
-    seeds = spawn_seeds(spec.seed, len(methods))
-    units = [
-        WorkUnit(
-            f"train-{method}",
-            _training_module.run_training_unit,
-            (config, method, seed),
-        )
-        for method, seed in zip(methods, seeds)
-    ]
+    seeds = spawn_seeds(spec.seed, len(labels))
+    if executor.training_lockstep:
+        units = [
+            WorkUnit(
+                "train-lockstep",
+                _training_module.run_lockstep_training_unit,
+                (config, tuple(trajectory_methods), tuple(labels), tuple(seeds)),
+            )
+        ]
+    else:
+        units = [
+            WorkUnit(
+                f"train-{label}",
+                _training_module.run_labelled_training_unit,
+                (config, method, label, seed),
+            )
+            for method, label, seed in zip(trajectory_methods, labels, seeds)
+        ]
     on_result = None
     if verbose:
 
         def on_result(unit, output):
-            print(
-                f"[train:{config.optimizer}] {output['method']}: "
-                f"{output['losses'][0]:.4f} -> {output['losses'][-1]:.4f}"
-            )
+            outputs = output if isinstance(output, list) else [output]
+            for payload in outputs:
+                print(
+                    f"[train:{config.optimizer}] {payload['method']}: "
+                    f"{payload['losses'][0]:.4f} -> {payload['losses'][-1]:.4f}"
+                )
 
     outputs = executor.map_units(
         units, fingerprint=fingerprint, verbose=verbose, on_result=on_result
     )
+    if executor.training_lockstep:
+        payloads = outputs[0]
+    else:
+        payloads = outputs
     histories = {
-        method: TrainingHistory.from_dict(output)
-        for method, output in zip(methods, outputs)
+        label: TrainingHistory.from_dict(payload)
+        for label, payload in zip(labels, payloads)
     }
     return TrainingExperimentOutcome(
         optimizer=config.optimizer, histories=histories

@@ -5,12 +5,23 @@ function under the global cost of Eq. 4, for a fixed iteration budget,
 recording the loss after every update.  Defaults replicate the paper:
 10 qubits, 5 layers (145 gates, 100 parameters), 50 iterations, step size
 0.1, Gradient Descent or Adam.
+
+Two execution modes produce bit-identical histories:
+
+* sequential — :meth:`Trainer.run` advances one trajectory at a time
+  (one fused adjoint pass per iteration);
+* lock-step — :meth:`Trainer.run_lockstep` stacks all trajectories (one
+  per method, or per ``(method, restart)`` pair) into a ``(B, P)`` batch
+  and advances them simultaneously through
+  :meth:`ObservableCost.value_and_gradient_batch` and the batch-aware
+  optimizers, collapsing ``B x iterations`` adjoint sweeps into
+  ``iterations`` batched ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -21,7 +32,7 @@ from repro.core.results import TrainingHistory
 from repro.initializers import Initializer, get_initializer
 from repro.initializers.registry import PAPER_METHODS
 from repro.optim import Optimizer, get_optimizer
-from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
+from repro.utils.rng import SeedLike, ensure_rng, spawn_seeds
 from repro.utils.validation import check_positive_int
 
 __all__ = [
@@ -29,7 +40,10 @@ __all__ = [
     "Trainer",
     "train",
     "train_all_methods",
+    "expand_trajectories",
     "run_training_unit",
+    "run_labelled_training_unit",
+    "run_lockstep_training_unit",
 ]
 
 
@@ -171,6 +185,107 @@ class Trainer:
             cost_kind=self.config.cost_kind,
         )
 
+    def run_lockstep(
+        self,
+        methods: Sequence["str | Initializer"],
+        seeds: Optional[Sequence[SeedLike]] = None,
+        initial_params: Optional[np.ndarray] = None,
+        callback: Optional[Callable[[int, np.ndarray, np.ndarray], None]] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[TrainingHistory]:
+        """Train ``B`` trajectories simultaneously, one batched pass each step.
+
+        Every iteration runs one :meth:`ObservableCost.value_and_gradient_batch`
+        over the ``(B, P)`` parameter stack and one batch-aware optimizer
+        step with per-trajectory state, instead of ``B`` independent
+        sweeps.  Trajectory ``b``'s history is bit-identical to
+        ``self.run(methods[b], seed=seeds[b])`` — lock-step is a pure
+        throughput change.
+
+        Parameters
+        ----------
+        methods:
+            One initializer name/instance per trajectory (duplicates are
+            fine, e.g. for multi-restart studies).
+        seeds:
+            Per-trajectory seeds for the initial draws (default: fresh
+            entropy per trajectory), aligned with ``methods``.
+        initial_params:
+            Explicit ``(B, P)`` starting stack overriding the draws.
+        callback:
+            Optional hook ``callback(iteration, losses, params)`` invoked
+            with the full ``(B,)`` loss vector and ``(B, P)`` stack after
+            every update (and once at iteration 0).
+        labels:
+            History names, defaulting to each method's name; pass explicit
+            labels to distinguish restarts of the same method.
+        """
+        method_list = list(methods)
+        if not method_list:
+            raise ValueError("run_lockstep needs at least one trajectory")
+        batch = len(method_list)
+        if labels is None:
+            labels = [
+                m if isinstance(m, str) else m.name for m in method_list
+            ]
+        elif len(labels) != batch:
+            raise ValueError(
+                f"got {len(labels)} labels for {batch} trajectories"
+            )
+        if initial_params is None:
+            if seeds is None:
+                seeds = [None] * batch
+            if len(seeds) != batch:
+                raise ValueError(
+                    f"got {len(seeds)} seeds for {batch} trajectories"
+                )
+            params = np.stack(
+                [
+                    self.initial_parameters(method, seed)
+                    for method, seed in zip(method_list, seeds)
+                ]
+            )
+        else:
+            params = np.asarray(initial_params, dtype=float).copy()
+            if params.shape != (batch, self.num_parameters):
+                raise ValueError(
+                    f"initial_params must have shape "
+                    f"({batch}, {self.num_parameters}), got {params.shape}"
+                )
+        optimizer = self.config.build_optimizer()
+        initial = params.copy()
+
+        losses: List[List[float]] = [[] for _ in range(batch)]
+        grad_norms: List[List[float]] = [[] for _ in range(batch)]
+
+        def record(values: np.ndarray, grads: np.ndarray) -> None:
+            for b in range(batch):
+                losses[b].append(float(values[b]))
+                grad_norms[b].append(float(np.linalg.norm(grads[b])))
+
+        values, grads = self._cost.value_and_gradient_batch(params)
+        record(values, grads)
+        if callback is not None:
+            callback(0, values, params)
+        for iteration in range(1, self.config.iterations + 1):
+            params = optimizer.step(params, grads)
+            values, grads = self._cost.value_and_gradient_batch(params)
+            record(values, grads)
+            if callback is not None:
+                callback(iteration, values, params)
+        return [
+            TrainingHistory(
+                method=labels[b],
+                optimizer=self.config.optimizer,
+                losses=losses[b],
+                gradient_norms=grad_norms[b],
+                initial_params=initial[b].copy(),
+                final_params=params[b].copy(),
+                cost_kind=self.config.cost_kind,
+            )
+            for b in range(batch)
+        ]
+
 
 def train(
     config: Optional[TrainingConfig] = None,
@@ -179,6 +294,28 @@ def train(
 ) -> TrainingHistory:
     """One-call training run (convenience wrapper around :class:`Trainer`)."""
     return Trainer(config).run(method, seed=seed)
+
+
+def expand_trajectories(
+    methods: Sequence["str | Initializer"], restarts: int = 1
+) -> Tuple[List[str], List["str | Initializer"]]:
+    """Expand methods into per-trajectory ``(labels, methods)`` lists.
+
+    With ``restarts == 1`` labels are the method names themselves (the
+    historical single-restart layout); with more, each method contributes
+    ``restarts`` trajectories labelled ``"<method>#r<k>"`` — the layout
+    shared by the sequential, lock-step and executor-sharded paths so
+    their child-seed streams line up trajectory for trajectory.
+    """
+    check_positive_int(restarts, "restarts")
+    names = [m if isinstance(m, str) else m.name for m in methods]
+    if restarts == 1:
+        return list(names), list(methods)
+    labels = [
+        f"{name}#r{restart}" for name in names for restart in range(restarts)
+    ]
+    expanded = [method for method in methods for _ in range(restarts)]
+    return labels, expanded
 
 
 def run_training_unit(
@@ -193,26 +330,83 @@ def run_training_unit(
     return Trainer(config).run(method, seed=ensure_rng(seed)).to_dict()
 
 
+def run_labelled_training_unit(
+    config: TrainingConfig, method: str, label: str, seed: SeedLike
+) -> dict:
+    """Like :func:`run_training_unit`, but naming the history ``label``.
+
+    Used when a spec shards ``(method, restart)`` pairs: each restart of
+    the same method needs a distinct history key.
+    """
+    history = Trainer(config).run(method, seed=ensure_rng(seed))
+    history.method = label
+    return history.to_dict()
+
+
+def run_lockstep_training_unit(
+    config: TrainingConfig,
+    methods: Sequence[str],
+    labels: Sequence[str],
+    seeds: Sequence[SeedLike],
+) -> List[dict]:
+    """Picklable work unit advancing every trajectory in lock step.
+
+    One unit covers the whole panel — the batched counterpart of
+    scheduling one :func:`run_training_unit` per trajectory; outputs are
+    the per-trajectory history dicts in trajectory order.
+    """
+    histories = Trainer(config).run_lockstep(
+        list(methods), seeds=list(seeds), labels=list(labels)
+    )
+    return [history.to_dict() for history in histories]
+
+
 def train_all_methods(
     config: Optional[TrainingConfig] = None,
     methods: Sequence[str] = tuple(PAPER_METHODS),
     seed: SeedLike = None,
     verbose: bool = False,
+    lockstep: bool = False,
+    restarts: int = 1,
 ) -> Dict[str, TrainingHistory]:
     """Train every method on the same configuration (one Fig. 5b/5c panel).
 
-    Each method receives an independent child seed derived from ``seed``,
-    so the comparison is reproducible end to end.
+    Each trajectory receives an independent child seed derived from
+    ``seed``, so the comparison is reproducible end to end.
+
+    Parameters
+    ----------
+    config, methods, seed:
+        The panel to train (defaults: paper configuration and methods).
+    verbose:
+        Print one summary line per trajectory.
+    lockstep:
+        Advance all trajectories simultaneously via
+        :meth:`Trainer.run_lockstep` — bit-identical histories, one
+        batched adjoint sweep per iteration instead of one per
+        trajectory per iteration.
+    restarts:
+        Independent restarts per method (``(method, restart)`` pairs,
+        labelled ``"<method>#r<k>"`` when greater than one).
     """
     trainer = Trainer(config)
-    rng = ensure_rng(seed)
-    histories: Dict[str, TrainingHistory] = {}
-    for method in methods:
-        histories[method] = trainer.run(method, seed=spawn_rng(rng))
-        if verbose:
-            h = histories[method]
+    labels, trajectory_methods = expand_trajectories(methods, restarts)
+    seeds = spawn_seeds(seed, len(labels))
+    if lockstep:
+        results = trainer.run_lockstep(
+            trajectory_methods, seeds=seeds, labels=labels
+        )
+    else:
+        results = []
+        for method, label, child in zip(trajectory_methods, labels, seeds):
+            history = trainer.run(method, seed=ensure_rng(child))
+            history.method = label
+            results.append(history)
+    histories: Dict[str, TrainingHistory] = dict(zip(labels, results))
+    if verbose:
+        for label, history in histories.items():
             print(
-                f"[train:{trainer.config.optimizer}] {method}: "
-                f"{h.initial_loss:.4f} -> {h.final_loss:.4f}"
+                f"[train:{trainer.config.optimizer}] {label}: "
+                f"{history.initial_loss:.4f} -> {history.final_loss:.4f}"
             )
     return histories

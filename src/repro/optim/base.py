@@ -3,6 +3,17 @@
 Optimizers are small stateful objects: ``step(params, grad)`` returns the
 updated parameter vector (never mutating its input) and ``reset()`` clears
 accumulated state so one instance can be reused across training runs.
+
+Batch semantics
+---------------
+The first-order rules are elementwise, so ``step`` also accepts a
+``(B, P)`` stack of ``B`` independent trajectories with matching
+gradients: accumulated state (momentum, Adam moments, ...) then carries
+the same leading batch axis, giving every trajectory its own state, and
+row ``b`` of each update is bit-identical to stepping that trajectory
+alone — the property lock-step multi-trajectory training relies on.
+One instance must stick to one shape between ``reset()`` calls; switching
+shapes mid-stream raises instead of silently broadcasting.
 """
 
 from __future__ import annotations
@@ -36,6 +47,15 @@ class Optimizer(abc.ABC):
         if params.shape != grad.shape:
             raise ValueError(
                 f"params shape {params.shape} != grad shape {grad.shape}"
+            )
+
+    def _check_state(self, state: "np.ndarray | None", params: np.ndarray) -> None:
+        """Reject shape changes that would silently broadcast stale state."""
+        if state is not None and state.shape != params.shape:
+            raise ValueError(
+                f"optimizer state has shape {state.shape} but params have "
+                f"shape {params.shape}; call reset() before switching "
+                "between single-trajectory and batched stepping"
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -2,6 +2,11 @@
 
 The paper trains with vanilla gradient descent and Adam, both at step size
 0.1 (Section V); the others are provided for ablations.
+
+All rules are elementwise, so ``step`` accepts either one ``(P,)``
+parameter vector or a ``(B, P)`` stack of independent trajectories; state
+arrays adopt the params' shape on first use, giving each trajectory its
+own momentum / moment rows (see :mod:`repro.optim.base`).
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ class Momentum(Optimizer):
 
     def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
         self._check(params, grad)
+        self._check_state(self._velocity, params)
         if self._velocity is None:
             self._velocity = np.zeros_like(params)
         self._velocity = self.beta * self._velocity + grad
@@ -75,6 +81,7 @@ class Adam(Optimizer):
 
     def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
         self._check(params, grad)
+        self._check_state(self._m, params)
         if self._m is None:
             self._m = np.zeros_like(params)
             self._v = np.zeros_like(params)
@@ -111,6 +118,7 @@ class RMSprop(Optimizer):
 
     def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
         self._check(params, grad)
+        self._check_state(self._sq, params)
         if self._sq is None:
             self._sq = np.zeros_like(params)
         self._sq = self.decay * self._sq + (1.0 - self.decay) * grad**2
@@ -132,6 +140,7 @@ class AdaGrad(Optimizer):
 
     def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
         self._check(params, grad)
+        self._check_state(self._acc, params)
         if self._acc is None:
             self._acc = np.zeros_like(params)
         self._acc = self._acc + grad**2

@@ -111,6 +111,12 @@ class QuantumNaturalGradient(Optimizer):
 
     def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
         self._check(params, grad)
+        if np.asarray(params).ndim != 1:
+            raise ValueError(
+                "QuantumNaturalGradient steps one trajectory at a time "
+                "(the metric is per-parameter-vector); use a first-order "
+                "optimizer for lock-step batched training"
+            )
         metric = fubini_study_metric(self.circuit, params, self.simulator)
         metric = metric + self.damping * np.eye(metric.shape[0])
         natural = np.linalg.solve(metric, grad)

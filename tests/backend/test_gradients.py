@@ -169,6 +169,7 @@ class TestEngineRegistry:
             "parameter_shift",
             "batch_parameter_shift",
             "adjoint",
+            "batch_adjoint",
             "finite_difference",
         }
 

@@ -38,7 +38,12 @@ def _double(x):
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert available_executors() == ["batched", "process_pool", "serial"]
+        assert available_executors() == [
+            "batched",
+            "lockstep",
+            "process_pool",
+            "serial",
+        ]
 
     def test_get_executor_by_name(self):
         assert isinstance(get_executor("serial"), SerialExecutor)
