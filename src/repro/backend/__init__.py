@@ -47,6 +47,7 @@ from repro.backend.gradients import (
     batch_adjoint_gradient,
     batch_adjoint_value_and_gradient,
     batch_parameter_shift,
+    batch_parameter_shift_value_and_gradient,
     finite_difference,
     get_gradient_fn,
     parameter_shift,
@@ -104,6 +105,7 @@ __all__ = [
     "batch_adjoint_gradient",
     "batch_adjoint_value_and_gradient",
     "batch_parameter_shift",
+    "batch_parameter_shift_value_and_gradient",
     "bit_flip",
     "controlled_matrix",
     "depolarizing",

@@ -42,7 +42,15 @@ Three interchangeable engines compute ``d <O> / d params``:
     one or many base parameter vectors — is folded into a single
     :meth:`StatevectorSimulator.expectation_batch` call.  Results are
     bit-identical to the sequential rule; throughput is what changes
-    (this engine powers the variance experiment's batched mode).
+    (this engine powers the variance experiment's batched mode).  With
+    ``shots=`` every shifted expectation is sample-estimated instead:
+    one batched execution plus row-wise draws, each base row consuming
+    its own spawned child stream exactly as the sequential
+    ``parameter_shift(..., shots=, seed=<child>)`` would — so batched
+    sampled gradients stay bit-identical to per-row sequential sampling.
+    :func:`batch_parameter_shift_value_and_gradient` additionally reads
+    per-row losses off the same folded execution, the workhorse of
+    lock-step shot-based training.
 """
 
 from __future__ import annotations
@@ -60,6 +68,7 @@ from repro.backend.statevector import Statevector, apply_matrix
 __all__ = [
     "parameter_shift",
     "batch_parameter_shift",
+    "batch_parameter_shift_value_and_gradient",
     "finite_difference",
     "adjoint_gradient",
     "adjoint_value_and_gradient",
@@ -175,6 +184,78 @@ def parameter_shift(
     return grads
 
 
+def _batch_shift_execute(
+    circuit: QuantumCircuit,
+    observable: Observable,
+    batch: np.ndarray,
+    simulator: StatevectorSimulator,
+    indices: Sequence[int],
+    rules: Sequence[Tuple[Tuple[float, float], ...]],
+    initial_state: Optional[Statevector],
+    shots: Optional[int],
+    seed,
+    include_values: bool,
+) -> Tuple[Optional[np.ndarray], np.ndarray]:
+    """Folded shift-rule execution shared by the batched engines.
+
+    Builds one execution batch holding, per base row, an optional
+    unshifted evaluation (``include_values``) followed by every shifted
+    vector the rules require, in the same (parameter, term) order the
+    sequential engine walks.  Analytic mode evaluates it through
+    ``expectation_batch``; sampled mode runs one batched execution and
+    draws row-wise, each base row's evaluations sharing that row's child
+    generator in sequential-consumption order — the bit-identity contract
+    with ``parameter_shift(..., shots=, seed=<child>)``.
+    """
+    evals_per_row = (1 if include_values else 0) + sum(
+        len(terms) for terms in rules
+    )
+    folded = []
+    for row in batch:
+        if include_values:
+            folded.append(row.copy())
+        for slot, index in enumerate(indices):
+            for _, shift in rules[slot]:
+                shifted = row.copy()
+                shifted[index] = row[index] + shift
+                folded.append(shifted)
+    if shots is None:
+        estimates = simulator.expectation_batch(
+            circuit, observable, np.stack(folded), initial_state=initial_state
+        )
+    else:
+        from repro.utils.rng import resolve_rngs
+
+        row_rngs = resolve_rngs(seed, batch.shape[0])
+        states = simulator.run_batch(
+            circuit, np.stack(folded), initial_state=initial_state
+        )
+        # Every evaluation of base row b consumes rng b; the row-major
+        # draw order inside sampled_expectation_rows then matches the
+        # sequential engine's stream consumption exactly.
+        folded_rngs = [
+            rng for rng in row_rngs for _ in range(evals_per_row)
+        ]
+        estimates = simulator.sampled_expectation_rows(
+            states, observable, shots, folded_rngs
+        )
+
+    values = np.empty(batch.shape[0], dtype=float) if include_values else None
+    grads = np.empty((batch.shape[0], len(indices)), dtype=float)
+    cursor = 0
+    for b in range(batch.shape[0]):
+        if include_values:
+            values[b] = estimates[cursor]
+            cursor += 1
+        for slot in range(len(indices)):
+            total = 0.0
+            for coefficient, _ in rules[slot]:
+                total += coefficient * estimates[cursor]
+                cursor += 1
+            grads[b, slot] = total
+    return values, grads
+
+
 def batch_parameter_shift(
     circuit: QuantumCircuit,
     observable: Observable,
@@ -182,15 +263,17 @@ def batch_parameter_shift(
     simulator: Optional[StatevectorSimulator] = None,
     param_indices: Optional[Sequence[int]] = None,
     initial_state: Optional[Statevector] = None,
+    shots: Optional[int] = None,
+    seed=None,
 ) -> np.ndarray:
-    """Exact parameter-shift gradients from one batched execution.
+    """Parameter-shift gradients from one batched execution.
 
     Builds every shifted parameter vector the shift rules require — all
     terms of all requested parameters, for every row of ``params`` — and
-    evaluates them in a single :meth:`StatevectorSimulator.expectation_batch`
-    call, then recombines the expectations with the rules' coefficients in
-    the same accumulation order as :func:`parameter_shift`, so the result
-    is bit-identical to the sequential engine.
+    evaluates them in a single batched execution, then recombines the
+    expectations with the rules' coefficients in the same accumulation
+    order as :func:`parameter_shift`, so the result is bit-identical to
+    the sequential engine.
 
     Parameters
     ----------
@@ -206,6 +289,15 @@ def batch_parameter_shift(
         Subset of parameters to differentiate (default: all).
     initial_state:
         Optional non-default input state shared by every row.
+    shots:
+        When given, every shifted expectation is estimated from that many
+        measurement samples (hardware-realistic stochastic gradients).
+    seed:
+        Sampled mode only: a sequence of ``B`` per-row seeds/generators
+        or a single :data:`~repro.utils.rng.SeedLike` spawning ``B``
+        children — row ``b``'s evaluations share generator ``b``, making
+        the row bit-identical to
+        ``parameter_shift(..., shots=shots, seed=<row b's seed>)``.
 
     Returns
     -------
@@ -232,30 +324,52 @@ def batch_parameter_shift(
     if not indices:
         empty = np.empty((batch.shape[0], 0), dtype=float)
         return empty[0] if single else empty
-
-    # Fold every (row, parameter, shift term) into one execution batch,
-    # ordered row-major so the recombination below can walk it linearly.
-    shifted_rows = []
-    for row in batch:
-        for slot, index in enumerate(indices):
-            for _, shift in rules[slot]:
-                shifted = row.copy()
-                shifted[index] = row[index] + shift
-                shifted_rows.append(shifted)
-    values = simulator.expectation_batch(
-        circuit, observable, np.stack(shifted_rows), initial_state=initial_state
+    _, grads = _batch_shift_execute(
+        circuit, observable, batch, simulator, indices, rules,
+        initial_state, shots, seed, include_values=False,
     )
-
-    grads = np.empty((batch.shape[0], len(indices)), dtype=float)
-    cursor = 0
-    for b in range(batch.shape[0]):
-        for slot in range(len(indices)):
-            total = 0.0
-            for coefficient, _ in rules[slot]:
-                total += coefficient * values[cursor]
-                cursor += 1
-            grads[b, slot] = total
     return grads[0] if single else grads
+
+
+def batch_parameter_shift_value_and_gradient(
+    circuit: QuantumCircuit,
+    observable: Observable,
+    params: Sequence[float],
+    simulator: Optional[StatevectorSimulator] = None,
+    param_indices: Optional[Sequence[int]] = None,
+    initial_state: Optional[Statevector] = None,
+    shots: Optional[int] = None,
+    seed=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(<O> per row, shift-rule gradients)`` from one folded execution.
+
+    The shift-engine counterpart of
+    :func:`batch_adjoint_value_and_gradient`: each base row's unshifted
+    evaluation is folded into the same execution batch as its shifted
+    vectors.  In sampled mode (``shots=``) row ``b`` consumes its child
+    generator value-first then shift terms — exactly the order
+    ``ObservableCost.value_and_gradient(..., shots=, seed=<child>)``
+    consumes it sequentially — so lock-step shot-based training is
+    bit-identical to per-trajectory training given the same spawned
+    child seeds.
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        ``((B,), (B, len(indices)))`` for 2-D ``params``; 1-D input
+        returns ``(float, (len(indices),))``.
+    """
+    simulator = simulator or StatevectorSimulator()
+    batch, single = _coerce_batch(circuit, params)
+    indices = _resolve_indices(circuit, param_indices)
+    rules = _resolve_shift_rules(circuit, indices)
+    values, grads = _batch_shift_execute(
+        circuit, observable, batch, simulator, indices, rules,
+        initial_state, shots, seed, include_values=True,
+    )
+    if single:
+        return float(values[0]), grads[0]
+    return values, grads
 
 
 def finite_difference(

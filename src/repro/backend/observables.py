@@ -239,6 +239,19 @@ class PauliString(Observable):
                 sign = -sign
         return self.coefficient * sign
 
+    def eigenvalues_of_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`eigenvalue_of_bits` over a ``(shots, n)`` array.
+
+        Every entry is exactly ``+-coefficient``, so the result carries
+        the same bits as the scalar loop — the property the sampled
+        estimators (scalar and batched) rely on to stay identical.
+        """
+        bits = np.asarray(bits)
+        if not self.paulis:
+            return np.full(bits.shape[0], self.coefficient, dtype=float)
+        parity = bits[:, list(self.paulis)].sum(axis=1) & 1
+        return self.coefficient * (1.0 - 2.0 * parity)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PauliString({self.coefficient:+g} * {self.word})"
 

@@ -19,6 +19,13 @@ stack (see :meth:`ParametricGate.matrix_batch`).  Per row the arithmetic
 matches the sequential :meth:`run` bit for bit, so batched evaluation is a
 pure throughput optimization — the parameter-shift variance sweep uses it
 to fold every method's draws and both shift terms into one call.
+
+The sampled path is batched too: ``expectation_batch(..., shots=, seed=)``
+applies each Pauli term's diagonalizing rotations once to the whole
+``(B, 2**n)`` stack and then draws row-wise counts from one independent
+generator per row (:meth:`StatevectorSimulator.sampled_expectation_rows`),
+bit-identical per row to the sequential ``expectation(shots=...)`` given
+the same spawned child seeds.
 """
 
 from __future__ import annotations
@@ -30,11 +37,21 @@ import numpy as np
 from repro.backend.circuit import QuantumCircuit
 from repro.backend.gates import FixedGate, get_gate
 from repro.backend.observables import Observable, PauliString, PauliSum, Projector
-from repro.backend.statevector import Statevector, apply_diagonal, apply_matrix
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.backend.statevector import (
+    Statevector,
+    apply_diagonal,
+    apply_matrix,
+    sample_basis_bits,
+)
+from repro.utils.rng import SeedLike, ensure_rng, resolve_rngs
 from repro.utils.validation import check_positive_int
 
 __all__ = ["StatevectorSimulator", "apply_operation", "apply_operation_batch"]
+
+#: Target working-set size for one :meth:`StatevectorSimulator.run_batch`
+#: chunk (amplitude buffer bytes).  8 MiB keeps a chunk L2/L3-resident on
+#: typical hardware; results are independent of the chunking.
+_RUN_BATCH_CHUNK_BYTES = 8 * 2**20
 
 
 def apply_operation(data, op, params, num_qubits):
@@ -135,6 +152,21 @@ class StatevectorSimulator:
         batch_array = self._coerce_params_batch(circuit, params_batch)
         num_qubits = circuit.num_qubits
         batch = batch_array.shape[0]
+        # Large stacks are evolved in row chunks sized to keep the
+        # amplitude buffer cache-resident: every gate streams the whole
+        # buffer through memory, so an oversized batch trades the
+        # batching win back for DRAM bandwidth.  Chunking is invisible to
+        # results — rows evolve independently through the same kernels.
+        chunk = max(1, _RUN_BATCH_CHUNK_BYTES // (16 * 2**num_qubits))
+        if batch > chunk:
+            return np.concatenate(
+                [
+                    self.run_batch(
+                        circuit, batch_array[start : start + chunk], initial_state
+                    )
+                    for start in range(0, batch, chunk)
+                ]
+            )
         if initial_state is None:
             data = np.zeros((batch, 2**num_qubits), dtype=complex)
             data[:, 0] = 1.0
@@ -170,16 +202,132 @@ class StatevectorSimulator:
         observable: Observable,
         params_batch: Sequence[Sequence[float]],
         initial_state: Optional[Statevector] = None,
+        shots: Optional[int] = None,
+        seed: "SeedLike | Sequence[SeedLike]" = None,
     ) -> np.ndarray:
-        """Exact ``<O>`` for every row of ``params_batch`` in one call.
+        """``<O>`` for every row of ``params_batch`` in one call.
 
-        Analytic only (the batched path exists to make exact sweeps fast;
-        use :meth:`expectation` with ``shots=`` for sampled estimates).
-        Entry ``b`` is bit-identical to
-        ``self.expectation(circuit, observable, params_batch[b])``.
+        Analytic by default; with ``shots=`` every row is estimated from
+        that many measurement samples instead.  The sampled path runs one
+        batched execution, applies each Pauli term's diagonalizing
+        rotations once to the whole ``(B, 2**n)`` stack, and then draws
+        row-wise counts — one independent generator per row.
+
+        Parameters
+        ----------
+        circuit, observable, params_batch, initial_state:
+            As in :meth:`expectation`.
+        shots:
+            When given, sample-estimate each row's expectation.
+        seed:
+            Sampled path only: a sequence of ``B`` per-row
+            seeds/generators (honoured element-wise), or any single
+            :data:`~repro.utils.rng.SeedLike` from which ``B`` children
+            are spawned via :func:`repro.utils.rng.spawn_seeds`.
+
+        Entry ``b`` is bit-identical to ``self.expectation(circuit,
+        observable, params_batch[b])`` analytically, and to
+        ``self.expectation(..., shots=shots, seed=<row b's seed>)`` in
+        sampled mode — the contract the batched shot-based experiment
+        paths rely on.
         """
         states = self.run_batch(circuit, params_batch, initial_state)
-        return observable.expectation_batch(states)
+        if shots is None:
+            return observable.expectation_batch(states)
+        rngs = resolve_rngs(seed, states.shape[0])
+        return self.sampled_expectation_rows(states, observable, shots, rngs)
+
+    def sampled_expectation_rows(
+        self,
+        states: np.ndarray,
+        observable: Observable,
+        shots: int,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Shot-estimated ``<O>`` for each row of a ``(B, 2**n)`` stack.
+
+        The vectorized work — Pauli-term basis rotations and probability
+        matrices — is done once per batch; the multinomial draws then walk
+        the rows in order, consuming ``rngs[b]`` for row ``b`` term by
+        term, exactly as the sequential ``expectation(shots=...)`` path
+        would.  Row ``b`` is therefore bit-identical to
+        ``self._sampled_expectation(Statevector(states[b]), observable,
+        shots, rngs[b])``.  ``rngs`` may repeat one generator across
+        consecutive rows (the batched parameter-shift path shares a
+        per-trajectory stream over that trajectory's shifted rows); the
+        row-major draw order keeps such shared streams sequentially
+        consistent.
+        """
+        check_positive_int(shots, "shots")
+        if len(rngs) != states.shape[0]:
+            raise ValueError(
+                f"got {len(rngs)} generators for {states.shape[0]} rows"
+            )
+        # Rows are processed in blocks so the per-term probability
+        # matrices stay bounded (one rotated stack + one float matrix per
+        # term *per block*, not per batch).  Blocking is invisible to the
+        # draws: rows still walk in global order, so a generator shared
+        # across consecutive rows — even straddling a block boundary —
+        # is consumed exactly as in one unblocked pass.
+        block = max(1, _RUN_BATCH_CHUNK_BYTES // (16 * states.shape[1]))
+        estimates = np.empty(states.shape[0], dtype=float)
+        for start in range(0, states.shape[0], block):
+            stop = min(start + block, states.shape[0])
+            stages = self._sampling_stages(states[start:stop], observable)
+            for row in range(start, stop):
+                rng = rngs[row]
+                estimates[row] = float(
+                    sum(stage(row - start, rng, shots) for stage in stages)
+                )
+        return estimates
+
+    def _sampling_stages(self, states: np.ndarray, observable: Observable):
+        """Per-term draw closures over precomputed probability matrices.
+
+        Each stage maps ``(row, rng, shots) -> float`` and corresponds to
+        one sequential draw of ``_sampled_expectation`` (Pauli terms in
+        order; identity terms consume no randomness), so iterating the
+        stages per row reproduces the sequential stream consumption.
+        """
+        num_qubits = observable.num_qubits
+        if isinstance(observable, Projector):
+            probs = np.abs(states) ** 2
+            target_bits = np.asarray(observable.bits)
+
+            def projector_stage(row, rng, shots):
+                bits = sample_basis_bits(probs[row], shots, rng, num_qubits)
+                return float(np.mean(np.all(bits == target_bits, axis=1)))
+
+            return [projector_stage]
+        if isinstance(observable, PauliString):
+            terms = [observable]
+        elif isinstance(observable, PauliSum):
+            terms = observable.terms
+        else:
+            raise TypeError(
+                "shot-based estimation is not implemented for "
+                f"{type(observable).__name__}"
+            )
+        stages = []
+        for term in terms:
+            if term.is_identity:
+                stages.append(lambda row, rng, shots, c=term.coefficient: c)
+                continue
+            rotated = states
+            for gate_name, qubit in term.diagonalizing_rotations():
+                gate = get_gate(gate_name)
+                assert isinstance(gate, FixedGate)
+                rotated = apply_matrix(
+                    rotated, gate.matrix(), [qubit], num_qubits
+                )
+            term_probs = np.abs(rotated) ** 2
+
+            def pauli_stage(row, rng, shots, probs=term_probs, term=term):
+                bits = sample_basis_bits(probs[row], shots, rng, num_qubits)
+                return float(np.mean(term.eigenvalues_of_bits(bits)))
+
+            stages.append(pauli_stage)
+        return stages
 
     def probabilities(
         self,
@@ -303,5 +451,4 @@ class StatevectorSimulator:
             assert isinstance(gate, FixedGate)
             rotated = apply_matrix(rotated, gate.matrix(), [qubit], state.num_qubits)
         bits = Statevector(rotated, validate=False).sample(shots, seed=rng)
-        eigenvalues = np.array([term.eigenvalue_of_bits(row) for row in bits])
-        return float(np.mean(eigenvalues))
+        return float(np.mean(term.eigenvalues_of_bits(bits)))

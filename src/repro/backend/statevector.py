@@ -21,6 +21,13 @@ path performs, so batched and sequential evolution of identical inputs
 produce bit-identical amplitudes — the property the variance experiment's
 ``batched`` mode relies on.  :meth:`StatevectorSimulator.run_batch` builds
 on these kernels.
+
+Measurement sampling has a batched form too: :meth:`Statevector.sample_batch`
+/ :meth:`Statevector.sample_counts_batch` draw per-row multinomial samples
+from one ``(B, 2**k)`` marginal probability matrix
+(:func:`marginal_probabilities_batch`), one independent generator per row,
+bit-identical row by row to the scalar :meth:`Statevector.sample` — the
+substrate of the simulator's sampled ``expectation_batch`` path.
 """
 
 from __future__ import annotations
@@ -29,10 +36,16 @@ from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import SeedLike, ensure_rng, resolve_rngs
 from repro.utils.validation import check_positive_int, check_qubit_index
 
-__all__ = ["Statevector", "apply_matrix", "apply_diagonal"]
+__all__ = [
+    "Statevector",
+    "apply_matrix",
+    "apply_diagonal",
+    "sample_basis_bits",
+    "marginal_probabilities_batch",
+]
 
 
 def _batch_size(state: np.ndarray, operand: np.ndarray, batched_operand: bool) -> int:
@@ -56,6 +69,55 @@ def _batch_size(state: np.ndarray, operand: np.ndarray, batched_operand: bool) -
             f"operand has {operand.shape[0]}"
         )
     return sizes.pop()
+
+
+#: Per-``(num_qubits, qubit)`` verdicts of the runtime probe below.
+_FAST_SINGLE_QUBIT_OK: "dict[Tuple[int, int], bool]" = {}
+
+
+def _fast_single_qubit_ok(num_qubits: int, qubit: int) -> bool:
+    """Whether the single-qubit stacked-matmul layout is bit-safe here.
+
+    For a gate on ``qubit`` the fast path in :func:`apply_matrix`
+    contracts ``(2, 2) @ (2, 2**(n-q-1))`` GEMM slices, while the
+    sequential 1-D path contracts one full-width ``(2, 2) @ (2, 2**(n-1))``
+    GEMM.  Whether those two widths produce identical bits depends on the
+    numpy/BLAS build's per-shape kernel selection, so the first use of
+    each exact ``(num_qubits, qubit)`` geometry probes both layouts —
+    fast slices against the real sequential kernel — on a fixed input
+    and caches the verdict.  A mismatching platform silently falls back
+    to the reference transpose layout instead of breaking the library's
+    batched-equals-sequential contract.
+    """
+    key = (num_qubits, qubit)
+    verdict = _FAST_SINGLE_QUBIT_OK.get(key)
+    if verdict is None:
+        rest = 2 ** (num_qubits - qubit - 1)
+        rng = np.random.default_rng(0x5EED)
+        states = rng.normal(size=(2, 2**num_qubits)) + 1j * rng.normal(
+            size=(2, 2**num_qubits)
+        )
+        matrices = rng.normal(size=(2, 2, 2)) + 1j * rng.normal(size=(2, 2, 2))
+        blocks = states.reshape(2, 2**qubit, 2, rest)
+        fast_shared = np.matmul(matrices[0], blocks).reshape(2, -1)
+        fast_stacked = np.matmul(matrices[:, None, :, :], blocks).reshape(2, -1)
+        sequential_shared = np.stack(
+            [
+                apply_matrix(states[b], matrices[0], [qubit], num_qubits)
+                for b in range(2)
+            ]
+        )
+        sequential_stacked = np.stack(
+            [
+                apply_matrix(states[b], matrices[b], [qubit], num_qubits)
+                for b in range(2)
+            ]
+        )
+        verdict = np.array_equal(fast_shared, sequential_shared) and np.array_equal(
+            fast_stacked, sequential_stacked
+        )
+        _FAST_SINGLE_QUBIT_OK[key] = verdict
+    return verdict
 
 
 def apply_matrix(
@@ -102,6 +164,25 @@ def apply_matrix(
 
     batch = _batch_size(state, matrix, matrix.ndim == 3)
     states = state if state.ndim == 2 else np.broadcast_to(state, (batch, state.size))
+    if k == 1:
+        # Single-qubit fast path: viewing the stack as
+        # (batch, 2**q, 2, rest) puts the target axis where a stacked
+        # matmul contracts it directly — no transpose copies, one output
+        # allocation.  The inner (2, 2) @ (2, rest) GEMM slices must
+        # carry the same bits as the sequential kernel for the library's
+        # bit-identity contract to hold; that is a property of the BLAS
+        # build, so it is verified once per ``rest`` size at runtime
+        # (:func:`_fast_single_qubit_ok`) rather than assumed.  Narrow
+        # blocks (< 8) are excluded up front: their slice dispatch
+        # overhead loses to the transpose layout anyway.
+        q = qubits[0]
+        rest = 2 ** (num_qubits - q - 1)
+        if rest >= 8 and _fast_single_qubit_ok(num_qubits, q):
+            blocks = states.reshape(batch, 2**q, 2, rest)
+            stacked = (
+                matrix if matrix.ndim == 2 else matrix[:, None, :, :]
+            )
+            return np.matmul(stacked, blocks).reshape(batch, -1)
     tensor = states.reshape((batch,) + (2,) * num_qubits)
     # Bring the targeted axes up front (after the batch axis) so every
     # batch element is the same (2**k, rest) matrix the sequential kernel
@@ -158,6 +239,87 @@ def apply_diagonal(
         order.insert(destination, source)
     expanded = diag.transpose(order)
     return (tensor * expanded).reshape(batch, -1)
+
+
+def sample_basis_bits(
+    probs: np.ndarray, shots: int, rng: np.random.Generator, num_bits: int
+) -> np.ndarray:
+    """Draw ``shots`` basis outcomes from an (unnormalized) distribution.
+
+    The core of every sampling path — scalar and batched — so that a
+    batched draw from row ``b`` of a probability matrix consumes ``rng``
+    exactly as the scalar :meth:`Statevector.sample` would: normalize,
+    one ``rng.choice`` call, then unpack the flat outcomes into a
+    ``(shots, num_bits)`` array of 0/1 ints (most significant bit first).
+
+    Raises
+    ------
+    ValueError
+        If the distribution's total probability is zero or non-finite.
+    """
+    total = probs.sum()
+    if not np.isfinite(total) or total <= 0.0:
+        raise ValueError(
+            "cannot sample: the marginal distribution has zero total "
+            f"probability (sum={total!r}); the state is not normalizable "
+            "over the requested qubits (e.g. after projector-style "
+            "manipulation of .data)"
+        )
+    probs = probs / total
+    outcomes = rng.choice(probs.size, size=shots, p=probs)
+    return (
+        (outcomes[:, None] >> np.arange(num_bits - 1, -1, -1)) & 1
+    ).astype(np.int8)
+
+
+def marginal_probabilities_batch(
+    states: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Marginal distributions of every row of a ``(B, 2**n)`` stack.
+
+    The batched counterpart of :meth:`Statevector.marginal_probabilities`:
+    one vectorized pass builds the full ``(B, 2**k)`` probability matrix,
+    row ``b`` bit-identical to the scalar method on ``states[b]``.
+    """
+    for qubit in qubits:
+        check_qubit_index(qubit, num_qubits)
+    if len(set(qubits)) != len(qubits):
+        raise ValueError("qubits must be distinct")
+    probs = np.abs(states) ** 2
+    tensor = probs.reshape((states.shape[0],) + (2,) * num_qubits)
+    keep = list(qubits)
+    drop = [q for q in range(num_qubits) if q not in set(keep)]
+    marginal = (
+        tensor.sum(axis=tuple(axis + 1 for axis in drop)) if drop else tensor
+    )
+    current = sorted(keep)
+    perm = [0] + [current.index(q) + 1 for q in keep]
+    return np.transpose(marginal, perm).reshape(states.shape[0], -1)
+
+
+def _bits_to_counts(bits: np.ndarray) -> "dict[str, int]":
+    """Aggregate a ``(shots, k)`` bit array into ``{bitstring: count}``."""
+    counts: "dict[str, int]" = {}
+    for row in bits:
+        key = "".join(str(b) for b in row)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _coerce_states_matrix(states: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Validate a ``(B, 2**n)`` amplitude stack; return it with ``n``."""
+    states = np.asarray(states, dtype=complex)
+    if states.ndim != 2:
+        raise ValueError(
+            f"states must be 2-D (batch, 2**num_qubits), got shape "
+            f"{states.shape}"
+        )
+    dim = states.shape[1]
+    if dim < 2 or dim & (dim - 1):
+        raise ValueError(
+            f"statevector length must be a power of 2, got {dim}"
+        )
+    return states, int(dim).bit_length() - 1
 
 
 class Statevector:
@@ -312,19 +474,75 @@ class Statevector:
         rng = ensure_rng(seed)
         target = list(qubits) if qubits is not None else list(range(self.num_qubits))
         probs = self.marginal_probabilities(target)
-        total = probs.sum()
-        if not np.isfinite(total) or total <= 0.0:
-            raise ValueError(
-                "cannot sample: the marginal distribution has zero total "
-                f"probability (sum={total!r}); the state is not normalizable "
-                "over the requested qubits (e.g. after projector-style "
-                "manipulation of .data)"
-            )
-        probs = probs / total
-        outcomes = rng.choice(probs.size, size=shots, p=probs)
+        return sample_basis_bits(probs, shots, rng, len(target))
+
+    @classmethod
+    def sample_batch(
+        cls,
+        states: np.ndarray,
+        shots: int,
+        seeds: "SeedLike | Sequence[SeedLike]" = None,
+        qubits: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Sample every row of a ``(B, 2**n)`` amplitude stack at once.
+
+        The marginal probability matrix over ``qubits`` (all qubits by
+        default) is computed in one vectorized pass
+        (:func:`marginal_probabilities_batch`); each row then draws from
+        its own generator.
+
+        Parameters
+        ----------
+        states:
+            ``(B, 2**n)`` complex amplitudes, e.g. the output of
+            :meth:`StatevectorSimulator.run_batch`.
+        shots:
+            Number of outcomes to draw per row.
+        seeds:
+            A sequence of ``B`` per-row seeds/generators (honoured
+            element-wise), or any single :data:`~repro.utils.rng.SeedLike`
+            from which ``B`` children are spawned.  Either way row ``b``
+            is bit-identical to
+            ``Statevector(states[b]).sample(shots, seed=<row b's seed>,
+            qubits=qubits)``.
+        qubits:
+            Optional qubit subset (same semantics as :meth:`sample`).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(B, shots, k)`` array of 0/1 ints, ``k = len(qubits)``.
+        """
+        check_positive_int(shots, "shots")
+        states, num_qubits = _coerce_states_matrix(states)
+        target = list(qubits) if qubits is not None else list(range(num_qubits))
+        probs = marginal_probabilities_batch(states, target, num_qubits)
+        rngs = resolve_rngs(seeds, states.shape[0])
         k = len(target)
-        bits = ((outcomes[:, None] >> np.arange(k - 1, -1, -1)) & 1).astype(np.int8)
+        bits = np.empty((states.shape[0], shots, k), dtype=np.int8)
+        for row, rng in enumerate(rngs):
+            try:
+                bits[row] = sample_basis_bits(probs[row], shots, rng, k)
+            except ValueError as exc:
+                raise ValueError(f"batch row {row}: {exc}") from None
         return bits
+
+    @classmethod
+    def sample_counts_batch(
+        cls,
+        states: np.ndarray,
+        shots: int,
+        seeds: "SeedLike | Sequence[SeedLike]" = None,
+        qubits: Optional[Sequence[int]] = None,
+    ) -> "list[dict[str, int]]":
+        """Batched :meth:`sample_counts`: one ``{bitstring: count}`` per row.
+
+        Same seeding/bit-identity contract as :meth:`sample_batch`; entry
+        ``b`` equals ``Statevector(states[b]).sample_counts(...)`` with
+        row ``b``'s seed.
+        """
+        batch_bits = cls.sample_batch(states, shots, seeds=seeds, qubits=qubits)
+        return [_bits_to_counts(bits) for bits in batch_bits]
 
     def sample_counts(
         self,
@@ -339,11 +557,7 @@ class Statevector:
         marginal distribution of those qubits, in the given order.
         """
         bits = self.sample(shots, seed=seed, qubits=qubits)
-        counts: dict[str, int] = {}
-        for row in bits:
-            key = "".join(str(b) for b in row)
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        return _bits_to_counts(bits)
 
     # ------------------------------------------------------------------
     # dunder helpers

@@ -22,7 +22,10 @@ and ``run`` accept ``--workers N`` to shard work over a process pool —
 seeded results are bit-identical to the single-process run.  ``train``
 additionally accepts ``--batch-trajectories`` (lock-step training of all
 ``--restarts`` x methods trajectories through the batched adjoint
-engine) — again bit-identical, just faster.
+engine) — again bit-identical, just faster.  ``variance``, ``train`` and
+``run`` take ``--shots N`` to switch from analytic expectations to
+finite-sample estimation (hardware-realistic measurement noise) with
+per-trajectory streams derived from ``--seed``.
 """
 
 from __future__ import annotations
@@ -59,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable batched execution (same seeded results, slower; "
         "the reference path for cross-checking the batched engine)",
     )
+    variance.add_argument(
+        "--shots",
+        type=int,
+        default=None,
+        help="estimate probed gradients from this many measurement "
+        "samples instead of analytically (hardware-realistic noise)",
+    )
     variance.add_argument("--seed", type=int, default=0)
     variance.add_argument("--output", default=None)
     variance.add_argument(
@@ -83,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--learning-rate", type=float, default=0.1)
     train.add_argument("--methods", nargs="+", default=None)
     train.add_argument("--cost", choices=("global", "local"), default="global")
+    train.add_argument(
+        "--shots",
+        type=int,
+        default=None,
+        help="train on finite-sample losses/gradients (this many "
+        "measurement samples per expectation, parameter-shift rule) "
+        "instead of analytic values",
+    )
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--output", default=None)
     train.add_argument(
@@ -127,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-dir",
         default=None,
         help="override the spec's checkpoint directory",
+    )
+    run_cmd.add_argument(
+        "--shots",
+        type=int,
+        default=None,
+        help="override the spec's shots (finite-sample estimation)",
     )
     run_cmd.add_argument("--output", default=None)
 
@@ -178,6 +202,7 @@ def _cmd_variance(args: argparse.Namespace) -> int:
         methods=tuple(args.methods) if args.methods else tuple(PAPER_METHODS),
         cost_kind=args.cost,
         batched=not args.sequential,
+        shots=args.shots,
     )
     spec = ExperimentSpec(
         kind="variance",
@@ -204,6 +229,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         optimizer=args.optimizer,
         learning_rate=args.learning_rate,
         cost_kind=args.cost,
+        shots=args.shots,
     )
     if args.batch_trajectories:
         executor = "lockstep"
@@ -255,6 +281,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             overrides["executor"] = "process_pool"
     if args.checkpoint_dir is not None:
         overrides["checkpoint_dir"] = args.checkpoint_dir
+    if args.shots is not None:
+        overrides["shots"] = args.shots
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
     print(

@@ -26,7 +26,9 @@ from repro.backend.gradients import (
     adjoint_value_and_gradient,
     batch_adjoint_value_and_gradient,
     batch_parameter_shift,
+    batch_parameter_shift_value_and_gradient,
     get_gradient_fn,
+    parameter_shift,
 )
 from repro.backend.observables import (
     Observable,
@@ -92,17 +94,43 @@ class ObservableCost:
         """Trainable parameter count of the underlying circuit."""
         return self.circuit.num_parameters
 
-    def value(self, params: Sequence[float]) -> float:
-        """Evaluate the cost."""
-        expectation = self.simulator.expectation(self.circuit, self.observable, params)
+    def value(
+        self,
+        params: Sequence[float],
+        shots: Optional[int] = None,
+        seed=None,
+    ) -> float:
+        """Evaluate the cost (exact, or shot-estimated with ``shots=``)."""
+        expectation = self.simulator.expectation(
+            self.circuit, self.observable, params, shots=shots, seed=seed
+        )
         return self.offset + self.scale * expectation
 
     def gradient(
         self,
         params: Sequence[float],
         param_indices: Optional[Sequence[int]] = None,
+        shots: Optional[int] = None,
+        seed=None,
     ) -> np.ndarray:
-        """Gradient of the cost (chain rule through the affine transform)."""
+        """Gradient of the cost (chain rule through the affine transform).
+
+        With ``shots=`` the gradient is sample-estimated through the
+        hardware parameter-shift rule regardless of the configured engine
+        (the adjoint sweep has no measurement analogue); ``seed`` seeds
+        the measurement stream.
+        """
+        if shots is not None:
+            raw = parameter_shift(
+                self.circuit,
+                self.observable,
+                params,
+                simulator=self.simulator,
+                param_indices=param_indices,
+                shots=shots,
+                seed=seed,
+            )
+            return self.scale * raw
         raw = self.gradient_fn(
             self.circuit,
             self.observable,
@@ -113,7 +141,10 @@ class ObservableCost:
         return self.scale * raw
 
     def value_and_gradient(
-        self, params: Sequence[float]
+        self,
+        params: Sequence[float],
+        shots: Optional[int] = None,
+        seed=None,
     ) -> Tuple[float, np.ndarray]:
         """Loss and full gradient, sharing work where the engine allows.
 
@@ -122,7 +153,18 @@ class ObservableCost:
         twice; both numbers carry exactly the bits the separate
         :meth:`value` / :meth:`gradient` calls would produce.  Other
         engines fall back to those two calls.
+
+        With ``shots=`` both numbers are sample-estimated through the
+        shift rule: one generator (from ``seed``) is consumed value-first
+        then shift terms, so a persistent per-trajectory generator yields
+        a reproducible measurement stream across training iterations.
         """
+        if shots is not None:
+            from repro.utils.rng import ensure_rng
+
+            rng = ensure_rng(seed)
+            value = self.value(params, shots=shots, seed=rng)
+            return value, self.gradient(params, shots=shots, seed=rng)
         if self.gradient_engine in ("adjoint", "batch_adjoint"):
             fused = (
                 adjoint_value_and_gradient
@@ -136,7 +178,10 @@ class ObservableCost:
         return self.value(params), self.gradient(params)
 
     def value_and_gradient_batch(
-        self, params_batch: Sequence[Sequence[float]]
+        self,
+        params_batch: Sequence[Sequence[float]],
+        shots: Optional[int] = None,
+        seed=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Losses and full gradients for a ``(B, P)`` stack of trajectories.
 
@@ -146,6 +191,15 @@ class ObservableCost:
         forward pass); shift-rule engines use one batched-shift execution
         plus one batched forward pass for the losses; anything else loops
         rows through the sequential pair.
+
+        With ``shots=`` every row is sample-estimated from one folded
+        batched execution (:func:`batch_parameter_shift_value_and_gradient`):
+        ``seed`` is either a sequence of ``B`` per-row seeds/generators
+        (e.g. persistent per-trajectory streams in lock-step shot-based
+        training) or a single seed spawning ``B`` children; row ``b`` is
+        then bit-identical to
+        ``value_and_gradient(params_batch[b], shots=shots,
+        seed=<row b's seed>)``.
 
         Returns
         -------
@@ -158,7 +212,16 @@ class ObservableCost:
                 f"params_batch must be 2-D (batch, num_parameters), "
                 f"got shape {batch.shape}"
             )
-        if self.gradient_engine in ("adjoint", "batch_adjoint"):
+        if shots is not None:
+            expectations, raw = batch_parameter_shift_value_and_gradient(
+                self.circuit,
+                self.observable,
+                batch,
+                simulator=self.simulator,
+                shots=shots,
+                seed=seed,
+            )
+        elif self.gradient_engine in ("adjoint", "batch_adjoint"):
             expectations, raw = batch_adjoint_value_and_gradient(
                 self.circuit, self.observable, batch, simulator=self.simulator
             )

@@ -48,6 +48,13 @@ histories, one batched sweep per iteration::
         kind="sweep", sweep_field="num_layers", sweep_values=[10, 30, 60], seed=2,
     ))
 
+Any spec runs under hardware-realistic sampling noise by adding
+``shots=`` — losses, gradients and variance probes become finite-sample
+estimates with per-trajectory measurement streams spawned from the spec
+seed, still bit-identical across executors::
+
+    repro.run(ExperimentSpec(kind="training", seed=1, shots=1024, executor="lockstep"))
+
 Specs serialize: ``spec.to_dict()`` / ``ExperimentSpec.from_file(path)``
 round-trip through JSON, and the CLI runs a saved file directly::
 
@@ -170,6 +177,15 @@ class ExperimentSpec:
         ``"<method>#r<k>"`` when greater than one), sharded across
         executor units — or folded into one lock-step batch by the
         ``lockstep`` executor.
+    shots:
+        Estimate every expectation from this many measurement samples
+        instead of analytically (``None`` keeps the paper's analytic
+        setup).  Applies to all kinds — sampled training losses and
+        shift-rule gradients for ``training``, sampled probe gradients
+        for ``variance``/``sweep`` — by overriding the config's own
+        ``shots`` field.  Per-trajectory / per-circuit measurement
+        streams are spawned from the spec seed, so sampled results are
+        bit-identical across every executor.
     sweep_field / sweep_values / paired:
         For ``sweep`` specs: the :class:`VarianceConfig` field to vary,
         the values it takes, and whether runs share paired RNG streams.
@@ -184,6 +200,7 @@ class ExperimentSpec:
     circuits_per_shard: Optional[int] = None
     methods: Optional[Sequence[str]] = None
     restarts: int = 1
+    shots: Optional[int] = None
     sweep_field: Optional[str] = None
     sweep_values: Optional[Sequence] = None
     paired: bool = True
@@ -210,6 +227,8 @@ class ExperimentSpec:
             )
         check_positive_int(self.workers, "workers")
         check_positive_int(self.restarts, "restarts")
+        if self.shots is not None:
+            check_positive_int(self.shots, "shots")
         if self.methods is not None and self.kind != "training":
             raise ValueError(
                 "methods applies to training specs only; variance methods "
@@ -261,6 +280,7 @@ class ExperimentSpec:
             "circuits_per_shard": self.circuits_per_shard,
             "methods": list(self.methods) if self.methods is not None else None,
             "restarts": self.restarts,
+            "shots": self.shots,
             "sweep_field": self.sweep_field,
             "sweep_values": (
                 list(self.sweep_values) if self.sweep_values is not None else None
@@ -289,6 +309,7 @@ class ExperimentSpec:
         workers = payload.get("workers")
         paired = payload.get("paired")
         restarts = payload.get("restarts")
+        shots = payload.get("shots")
         return cls(
             kind=str(payload["kind"]),
             config=payload.get("config"),
@@ -299,6 +320,7 @@ class ExperimentSpec:
             circuits_per_shard=payload.get("circuits_per_shard"),
             methods=payload.get("methods"),
             restarts=1 if restarts is None else int(restarts),
+            shots=None if shots is None else int(shots),
             sweep_field=payload.get("sweep_field"),
             sweep_values=payload.get("sweep_values"),
             paired=True if paired is None else bool(paired),
@@ -340,9 +362,14 @@ def _fingerprint(
             "checkpointing requires a serializable seed (int, None, or "
             "SeedSequence-backed); got a transient generator"
         ) from None
+    config_payload = asdict(config) if config is not None else None
+    if config_payload is not None and config_payload.get("shots") is None:
+        # Analytic configs keep their pre-shots fingerprints, so existing
+        # checkpoints stay resumable.
+        config_payload.pop("shots", None)
     payload = {
         "kind": kind,
-        "config": asdict(config) if config is not None else None,
+        "config": config_payload,
         "seed": seed,
         "methods": list(spec.methods) if spec.methods else None,
         "plan": plan,
@@ -380,11 +407,18 @@ def run(
     return _run_training(spec, executor, verbose)
 
 
+def _apply_shots(spec: ExperimentSpec, config: Any) -> Any:
+    """Merge a spec-level ``shots`` override into the kind's config."""
+    if spec.shots is None:
+        return config
+    return replace(config, shots=spec.shots)
+
+
 def _run_variance(
     spec: ExperimentSpec, executor: Executor, verbose: bool
 ) -> Any:
     """Plan variance shards, execute them, and derive the Fig. 5a outcome."""
-    config = spec.config or VarianceConfig()
+    config = _apply_shots(spec, spec.config or VarianceConfig())
     if executor.variance_batched is not None:
         config = replace(config, batched=executor.variance_batched)
     per_shard = spec.circuits_per_shard
@@ -446,7 +480,7 @@ def _run_training(
     from repro.core.results import TrainingHistory
     from repro.core import training as _training_module
 
-    config = spec.config or TrainingConfig()
+    config = _apply_shots(spec, spec.config or TrainingConfig())
     methods = tuple(spec.methods) if spec.methods else tuple(PAPER_METHODS)
     labels, trajectory_methods = _training_module.expand_trajectories(
         methods, spec.restarts
@@ -507,7 +541,7 @@ def _run_sweep(spec: ExperimentSpec, verbose: bool) -> Dict:
     runs.  With ``paired=True`` all values consume the same child seed
     stream, isolating the effect of the swept field.
     """
-    base = spec.config or VarianceConfig()
+    base = _apply_shots(spec, spec.config or VarianceConfig())
     values = list(spec.sweep_values)
     configs = [
         replace(base, **{spec.sweep_field: value}) for value in values

@@ -16,6 +16,13 @@ Two execution modes produce bit-identical histories:
   :meth:`ObservableCost.value_and_gradient_batch` and the batch-aware
   optimizers, collapsing ``B x iterations`` adjoint sweeps into
   ``iterations`` batched ones.
+
+Shot-based training (``TrainingConfig.shots``) replaces the analytic
+loss/gradient with finite-sample estimates through the hardware
+parameter-shift rule.  Each trajectory owns a persistent measurement
+stream (``sample_seed`` / ``sample_seeds``) consumed identically by both
+execution modes, so lock-step shot-based histories remain bit-identical
+to sequential ones given the same spawned child seeds.
 """
 
 from __future__ import annotations
@@ -49,7 +56,14 @@ __all__ = [
 
 @dataclass
 class TrainingConfig:
-    """Configuration of the training study (paper defaults)."""
+    """Configuration of the training study (paper defaults).
+
+    ``shots`` switches the study from analytic losses/gradients to
+    finite-sample estimation (that many measurement samples per
+    expectation, gradients through the hardware parameter-shift rule) —
+    the hardware-realistic extension; ``None`` keeps the paper's analytic
+    setup.
+    """
 
     num_qubits: int = 10
     num_layers: int = 5
@@ -62,6 +76,7 @@ class TrainingConfig:
     entanglement: str = "chain"
     entangler: str = "CZ"
     optimizer_kwargs: Dict[str, float] = field(default_factory=dict)
+    shots: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.num_qubits, "num_qubits")
@@ -71,6 +86,8 @@ class TrainingConfig:
             raise ValueError(
                 f"learning_rate must be positive, got {self.learning_rate}"
             )
+        if self.shots is not None:
+            check_positive_int(self.shots, "shots")
 
     def build_ansatz(self) -> HardwareEfficientAnsatz:
         """The Eq. 3 ansatz for this configuration."""
@@ -135,6 +152,7 @@ class Trainer:
         seed: SeedLike = None,
         callback: Optional[Callable[[int, float, np.ndarray], None]] = None,
         initial_params: Optional[np.ndarray] = None,
+        sample_seed: SeedLike = None,
     ) -> TrainingHistory:
         """Train from one initialization draw.
 
@@ -149,8 +167,14 @@ class Trainer:
             after every update (and once at iteration 0).
         initial_params:
             Explicit starting point overriding the initializer draw.
+        sample_seed:
+            Shot-based runs (``config.shots``) only: seeds the
+            trajectory's measurement stream, consumed in iteration order
+            (value estimate first, then shift terms).
         """
         method_name = method if isinstance(method, str) else method.name
+        if sample_seed is not None and self.config.shots is None:
+            raise ValueError("sample_seed requires config.shots to be set")
         if initial_params is None:
             params = self.initial_parameters(method, seed)
         else:
@@ -162,15 +186,21 @@ class Trainer:
                 )
         optimizer = self.config.build_optimizer()
         initial = params.copy()
+        shots = self.config.shots
+        sample_rng = ensure_rng(sample_seed) if shots is not None else None
 
-        loss, grad = self._cost.value_and_gradient(params)
+        loss, grad = self._cost.value_and_gradient(
+            params, shots=shots, seed=sample_rng
+        )
         losses = [loss]
         grad_norms = [float(np.linalg.norm(grad))]
         if callback is not None:
             callback(0, loss, params)
         for iteration in range(1, self.config.iterations + 1):
             params = optimizer.step(params, grad)
-            loss, grad = self._cost.value_and_gradient(params)
+            loss, grad = self._cost.value_and_gradient(
+                params, shots=shots, seed=sample_rng
+            )
             losses.append(loss)
             grad_norms.append(float(np.linalg.norm(grad)))
             if callback is not None:
@@ -192,6 +222,7 @@ class Trainer:
         initial_params: Optional[np.ndarray] = None,
         callback: Optional[Callable[[int, np.ndarray, np.ndarray], None]] = None,
         labels: Optional[Sequence[str]] = None,
+        sample_seeds: Optional[Sequence[SeedLike]] = None,
     ) -> List[TrainingHistory]:
         """Train ``B`` trajectories simultaneously, one batched pass each step.
 
@@ -200,7 +231,10 @@ class Trainer:
         step with per-trajectory state, instead of ``B`` independent
         sweeps.  Trajectory ``b``'s history is bit-identical to
         ``self.run(methods[b], seed=seeds[b])`` — lock-step is a pure
-        throughput change.
+        throughput change.  Shot-based configurations keep the property:
+        every trajectory's measurement stream (``sample_seeds[b]``) is
+        consumed exactly as the sequential
+        ``self.run(..., sample_seed=sample_seeds[b])`` would consume it.
 
         Parameters
         ----------
@@ -219,6 +253,9 @@ class Trainer:
         labels:
             History names, defaulting to each method's name; pass explicit
             labels to distinguish restarts of the same method.
+        sample_seeds:
+            Shot-based runs (``config.shots``) only: one measurement-
+            stream seed per trajectory (default: fresh entropy each).
         """
         method_list = list(methods)
         if not method_list:
@@ -232,6 +269,19 @@ class Trainer:
             raise ValueError(
                 f"got {len(labels)} labels for {batch} trajectories"
             )
+        shots = self.config.shots
+        if sample_seeds is not None and shots is None:
+            raise ValueError("sample_seeds requires config.shots to be set")
+        sample_rngs: Optional[List[np.random.Generator]] = None
+        if shots is not None:
+            if sample_seeds is None:
+                sample_seeds = [None] * batch
+            elif len(sample_seeds) != batch:
+                raise ValueError(
+                    f"got {len(sample_seeds)} sample_seeds for {batch} "
+                    "trajectories"
+                )
+            sample_rngs = [ensure_rng(s) for s in sample_seeds]
         if initial_params is None:
             if seeds is None:
                 seeds = [None] * batch
@@ -263,13 +313,17 @@ class Trainer:
                 losses[b].append(float(values[b]))
                 grad_norms[b].append(float(np.linalg.norm(grads[b])))
 
-        values, grads = self._cost.value_and_gradient_batch(params)
+        values, grads = self._cost.value_and_gradient_batch(
+            params, shots=shots, seed=sample_rngs
+        )
         record(values, grads)
         if callback is not None:
             callback(0, values, params)
         for iteration in range(1, self.config.iterations + 1):
             params = optimizer.step(params, grads)
-            values, grads = self._cost.value_and_gradient_batch(params)
+            values, grads = self._cost.value_and_gradient_batch(
+                params, shots=shots, seed=sample_rngs
+            )
             record(values, grads)
             if callback is not None:
                 callback(iteration, values, params)
@@ -318,6 +372,38 @@ def expand_trajectories(
     return labels, expanded
 
 
+def _trajectory_seeds(seed: SeedLike, shots: Optional[int]):
+    """Resolve one trajectory's child seed into ``(init, sample)`` seeds.
+
+    Analytic trajectories consume the child directly for the initial
+    draw (the historical single-stream layout, kept bit-stable); shot-
+    based trajectories split the child into an initialization seed and an
+    independent measurement-stream seed.  Every execution path — the
+    sequential loop, lock-step batching, and executor-sharded units —
+    derives its streams through this one function, which is what makes
+    shot-based results identical across executors.
+    """
+    if shots is None:
+        return ensure_rng(seed), None
+    init_seed, sample_seed = spawn_seeds(seed, 2)
+    return init_seed, sample_seed
+
+
+def _split_trajectory_seeds(seeds: Sequence[SeedLike], shots: Optional[int]):
+    """Per-trajectory ``(init_seeds, sample_seeds)`` lists from child seeds.
+
+    The list form of :func:`_trajectory_seeds` shared by every
+    multi-trajectory call site; ``sample_seeds`` is ``None`` for analytic
+    runs so callers can hand it to :meth:`Trainer.run_lockstep` directly.
+    """
+    pairs = [_trajectory_seeds(seed, shots) for seed in seeds]
+    init_seeds = [init for init, _ in pairs]
+    sample_seeds = (
+        [sample for _, sample in pairs] if shots is not None else None
+    )
+    return init_seeds, sample_seeds
+
+
 def run_training_unit(
     config: TrainingConfig, method: str, seed: SeedLike
 ) -> dict:
@@ -325,9 +411,13 @@ def run_training_unit(
 
     This is what executors (including process pools) schedule for
     ``training`` specs; the dict round-trips through shard checkpoints and
-    rehydrates via :meth:`TrainingHistory.from_dict`.
+    rehydrates via :meth:`TrainingHistory.from_dict`.  Shot-based configs
+    (``config.shots``) split the unit's child seed into initialization
+    and measurement streams via :func:`_trajectory_seeds`.
     """
-    return Trainer(config).run(method, seed=ensure_rng(seed)).to_dict()
+    init_seed, sample_seed = _trajectory_seeds(seed, config.shots)
+    history = Trainer(config).run(method, seed=init_seed, sample_seed=sample_seed)
+    return history.to_dict()
 
 
 def run_labelled_training_unit(
@@ -338,7 +428,8 @@ def run_labelled_training_unit(
     Used when a spec shards ``(method, restart)`` pairs: each restart of
     the same method needs a distinct history key.
     """
-    history = Trainer(config).run(method, seed=ensure_rng(seed))
+    init_seed, sample_seed = _trajectory_seeds(seed, config.shots)
+    history = Trainer(config).run(method, seed=init_seed, sample_seed=sample_seed)
     history.method = label
     return history.to_dict()
 
@@ -353,10 +444,16 @@ def run_lockstep_training_unit(
 
     One unit covers the whole panel — the batched counterpart of
     scheduling one :func:`run_training_unit` per trajectory; outputs are
-    the per-trajectory history dicts in trajectory order.
+    the per-trajectory history dicts in trajectory order.  Per-trajectory
+    seeds are resolved exactly as the per-trajectory units resolve them,
+    so lock-step outputs stay bit-identical to sharded ones.
     """
+    init_seeds, sample_seeds = _split_trajectory_seeds(seeds, config.shots)
     histories = Trainer(config).run_lockstep(
-        list(methods), seeds=list(seeds), labels=list(labels)
+        list(methods),
+        seeds=init_seeds,
+        labels=list(labels),
+        sample_seeds=sample_seeds,
     )
     return [history.to_dict() for history in histories]
 
@@ -388,18 +485,33 @@ def train_all_methods(
     restarts:
         Independent restarts per method (``(method, restart)`` pairs,
         labelled ``"<method>#r<k>"`` when greater than one).
+
+    Shot-based panels (``config.shots``) derive an additional measurement
+    stream per trajectory from the same child seeds
+    (:func:`_trajectory_seeds`), so sequential and lock-step modes remain
+    bit-identical under sampling noise too.
     """
     trainer = Trainer(config)
+    config = trainer.config
     labels, trajectory_methods = expand_trajectories(methods, restarts)
-    seeds = spawn_seeds(seed, len(labels))
+    init_seeds, sample_seeds = _split_trajectory_seeds(
+        spawn_seeds(seed, len(labels)), config.shots
+    )
     if lockstep:
         results = trainer.run_lockstep(
-            trajectory_methods, seeds=seeds, labels=labels
+            trajectory_methods,
+            seeds=init_seeds,
+            labels=labels,
+            sample_seeds=sample_seeds,
         )
     else:
         results = []
-        for method, label, child in zip(trajectory_methods, labels, seeds):
-            history = trainer.run(method, seed=ensure_rng(child))
+        for b, (method, label) in enumerate(zip(trajectory_methods, labels)):
+            history = trainer.run(
+                method,
+                seed=init_seeds[b],
+                sample_seed=sample_seeds[b] if sample_seeds else None,
+            )
             history.method = label
             results.append(history)
     histories: Dict[str, TrainingHistory] = dict(zip(labels, results))

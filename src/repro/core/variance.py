@@ -15,6 +15,12 @@ folded into one :func:`repro.backend.gradients.batch_parameter_shift`
 call.  All angles are sampled *before* any evaluation, in method order, so
 the paired RNG child streams are consumed exactly as in the sequential
 path and seeded results are bit-identical either way.
+
+With ``VarianceConfig.shots`` the probed gradients are estimated from
+finite measurement samples instead of analytically: each method reserves
+one further per-circuit child stream (after the angle draws) and both
+modes consume it identically, so the sampled grid, too, is bit-identical
+across executors.
 """
 
 from __future__ import annotations
@@ -83,6 +89,12 @@ class VarianceConfig:
     #: batched statevector execution.  Seeded results are bit-identical
     #: with this on or off; only throughput changes (see module docstring).
     batched: bool = True
+    #: Estimate every probed gradient from this many measurement samples
+    #: instead of analytically — the hardware-realistic noise extension.
+    #: Each method gets an independent per-circuit sampling stream (one
+    #: ``spawn_rng`` child per method, reserved after the angle draws), so
+    #: batched and sequential modes stay bit-identical under sampling too.
+    shots: Optional[int] = None
     method_kwargs: Dict[str, dict] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -99,6 +111,8 @@ class VarianceConfig:
                 "param_position must be 'first', 'middle' or 'last', got "
                 f"{self.param_position!r}"
             )
+        if self.shots is not None:
+            check_positive_int(self.shots, "shots")
 
     def build_initializers(self) -> Dict[str, Initializer]:
         """Instantiate the configured initialization methods by name."""
@@ -177,13 +191,14 @@ def _probe_index(config: VarianceConfig, count: int) -> int:
 
 
 def _probe_gradient(
-    config: VarianceConfig, cost, params: np.ndarray, simulator
+    config: VarianceConfig, cost, params: np.ndarray, simulator, sample_rng=None
 ) -> float:
-    """d(cost)/d(theta_probe) via the exact parameter-shift rule.
+    """d(cost)/d(theta_probe) via the (optionally sampled) shift rule.
 
     The probed index follows ``config.param_position``; the paper's setup
     is the last parameter.  Sequential reference path for
-    ``batched=False``.
+    ``batched=False``; with ``config.shots`` both shifted expectations
+    are estimated from samples drawn off ``sample_rng``.
     """
     index = _probe_index(config, cost.circuit.num_parameters)
     raw = parameter_shift(
@@ -192,6 +207,8 @@ def _probe_gradient(
         params,
         simulator=simulator,
         param_indices=[index],
+        shots=config.shots,
+        seed=sample_rng,
     )
     return float(cost.scale * raw[0])
 
@@ -233,6 +250,13 @@ def run_variance_shard(
             method: initializer.sample(shape, spawn_rng(angles_rng))
             for method, initializer in initializers.items()
         }
+        # Sampled probes reserve one further child per method, in method
+        # order after every angle draw, so the draw streams above stay
+        # bit-stable and each method's measurement stream is shared by the
+        # batched and sequential modes.
+        sample_rngs = None
+        if config.shots is not None:
+            sample_rngs = [spawn_rng(angles_rng) for _ in config.methods]
         if config.batched:
             index = _probe_index(config, cost.circuit.num_parameters)
             matrix = np.stack(
@@ -247,13 +271,23 @@ def run_variance_shard(
                 matrix,
                 simulator=simulator,
                 param_indices=[index],
+                shots=config.shots,
+                seed=sample_rngs,
             )
             for slot, method in enumerate(config.methods):
                 grads[method].append(float(cost.scale * raw[slot, 0]))
         else:
-            for method in config.methods:
+            for slot, method in enumerate(config.methods):
                 grads[method].append(
-                    _probe_gradient(config, cost, draws[method], simulator)
+                    _probe_gradient(
+                        config,
+                        cost,
+                        draws[method],
+                        simulator,
+                        sample_rng=(
+                            sample_rngs[slot] if sample_rngs is not None else None
+                        ),
+                    )
                 )
     return {
         "num_qubits": shard.num_qubits,

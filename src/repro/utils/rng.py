@@ -9,7 +9,7 @@ consumed.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Union
+from typing import Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -70,6 +70,27 @@ def spawn_seeds(seed: SeedLike, count: int) -> List[np.random.SeedSequence]:
             for _ in range(count)
         ]
     return list(seed_seq.spawn(count))
+
+
+def resolve_rngs(seed: "SeedLike | Sequence[SeedLike]", count: int) -> List[np.random.Generator]:
+    """One independent generator per row of a batch of size ``count``.
+
+    A list/tuple of per-row seeds (``None``/int/``SeedSequence``/existing
+    ``Generator``) is honoured element-wise — pre-seeded generators pass
+    through unchanged, so callers can thread persistent per-row streams
+    (e.g. one per training trajectory) through repeated batched calls.
+    Any single ``SeedLike`` instead spawns ``count`` children via
+    :func:`spawn_seeds`; running row ``b`` sequentially with child ``b``
+    then consumes exactly the stream the batched call used — the
+    bit-identity contract of the sampled batched paths.
+    """
+    if isinstance(seed, (list, tuple)):
+        if len(seed) != count:
+            raise ValueError(
+                f"got {len(seed)} per-row seeds for a batch of {count}"
+            )
+        return [ensure_rng(entry) for entry in seed]
+    return [ensure_rng(child) for child in spawn_seeds(seed, count)]
 
 
 def child_rngs(

@@ -1,5 +1,5 @@
-"""Unit tests for shot-based (stochastic) parameter-shift gradients and
-non-finite parameter validation."""
+"""Unit tests for shot-based (stochastic) parameter-shift gradients —
+sequential and batched — and non-finite parameter validation."""
 
 import numpy as np
 import pytest
@@ -11,6 +11,12 @@ from repro.backend import (
     parameter_shift,
     zero_projector,
 )
+from repro.backend.gradients import (
+    batch_parameter_shift,
+    batch_parameter_shift_value_and_gradient,
+)
+from repro.backend.observables import total_z
+from repro.utils.rng import ensure_rng, spawn_seeds
 
 
 class TestShotBasedParameterShift:
@@ -47,6 +53,121 @@ class TestShotBasedParameterShift:
             circuit, obs, params, simulator, shots=30000, seed=3
         )
         assert np.allclose(noisy, exact, atol=0.03)
+
+
+class TestBatchedShotParameterShift:
+    @pytest.fixture
+    def circuit(self):
+        circuit = QuantumCircuit(2)
+        circuit.rx(0).ry(1).cz(0, 1).ry(0).rx(1)
+        return circuit
+
+    @pytest.fixture
+    def params_batch(self, circuit):
+        rng = np.random.default_rng(17)
+        return rng.uniform(0, 2 * np.pi, (4, circuit.num_parameters))
+
+    @pytest.mark.parametrize(
+        "observable", [zero_projector(2), total_z(2)], ids=["projector", "sum"]
+    )
+    def test_rows_match_sequential_with_spawned_children(
+        self, simulator, circuit, params_batch, observable
+    ):
+        children = spawn_seeds(41, params_batch.shape[0])
+        grads = batch_parameter_shift(
+            circuit, observable, params_batch, simulator, shots=90, seed=41
+        )
+        for b in range(params_batch.shape[0]):
+            reference = parameter_shift(
+                circuit,
+                observable,
+                params_batch[b],
+                simulator,
+                shots=90,
+                seed=ensure_rng(children[b]),
+            )
+            assert np.array_equal(grads[b], reference)
+
+    def test_param_subset_and_single_row(self, simulator, circuit, params_batch):
+        observable = zero_projector(2)
+        (child,) = spawn_seeds(3, 1)
+        grad = batch_parameter_shift(
+            circuit,
+            observable,
+            params_batch[0],
+            simulator,
+            param_indices=[2],
+            shots=60,
+            seed=3,
+        )
+        reference = parameter_shift(
+            circuit,
+            observable,
+            params_batch[0],
+            simulator,
+            param_indices=[2],
+            shots=60,
+            seed=ensure_rng(child),
+        )
+        assert grad.shape == (1,)
+        assert np.array_equal(grad, reference)
+
+    def test_fused_value_and_gradient_matches_sequential_stream(
+        self, simulator, circuit, params_batch
+    ):
+        """Row b consumes its child value-first then shifts — the same
+        order the sequential expectation + parameter_shift pair uses."""
+        observable = total_z(2)
+        children = spawn_seeds(13, params_batch.shape[0])
+        values, grads = batch_parameter_shift_value_and_gradient(
+            circuit, observable, params_batch, simulator, shots=70, seed=13
+        )
+        for b in range(params_batch.shape[0]):
+            rng = ensure_rng(children[b])
+            value = simulator.expectation(
+                circuit, observable, params_batch[b], shots=70, seed=rng
+            )
+            reference = parameter_shift(
+                circuit, observable, params_batch[b], simulator,
+                shots=70, seed=rng,
+            )
+            assert values[b] == value
+            assert np.array_equal(grads[b], reference)
+
+    def test_sampled_gradient_is_unbiased(
+        self, simulator, circuit, params_batch, assert_unbiased_estimator
+    ):
+        observable = zero_projector(2)
+        exact = parameter_shift(circuit, observable, params_batch[0], simulator)
+        estimates = [
+            parameter_shift(
+                circuit,
+                observable,
+                params_batch[0],
+                simulator,
+                shots=48,
+                seed=seed,
+            )[0]
+            for seed in range(200)
+        ]
+        assert_unbiased_estimator(estimates, exact[0])
+
+    def test_sampled_gradient_variance_scales(
+        self, simulator, circuit, params_batch,
+        assert_variance_scales_inverse_shots,
+    ):
+        observable = zero_projector(2)
+        assert_variance_scales_inverse_shots(
+            lambda shots, seed: parameter_shift(
+                circuit,
+                observable,
+                params_batch[1],
+                simulator,
+                param_indices=[0],
+                shots=shots,
+                seed=seed,
+            )[0]
+        )
 
 
 class TestNonFiniteParameterValidation:

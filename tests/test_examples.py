@@ -133,6 +133,25 @@ class TestExamplesRun:
         assert "bit-identical to single process: True" in out
         assert "spec round-trips" in out
 
+    def test_shot_based_training(self, capsys, monkeypatch):
+        module = _load("shot_based_training")
+        _run_main(
+            module,
+            [
+                "--qubits", "2",
+                "--layers", "1",
+                "--iterations", "2",
+                "--shots", "20",
+                "--methods", "random", "zeros",
+                "--sweep-shots", "10", "40",
+                "--seed", "1",
+            ],
+            monkeypatch,
+        )
+        out = capsys.readouterr().out
+        assert "serial executor bit-identical to lockstep: True" in out
+        assert "final losses vs shot budget" in out
+
     def test_reproduce_paper_arguments_parse(self, monkeypatch):
         module = _load("reproduce_paper")
         monkeypatch.setattr(sys, "argv", ["x", "--fast", "--seed", "7"])
