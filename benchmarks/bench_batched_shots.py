@@ -31,6 +31,7 @@ import pytest
 
 from repro.analysis import format_table
 from repro.core.training import TrainingConfig, train_all_methods
+from repro.utils import machine_context
 
 NUM_QUBITS = 10
 NUM_LAYERS = 5
@@ -135,6 +136,7 @@ def test_batched_shot_training_speedup(run_once):
         "lockstep_seconds": lockstep_time,
         "speedup": speedup,
         "bit_identical": identical,
+        "machine": machine_context(),
     }
     target = Path(__file__).resolve().parents[1] / "BENCH_batched_shots.json"
     target.write_text(json.dumps(payload, indent=2))

@@ -22,6 +22,7 @@ import numpy as np
 import repro
 from repro.analysis import format_table
 from repro.core import ExperimentSpec, VarianceConfig
+from repro.utils import machine_context
 
 QUBIT_COUNTS = (2, 4, 6, 8)
 NUM_CIRCUITS = 24
@@ -115,6 +116,7 @@ def test_parallel_sweep_speedup(run_once):
         "process_pool_seconds": pooled_time,
         "speedup": speedup,
         "bit_identical": identical,
+        "machine": machine_context(),
     }
     target = Path(__file__).resolve().parents[1] / "BENCH_parallel_sweep.json"
     target.write_text(json.dumps(payload, indent=2))

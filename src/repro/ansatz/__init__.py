@@ -12,7 +12,7 @@ from repro.ansatz.entanglement import (
     entanglement_pairs,
 )
 from repro.ansatz.hea import HardwareEfficientAnsatz
-from repro.ansatz.random_pqc import DEFAULT_GATE_POOL, RandomPQC
+from repro.ansatz.random_pqc import DEFAULT_GATE_POOL, RandomPQC, circuit_shape_key
 from repro.ansatz.templates import BasicEntanglerAnsatz, StronglyEntanglingAnsatz
 
 __all__ = [
@@ -24,5 +24,6 @@ __all__ = [
     "RandomPQC",
     "StronglyEntanglingAnsatz",
     "apply_entanglement",
+    "circuit_shape_key",
     "entanglement_pairs",
 ]

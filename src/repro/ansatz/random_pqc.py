@@ -8,6 +8,20 @@ initializer under test.  :class:`RandomPQC` therefore separates the two:
 the constructor samples and freezes a structure from a seed, ``build``
 returns the corresponding trainable circuit, and the structure is
 inspectable/serializable for reproducibility.
+
+Shape fingerprints
+------------------
+Although every instance's gate *choices* differ, all instances sampled for
+one grid cell share a circuit **shape**: the same wire pattern, the same
+trainable parameter slots, the same fixed entangling layers — only the
+identity of the rotation occupying each slot varies.
+:func:`circuit_shape_key` canonicalizes that shape into a hashable
+fingerprint (gate types and wires for fixed operations, wires and
+parameter slots — *not* gate names or angles — for trainable ones).
+Structures with equal fingerprints can be folded into one mega-batched
+execution (:class:`repro.backend.simulator.MegaBatchPlan`), which is how
+the variance engine turns hundreds of per-structure executions into a
+handful of hundred-row ones.
 """
 
 from __future__ import annotations
@@ -16,14 +30,53 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.ansatz.base import AnsatzTemplate
 from repro.ansatz.entanglement import apply_entanglement, entanglement_pairs
-from repro.backend.circuit import QuantumCircuit
+from repro.backend.circuit import Operation, QuantumCircuit
 from repro.backend.gates import ParametricGate, get_gate
 from repro.utils.rng import SeedLike, ensure_rng
 
-__all__ = ["RandomPQC", "DEFAULT_GATE_POOL"]
+__all__ = ["RandomPQC", "DEFAULT_GATE_POOL", "circuit_shape_key"]
+
+#: Hashable circuit-shape fingerprint (see :func:`circuit_shape_key`).
+ShapeKey = Tuple
+
+
+def circuit_shape_key(circuit: QuantumCircuit) -> ShapeKey:
+    """Hashable fingerprint of a circuit's gate-sequence *shape*.
+
+    Two circuits share a shape exactly when they agree on everything
+    except which parametric gate occupies each trainable slot: same qubit
+    count, same operation count, same wires per operation, same trainable
+    parameter slots, and identical fixed / bound-parameter operations.
+    Same-shape circuits can evolve different rows of one amplitude stack
+    (:meth:`repro.backend.simulator.StatevectorSimulator.run_megabatch`):
+    per trainable slot the kernels apply a per-row gate-matrix stack, so
+    the drawn gate name — like the angle — is row data, not shape.
+
+    The fingerprint deliberately excludes trainable gate names and all
+    angles; it includes bound-parameter values because those are baked
+    into the executed matrices.
+    """
+    parts: List[Tuple] = [("n", circuit.num_qubits)]
+    for op in circuit.operations:
+        if op.is_trainable:
+            parts.append(("theta", op.qubits, op.param_index))
+        elif op.is_parametric:
+            parts.append((op.gate.name, op.qubits, float(op.value)))
+        else:
+            parts.append((op.gate.name, op.qubits))
+    return tuple(parts)
 
 #: The paper's pool G of candidate rotations.
 DEFAULT_GATE_POOL: Tuple[str, ...] = ("RX", "RY", "RZ")
+
+#: Per-configuration circuit skeletons (canonical gate plans): one
+#: validated append-built circuit plus its rotation-slot positions, shared
+#: by every :meth:`RandomPQC.build` of that configuration (see its
+#: docstring).  Keyed by (num_qubits, num_layers, entanglement, entangler)
+#: and bounded FIFO so long-lived processes sweeping many configurations
+#: cannot grow it without limit.
+_SKELETON_CACHE: dict = {}
+_SKELETON_CACHE_MAX = 32
 
 
 class RandomPQC(AnsatzTemplate):
@@ -73,10 +126,11 @@ class RandomPQC(AnsatzTemplate):
             self.structure = self._validate_structure(structure)
         else:
             rng = ensure_rng(seed)
-            self.structure = [
-                [pool[rng.integers(len(pool))] for _ in range(num_qubits)]
-                for _ in range(num_layers)
-            ]
+            # One vectorized draw; numpy's bounded-integer sampling
+            # consumes the bit stream exactly as the equivalent
+            # per-element draws would, so seeded structures are unchanged.
+            draws = rng.integers(len(pool), size=(num_layers, num_qubits))
+            self.structure = [[pool[g] for g in row] for row in draws]
 
     def _validate_structure(
         self, structure: Sequence[Sequence[str]]
@@ -101,15 +155,80 @@ class RandomPQC(AnsatzTemplate):
         return 1
 
     def build(self) -> QuantumCircuit:
-        """Construct the trainable circuit for the frozen structure."""
+        """Construct the trainable circuit for the frozen structure.
+
+        All instances of one ``(num_qubits, num_layers, entanglement,
+        entangler)`` configuration share a circuit skeleton — the
+        canonical gate plan: wire pattern, parameter slots, entangling
+        sub-layers.  The skeleton is built (and validated) once through
+        the ordinary append path and cached per configuration; subsequent
+        builds clone its operation list and swap each rotation slot's
+        gate for this structure's draw.  The result compares equal,
+        operation by operation, to an appended build — fixed operations
+        are even the *same* objects, which the mega-batch shape checks
+        exploit — while skipping the per-gate validation the constructor
+        already performed.
+        """
+        key = (
+            self.num_qubits,
+            self.num_layers,
+            self.entanglement,
+            self.entangler,
+        )
+        cached = _SKELETON_CACHE.get(key)
+        if cached is None:
+            skeleton = QuantumCircuit(self.num_qubits)
+            rotation_slots: List[int] = []
+            for layer in self.structure:
+                for qubit, gate_name in enumerate(layer):
+                    skeleton.append(gate_name, [qubit])
+                    rotation_slots.append(len(skeleton.operations) - 1)
+                apply_entanglement(skeleton, self.entanglement, self.entangler)
+            # Never hand the cached skeleton itself to callers: even the
+            # first build goes through the clone path below, so caller
+            # mutations (appends, in-place edits) cannot corrupt every
+            # later build of this configuration.
+            while len(_SKELETON_CACHE) >= _SKELETON_CACHE_MAX:
+                _SKELETON_CACHE.pop(next(iter(_SKELETON_CACHE)))
+            cached = _SKELETON_CACHE[key] = (skeleton, tuple(rotation_slots))
+        template, rotation_slots = cached
         circuit = QuantumCircuit(self.num_qubits)
-        for layer in self.structure:
-            for qubit, gate_name in enumerate(layer):
-                circuit.append(gate_name, [qubit])
-            apply_entanglement(circuit, self.entanglement, self.entangler)
+        operations = list(template.operations)
+        names = (name for layer in self.structure for name in layer)
+        for pos, name in zip(rotation_slots, names):
+            old = operations[pos]
+            gate = get_gate(name)
+            if gate is not old.gate:
+                operations[pos] = Operation(
+                    gate, old.qubits, param_index=old.param_index
+                )
+        circuit.operations = operations
+        circuit._num_parameters = template.num_parameters
         return circuit
 
     @property
     def last_gate(self) -> str:
         """Rotation gate carrying the last trainable parameter."""
         return self.structure[-1][-1]
+
+    @property
+    def shape_key(self) -> ShapeKey:
+        """This instance's circuit-shape fingerprint.
+
+        Every :class:`RandomPQC` drawn from the same ``(num_qubits,
+        num_layers, entanglement, entangler)`` configuration shares one
+        shape key regardless of which pool gates were sampled — the
+        property the variance engine's shape-bucket planner relies on to
+        fold a whole grid cell into one mega-batched execution.  The key
+        is derived from the configuration alone (equal keys imply equal
+        :func:`circuit_shape_key` of the built circuits, without paying
+        for a per-structure walk over the operations); the namespace tag
+        keeps it disjoint from circuit-level keys.
+        """
+        return (
+            "RandomPQC",
+            self.num_qubits,
+            self.num_layers,
+            self.entanglement,
+            self.entangler,
+        )

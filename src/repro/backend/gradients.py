@@ -51,6 +51,16 @@ Three interchangeable engines compute ``d <O> / d params``:
     :func:`batch_parameter_shift_value_and_gradient` additionally reads
     per-row losses off the same folded execution, the workhorse of
     lock-step shot-based training.
+
+``megabatch_parameter_shift`` / ``megabatch_adjoint_gradient``
+    The mega-batched forms: rather than many rows of *one* circuit, they
+    fold rows of a whole shape bucket of circuits (same wires and
+    parameter slots, different drawn gates — see
+    :class:`repro.backend.simulator.MegaBatchPlan`) into single stacked
+    sweeps, pushing the effective batch size into the hundreds.  Each
+    circuit's rows remain bit-identical to its own
+    ``batch_parameter_shift`` / ``batch_adjoint`` call; these power the
+    variance experiment's shape-keyed fold.
 """
 
 from __future__ import annotations
@@ -62,18 +72,20 @@ import numpy as np
 from repro.backend.circuit import QuantumCircuit
 from repro.backend.gates import ParametricGate
 from repro.backend.observables import Observable
-from repro.backend.simulator import StatevectorSimulator
+from repro.backend.simulator import MegaBatchPlan, StatevectorSimulator
 from repro.backend.statevector import Statevector, apply_matrix
 
 __all__ = [
     "parameter_shift",
     "batch_parameter_shift",
     "batch_parameter_shift_value_and_gradient",
+    "megabatch_parameter_shift",
     "finite_difference",
     "adjoint_gradient",
     "adjoint_value_and_gradient",
     "batch_adjoint_gradient",
     "batch_adjoint_value_and_gradient",
+    "megabatch_adjoint_gradient",
     "get_gradient_fn",
     "GRADIENT_ENGINES",
 ]
@@ -184,6 +196,46 @@ def parameter_shift(
     return grads
 
 
+def _fold_shifted_rows(
+    row: np.ndarray,
+    indices: Sequence[int],
+    rules: Sequence[Tuple[Tuple[float, float], ...]],
+    folded: "list[np.ndarray]",
+) -> None:
+    """Append one base row's shifted vectors to ``folded``, rule order.
+
+    The single definition of the (parameter, term) fold order shared by
+    the batched and mega-batched shift engines — their bit-identity
+    contract depends on walking shifts exactly like the sequential rule.
+    """
+    for slot, index in enumerate(indices):
+        for _, shift in rules[slot]:
+            shifted = row.copy()
+            shifted[index] = row[index] + shift
+            folded.append(shifted)
+
+
+def _recombine_shift_row(
+    estimates: np.ndarray,
+    cursor: int,
+    rules: Sequence[Tuple[Tuple[float, float], ...]],
+    out: np.ndarray,
+) -> int:
+    """Fill one base row's gradients from ``estimates[cursor:]``.
+
+    Accumulates each parameter's terms in rule order (the sequential
+    engine's summation order) into ``out`` and returns the advanced
+    cursor; shared by the batched and mega-batched shift engines.
+    """
+    for slot in range(len(rules)):
+        total = 0.0
+        for coefficient, _ in rules[slot]:
+            total += coefficient * estimates[cursor]
+            cursor += 1
+        out[slot] = total
+    return cursor
+
+
 def _batch_shift_execute(
     circuit: QuantumCircuit,
     observable: Observable,
@@ -214,11 +266,7 @@ def _batch_shift_execute(
     for row in batch:
         if include_values:
             folded.append(row.copy())
-        for slot, index in enumerate(indices):
-            for _, shift in rules[slot]:
-                shifted = row.copy()
-                shifted[index] = row[index] + shift
-                folded.append(shifted)
+        _fold_shifted_rows(row, indices, rules, folded)
     if shots is None:
         estimates = simulator.expectation_batch(
             circuit, observable, np.stack(folded), initial_state=initial_state
@@ -247,12 +295,7 @@ def _batch_shift_execute(
         if include_values:
             values[b] = estimates[cursor]
             cursor += 1
-        for slot in range(len(indices)):
-            total = 0.0
-            for coefficient, _ in rules[slot]:
-                total += coefficient * estimates[cursor]
-                cursor += 1
-            grads[b, slot] = total
+        cursor = _recombine_shift_row(estimates, cursor, rules, grads[b])
     return values, grads
 
 
@@ -370,6 +413,171 @@ def batch_parameter_shift_value_and_gradient(
     if single:
         return float(values[0]), grads[0]
     return values, grads
+
+
+def _coerce_mega_batches(
+    circuits: Sequence[QuantumCircuit],
+    params_batches: Sequence[Sequence[float]],
+) -> "list[np.ndarray]":
+    """Normalize per-circuit parameter stacks to ``(M_s, P)`` arrays."""
+    if len(circuits) != len(params_batches):
+        raise ValueError(
+            f"got {len(params_batches)} parameter stacks for "
+            f"{len(circuits)} circuits"
+        )
+    batches = []
+    for circuit, params in zip(circuits, params_batches):
+        array = np.asarray(params, dtype=float)
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        if array.ndim != 2 or array.shape[1] != circuit.num_parameters:
+            raise ValueError(
+                f"each parameter stack must be (rows, "
+                f"{circuit.num_parameters}), got shape {array.shape}"
+            )
+        batches.append(array)
+    return batches
+
+
+def megabatch_parameter_shift(
+    circuits: Sequence[QuantumCircuit],
+    observable: Observable,
+    params_batches: Sequence[Sequence[float]],
+    simulator: Optional[StatevectorSimulator] = None,
+    param_indices: Optional[Sequence[int]] = None,
+    initial_state: Optional[Statevector] = None,
+    shots: Optional[int] = None,
+    seed=None,
+    plan: Optional[MegaBatchPlan] = None,
+) -> "list[np.ndarray]":
+    """Shift-rule gradients for a whole shape bucket in one execution.
+
+    The mega-batched form of :func:`batch_parameter_shift`: every shifted
+    parameter vector of every circuit in the bucket — all shift terms of
+    all requested parameters, for every base row of every circuit — is
+    folded into a single :meth:`StatevectorSimulator.run_megabatch`
+    execution with the effective batch size ``sum_s M_s * terms``.
+    Circuit ``s``'s block is recombined with *its own* shift rules (the
+    probed gate, and therefore the rule, may differ per circuit) in the
+    same accumulation order as the per-circuit engine, so entry ``s`` is
+    bit-identical to ``batch_parameter_shift(circuits[s], observable,
+    params_batches[s], ...)``.
+
+    Parameters
+    ----------
+    circuits:
+        Circuits sharing a gate-sequence shape (one
+        :class:`~repro.backend.simulator.MegaBatchPlan` bucket).
+    observable:
+        The measured operator, shared by every circuit.
+    params_batches:
+        One ``(M_s, P)`` parameter stack per circuit (1-D vectors are
+        treated as single rows).
+    simulator, param_indices, initial_state, shots:
+        As in :func:`batch_parameter_shift`; ``param_indices`` applies to
+        every circuit (they share the parameter layout).
+    seed:
+        Sampled mode only: a sequence of per-base-row seeds/generators —
+        circuits in order, then rows within each circuit, ``sum_s M_s``
+        in total — or a single :data:`~repro.utils.rng.SeedLike` from
+        which that many children are spawned.  Base row ``m`` of circuit
+        ``s`` consumes its generator exactly as
+        ``batch_parameter_shift(circuits[s], ..., seed=<that row's
+        seed>)`` would.
+    plan:
+        Pre-built :class:`~repro.backend.simulator.MegaBatchPlan` for
+        ``circuits`` (built here when omitted).
+
+    Returns
+    -------
+    list of numpy.ndarray
+        One ``(M_s, len(param_indices))`` gradient block per circuit.
+    """
+    simulator = simulator or StatevectorSimulator()
+    batches = _coerce_mega_batches(circuits, params_batches)
+    plan = plan or MegaBatchPlan(circuits)
+    indices = _resolve_indices(plan.template, param_indices)
+    if not indices:
+        return [np.empty((batch.shape[0], 0), dtype=float) for batch in batches]
+    rules_per_circuit = [
+        _resolve_shift_rules(circuit, indices) for circuit in circuits
+    ]
+
+    folded: "list[np.ndarray]" = []
+    row_circuits: "list[int]" = []
+    base_of: "list[int]" = []  # folded row -> global base-row index
+    base = 0
+    for s, (batch, rules) in enumerate(zip(batches, rules_per_circuit)):
+        for row in batch:
+            before = len(folded)
+            _fold_shifted_rows(row, indices, rules, folded)
+            row_circuits.extend([s] * (len(folded) - before))
+            base_of.extend([base] * (len(folded) - before))
+            base += 1
+    folded_params = np.stack(folded)
+    folded_circuits = np.asarray(row_circuits)
+
+    # Shared-prefix evaluation: every shifted vector of a base row agrees
+    # with it on all parameters before the first differentiated one, so
+    # the circuit prefix up to that operation runs once per *base* row
+    # and the folded rows branch off its states — bit-identical to
+    # running each folded row from scratch (copying amplitudes is exact),
+    # at roughly half the work when the probed parameter sits late in the
+    # circuit (the variance experiment probes the last one).
+    position_of = plan.template.parameter_map()
+    first_pos = min(position_of[index] for index in indices)
+    if first_pos > 0:
+        base_batch = np.concatenate(batches, axis=0)
+        base_circuits = np.concatenate(
+            [
+                np.full(batch.shape[0], s, dtype=np.intp)
+                for s, batch in enumerate(batches)
+            ]
+        )
+        prefix_states = simulator.run_megabatch(
+            plan, base_batch, base_circuits, initial_state, stop=first_pos
+        )
+        states = simulator.run_megabatch(
+            plan,
+            folded_params,
+            folded_circuits,
+            prefix_states[np.asarray(base_of)],
+            start=first_pos,
+        )
+    else:
+        states = simulator.run_megabatch(
+            plan, folded_params, folded_circuits, initial_state
+        )
+    if shots is None:
+        estimates = observable.expectation_batch(states)
+    else:
+        from repro.utils.rng import resolve_rngs
+
+        base_rows = sum(batch.shape[0] for batch in batches)
+        row_rngs = resolve_rngs(seed, base_rows)
+        # Every folded evaluation of a base row consumes that row's
+        # generator; the row-major draw order inside
+        # sampled_expectation_rows then matches the per-circuit engine's
+        # stream consumption exactly.
+        folded_rngs = []
+        cursor = 0
+        for batch, rules in zip(batches, rules_per_circuit):
+            evals_per_row = sum(len(terms) for terms in rules)
+            for _ in range(batch.shape[0]):
+                folded_rngs.extend([row_rngs[cursor]] * evals_per_row)
+                cursor += 1
+        estimates = simulator.sampled_expectation_rows(
+            states, observable, shots, folded_rngs
+        )
+
+    outputs: "list[np.ndarray]" = []
+    cursor = 0
+    for batch, rules in zip(batches, rules_per_circuit):
+        grads = np.empty((batch.shape[0], len(indices)), dtype=float)
+        for m in range(batch.shape[0]):
+            cursor = _recombine_shift_row(estimates, cursor, rules, grads[m])
+        outputs.append(grads)
+    return outputs
 
 
 def finite_difference(
@@ -636,6 +844,108 @@ def batch_adjoint_value_and_gradient(
     if single:
         return float(values[0]), grads[0]
     return values, grads
+
+
+def megabatch_adjoint_gradient(
+    circuits: Sequence[QuantumCircuit],
+    observable: Observable,
+    params_batches: Sequence[Sequence[float]],
+    simulator: Optional[StatevectorSimulator] = None,
+    param_indices: Optional[Sequence[int]] = None,
+    initial_state: Optional[Statevector] = None,
+    plan: Optional[MegaBatchPlan] = None,
+) -> "list[np.ndarray]":
+    """Adjoint gradients for a whole shape bucket in one stacked sweep.
+
+    The mega-batched form of :func:`batch_adjoint_gradient`: one
+    :meth:`StatevectorSimulator.run_megabatch` forward pass over every
+    circuit's rows, then a single backward sweep.  At each trainable slot
+    the rows partition by their circuit's drawn gate, and each partition
+    applies that gate's per-row adjoint / derivative stacks through the
+    broadcasting kernels; fixed operations use the plan template's cached
+    static adjoints on the whole stack.  Rows evolve independently, so
+    entry ``s`` is bit-identical to ``batch_adjoint_gradient(circuits[s],
+    observable, params_batches[s], ...)``.
+
+    Parameters
+    ----------
+    circuits, observable, params_batches, simulator, param_indices,
+    initial_state, plan:
+        As in :func:`megabatch_parameter_shift` (the adjoint engine has
+        no sampled mode).
+
+    Returns
+    -------
+    list of numpy.ndarray
+        One ``(M_s, len(param_indices))`` gradient block per circuit.
+    """
+    simulator = simulator or StatevectorSimulator()
+    batches = _coerce_mega_batches(circuits, params_batches)
+    plan = plan or MegaBatchPlan(circuits)
+    indices = _resolve_indices(plan.template, param_indices)
+    num_qubits = plan.num_qubits
+    static = plan.template.static_matrices()
+
+    batch = np.concatenate(batches, axis=0)
+    rows = np.concatenate(
+        [np.full(b.shape[0], s, dtype=np.intp) for s, b in enumerate(batches)]
+    )
+    # Forward pass: one mega-batched execution for all circuits' rows.
+    psi = simulator.run_megabatch(plan, batch, rows, initial_state)
+    lam = observable.apply_batch(psi)
+
+    grads = np.zeros((batch.shape[0], len(indices)), dtype=float)
+    slot_of = {index: slot for slot, index in enumerate(indices)}
+    for pos in range(len(plan.template.operations) - 1, -1, -1):
+        op = plan.template.operations[pos]
+        if not op.is_trainable:
+            adjoint = static[pos][1]
+            psi = apply_matrix(psi, adjoint, op.qubits, num_qubits)
+            lam = apply_matrix(lam, adjoint, op.qubits, num_qubits)
+            continue
+        gates, codes = plan.slot_gates[pos]
+        thetas = batch[:, op.param_index]
+        wanted_slot = slot_of.get(op.param_index)
+        row_codes = codes[rows] if len(gates) > 1 else None
+        psi_new = psi if len(gates) == 1 else np.empty_like(psi)
+        lam_new = lam if len(gates) == 1 else np.empty_like(lam)
+        for code, gate in enumerate(gates):
+            if len(gates) == 1:
+                idx = None
+                seg_thetas, seg_psi, seg_lam = thetas, psi, lam
+            else:
+                idx = np.flatnonzero(row_codes == code)
+                if idx.size == 0:
+                    continue
+                seg_thetas, seg_psi, seg_lam = thetas[idx], psi[idx], lam[idx]
+            adjoint = gate.matrix_batch(seg_thetas).conj().transpose(0, 2, 1)
+            # Undo this gate on the segment: |psi_k> (states before it).
+            seg_psi = apply_matrix(seg_psi, adjoint, op.qubits, num_qubits)
+            if wanted_slot is not None:
+                d_matrices = gate.derivative_batch(seg_thetas)
+                d_psi = apply_matrix(seg_psi, d_matrices, op.qubits, num_qubits)
+                seg_grads = [
+                    2.0 * float(np.real(np.vdot(l, d)))
+                    for l, d in zip(seg_lam, d_psi)
+                ]
+            seg_lam = apply_matrix(seg_lam, adjoint, op.qubits, num_qubits)
+            if idx is None:
+                psi_new, lam_new = seg_psi, seg_lam
+                if wanted_slot is not None:
+                    grads[:, wanted_slot] = seg_grads
+            else:
+                psi_new[idx] = seg_psi
+                lam_new[idx] = seg_lam
+                if wanted_slot is not None:
+                    grads[idx, wanted_slot] = seg_grads
+        psi, lam = psi_new, lam_new
+
+    outputs: "list[np.ndarray]" = []
+    start = 0
+    for b in batches:
+        outputs.append(grads[start : start + b.shape[0]])
+        start += b.shape[0]
+    return outputs
 
 
 #: Named registry of gradient engines.  The ``batch_*`` engines share the

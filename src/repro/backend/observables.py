@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.backend.gates import PAULI_MATRICES, pauli_word_matrix
+from repro.backend.gates import PAULI_MATRICES, get_gate, pauli_word_matrix
 from repro.backend.statevector import Statevector, apply_matrix
 from repro.utils.validation import check_positive_int, check_qubit_index
 
@@ -172,6 +172,13 @@ class PauliString(Observable):
             raise ValueError("coefficient must be real for a Hermitian observable")
         self.coefficient = float(np.real(coefficient))
         self.paulis: Dict[int, str] = _normalize_pauli_spec(paulis, num_qubits)
+        # Lazily-built sampling caches (see rotation_matrices /
+        # eigenvalues_of_bits): the diagonalizing-rotation matrices and the
+        # parity sign-table columns are properties of the string, so the
+        # sampled-estimation paths look them up here instead of rebuilding
+        # them on every sampled_expectation_rows / _sampled_pauli call.
+        self._rotation_matrices: "Tuple[Tuple[np.ndarray, int], ...] | None" = None
+        self._parity_columns: "np.ndarray | None" = None
 
     @property
     def word(self) -> str:
@@ -231,6 +238,23 @@ class PauliString(Observable):
                 rotations.append(("H", qubit))
         return rotations
 
+    def rotation_matrices(self) -> "Tuple[Tuple[np.ndarray, int], ...]":
+        """Cached ``(matrix, qubit)`` pairs of the diagonalizing rotations.
+
+        The matrix form of :meth:`diagonalizing_rotations`, resolved
+        through the gate registry exactly once per observable instead of
+        once per sampled-estimation call — the rotations are a property of
+        the string, not of the state being measured.  The returned
+        matrices are the registry gates' read-only singletons; do not
+        mutate them.
+        """
+        if self._rotation_matrices is None:
+            self._rotation_matrices = tuple(
+                (get_gate(name).matrix(), qubit)
+                for name, qubit in self.diagonalizing_rotations()
+            )
+        return self._rotation_matrices
+
     def eigenvalue_of_bits(self, bits: Sequence[int]) -> float:
         """Post-rotation eigenvalue ``coefficient * prod (-1)**bit``."""
         sign = 1.0
@@ -244,12 +268,19 @@ class PauliString(Observable):
 
         Every entry is exactly ``+-coefficient``, so the result carries
         the same bits as the scalar loop — the property the sampled
-        estimators (scalar and batched) rely on to stay identical.
+        estimators (scalar and batched) rely on to stay identical.  The
+        parity sign-table columns are cached on the observable, so
+        repeated calls (one per draw, per term, per row) skip rebuilding
+        the index list.
         """
         bits = np.asarray(bits)
         if not self.paulis:
             return np.full(bits.shape[0], self.coefficient, dtype=float)
-        parity = bits[:, list(self.paulis)].sum(axis=1) & 1
+        if self._parity_columns is None:
+            self._parity_columns = np.fromiter(
+                self.paulis, dtype=np.intp, count=len(self.paulis)
+            )
+        parity = bits[:, self._parity_columns].sum(axis=1) & 1
         return self.coefficient * (1.0 - 2.0 * parity)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

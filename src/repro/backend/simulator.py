@@ -26,16 +26,32 @@ applies each Pauli term's diagonalizing rotations once to the whole
 generator per row (:meth:`StatevectorSimulator.sampled_expectation_rows`),
 bit-identical per row to the sequential ``expectation(shots=...)`` given
 the same spawned child seeds.
+
+Mega-batched execution
+----------------------
+:meth:`StatevectorSimulator.run_megabatch` generalizes ``run_batch`` from
+one circuit to a whole *shape bucket* of circuits: many circuits sharing a
+gate-sequence shape (same wires, same parameter slots, same fixed layers —
+see :func:`repro.ansatz.random_pqc.circuit_shape_key`) evolve together in
+one ``(B, 2**n)`` stack.  A :class:`MegaBatchPlan` validates the bucket
+once and stores, per trainable slot, the per-circuit gate table; at
+execution time each slot applies one gate-matrix stack per distinct gate
+to that gate's rows.  Because every kernel in this module is per-row
+independent, row ``b`` remains bit-identical to running its own circuit
+through ``run_batch`` (and therefore through the sequential ``run``) —
+mega-batching, like batching, is a pure throughput change.  This is what
+lets the variance experiment fold a grid cell's hundreds of (structure,
+method, shift-term) evaluations into a handful of hundred-row executions.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.backend.circuit import QuantumCircuit
-from repro.backend.gates import FixedGate, get_gate
+from repro.backend.gates import ParametricGate
 from repro.backend.observables import Observable, PauliString, PauliSum, Projector
 from repro.backend.statevector import (
     Statevector,
@@ -46,12 +62,30 @@ from repro.backend.statevector import (
 from repro.utils.rng import SeedLike, ensure_rng, resolve_rngs
 from repro.utils.validation import check_positive_int
 
-__all__ = ["StatevectorSimulator", "apply_operation", "apply_operation_batch"]
+__all__ = [
+    "StatevectorSimulator",
+    "MegaBatchPlan",
+    "apply_operation",
+    "apply_operation_batch",
+    "batch_chunk_rows",
+]
 
 #: Target working-set size for one :meth:`StatevectorSimulator.run_batch`
 #: chunk (amplitude buffer bytes).  8 MiB keeps a chunk L2/L3-resident on
 #: typical hardware; results are independent of the chunking.
 _RUN_BATCH_CHUNK_BYTES = 8 * 2**20
+
+
+def batch_chunk_rows(num_qubits: int) -> int:
+    """Rows per memory-aware batch chunk at this register width.
+
+    The single source of the chunking policy shared by
+    :meth:`StatevectorSimulator.run_batch`,
+    :meth:`StatevectorSimulator.run_megabatch`,
+    :meth:`StatevectorSimulator.sampled_expectation_rows`, and the
+    benchmarks that report effective fold sizes.
+    """
+    return max(1, _RUN_BATCH_CHUNK_BYTES // (16 * 2**num_qubits))
 
 
 def apply_operation(data, op, params, num_qubits):
@@ -67,6 +101,21 @@ def apply_operation(data, op, params, num_qubits):
     return apply_matrix(data, matrix, op.qubits, num_qubits)
 
 
+def apply_parametric_stack(data, gate, thetas, qubits, num_qubits):
+    """Apply one parametric gate with per-row angles to an amplitude stack.
+
+    ``thetas`` has one entry per row of ``data``; diagonal gates route
+    through the elementwise kernel exactly as the sequential dispatcher
+    does, so row ``b`` is bit-identical to applying ``gate.matrix(
+    thetas[b])`` through :func:`apply_operation`.
+    """
+    matrices = gate.matrix_batch(thetas)
+    if getattr(gate, "is_diagonal", False):
+        diagonals = np.diagonal(matrices, axis1=-2, axis2=-1)
+        return apply_diagonal(data, diagonals, qubits, num_qubits)
+    return apply_matrix(data, matrices, qubits, num_qubits)
+
+
 def apply_operation_batch(data, op, batch_params, num_qubits):
     """Apply one circuit operation to a ``(B, 2**n)`` amplitude buffer.
 
@@ -78,15 +127,189 @@ def apply_operation_batch(data, op, batch_params, num_qubits):
     """
     gate = op.gate
     if op.is_trainable:
-        matrices = gate.matrix_batch(batch_params[:, op.param_index])
-        if getattr(gate, "is_diagonal", False):
-            diagonals = np.diagonal(matrices, axis1=-2, axis2=-1)
-            return apply_diagonal(data, diagonals, op.qubits, num_qubits)
-        return apply_matrix(data, matrices, op.qubits, num_qubits)
+        return apply_parametric_stack(
+            data, gate, batch_params[:, op.param_index], op.qubits, num_qubits
+        )
     matrix = op.matrix(None)
     if getattr(gate, "is_diagonal", False):
         return apply_diagonal(data, np.diagonal(matrix), op.qubits, num_qubits)
     return apply_matrix(data, matrix, op.qubits, num_qubits)
+
+
+#: Diagonal entries that multiply amplitudes exactly (components 0/±1),
+#: making fused products of such diagonals value-identical to sequential
+#: application — the condition for entangler-chain fusion.
+_EXACT_UNITS = (1.0 + 0.0j, -1.0 + 0.0j, 1.0j, -1.0j)
+
+
+class MegaBatchPlan:
+    """Validated execution plan for a *shape bucket* of circuits.
+
+    Circuits share a shape when their operation sequences agree on
+    everything except which parametric gate occupies each trainable slot
+    (:func:`repro.ansatz.random_pqc.circuit_shape_key`).  The plan checks
+    that once, up front, and compiles the shared skeleton into an
+    execution program:
+
+    * each trainable slot carries the per-circuit gate table — the
+      "per-row gate-parameter table" that lets
+      :meth:`StatevectorSimulator.run_megabatch` apply different gates
+      and angles to different rows of a single amplitude stack;
+    * maximal runs of fixed diagonal operations whose entries are exact
+      units (components 0/±1 — e.g. a CZ entangling chain) are fused
+      into one precomputed full-space diagonal, applied in a single
+      elementwise pass.  Multiplying by such units is exact, so the
+      fused pass is value-identical to applying the run gate by gate
+      (sign-of-zero on exactly-zero amplitudes is the only bit that may
+      differ — invisible to ``np.array_equal``, the library's equality).
+
+    Parameters
+    ----------
+    circuits:
+        Non-empty sequence of same-shape circuits.  Index positions in
+        this sequence are the circuit indices ``row_circuits`` refers to
+        at execution time.
+
+    Raises
+    ------
+    ValueError
+        If the circuits do not share a shape (mismatched wires, parameter
+        slots, or fixed operations), or the sequence is empty.
+    """
+
+    def __init__(self, circuits: Sequence[QuantumCircuit]):
+        circuits = list(circuits)
+        if not circuits:
+            raise ValueError("MegaBatchPlan needs at least one circuit")
+        template = circuits[0]
+        for index, other in enumerate(circuits[1:], start=1):
+            self._check_same_shape(template, other, index)
+        self.circuits = circuits
+        self.template = template
+        self.num_qubits = template.num_qubits
+        self.num_parameters = template.num_parameters
+        # Per trainable position: the distinct gates (first-appearance
+        # order) plus a per-circuit code array selecting among them.
+        # Registry gates are singletons, so keying by name is keying by
+        # object.
+        self.slot_gates: Dict[int, Tuple[List[ParametricGate], np.ndarray]] = {}
+        #: Per trainable position: boolean per-code table marking diagonal
+        #: gates, so slot execution classifies rows with one fancy index
+        #: instead of set membership tests.
+        self.slot_diagonal: Dict[int, np.ndarray] = {}
+        for pos, op in enumerate(template.operations):
+            if not op.is_trainable:
+                continue
+            gates: List[ParametricGate] = []
+            code_of: Dict[str, int] = {}
+            codes = np.empty(len(circuits), dtype=np.intp)
+            for c_index, circuit in enumerate(circuits):
+                gate = circuit.operations[pos].gate
+                code = code_of.get(gate.name)
+                if code is None:
+                    code = code_of[gate.name] = len(gates)
+                    gates.append(gate)
+                codes[c_index] = code
+            self.slot_gates[pos] = (gates, codes)
+            self.slot_diagonal[pos] = np.array(
+                [bool(getattr(gate, "is_diagonal", False)) for gate in gates]
+            )
+        self.steps = self._compile_steps()
+
+    @property
+    def num_circuits(self) -> int:
+        return len(self.circuits)
+
+    def _compile_steps(self) -> "List[tuple]":
+        """Compile the template into ``(kind, lo, hi, payload)`` steps.
+
+        ``[lo, hi)`` is the operation-position span each step covers, so
+        :meth:`StatevectorSimulator.run_megabatch` can execute any
+        ``[start, stop)`` slice of the circuit.  Kinds:
+
+        * ``"slot"`` — one trainable operation (payload: the operation);
+        * ``"op"`` — one fixed/bound operation (payload: the operation);
+        * ``"fused_diag"`` — a maximal run of consecutive fixed diagonal
+          operations with exact-unit entries, collapsed into one
+          precomputed ``(2**n,)`` diagonal (payload).
+        """
+        ops = self.template.operations
+        steps: "List[tuple]" = []
+        pos = 0
+        while pos < len(ops):
+            op = ops[pos]
+            if op.is_trainable:
+                steps.append(("slot", pos, pos + 1, op))
+                pos += 1
+                continue
+            if self._fusable_diagonal(op):
+                stop = pos
+                fused = np.ones(2**self.num_qubits, dtype=complex)
+                while stop < len(ops) and self._fusable_diagonal(ops[stop]):
+                    diagonal = np.diagonal(ops[stop].matrix(None))
+                    fused = apply_diagonal(
+                        fused, diagonal, ops[stop].qubits, self.num_qubits
+                    )
+                    stop += 1
+                steps.append(("fused_diag", pos, stop, fused))
+                pos = stop
+                continue
+            steps.append(("op", pos, pos + 1, op))
+            pos += 1
+        return steps
+
+    @staticmethod
+    def _fusable_diagonal(op) -> bool:
+        if op.is_trainable or not getattr(op.gate, "is_diagonal", False):
+            return False
+        diagonal = np.diagonal(op.matrix(None))
+        return bool(np.all(np.isin(diagonal, _EXACT_UNITS)))
+
+    @staticmethod
+    def _check_same_shape(
+        template: QuantumCircuit, other: QuantumCircuit, index: int
+    ) -> None:
+        if other.num_qubits != template.num_qubits:
+            raise ValueError(
+                f"circuit {index} has {other.num_qubits} qubits, "
+                f"plan template has {template.num_qubits}"
+            )
+        if len(other.operations) != len(template.operations):
+            raise ValueError(
+                f"circuit {index} has {len(other.operations)} operations, "
+                f"plan template has {len(template.operations)}"
+            )
+        for pos, (op_a, op_b) in enumerate(
+            zip(template.operations, other.operations)
+        ):
+            if op_a is op_b:
+                # Skeleton-built circuits share fixed-operation objects.
+                continue
+            if op_a.is_trainable != op_b.is_trainable:
+                raise ValueError(
+                    f"circuit {index}, operation {pos}: trainable/"
+                    "non-trainable mismatch with the plan template"
+                )
+            if op_a.is_trainable:
+                if (
+                    op_a.qubits != op_b.qubits
+                    or op_a.param_index != op_b.param_index
+                    or not isinstance(op_b.gate, ParametricGate)
+                ):
+                    raise ValueError(
+                        f"circuit {index}, operation {pos}: trainable slot "
+                        f"differs from the plan template (wires "
+                        f"{op_b.qubits} vs {op_a.qubits}, parameter "
+                        f"{op_b.param_index} vs {op_a.param_index})"
+                    )
+            elif op_a != op_b:
+                # Fixed and bound-parameter operations are baked into the
+                # executed matrices, so they must match exactly.
+                raise ValueError(
+                    f"circuit {index}, operation {pos}: fixed operation "
+                    f"{op_b.gate.name} on {op_b.qubits} differs from the "
+                    f"plan template's {op_a.gate.name} on {op_a.qubits}"
+                )
 
 
 class StatevectorSimulator:
@@ -157,7 +380,7 @@ class StatevectorSimulator:
         # buffer through memory, so an oversized batch trades the
         # batching win back for DRAM bandwidth.  Chunking is invisible to
         # results — rows evolve independently through the same kernels.
-        chunk = max(1, _RUN_BATCH_CHUNK_BYTES // (16 * 2**num_qubits))
+        chunk = batch_chunk_rows(num_qubits)
         if batch > chunk:
             return np.concatenate(
                 [
@@ -180,6 +403,220 @@ class StatevectorSimulator:
         for op in circuit.operations:
             data = apply_operation_batch(data, op, batch_array, num_qubits)
         return data
+
+    def run_megabatch(
+        self,
+        plan: MegaBatchPlan,
+        params_batch: Sequence[Sequence[float]],
+        row_circuits: Sequence[int],
+        initial_state: "Optional[Statevector | np.ndarray]" = None,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> np.ndarray:
+        """Evolve rows of many same-shape circuits in one amplitude stack.
+
+        The mega-batched generalization of :meth:`run_batch`: rather than
+        ``B`` parameter vectors of *one* circuit, the stack holds rows of
+        every circuit in a :class:`MegaBatchPlan`'s shape bucket.  Fixed
+        operations apply one shared matrix to all rows (fused entangler
+        runs apply their precomputed diagonal in one elementwise pass);
+        at each trainable slot the rows split into at most two groups —
+        dense gates, sharing one per-row matrix stack, and diagonal
+        gates, sharing one per-row diagonal stack — so the drawn gate,
+        like the angle, is row data.  Rows evolve independently through
+        exactly the kernels :meth:`run_batch` dispatches per gate, so row
+        ``b`` equals ``self.run_batch(plan.circuits[row_circuits[b]],
+        params_batch[b:b+1])[0]`` bit for bit (up to the sign of
+        exactly-zero amplitudes under fused diagonals — see
+        :class:`MegaBatchPlan`): mega-batching is a pure throughput
+        change, the contract the variance engine's shape-bucket fold
+        relies on.
+
+        Parameters
+        ----------
+        plan:
+            The validated shape bucket.
+        params_batch:
+            ``(B, num_parameters)`` array — one parameter vector per row.
+        row_circuits:
+            Length-``B`` index array mapping each row to its circuit in
+            ``plan.circuits``.
+        initial_state:
+            Starting state: ``None`` for ``|0...0>``, a shared
+            :class:`Statevector`, or a per-row ``(B, 2**n)`` amplitude
+            stack (e.g. a previous ``run_megabatch(stop=...)`` result —
+            the substrate of shared-prefix shift-rule evaluation).
+        start, stop:
+            Execute only operations ``[start, stop)`` (default: all).
+            Boundaries must not split a fused diagonal run; the
+            shift-rule engines always split at trainable operations, who
+            are never inside one.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(B, 2**num_qubits)`` complex amplitudes.
+        """
+        batch_array = self._coerce_params_batch(plan.template, params_batch)
+        rows = np.asarray(row_circuits, dtype=np.intp).reshape(-1)
+        if rows.shape[0] != batch_array.shape[0]:
+            raise ValueError(
+                f"got {rows.shape[0]} row-circuit indices for "
+                f"{batch_array.shape[0]} parameter rows"
+            )
+        if rows.size and (rows.min() < 0 or rows.max() >= plan.num_circuits):
+            raise ValueError(
+                f"row_circuits must index into the plan's "
+                f"{plan.num_circuits} circuits"
+            )
+        num_qubits = plan.num_qubits
+        batch = batch_array.shape[0]
+        num_ops = len(plan.template.operations)
+        stop = num_ops if stop is None else int(stop)
+        start = int(start)
+        if not 0 <= start <= stop <= num_ops:
+            raise ValueError(
+                f"invalid operation range [{start}, {stop}) for a circuit "
+                f"with {num_ops} operations"
+            )
+        per_row_initial = isinstance(initial_state, np.ndarray)
+        if per_row_initial and initial_state.shape != (batch, 2**num_qubits):
+            raise ValueError(
+                f"per-row initial states must be (batch, {2**num_qubits}), "
+                f"got shape {initial_state.shape}"
+            )
+        # Same memory-aware chunking as run_batch: large stacks evolve in
+        # cache-resident row chunks; rows are independent, so chunk
+        # boundaries are invisible to the results.
+        chunk = batch_chunk_rows(num_qubits)
+        if batch > chunk:
+            return np.concatenate(
+                [
+                    self.run_megabatch(
+                        plan,
+                        batch_array[first : first + chunk],
+                        rows[first : first + chunk],
+                        initial_state[first : first + chunk]
+                        if per_row_initial
+                        else initial_state,
+                        start,
+                        stop,
+                    )
+                    for first in range(0, batch, chunk)
+                ]
+            )
+        if initial_state is None:
+            data = np.zeros((batch, 2**num_qubits), dtype=complex)
+            data[:, 0] = 1.0
+        elif per_row_initial:
+            data = np.array(initial_state, dtype=complex)
+        else:
+            if initial_state.num_qubits != num_qubits:
+                raise ValueError(
+                    f"initial state has {initial_state.num_qubits} qubits, "
+                    f"circuit needs {num_qubits}"
+                )
+            data = np.tile(initial_state.data, (batch, 1))
+        for kind, lo, hi, payload in plan.steps:
+            if hi <= start or lo >= stop:
+                continue
+            if lo < start or hi > stop:
+                raise ValueError(
+                    f"operation range [{start}, {stop}) splits the fused "
+                    f"diagonal run covering operations [{lo}, {hi})"
+                )
+            if kind == "op":
+                data = apply_operation_batch(
+                    data, payload, batch_array, num_qubits
+                )
+            elif kind == "fused_diag":
+                data = data * payload
+            else:
+                data = self._apply_megabatch_slot(
+                    plan, lo, payload, data, batch_array, rows, num_qubits
+                )
+        return data
+
+    @staticmethod
+    def _apply_megabatch_slot(
+        plan: MegaBatchPlan,
+        pos: int,
+        op,
+        data: np.ndarray,
+        batch_array: np.ndarray,
+        rows: np.ndarray,
+        num_qubits: int,
+    ) -> np.ndarray:
+        """Apply one trainable slot with per-row gates to the stack.
+
+        Rows whose drawn gate is dense share a single stacked
+        :func:`apply_matrix` call (their per-gate matrix stacks are
+        assembled into one ``(B_dense, 2**k, 2**k)`` array — the kernels
+        are per-row independent, so mixing gates in one call carries the
+        same bits as per-gate calls); diagonal rows share one
+        :func:`apply_diagonal` call, keeping the sequential dispatcher's
+        kernel choice per row.
+        """
+        gates, codes = plan.slot_gates[pos]
+        thetas = batch_array[:, op.param_index]
+        if len(gates) == 1:
+            return apply_parametric_stack(
+                data, gates[0], thetas, op.qubits, num_qubits
+            )
+        batch = data.shape[0]
+        row_codes = codes[rows]
+        diagonal_of_code = plan.slot_diagonal[pos]
+        row_is_diagonal = diagonal_of_code[row_codes]
+        dim = gates[0].dim
+        out = np.empty_like(data)
+        for want_diagonal in (False, True):
+            group = [
+                code
+                for code in range(len(gates))
+                if bool(diagonal_of_code[code]) is want_diagonal
+            ]
+            if not group:
+                continue
+            if len(group) == len(gates):
+                idx = None  # whole stack, skip the gather/scatter
+                group_codes = row_codes
+            else:
+                idx = np.flatnonzero(row_is_diagonal == want_diagonal)
+                if idx.size == 0:
+                    continue
+                group_codes = row_codes[idx]
+            group_thetas = thetas if idx is None else thetas[idx]
+            if want_diagonal:
+                operands = np.empty((group_codes.size, dim), dtype=complex)
+            else:
+                operands = np.empty((group_codes.size, dim, dim), dtype=complex)
+            for code in group:
+                sel = np.flatnonzero(group_codes == code)
+                if sel.size == 0:
+                    continue
+                matrices = gates[code].matrix_batch(group_thetas[sel])
+                if want_diagonal:
+                    operands[sel] = np.diagonal(matrices, axis1=-2, axis2=-1)
+                else:
+                    operands[sel] = matrices
+            if want_diagonal:
+                applied = apply_diagonal(
+                    data if idx is None else data[idx],
+                    operands,
+                    op.qubits,
+                    num_qubits,
+                )
+            else:
+                applied = apply_matrix(
+                    data if idx is None else data[idx],
+                    operands,
+                    op.qubits,
+                    num_qubits,
+                )
+            if idx is None:
+                return applied
+            out[idx] = applied
+        return out
 
     def expectation(
         self,
@@ -269,7 +706,7 @@ class StatevectorSimulator:
         # draws: rows still walk in global order, so a generator shared
         # across consecutive rows — even straddling a block boundary —
         # is consumed exactly as in one unblocked pass.
-        block = max(1, _RUN_BATCH_CHUNK_BYTES // (16 * states.shape[1]))
+        block = batch_chunk_rows(int(states.shape[1]).bit_length() - 1)
         estimates = np.empty(states.shape[0], dtype=float)
         for start in range(0, states.shape[0], block):
             stop = min(start + block, states.shape[0])
@@ -314,12 +751,8 @@ class StatevectorSimulator:
                 stages.append(lambda row, rng, shots, c=term.coefficient: c)
                 continue
             rotated = states
-            for gate_name, qubit in term.diagonalizing_rotations():
-                gate = get_gate(gate_name)
-                assert isinstance(gate, FixedGate)
-                rotated = apply_matrix(
-                    rotated, gate.matrix(), [qubit], num_qubits
-                )
+            for matrix, qubit in term.rotation_matrices():
+                rotated = apply_matrix(rotated, matrix, [qubit], num_qubits)
             term_probs = np.abs(rotated) ** 2
 
             def pauli_stage(row, rng, shots, probs=term_probs, term=term):
@@ -446,9 +879,7 @@ class StatevectorSimulator:
         if term.is_identity:
             return term.coefficient
         rotated = state.data
-        for gate_name, qubit in term.diagonalizing_rotations():
-            gate = get_gate(gate_name)
-            assert isinstance(gate, FixedGate)
-            rotated = apply_matrix(rotated, gate.matrix(), [qubit], state.num_qubits)
+        for matrix, qubit in term.rotation_matrices():
+            rotated = apply_matrix(rotated, matrix, [qubit], state.num_qubits)
         bits = Statevector(rotated, validate=False).sample(shots, seed=rng)
         return float(np.mean(term.eigenvalues_of_bits(bits)))

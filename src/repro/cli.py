@@ -63,6 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
         "the reference path for cross-checking the batched engine)",
     )
     variance.add_argument(
+        "--fold",
+        choices=("structure", "shape"),
+        default="shape",
+        help="batched fold scope: 'shape' (default) mega-batches every "
+        "same-shape structure of a grid cell together; 'structure' keeps "
+        "one batched execution per structure (same seeded results)",
+    )
+    variance.add_argument(
         "--shots",
         type=int,
         default=None,
@@ -202,6 +210,7 @@ def _cmd_variance(args: argparse.Namespace) -> int:
         methods=tuple(args.methods) if args.methods else tuple(PAPER_METHODS),
         cost_kind=args.cost,
         batched=not args.sequential,
+        fold=args.fold,
         shots=args.shots,
     )
     spec = ExperimentSpec(

@@ -10,7 +10,11 @@ library's workloads:
     (``VarianceConfig.batched=False``) — the reference implementation.
 ``batched``
     In-process loop using the batched statevector kernels
-    (``VarianceConfig.batched=True``) — the default since PR 1.
+    (``VarianceConfig.batched=True``) — the default since PR 1.  Under
+    the default ``VarianceConfig.fold="shape"`` each variance work unit
+    is a *shape-bucket slice*: all of its structures fold into
+    mega-batched executions with batch sizes in the hundreds (see
+    :mod:`repro.core.variance`).
 ``lockstep``
     Like ``batched``, and additionally advertises lock-step training
     (``training_lockstep``): the spec layer folds all training
@@ -20,7 +24,9 @@ library's workloads:
     Shards units across OS processes via :mod:`concurrent.futures`.  Work
     units carry pre-reserved RNG children (see
     :func:`repro.utils.rng.spawn_seeds`), so a seeded run is bit-identical
-    to serial regardless of worker count or completion order.
+    to serial regardless of worker count or completion order.  Variance
+    units are shape-bucket slices here too: each worker mega-folds its
+    own slice of the bucket, and slicing is invisible to results.
 
 All executors support checkpoint/resume: given a ``checkpoint_dir``, each
 completed unit's output is persisted through :mod:`repro.io` as a

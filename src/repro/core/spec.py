@@ -22,8 +22,12 @@ Run the Fig. 5a variance study on the default (batched) executor::
     outcome = repro.run(spec)           # VarianceExperimentOutcome
     print(outcome.ranking)
 
-Shard the same grid over 4 worker processes, with checkpoint/resume —
-seeded results are bit-identical to the serial run::
+Variance grids run mega-batched by default (``VarianceConfig.fold``):
+each work unit folds all of its same-shape structures into stacked
+executions hundreds of rows wide — a pure throughput knob, excluded from
+checkpoint fingerprints, bit-identical to the per-structure and serial
+paths.  Shard the same grid over 4 worker processes, with
+checkpoint/resume — seeded results are bit-identical to the serial run::
 
     spec = ExperimentSpec(
         kind="variance",
@@ -229,6 +233,11 @@ class ExperimentSpec:
         check_positive_int(self.restarts, "restarts")
         if self.shots is not None:
             check_positive_int(self.shots, "shots")
+        if self.circuits_per_shard is not None:
+            # Validate eagerly: a bad shard size must fail at spec
+            # construction, not after earlier shards have already burned
+            # compute inside an executor.
+            check_positive_int(self.circuits_per_shard, "circuits_per_shard")
         if self.methods is not None and self.kind != "training":
             raise ValueError(
                 "methods applies to training specs only; variance methods "
@@ -367,6 +376,12 @@ def _fingerprint(
         # Analytic configs keep their pre-shots fingerprints, so existing
         # checkpoints stay resumable.
         config_payload.pop("shots", None)
+    if config_payload is not None:
+        # The fold scope is a pure throughput knob — seeded results are
+        # bit-identical across scopes — so checkpoints written under any
+        # fold remain resumable under any other (and pre-fold checkpoints
+        # keep matching).
+        config_payload.pop("fold", None)
     payload = {
         "kind": kind,
         "config": config_payload,

@@ -16,6 +16,18 @@ call.  All angles are sampled *before* any evaluation, in method order, so
 the paired RNG child streams are consumed exactly as in the sequential
 path and seeded results are bit-identical either way.
 
+``VarianceConfig.fold`` widens the fold further (the default,
+``"shape"``): structures sharing a circuit *shape* — for this sampler,
+every structure of a grid cell (:func:`repro.ansatz.random_pqc
+.circuit_shape_key`) — are grouped into shape buckets by
+:func:`plan_shape_buckets` and executed together through
+:func:`repro.backend.gradients.megabatch_parameter_shift`, folding
+(structures x methods x shift terms) rows into executions with batch
+sizes in the hundreds.  All sampling still happens structure by
+structure, before any evaluation, so the RNG streams — and therefore the
+seeded gradients — are bit-identical across ``fold`` modes, ``batched``
+modes, and executors.
+
 With ``VarianceConfig.shots`` the probed gradients are estimated from
 finite measurement samples instead of analytically: each method reserves
 one further per-circuit child stream (after the angle draws) and both
@@ -31,7 +43,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.ansatz.random_pqc import DEFAULT_GATE_POOL, RandomPQC
-from repro.backend.gradients import batch_parameter_shift, parameter_shift
+from repro.backend.circuit import QuantumCircuit
+from repro.backend.gradients import (
+    batch_parameter_shift,
+    megabatch_parameter_shift,
+    parameter_shift,
+)
 from repro.backend.observables import Observable
 from repro.backend.simulator import StatevectorSimulator
 from repro.core.cost import make_cost
@@ -39,13 +56,14 @@ from repro.core.results import GradientSamples, VarianceResult
 from repro.initializers import Initializer, get_initializer
 from repro.initializers.registry import PAPER_METHODS
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rng, spawn_seeds
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_in_choices, check_positive_int
 
 __all__ = [
     "VarianceConfig",
     "VarianceAnalysis",
     "VarianceShard",
     "plan_variance_shards",
+    "plan_shape_buckets",
     "run_variance_shard",
     "merge_variance_outputs",
     "format_variance_progress",
@@ -89,6 +107,13 @@ class VarianceConfig:
     #: batched statevector execution.  Seeded results are bit-identical
     #: with this on or off; only throughput changes (see module docstring).
     batched: bool = True
+    #: Fold scope of the batched mode: ``"shape"`` (default) additionally
+    #: folds every structure sharing a circuit shape into one mega-batched
+    #: execution (batch sizes in the hundreds); ``"structure"`` keeps one
+    #: execution per structure.  A pure throughput knob — seeded results
+    #: are bit-identical across fold scopes, so it is excluded from
+    #: checkpoint fingerprints.  Ignored when ``batched`` is off.
+    fold: str = "shape"
     #: Estimate every probed gradient from this many measurement samples
     #: instead of analytically — the hardware-realistic noise extension.
     #: Each method gets an independent per-circuit sampling stream (one
@@ -111,6 +136,7 @@ class VarianceConfig:
                 "param_position must be 'first', 'middle' or 'last', got "
                 f"{self.param_position!r}"
             )
+        check_in_choices(self.fold, ("structure", "shape"), "fold")
         if self.shots is not None:
             check_positive_int(self.shots, "shots")
 
@@ -165,7 +191,10 @@ def plan_variance_shards(
     counts = [int(q) for q in config.qubit_counts]
     per_count = config.num_circuits
     children = spawn_seeds(seed, 2 * per_count * len(counts))
-    step = per_count if circuits_per_shard is None else max(1, int(circuits_per_shard))
+    if circuits_per_shard is None:
+        step = per_count
+    else:
+        step = check_positive_int(int(circuits_per_shard), "circuits_per_shard")
     shards: List[VarianceShard] = []
     for k, num_qubits in enumerate(counts):
         base = 2 * per_count * k
@@ -179,6 +208,62 @@ def plan_variance_shards(
                 )
             )
     return shards
+
+
+def plan_shape_buckets(keys: Sequence) -> List[List[int]]:
+    """Group structure indices into shape buckets, first-appearance order.
+
+    ``keys`` are hashable shape fingerprints (one per structure, e.g. from
+    :func:`repro.ansatz.random_pqc.circuit_shape_key`); the result is one
+    index list per distinct key, each list in ascending order.  For the
+    paper's sampler every structure of a grid cell shares one shape, so a
+    shard typically collapses into a single bucket of
+    ``num_circuits x methods x shift-terms`` foldable rows — but the
+    planner stays general for samplers whose wire patterns vary.
+    """
+    buckets: "Dict[object, List[int]]" = {}
+    for index, key in enumerate(keys):
+        buckets.setdefault(key, []).append(index)
+    return list(buckets.values())
+
+
+@dataclass
+class _StructureRows:
+    """One structure's contribution to a shape bucket's mega-batch."""
+
+    circuit: QuantumCircuit
+    observable: Observable
+    scale: float
+    #: ``(num_methods, P)`` angle matrix, method order.
+    params: np.ndarray
+    #: Per-method sampling streams (``None`` in analytic mode).
+    sample_rngs: Optional[list]
+
+
+def _observable_signature(observable: Observable):
+    """Hashable identity of an observable, folded into bucket keys.
+
+    A bucket shares its first structure's observable across all rows, so
+    only structures whose observables are *known equal* may share a
+    bucket.  The current cost kinds depend on the qubit count alone, but
+    the key guards the invariant structurally: an unrecognized (or
+    future structure-dependent) observable falls back to object identity,
+    which degrades those structures to singleton buckets — still correct,
+    just unfolded — instead of silently evaluating against the wrong
+    operator.
+    """
+    from repro.backend.observables import PauliString, PauliSum, Projector
+
+    if isinstance(observable, Projector):
+        return ("projector", observable.bits)
+    if isinstance(observable, PauliString):
+        return ("pauli", observable.word, observable.coefficient)
+    if isinstance(observable, PauliSum):
+        return (
+            "pauli_sum",
+            tuple((term.word, term.coefficient) for term in observable.terms),
+        )
+    return ("opaque", id(observable))
 
 
 def _probe_index(config: VarianceConfig, count: int) -> int:
@@ -228,6 +313,9 @@ def run_variance_shard(
     simulator = simulator or StatevectorSimulator()
     initializers = config.build_initializers()
     grads: Dict[str, List[float]] = {m: [] for m in config.methods}
+    megabatched = config.batched and config.fold == "shape"
+    keys: List = []
+    items: List[_StructureRows] = []
     for i in range(shard.num_circuits):
         structure_rng = ensure_rng(shard.seeds[2 * i])
         angles_rng = ensure_rng(shard.seeds[2 * i + 1])
@@ -245,19 +333,38 @@ def run_variance_shard(
         # Per-method child streams derived from one per-circuit parent keep
         # the comparison paired and order-independent.  Sampling every
         # method's angles before any evaluation consumes the streams
-        # identically in batched and sequential modes.
+        # identically in all execution modes.
         draws = {
             method: initializer.sample(shape, spawn_rng(angles_rng))
             for method, initializer in initializers.items()
         }
         # Sampled probes reserve one further child per method, in method
         # order after every angle draw, so the draw streams above stay
-        # bit-stable and each method's measurement stream is shared by the
-        # batched and sequential modes.
+        # bit-stable and each method's measurement stream is shared by
+        # every execution mode.
         sample_rngs = None
         if config.shots is not None:
             sample_rngs = [spawn_rng(angles_rng) for _ in config.methods]
-        if config.batched:
+        if megabatched:
+            # Defer execution: collect this structure's rows for the
+            # shape-bucket fold below.  All randomness has been consumed
+            # already, so deferral cannot perturb the streams.
+            keys.append((pqc.shape_key, _observable_signature(cost.observable)))
+            items.append(
+                _StructureRows(
+                    circuit=circuit,
+                    observable=cost.observable,
+                    scale=cost.scale,
+                    params=np.stack(
+                        [
+                            np.asarray(draws[m], dtype=float).reshape(-1)
+                            for m in config.methods
+                        ]
+                    ),
+                    sample_rngs=sample_rngs,
+                )
+            )
+        elif config.batched:
             index = _probe_index(config, cost.circuit.num_parameters)
             matrix = np.stack(
                 [
@@ -289,11 +396,54 @@ def run_variance_shard(
                         ),
                     )
                 )
+    if megabatched:
+        _execute_shape_buckets(config, items, keys, grads, simulator)
     return {
         "num_qubits": shard.num_qubits,
         "start": shard.start,
         "gradients": grads,
     }
+
+
+def _execute_shape_buckets(
+    config: VarianceConfig,
+    items: Sequence[_StructureRows],
+    keys: Sequence,
+    grads: Dict[str, List[float]],
+    simulator: StatevectorSimulator,
+) -> None:
+    """Run a shard's structures bucket-by-bucket through the mega path.
+
+    Every bucket folds its (structures x methods x shift terms) rows into
+    one :func:`~repro.backend.gradients.megabatch_parameter_shift`
+    execution; the per-structure gradient blocks are then written back in
+    original structure order, so the output record is laid out exactly as
+    the per-structure paths produce it.
+    """
+    per_structure: List[Optional[np.ndarray]] = [None] * len(items)
+    for bucket in plan_shape_buckets(keys):
+        first = items[bucket[0]]
+        index = _probe_index(config, first.circuit.num_parameters)
+        seed = None
+        if config.shots is not None:
+            # Per-base-row streams: structures in bucket order, methods
+            # within each structure — the same generator each method's
+            # rows consume in the per-structure modes.
+            seed = [rng for i in bucket for rng in items[i].sample_rngs]
+        outs = megabatch_parameter_shift(
+            [items[i].circuit for i in bucket],
+            first.observable,
+            [items[i].params for i in bucket],
+            simulator=simulator,
+            param_indices=[index],
+            shots=config.shots,
+            seed=seed,
+        )
+        for i, out in zip(bucket, outs):
+            per_structure[i] = out
+    for item, raw in zip(items, per_structure):
+        for slot, method in enumerate(config.methods):
+            grads[method].append(float(item.scale * raw[slot, 0]))
 
 
 def merge_variance_outputs(

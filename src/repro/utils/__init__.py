@@ -1,5 +1,7 @@
-"""Shared utilities: seeded RNG streams and argument validation."""
+"""Shared utilities: seeded RNG streams, argument validation, and
+benchmark machine context."""
 
+from repro.utils.machine import machine_context
 from repro.utils.rng import child_rngs, ensure_rng, spawn_rng
 from repro.utils.validation import (
     check_in_choices,
@@ -15,5 +17,6 @@ __all__ = [
     "check_qubit_index",
     "child_rngs",
     "ensure_rng",
+    "machine_context",
     "spawn_rng",
 ]

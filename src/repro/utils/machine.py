@@ -1,0 +1,59 @@
+"""Host machine context for benchmark payloads.
+
+Every ``BENCH_*.json`` emitted by the benchmark suite embeds
+:func:`machine_context`, so perf numbers collected across commits (and
+across machines) stay comparable: a regression on one host is only
+meaningful against earlier numbers from a comparable CPU / BLAS / numpy
+combination.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["machine_context"]
+
+
+def _blas_vendor() -> "str | None":
+    """Best-effort name of the BLAS implementation numpy was built against.
+
+    numpy >= 1.26 exposes build metadata via ``show_config(mode="dicts")``;
+    older builds fall back to the legacy ``__config__`` info dicts.  Either
+    probe failing simply reports ``None`` — payloads must never fail over
+    diagnostics.
+    """
+    try:
+        info = np.show_config(mode="dicts")
+        return str(info["Build Dependencies"]["blas"]["name"])
+    except Exception:
+        pass
+    try:  # pragma: no cover - legacy numpy builds only
+        for key in ("blas_ilp64_opt_info", "blas_opt_info", "blas_info"):
+            entry = np.__config__.get_info(key)
+            if entry:
+                libraries = entry.get("libraries")
+                if libraries:
+                    return str(libraries[0])
+    except Exception:
+        pass
+    return None
+
+
+def machine_context() -> Dict[str, Any]:
+    """JSON-able snapshot of the hardware/software running a benchmark.
+
+    Keys: ``cpu_count``, ``machine``, ``platform``, ``python_version``,
+    ``numpy_version``, ``blas_vendor`` (``None`` when undetectable).
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+        "blas_vendor": _blas_vendor(),
+    }

@@ -92,3 +92,68 @@ class TestBuild:
             RandomPQC(num_qubits=2, num_layers=1, gate_pool=("H",))
         with pytest.raises(ValueError):
             RandomPQC(num_qubits=2, num_layers=1, gate_pool=())
+
+
+class TestSkeletonBuild:
+    """Skeleton-cached builds equal ordinary append-built circuits."""
+
+    def test_build_matches_append_path(self):
+        from repro.ansatz.entanglement import apply_entanglement
+        from repro.backend.circuit import QuantumCircuit
+
+        pqc = RandomPQC(num_qubits=3, num_layers=4, seed=5)
+        built = pqc.build()
+        reference = QuantumCircuit(3)
+        for layer in pqc.structure:
+            for qubit, gate_name in enumerate(layer):
+                reference.append(gate_name, [qubit])
+            apply_entanglement(reference, pqc.entanglement, pqc.entangler)
+        assert built.num_parameters == reference.num_parameters
+        assert built.operations == reference.operations
+
+    def test_repeated_builds_independent(self):
+        pqc = RandomPQC(num_qubits=2, num_layers=2, seed=1)
+        a, b = pqc.build(), pqc.build()
+        assert a is not b
+        assert a.operations == b.operations
+        a.rx(0)  # mutating one copy must not leak into the other
+        assert len(a.operations) == len(b.operations) + 1
+
+    def test_fixed_operations_shared_across_structures(self):
+        a = RandomPQC(num_qubits=3, num_layers=2, seed=1).build()
+        b = RandomPQC(num_qubits=3, num_layers=2, seed=2).build()
+        for op_a, op_b in zip(a.operations, b.operations):
+            if not op_a.is_trainable:
+                assert op_a is op_b
+
+    def test_shape_key_shared_across_draws(self):
+        keys = {RandomPQC(3, 4, seed=s).shape_key for s in range(6)}
+        assert len(keys) == 1
+
+    def test_shape_key_distinguishes_configs(self):
+        base = RandomPQC(3, 4, seed=0).shape_key
+        assert RandomPQC(3, 4, entanglement="ring", seed=0).shape_key != base
+        assert RandomPQC(3, 4, entangler="CX", seed=0).shape_key != base
+
+    def test_first_build_does_not_alias_cache(self):
+        """Mutating the very first build of a configuration must not
+        poison the skeleton cache for later builds."""
+        from repro.ansatz import random_pqc as module
+
+        config = dict(num_qubits=2, num_layers=3, entanglement="ring")
+        key = (2, 3, "ring", "CZ")
+        module._SKELETON_CACHE.pop(key, None)
+        first = RandomPQC(seed=1, **config).build()
+        first.rx(0)  # caller mutation of the cache-miss build
+        later = RandomPQC(seed=2, **config).build()
+        pqc = RandomPQC(seed=2, **config)
+        from repro.ansatz.entanglement import apply_entanglement
+        from repro.backend.circuit import QuantumCircuit
+
+        reference = QuantumCircuit(2)
+        for layer in pqc.structure:
+            for qubit, gate_name in enumerate(layer):
+                reference.append(gate_name, [qubit])
+            apply_entanglement(reference, pqc.entanglement, pqc.entangler)
+        assert later.operations == reference.operations
+        assert later.num_parameters == reference.num_parameters

@@ -266,3 +266,92 @@ class TestEngineAgreementProperty:
                 assert np.array_equal(batched[b], shift)
                 assert np.allclose(batched[b], adjoint, atol=1e-8)
                 assert np.allclose(batched[b], fd, atol=1e-4)
+
+
+class TestChunkBoundaries:
+    """run_batch / sampled_expectation_rows around the row-chunk boundary.
+
+    The chunk size is memory-derived (huge for small registers), so the
+    tests shrink it via the module constant and exercise B exactly at,
+    one below, and one above the boundary, plus the B=1 degenerate batch.
+    Chunking must be invisible: per-row results equal the unchunked (and
+    sequential) paths bit for bit, and sampled draws consume per-row
+    generators in the same order.
+    """
+
+    CHUNK_ROWS = 4
+    NUM_QUBITS = 3
+
+    def _shrink(self, monkeypatch):
+        import repro.backend.simulator as simulator_module
+
+        monkeypatch.setattr(
+            simulator_module,
+            "_RUN_BATCH_CHUNK_BYTES",
+            16 * 2**self.NUM_QUBITS * self.CHUNK_ROWS,
+        )
+
+    @pytest.mark.parametrize("batch", [1, CHUNK_ROWS - 1, CHUNK_ROWS, CHUNK_ROWS + 1])
+    def test_run_batch_rows_unaffected_by_chunking(
+        self, simulator, monkeypatch, batch
+    ):
+        circuit = _random_pqc(self.NUM_QUBITS, 3, seed=5)
+        rng = np.random.default_rng(11)
+        params = rng.normal(size=(batch, circuit.num_parameters))
+        unchunked = simulator.run_batch(circuit, params)
+        self._shrink(monkeypatch)
+        chunked = simulator.run_batch(circuit, params)
+        assert np.array_equal(chunked, unchunked)
+        for b in range(batch):
+            assert np.array_equal(
+                chunked[b], simulator.run(circuit, params[b]).data
+            )
+
+    @pytest.mark.parametrize("batch", [1, CHUNK_ROWS - 1, CHUNK_ROWS, CHUNK_ROWS + 1])
+    def test_sampled_rows_unaffected_by_blocking(
+        self, simulator, monkeypatch, batch
+    ):
+        from repro.utils.rng import spawn_seeds
+
+        circuit = _random_pqc(self.NUM_QUBITS, 3, seed=6)
+        rng = np.random.default_rng(13)
+        params = rng.normal(size=(batch, circuit.num_parameters))
+        observable = total_z(self.NUM_QUBITS)
+        states = simulator.run_batch(circuit, params)
+        seeds = spawn_seeds(77, batch)
+        unblocked = simulator.sampled_expectation_rows(
+            states, observable, 32, [np.random.default_rng(s) for s in seeds]
+        )
+        self._shrink(monkeypatch)
+        blocked = simulator.sampled_expectation_rows(
+            states, observable, 32, [np.random.default_rng(s) for s in seeds]
+        )
+        assert np.array_equal(blocked, unblocked)
+        for b in range(batch):
+            expected = simulator._sampled_expectation(
+                Statevector(states[b], validate=False),
+                observable,
+                32,
+                np.random.default_rng(seeds[b]),
+            )
+            assert blocked[b] == expected
+
+    def test_shared_generator_straddles_block_boundary(
+        self, simulator, monkeypatch
+    ):
+        """One generator shared by consecutive rows across the boundary is
+        consumed exactly as in a single unblocked pass."""
+        circuit = _random_pqc(self.NUM_QUBITS, 2, seed=8)
+        rng = np.random.default_rng(17)
+        batch = self.CHUNK_ROWS + 2
+        params = rng.normal(size=(batch, circuit.num_parameters))
+        observable = zero_projector(self.NUM_QUBITS)
+        states = simulator.run_batch(circuit, params)
+        unblocked = simulator.sampled_expectation_rows(
+            states, observable, 16, [np.random.default_rng(3)] * batch
+        )
+        self._shrink(monkeypatch)
+        blocked = simulator.sampled_expectation_rows(
+            states, observable, 16, [np.random.default_rng(3)] * batch
+        )
+        assert np.array_equal(blocked, unblocked)

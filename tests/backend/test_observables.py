@@ -190,3 +190,53 @@ class TestConvenienceBuilders:
     def test_total_z_on_basis_state(self):
         state = Statevector.basis_state("101")
         assert total_z(3).expectation(state) == pytest.approx(-1.0)
+
+
+class TestSamplingCaches:
+    """Rotation matrices and parity sign tables are cached per observable."""
+
+    def test_rotation_matrices_cached_and_correct(self):
+        from repro.backend.gates import get_gate
+
+        term = PauliString(3, "XYZ")
+        first = term.rotation_matrices()
+        assert first is term.rotation_matrices()  # built once
+        expected = [
+            (get_gate(name).matrix(), qubit)
+            for name, qubit in term.diagonalizing_rotations()
+        ]
+        assert len(first) == len(expected)
+        for (matrix, qubit), (want_matrix, want_qubit) in zip(first, expected):
+            assert qubit == want_qubit
+            assert np.array_equal(matrix, want_matrix)
+
+    def test_identity_term_has_no_rotations(self):
+        assert PauliString(2, "II").rotation_matrices() == ()
+
+    def test_eigenvalues_cached_columns_match_scalar(self):
+        term = PauliString(4, {1: "Z", 3: "X"}, coefficient=-2.0)
+        rng = np.random.default_rng(0)
+        bits = rng.integers(2, size=(32, 4)).astype(np.int8)
+        vectorized = term.eigenvalues_of_bits(bits)
+        # Second call exercises the cached column table.
+        assert np.array_equal(vectorized, term.eigenvalues_of_bits(bits))
+        scalar = np.array([term.eigenvalue_of_bits(row) for row in bits])
+        assert np.array_equal(vectorized, scalar)
+
+    def test_sampled_expectation_unchanged_by_caching(self):
+        """Repeated sampled estimation gives the same draws per seed."""
+        from repro.backend.circuit import QuantumCircuit
+        from repro.backend.simulator import StatevectorSimulator
+
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).ry(0)
+        observable = PauliSum(
+            [PauliString(2, "XY"), PauliString(2, "ZZ", coefficient=0.5)]
+        )
+        simulator = StatevectorSimulator()
+        first = simulator.expectation(
+            circuit, observable, [0.3], shots=128, seed=5
+        )
+        again = simulator.expectation(
+            circuit, observable, [0.3], shots=128, seed=5
+        )
+        assert first == again

@@ -268,3 +268,67 @@ class TestRun:
         with pytest.raises(ValueError):
             run(spec)
         assert calls == []
+
+
+class TestFoldCheckpointCompatibility:
+    """The fold scope must not perturb checkpoint fingerprints."""
+
+    def test_fingerprint_ignores_fold(self):
+        from dataclasses import replace
+
+        from repro.core.spec import _fingerprint
+        from repro.core.variance import VarianceConfig
+
+        config = VarianceConfig(qubit_counts=(2,), num_circuits=4, num_layers=2)
+        spec = ExperimentSpec(kind="variance", config=config, seed=3)
+        prints = {
+            _fingerprint("variance", replace(config, fold=fold), spec)
+            for fold in ("shape", "structure")
+        }
+        assert len(prints) == 1
+
+    def test_structure_checkpoints_resume_under_shape(self, tmp_path):
+        """A grid checkpointed under fold="structure" resumes (and merges
+        identically) when rerun under the default shape fold."""
+        import numpy as np
+
+        from repro.core.variance import VarianceConfig
+
+        def outcome_for(fold):
+            config = VarianceConfig(
+                qubit_counts=(2, 3),
+                num_circuits=4,
+                num_layers=2,
+                methods=("random", "zeros"),
+                fold=fold,
+            )
+            spec = ExperimentSpec(
+                kind="variance",
+                config=config,
+                seed=11,
+                executor="batched",
+                checkpoint_dir=tmp_path,
+            )
+            return repro.run(spec)
+
+        first = outcome_for("structure")
+        resumed = outcome_for("shape")
+        for key in first.result.samples:
+            assert np.array_equal(
+                first.result.samples[key].gradients,
+                resumed.result.samples[key].gradients,
+            )
+
+    def test_rejects_nonpositive_circuits_per_shard(self):
+        with pytest.raises(ValueError, match="circuits_per_shard"):
+            ExperimentSpec(kind="variance", circuits_per_shard=0)
+        with pytest.raises(ValueError, match="circuits_per_shard"):
+            ExperimentSpec(kind="variance", circuits_per_shard=-2)
+
+    def test_rejects_nonpositive_shots_eagerly(self):
+        with pytest.raises(ValueError, match="shots"):
+            ExperimentSpec(kind="variance", shots=0)
+        from repro.core.variance import VarianceConfig
+
+        with pytest.raises(ValueError, match="shots"):
+            VarianceConfig(shots=-5)

@@ -160,3 +160,84 @@ class TestBatchedExecution:
             assert np.array_equal(
                 batched.samples[key].gradients, sequential.samples[key].gradients
             )
+
+
+class TestShapeFold:
+    """The shape-keyed mega-batch fold: same results, bigger batches."""
+
+    def test_shape_fold_is_default(self):
+        assert VarianceConfig().fold == "shape"
+
+    def test_rejects_unknown_fold(self):
+        with pytest.raises(ValueError):
+            _tiny_config(fold="circuit")
+
+    def test_fold_scopes_bit_identical(self):
+        config = _tiny_config(
+            methods=("random", "xavier_normal", "he_normal"), num_circuits=6
+        )
+        shape = VarianceAnalysis(replace(config, fold="shape")).run(seed=42)
+        structure = VarianceAnalysis(replace(config, fold="structure")).run(seed=42)
+        sequential = VarianceAnalysis(replace(config, batched=False)).run(seed=42)
+        assert set(shape.samples) == set(structure.samples)
+        for key in shape.samples:
+            assert np.array_equal(
+                shape.samples[key].gradients, structure.samples[key].gradients
+            ), key
+            assert np.array_equal(
+                shape.samples[key].gradients, sequential.samples[key].gradients
+            ), key
+
+    @pytest.mark.parametrize("cost_kind", ["global", "local"])
+    @pytest.mark.parametrize("position", ["first", "middle", "last"])
+    def test_fold_identity_across_configurations(self, cost_kind, position):
+        config = _tiny_config(
+            num_circuits=4, cost_kind=cost_kind, param_position=position
+        )
+        shape = VarianceAnalysis(replace(config, fold="shape")).run(seed=7)
+        structure = VarianceAnalysis(replace(config, fold="structure")).run(seed=7)
+        for key in shape.samples:
+            assert np.array_equal(
+                shape.samples[key].gradients, structure.samples[key].gradients
+            )
+
+    def test_sampled_fold_bit_identical(self):
+        config = _tiny_config(num_circuits=4, shots=32)
+        shape = VarianceAnalysis(replace(config, fold="shape")).run(seed=9)
+        sequential = VarianceAnalysis(replace(config, batched=False)).run(seed=9)
+        for key in shape.samples:
+            assert np.array_equal(
+                shape.samples[key].gradients, sequential.samples[key].gradients
+            )
+
+
+class TestPlanShapeBuckets:
+    def test_groups_in_first_appearance_order(self):
+        from repro.core.variance import plan_shape_buckets
+
+        buckets = plan_shape_buckets(["a", "b", "a", "c", "b", "a"])
+        assert buckets == [[0, 2, 5], [1, 4], [3]]
+
+    def test_empty(self):
+        from repro.core.variance import plan_shape_buckets
+
+        assert plan_shape_buckets([]) == []
+
+    def test_variance_shard_buckets_cover_grid(self):
+        """A shard's structures all share one shape -> one bucket."""
+        from repro.ansatz.random_pqc import RandomPQC
+
+        keys = [RandomPQC(3, 4, seed=s).shape_key for s in range(5)]
+        from repro.core.variance import plan_shape_buckets
+
+        assert plan_shape_buckets(keys) == [[0, 1, 2, 3, 4]]
+
+
+class TestShardValidation:
+    def test_rejects_nonpositive_circuits_per_shard(self):
+        from repro.core.variance import plan_variance_shards
+
+        config = _tiny_config()
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match="circuits_per_shard"):
+                plan_variance_shards(config, seed=0, circuits_per_shard=bad)

@@ -265,3 +265,30 @@ class TestLandscapeCommand:
         assert "cost range" in out
         # 7 ascii rows follow the metrics line.
         assert len(out.strip().splitlines()) == 8
+
+
+class TestVarianceFoldOption:
+    def test_fold_flags_bit_identical(self, capsys):
+        from repro.cli import main
+
+        outputs = []
+        for fold in ("shape", "structure"):
+            main(
+                [
+                    "variance",
+                    "--qubits", "2", "3",
+                    "--circuits", "3",
+                    "--layers", "2",
+                    "--methods", "random", "zeros",
+                    "--fold", fold,
+                    "--seed", "3",
+                ]
+            )
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_rejects_unknown_fold(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["variance", "--fold", "mega"])

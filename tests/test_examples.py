@@ -131,6 +131,7 @@ class TestExamplesRun:
         )
         out = capsys.readouterr().out
         assert "bit-identical to single process: True" in out
+        assert "bit-identical to per-structure: True" in out
         assert "spec round-trips" in out
 
     def test_shot_based_training(self, capsys, monkeypatch):
