@@ -121,7 +121,25 @@ def main() -> None:
         f"({structure_time / mega_time:.1f}x faster here)"
     )
 
-    # 4. Specs serialize: this JSON file is exactly what
+    # 4. Array backends are configuration too: backend="torch" (or
+    #    "cupy", "torch:cuda:0", ...) moves the statevector kernels onto
+    #    that namespace and routes the spec to the ``device`` executor —
+    #    same spec, same seeds, device-tolerance-identical results.
+    #    Guarded: torch is an optional dependency, and a spec naming a
+    #    missing namespace fails eagerly with an actionable ImportError.
+    import importlib.util
+
+    if importlib.util.find_spec("torch") is not None:
+        torch_spec = ExperimentSpec(
+            kind="variance", config=config, seed=args.seed, backend="torch"
+        )
+        print(f"torch backend routes to executor={torch_spec.resolved_executor()}")
+        torch_outcome = repro.run(torch_spec)
+        print(f"torch-backend ranking: {torch_outcome.ranking}")
+    else:
+        print("torch not installed; skipping the backend='torch' step")
+
+    # 5. Specs serialize: this JSON file is exactly what
     #    `python -m repro run SPEC.json` consumes.
     with tempfile.TemporaryDirectory() as tmp:
         spec_path = Path(tmp) / "variance_spec.json"

@@ -54,6 +54,11 @@ from repro.core import (
     train_all_methods,
 )
 from repro.initializers import PAPER_METHODS, ParameterShape, get_initializer
+from repro.utils import (
+    available_array_backends,
+    get_array_backend,
+    register_array_backend,
+)
 
 __all__ = [
     "ExperimentSpec",
@@ -69,8 +74,11 @@ __all__ = [
     "VarianceAnalysis",
     "VarianceConfig",
     "adjoint_gradient",
+    "available_array_backends",
     "available_executors",
+    "get_array_backend",
     "get_initializer",
+    "register_array_backend",
     "global_identity_cost",
     "local_identity_cost",
     "parameter_shift",

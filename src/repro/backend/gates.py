@@ -21,9 +21,11 @@ for (control, target) = (qubit argument 0, qubit argument 1).
 from __future__ import annotations
 
 import functools
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
+
+from repro.utils.array_api import COMPLEX_DTYPE, FLOAT_DTYPE
 
 __all__ = [
     "Gate",
@@ -38,11 +40,11 @@ __all__ = [
     "controlled_matrix",
 ]
 
-_I2 = np.eye(2, dtype=complex)
-_X = np.array([[0, 1], [1, 0]], dtype=complex)
-_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
-_Z = np.array([[1, 0], [0, -1]], dtype=complex)
-_H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2.0)
+_I2 = np.eye(2, dtype=COMPLEX_DTYPE)
+_X = np.array([[0, 1], [1, 0]], dtype=COMPLEX_DTYPE)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=COMPLEX_DTYPE)
+_Z = np.array([[1, 0], [0, -1]], dtype=COMPLEX_DTYPE)
+_H = np.array([[1, 1], [1, -1]], dtype=COMPLEX_DTYPE) / np.sqrt(2.0)
 
 #: Single-qubit Pauli matrices keyed by letter, including the identity.
 PAULI_MATRICES: Dict[str, np.ndarray] = {"I": _I2, "X": _X, "Y": _Y, "Z": _Z}
@@ -50,7 +52,7 @@ PAULI_MATRICES: Dict[str, np.ndarray] = {"I": _I2, "X": _X, "Y": _Y, "Z": _Z}
 
 def _frozen(matrix: np.ndarray) -> np.ndarray:
     """Return a read-only complex copy of ``matrix``."""
-    out = np.array(matrix, dtype=complex)
+    out = np.array(matrix, dtype=COMPLEX_DTYPE)
     out.setflags(write=False)
     return out
 
@@ -77,7 +79,7 @@ def pauli_word_matrix(word: str) -> np.ndarray:
 def controlled_matrix(matrix: np.ndarray) -> np.ndarray:
     """Build the controlled version of a unitary (control = first qubit)."""
     dim = matrix.shape[0]
-    out = np.eye(2 * dim, dtype=complex)
+    out = np.eye(2 * dim, dtype=COMPLEX_DTYPE)
     out[dim:, dim:] = matrix
     return out
 
@@ -203,30 +205,49 @@ class ParametricGate(Gate):
         """Return ``dU/dtheta`` evaluated at ``theta``."""
         return self._derivative_fn(float(theta))
 
-    def matrix_batch(self, thetas: np.ndarray) -> np.ndarray:
+    def matrix_batch(
+        self, thetas: np.ndarray, backend: Optional[Any] = None
+    ) -> np.ndarray:
         """Return the ``(B, 2**k, 2**k)`` stack ``[U(t) for t in thetas]``.
 
         Uses the vectorized ``batch_matrix_fn`` when the gate provides one
         (all built-in rotations do); the fallback stacks scalar ``matrix``
         calls, so any custom gate is batchable, just more slowly.
-        """
-        thetas = np.asarray(thetas, dtype=float).reshape(-1)
-        if self._batch_matrix_fn is not None:
-            return self._batch_matrix_fn(thetas)
-        return np.stack([self._matrix_fn(float(t)) for t in thetas])
 
-    def derivative_batch(self, thetas: np.ndarray) -> np.ndarray:
+        With a non-numpy ``backend``
+        (:class:`~repro.utils.array_api.ArrayBackend`) the stack is
+        handed over on the namespace: built from the host parameter
+        array, then staged through one ``backend.asarray`` call — the
+        single host->device copy per gate/slot of the batched paths.
+        """
+        thetas = np.asarray(thetas, dtype=FLOAT_DTYPE).reshape(-1)
+        if self._batch_matrix_fn is not None:
+            stack = self._batch_matrix_fn(thetas)
+        else:
+            stack = np.stack([self._matrix_fn(float(t)) for t in thetas])
+        if backend is not None and not backend.is_numpy:
+            return backend.asarray(stack, dtype=backend.complex_dtype)
+        return stack
+
+    def derivative_batch(
+        self, thetas: np.ndarray, backend: Optional[Any] = None
+    ) -> np.ndarray:
         """Return the ``(B, 2**k, 2**k)`` stack ``[dU/dtheta (t) for t in thetas]``.
 
-        Same contract as :meth:`matrix_batch`: the vectorized
-        ``batch_derivative_fn`` is used when available (all built-in
-        rotations provide one), otherwise scalar ``derivative`` calls are
-        stacked so any custom gate stays batchable.
+        Same contract as :meth:`matrix_batch` (including the ``backend``
+        staging): the vectorized ``batch_derivative_fn`` is used when
+        available (all built-in rotations provide one), otherwise scalar
+        ``derivative`` calls are stacked so any custom gate stays
+        batchable.
         """
-        thetas = np.asarray(thetas, dtype=float).reshape(-1)
+        thetas = np.asarray(thetas, dtype=FLOAT_DTYPE).reshape(-1)
         if self._batch_derivative_fn is not None:
-            return self._batch_derivative_fn(thetas)
-        return np.stack([self._derivative_fn(float(t)) for t in thetas])
+            stack = self._batch_derivative_fn(thetas)
+        else:
+            stack = np.stack([self._derivative_fn(float(t)) for t in thetas])
+        if backend is not None and not backend.is_numpy:
+            return backend.asarray(stack, dtype=backend.complex_dtype)
+        return stack
 
 
 def _pauli_rotation(name: str, word: str) -> ParametricGate:
@@ -237,7 +258,7 @@ def _pauli_rotation(name: str, word: str) -> ParametricGate:
     parameter-shift rule with coefficient 1/2 and shift pi/2 applies.
     """
     pauli = pauli_word_matrix(word)
-    identity = np.eye(pauli.shape[0], dtype=complex)
+    identity = np.eye(pauli.shape[0], dtype=COMPLEX_DTYPE)
 
     def matrix_fn(theta: float, _p=pauli, _i=identity) -> np.ndarray:
         return np.cos(theta / 2.0) * _i - 1j * np.sin(theta / 2.0) * _p
@@ -276,19 +297,19 @@ def _phase_shift_gate() -> ParametricGate:
     """
 
     def matrix_fn(theta: float) -> np.ndarray:
-        return np.array([[1.0, 0.0], [0.0, np.exp(1j * theta)]], dtype=complex)
+        return np.array([[1.0, 0.0], [0.0, np.exp(1j * theta)]], dtype=COMPLEX_DTYPE)
 
     def derivative_fn(theta: float) -> np.ndarray:
-        return np.array([[0.0, 0.0], [0.0, 1j * np.exp(1j * theta)]], dtype=complex)
+        return np.array([[0.0, 0.0], [0.0, 1j * np.exp(1j * theta)]], dtype=COMPLEX_DTYPE)
 
     def batch_matrix_fn(thetas: np.ndarray) -> np.ndarray:
-        out = np.zeros((thetas.size, 2, 2), dtype=complex)
+        out = np.zeros((thetas.size, 2, 2), dtype=COMPLEX_DTYPE)
         out[:, 0, 0] = 1.0
         out[:, 1, 1] = np.exp(1j * thetas)
         return out
 
     def batch_derivative_fn(thetas: np.ndarray) -> np.ndarray:
-        out = np.zeros((thetas.size, 2, 2), dtype=complex)
+        out = np.zeros((thetas.size, 2, 2), dtype=COMPLEX_DTYPE)
         out[:, 1, 1] = 1j * np.exp(1j * thetas)
         return out
 
@@ -319,7 +340,7 @@ def _controlled_rotation(name: str, axis_word: str) -> ParametricGate:
     """
     pauli = pauli_word_matrix(axis_word)
     dim = pauli.shape[0]
-    identity = np.eye(dim, dtype=complex)
+    identity = np.eye(dim, dtype=COMPLEX_DTYPE)
 
     def matrix_fn(theta: float, _p=pauli, _i=identity) -> np.ndarray:
         rot = np.cos(theta / 2.0) * _i - 1j * np.sin(theta / 2.0) * _p
@@ -327,14 +348,14 @@ def _controlled_rotation(name: str, axis_word: str) -> ParametricGate:
 
     def derivative_fn(theta: float, _p=pauli, _i=identity) -> np.ndarray:
         d_rot = -0.5 * np.sin(theta / 2.0) * _i - 0.5j * np.cos(theta / 2.0) * _p
-        out = np.zeros((2 * dim, 2 * dim), dtype=complex)
+        out = np.zeros((2 * dim, 2 * dim), dtype=COMPLEX_DTYPE)
         out[dim:, dim:] = d_rot
         return out
 
     def batch_matrix_fn(thetas: np.ndarray, _p=pauli, _i=identity) -> np.ndarray:
         cos = np.cos(thetas / 2.0)[:, None, None]
         sin = (1j * np.sin(thetas / 2.0))[:, None, None]
-        out = np.zeros((thetas.size, 2 * dim, 2 * dim), dtype=complex)
+        out = np.zeros((thetas.size, 2 * dim, 2 * dim), dtype=COMPLEX_DTYPE)
         out[:, range(dim), range(dim)] = 1.0
         out[:, dim:, dim:] = cos * _i - sin * _p
         return out
@@ -342,7 +363,7 @@ def _controlled_rotation(name: str, axis_word: str) -> ParametricGate:
     def batch_derivative_fn(thetas: np.ndarray, _p=pauli, _i=identity) -> np.ndarray:
         sin = (-0.5 * np.sin(thetas / 2.0))[:, None, None]
         cos = (0.5j * np.cos(thetas / 2.0))[:, None, None]
-        out = np.zeros((thetas.size, 2 * dim, 2 * dim), dtype=complex)
+        out = np.zeros((thetas.size, 2 * dim, 2 * dim), dtype=COMPLEX_DTYPE)
         out[:, dim:, dim:] = sin * _i - cos * _p
         return out
 
@@ -367,11 +388,11 @@ def _controlled_rotation(name: str, axis_word: str) -> ParametricGate:
     )
 
 
-_S = np.array([[1, 0], [0, 1j]], dtype=complex)
-_T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
-_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+_S = np.array([[1, 0], [0, 1j]], dtype=COMPLEX_DTYPE)
+_T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=COMPLEX_DTYPE)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=COMPLEX_DTYPE)
 _SWAP = np.array(
-    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=COMPLEX_DTYPE
 )
 
 #: Registry of fixed gates keyed by canonical name.

@@ -74,6 +74,7 @@ from repro.backend.gates import ParametricGate
 from repro.backend.observables import Observable
 from repro.backend.simulator import MegaBatchPlan, StatevectorSimulator
 from repro.backend.statevector import Statevector, apply_matrix
+from repro.utils.array_api import FLOAT_DTYPE
 
 __all__ = [
     "parameter_shift",
@@ -168,7 +169,7 @@ def parameter_shift(
         ``adjoint_gradient`` or ``finite_difference`` for such gates.
     """
     simulator = simulator or StatevectorSimulator()
-    params = np.asarray(params, dtype=float).reshape(-1)
+    params = np.asarray(params, dtype=FLOAT_DTYPE).reshape(-1)
     indices = _resolve_indices(circuit, param_indices)
     rules = _resolve_shift_rules(circuit, indices)
     if shots is not None:
@@ -178,7 +179,7 @@ def parameter_shift(
 
         seed = ensure_rng(seed)
 
-    grads = np.empty(len(indices), dtype=float)
+    grads = np.empty(len(indices), dtype=FLOAT_DTYPE)
     for out_slot, (index, terms) in enumerate(zip(indices, rules)):
         total = 0.0
         shifted = params.copy()
@@ -288,8 +289,8 @@ def _batch_shift_execute(
             states, observable, shots, folded_rngs
         )
 
-    values = np.empty(batch.shape[0], dtype=float) if include_values else None
-    grads = np.empty((batch.shape[0], len(indices)), dtype=float)
+    values = np.empty(batch.shape[0], dtype=FLOAT_DTYPE) if include_values else None
+    grads = np.empty((batch.shape[0], len(indices)), dtype=FLOAT_DTYPE)
     cursor = 0
     for b in range(batch.shape[0]):
         if include_values:
@@ -354,7 +355,7 @@ def batch_parameter_shift(
         If a differentiated gate carries no exact shift rule.
     """
     simulator = simulator or StatevectorSimulator()
-    array = np.asarray(params, dtype=float)
+    array = np.asarray(params, dtype=FLOAT_DTYPE)
     if array.ndim not in (1, 2):
         raise ValueError(
             f"params must be 1-D or 2-D (batch, num_parameters), "
@@ -365,7 +366,7 @@ def batch_parameter_shift(
     indices = _resolve_indices(circuit, param_indices)
     rules = _resolve_shift_rules(circuit, indices)
     if not indices:
-        empty = np.empty((batch.shape[0], 0), dtype=float)
+        empty = np.empty((batch.shape[0], 0), dtype=FLOAT_DTYPE)
         return empty[0] if single else empty
     _, grads = _batch_shift_execute(
         circuit, observable, batch, simulator, indices, rules,
@@ -427,7 +428,7 @@ def _coerce_mega_batches(
         )
     batches = []
     for circuit, params in zip(circuits, params_batches):
-        array = np.asarray(params, dtype=float)
+        array = np.asarray(params, dtype=FLOAT_DTYPE)
         if array.ndim == 1:
             array = array.reshape(1, -1)
         if array.ndim != 2 or array.shape[1] != circuit.num_parameters:
@@ -498,7 +499,7 @@ def megabatch_parameter_shift(
     plan = plan or MegaBatchPlan(circuits)
     indices = _resolve_indices(plan.template, param_indices)
     if not indices:
-        return [np.empty((batch.shape[0], 0), dtype=float) for batch in batches]
+        return [np.empty((batch.shape[0], 0), dtype=FLOAT_DTYPE) for batch in batches]
     rules_per_circuit = [
         _resolve_shift_rules(circuit, indices) for circuit in circuits
     ]
@@ -534,18 +535,22 @@ def megabatch_parameter_shift(
                 for s, batch in enumerate(batches)
             ]
         )
-        prefix_states = simulator.run_megabatch(
+        # Prefix states stay resident on the simulator's backend: the
+        # folded rows branch off them via an on-namespace row gather, so
+        # the whole shared-prefix evaluation crosses the host boundary
+        # only at the final expectation / sampling stage.
+        prefix_states = simulator._run_megabatch_data(
             plan, base_batch, base_circuits, initial_state, stop=first_pos
         )
-        states = simulator.run_megabatch(
+        states = simulator._run_megabatch_data(
             plan,
             folded_params,
             folded_circuits,
-            prefix_states[np.asarray(base_of)],
+            simulator.backend.take_rows(prefix_states, np.asarray(base_of)),
             start=first_pos,
         )
     else:
-        states = simulator.run_megabatch(
+        states = simulator._run_megabatch_data(
             plan, folded_params, folded_circuits, initial_state
         )
     if shots is None:
@@ -573,7 +578,7 @@ def megabatch_parameter_shift(
     outputs: "list[np.ndarray]" = []
     cursor = 0
     for batch, rules in zip(batches, rules_per_circuit):
-        grads = np.empty((batch.shape[0], len(indices)), dtype=float)
+        grads = np.empty((batch.shape[0], len(indices)), dtype=FLOAT_DTYPE)
         for m in range(batch.shape[0]):
             cursor = _recombine_shift_row(estimates, cursor, rules, grads[m])
         outputs.append(grads)
@@ -594,7 +599,7 @@ def finite_difference(
     if scheme not in ("central", "forward"):
         raise ValueError(f"scheme must be 'central' or 'forward', got {scheme!r}")
     simulator = simulator or StatevectorSimulator()
-    params = np.asarray(params, dtype=float).reshape(-1)
+    params = np.asarray(params, dtype=FLOAT_DTYPE).reshape(-1)
     indices = _resolve_indices(circuit, param_indices)
 
     base = None
@@ -602,7 +607,7 @@ def finite_difference(
         base = simulator.expectation(
             circuit, observable, params, initial_state=initial_state
         )
-    grads = np.empty(len(indices), dtype=float)
+    grads = np.empty(len(indices), dtype=FLOAT_DTYPE)
     for out_slot, index in enumerate(indices):
         shifted = params.copy()
         shifted[index] = params[index] + step
@@ -664,7 +669,7 @@ def _adjoint_sweep(
             )
         lam = apply_matrix(lam, adjoint, op.qubits, num_qubits)
 
-    grads = np.array([grads_by_index.get(i, 0.0) for i in indices], dtype=float)
+    grads = np.array([grads_by_index.get(i, 0.0) for i in indices], dtype=FLOAT_DTYPE)
     return value, grads
 
 
@@ -685,7 +690,7 @@ def adjoint_gradient(
     the tail of the circuit.  Exact for any gate exposing ``derivative``.
     """
     simulator = simulator or StatevectorSimulator()
-    params = np.asarray(params, dtype=float).reshape(-1)
+    params = np.asarray(params, dtype=FLOAT_DTYPE).reshape(-1)
     indices = _resolve_indices(circuit, param_indices)
     _, grads = _adjoint_sweep(
         circuit, observable, params, simulator, indices, initial_state,
@@ -709,7 +714,7 @@ def adjoint_value_and_gradient(
     params)``, and the gradient matches :func:`adjoint_gradient`.
     """
     simulator = simulator or StatevectorSimulator()
-    params = np.asarray(params, dtype=float).reshape(-1)
+    params = np.asarray(params, dtype=FLOAT_DTYPE).reshape(-1)
     indices = _resolve_indices(circuit, param_indices)
     value, grads = _adjoint_sweep(
         circuit, observable, params, simulator, indices, initial_state,
@@ -731,18 +736,28 @@ def _batch_adjoint_sweep(
 
     Per row the arithmetic mirrors :func:`_adjoint_sweep` through the
     broadcasting kernels, so results are bit-identical to ``B`` sequential
-    sweeps; the final inner products stay per-row ``vdot`` calls for the
-    same reason.
+    sweeps; on the numpy backend the final inner products stay per-row
+    ``vdot`` calls for the same reason.  On a non-numpy backend the whole
+    sweep — forward pass, both adjoint trails, and the gradient
+    reductions — runs on-namespace; only the ``(B,)`` gradient entries
+    cross back per differentiated parameter.
     """
     num_qubits = circuit.num_qubits
     static = circuit.static_matrices()
+    b = simulator.backend
+    device = not b.is_numpy
 
-    # Forward pass: one batched execution for all rows.
-    psi = simulator.run_batch(circuit, batch, initial_state)
+    # Forward pass: one batched execution for all rows, left resident on
+    # the simulator's array backend.
+    psi = simulator._run_batch_data(circuit, batch, initial_state)
     values = observable.expectation_batch(psi) if want_values else None
     lam = observable.apply_batch(psi)
+    if device and type(lam) is np.ndarray:
+        # The observable fell back to its host implementation; stage the
+        # adjoint trail back onto the backend for the backward sweep.
+        lam = b.asarray(lam, dtype=b.complex_dtype)
 
-    grads = np.zeros((batch.shape[0], len(indices)), dtype=float)
+    grads = np.zeros((batch.shape[0], len(indices)), dtype=FLOAT_DTYPE)
     slot_of = {index: slot for slot, index in enumerate(indices)}
     for pos in range(len(circuit.operations) - 1, -1, -1):
         op = circuit.operations[pos]
@@ -754,21 +769,26 @@ def _batch_adjoint_sweep(
         else:
             adjoint = static[pos][1]
         # Undo this gate on every row: |psi_k> (states before the gate).
-        psi = apply_matrix(psi, adjoint, op.qubits, num_qubits)
+        psi = apply_matrix(psi, adjoint, op.qubits, num_qubits, backend=b)
         if op.is_trainable and op.param_index in slot_of:
             d_matrices = gate.derivative_batch(thetas)
-            d_psi = apply_matrix(psi, d_matrices, op.qubits, num_qubits)
-            grads[:, slot_of[op.param_index]] = [
-                2.0 * float(np.real(np.vdot(l, d)))
-                for l, d in zip(lam, d_psi)
-            ]
-        lam = apply_matrix(lam, adjoint, op.qubits, num_qubits)
+            d_psi = apply_matrix(psi, d_matrices, op.qubits, num_qubits, backend=b)
+            if device:
+                grads[:, slot_of[op.param_index]] = 2.0 * np.real(
+                    b.to_numpy(b.sum(b.conj(lam) * d_psi, axis=1))
+                )
+            else:
+                grads[:, slot_of[op.param_index]] = [
+                    2.0 * float(np.real(np.vdot(l, d)))
+                    for l, d in zip(lam, d_psi)
+                ]
+        lam = apply_matrix(lam, adjoint, op.qubits, num_qubits, backend=b)
     return values, grads
 
 
 def _coerce_batch(circuit: QuantumCircuit, params: Sequence[float]) -> Tuple[np.ndarray, bool]:
     """Normalize 1-D/2-D ``params`` to ``(B, P)`` plus a was-single flag."""
-    array = np.asarray(params, dtype=float)
+    array = np.asarray(params, dtype=FLOAT_DTYPE)
     if array.ndim not in (1, 2):
         raise ValueError(
             f"params must be 1-D or 2-D (batch, num_parameters), "
@@ -885,30 +905,38 @@ def megabatch_adjoint_gradient(
     indices = _resolve_indices(plan.template, param_indices)
     num_qubits = plan.num_qubits
     static = plan.template.static_matrices()
+    b = simulator.backend
+    device = not b.is_numpy
 
     batch = np.concatenate(batches, axis=0)
     rows = np.concatenate(
-        [np.full(b.shape[0], s, dtype=np.intp) for s, b in enumerate(batches)]
+        [np.full(bt.shape[0], s, dtype=np.intp) for s, bt in enumerate(batches)]
     )
-    # Forward pass: one mega-batched execution for all circuits' rows.
-    psi = simulator.run_megabatch(plan, batch, rows, initial_state)
+    # Forward pass: one mega-batched execution for all circuits' rows,
+    # left resident on the simulator's array backend; the backward sweep
+    # (segment gathers/scatters included) runs on-namespace end to end.
+    psi = simulator._run_megabatch_data(plan, batch, rows, initial_state)
     lam = observable.apply_batch(psi)
+    if device and type(lam) is np.ndarray:
+        # The observable fell back to its host implementation; stage the
+        # adjoint trail back onto the backend for the backward sweep.
+        lam = b.asarray(lam, dtype=b.complex_dtype)
 
-    grads = np.zeros((batch.shape[0], len(indices)), dtype=float)
+    grads = np.zeros((batch.shape[0], len(indices)), dtype=FLOAT_DTYPE)
     slot_of = {index: slot for slot, index in enumerate(indices)}
     for pos in range(len(plan.template.operations) - 1, -1, -1):
         op = plan.template.operations[pos]
         if not op.is_trainable:
             adjoint = static[pos][1]
-            psi = apply_matrix(psi, adjoint, op.qubits, num_qubits)
-            lam = apply_matrix(lam, adjoint, op.qubits, num_qubits)
+            psi = apply_matrix(psi, adjoint, op.qubits, num_qubits, backend=b)
+            lam = apply_matrix(lam, adjoint, op.qubits, num_qubits, backend=b)
             continue
         gates, codes = plan.slot_gates[pos]
         thetas = batch[:, op.param_index]
         wanted_slot = slot_of.get(op.param_index)
         row_codes = codes[rows] if len(gates) > 1 else None
-        psi_new = psi if len(gates) == 1 else np.empty_like(psi)
-        lam_new = lam if len(gates) == 1 else np.empty_like(lam)
+        psi_new = psi if len(gates) == 1 else b.empty_like(psi)
+        lam_new = lam if len(gates) == 1 else b.empty_like(lam)
         for code, gate in enumerate(gates):
             if len(gates) == 1:
                 idx = None
@@ -917,25 +945,34 @@ def megabatch_adjoint_gradient(
                 idx = np.flatnonzero(row_codes == code)
                 if idx.size == 0:
                     continue
-                seg_thetas, seg_psi, seg_lam = thetas[idx], psi[idx], lam[idx]
+                seg_thetas = thetas[idx]
+                seg_psi = b.take_rows(psi, idx)
+                seg_lam = b.take_rows(lam, idx)
             adjoint = gate.matrix_batch(seg_thetas).conj().transpose(0, 2, 1)
             # Undo this gate on the segment: |psi_k> (states before it).
-            seg_psi = apply_matrix(seg_psi, adjoint, op.qubits, num_qubits)
+            seg_psi = apply_matrix(seg_psi, adjoint, op.qubits, num_qubits, backend=b)
             if wanted_slot is not None:
                 d_matrices = gate.derivative_batch(seg_thetas)
-                d_psi = apply_matrix(seg_psi, d_matrices, op.qubits, num_qubits)
-                seg_grads = [
-                    2.0 * float(np.real(np.vdot(l, d)))
-                    for l, d in zip(seg_lam, d_psi)
-                ]
-            seg_lam = apply_matrix(seg_lam, adjoint, op.qubits, num_qubits)
+                d_psi = apply_matrix(
+                    seg_psi, d_matrices, op.qubits, num_qubits, backend=b
+                )
+                if device:
+                    seg_grads = 2.0 * np.real(
+                        b.to_numpy(b.sum(b.conj(seg_lam) * d_psi, axis=1))
+                    )
+                else:
+                    seg_grads = [
+                        2.0 * float(np.real(np.vdot(l, d)))
+                        for l, d in zip(seg_lam, d_psi)
+                    ]
+            seg_lam = apply_matrix(seg_lam, adjoint, op.qubits, num_qubits, backend=b)
             if idx is None:
                 psi_new, lam_new = seg_psi, seg_lam
                 if wanted_slot is not None:
                     grads[:, wanted_slot] = seg_grads
             else:
-                psi_new[idx] = seg_psi
-                lam_new[idx] = seg_lam
+                b.put_rows(psi_new, idx, seg_psi)
+                b.put_rows(lam_new, idx, seg_lam)
                 if wanted_slot is not None:
                     grads[idx, wanted_slot] = seg_grads
         psi, lam = psi_new, lam_new

@@ -24,6 +24,12 @@ import numpy as np
 
 from repro.backend.gates import PAULI_MATRICES, get_gate, pauli_word_matrix
 from repro.backend.statevector import Statevector, apply_matrix
+from repro.utils.array_api import (
+    COMPLEX_DTYPE,
+    FLOAT_DTYPE,
+    array_backend_of,
+    is_device_array,
+)
 from repro.utils.validation import check_positive_int, check_qubit_index
 
 __all__ = [
@@ -78,12 +84,20 @@ class Observable(abc.ABC):
         preserves the same per-row bits.
         """
         states = self._check_states_batch(states)
+        if is_device_array(states):
+            # Host fallback: any observable stays correct on a device
+            # stack (one staging copy; subclasses on the hot path
+            # override with true on-namespace forms).
+            states = np.asarray(
+                array_backend_of(states).to_numpy(states),
+                dtype=COMPLEX_DTYPE,
+            )
         return np.array(
             [
                 self.expectation(Statevector(row, validate=False))
                 for row in states
             ],
-            dtype=float,
+            dtype=FLOAT_DTYPE,
         )
 
     def apply_batch(self, states: np.ndarray) -> np.ndarray:
@@ -93,13 +107,35 @@ class Observable(abc.ABC):
         sequential evaluation by construction); subclasses whose
         :meth:`apply` broadcasts through the batched kernels override it
         with the vectorized form, which preserves the same per-row bits.
+        Device stacks fall back to the host (callers re-stage the result
+        when they need it on-namespace).
         """
         states = self._check_states_batch(states)
+        if is_device_array(states):
+            states = np.asarray(
+                array_backend_of(states).to_numpy(states),
+                dtype=COMPLEX_DTYPE,
+            )
         return np.stack([self.apply(row) for row in states])
 
     def _check_states_batch(self, states: np.ndarray) -> np.ndarray:
-        """Validate and coerce a ``(B, 2**n)`` batch of amplitude rows."""
-        states = np.asarray(states, dtype=complex)
+        """Validate and coerce a ``(B, 2**n)`` batch of amplitude rows.
+
+        Device-backend stacks are validated in place, never silently
+        copied to the host — keeping them resident is the point of the
+        device paths.
+        """
+        if is_device_array(states):
+            if (
+                len(states.shape) != 2
+                or int(states.shape[1]) != 2**self.num_qubits
+            ):
+                raise ValueError(
+                    f"states must be (batch, {2**self.num_qubits}), "
+                    f"got shape {tuple(states.shape)}"
+                )
+            return states
+        states = np.asarray(states, dtype=COMPLEX_DTYPE)
         if states.ndim != 2 or states.shape[1] != 2**self.num_qubits:
             raise ValueError(
                 f"states must be (batch, {2**self.num_qubits}), "
@@ -112,16 +148,22 @@ class Observable(abc.ABC):
         broadcasts over a leading batch axis (the Pauli types: their gate
         applications route through the batched kernels).  The final
         reduction stays a per-row ``vdot`` so every entry carries the same
-        bits as the scalar path.
+        bits as the scalar path; on a device backend it is the vectorized
+        ``real(sum(conj(states) * applied))`` instead (device-tolerance
+        contract), converted to host float64 at the result boundary.
         """
         states = self._check_states_batch(states)
         applied = self.apply(states)
+        if is_device_array(states):
+            b = array_backend_of(states)
+            reduced = b.real(b.sum(b.conj(states) * applied, axis=1))
+            return np.asarray(b.to_numpy(reduced), dtype=FLOAT_DTYPE)
         return np.array(
             [
                 float(np.real(np.vdot(row, out)))
                 for row, out in zip(states, applied)
             ],
-            dtype=float,
+            dtype=FLOAT_DTYPE,
         )
 
 
@@ -209,7 +251,11 @@ class PauliString(Observable):
         if self.coefficient != 1.0:
             out = self.coefficient * out
         elif out is data:
-            out = data.copy()
+            out = (
+                array_backend_of(data).copy(data)
+                if is_device_array(data)
+                else data.copy()
+            )
         return out
 
     def expectation_batch(self, states: np.ndarray) -> np.ndarray:
@@ -275,7 +321,7 @@ class PauliString(Observable):
         """
         bits = np.asarray(bits)
         if not self.paulis:
-            return np.full(bits.shape[0], self.coefficient, dtype=float)
+            return np.full(bits.shape[0], self.coefficient, dtype=FLOAT_DTYPE)
         if self._parity_columns is None:
             self._parity_columns = np.fromiter(
                 self.paulis, dtype=np.intp, count=len(self.paulis)
@@ -302,7 +348,10 @@ class PauliSum(Observable):
         self.terms = terms
 
     def apply(self, data: np.ndarray) -> np.ndarray:
-        out = np.zeros_like(data)
+        if is_device_array(data):
+            out = array_backend_of(data).zeros_like(data)
+        else:
+            out = np.zeros_like(data)
         for term in self.terms:
             out += term.apply(data)
         return out
@@ -339,12 +388,15 @@ class Projector(Observable):
         self.index = index
 
     def apply(self, data: np.ndarray) -> np.ndarray:
-        out = np.zeros_like(data)
+        if is_device_array(data):
+            out = array_backend_of(data).zeros_like(data)
+        else:
+            out = np.zeros_like(data)
         out[self.index] = data[self.index]
         return out
 
     def matrix(self) -> np.ndarray:
-        out = np.zeros((2**self.num_qubits,) * 2, dtype=complex)
+        out = np.zeros((2**self.num_qubits,) * 2, dtype=COMPLEX_DTYPE)
         out[self.index, self.index] = 1.0
         return out
 
@@ -358,18 +410,27 @@ class Projector(Observable):
 
     def expectation_batch(self, states: np.ndarray) -> np.ndarray:
         states = self._check_states_batch(states)
+        if is_device_array(states):
+            b = array_backend_of(states)
+            return np.asarray(
+                b.to_numpy(b.abs_sq(states[:, self.index])),
+                dtype=FLOAT_DTYPE,
+            )
         # One amplitude per row; scalar abs on each keeps the result
         # bit-identical to sequential evaluation (numpy's vectorized
         # np.abs rounds complex magnitudes differently by 1 ulp).
         return np.array(
-            [float(abs(a) ** 2) for a in states[:, self.index]], dtype=float
+            [float(abs(a) ** 2) for a in states[:, self.index]], dtype=FLOAT_DTYPE
         )
 
     def apply_batch(self, states: np.ndarray) -> np.ndarray:
         # apply() indexes the flat buffer, so the batched form keeps one
         # amplitude per row instead; copying amplitudes is exact.
         states = self._check_states_batch(states)
-        out = np.zeros_like(states)
+        if is_device_array(states):
+            out = array_backend_of(states).zeros_like(states)
+        else:
+            out = np.zeros_like(states)
         out[:, self.index] = states[:, self.index]
         return out
 

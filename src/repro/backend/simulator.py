@@ -2,7 +2,15 @@
 
 The simulator is stateless: each call takes a circuit plus parameter vector
 and returns fresh results, so one instance can be shared freely across
-experiments and threads.
+experiments and threads.  The only construction-time choice is the array
+backend (:mod:`repro.utils.array_api`) the kernels run on — host numpy by
+default (bit-identical to the pre-backend code), or an accelerator
+namespace (``"torch"``, ``"cupy"``) under the device-tolerance contract.
+On a non-numpy backend the batched paths stay device-resident across
+whole executions — states are staged in once, evolved on-namespace
+through every operation (including a full mega-batch slot sweep), and
+converted back to numpy only at result boundaries; sampling paths stage
+to the host at a single ``to_numpy`` point before any generator draws.
 
 Expectation values are analytic by default, matching the paper's PennyLane
 setup.  Shot-based estimation is available as an opt-in via ``shots=`` for
@@ -59,6 +67,14 @@ from repro.backend.statevector import (
     apply_matrix,
     sample_basis_bits,
 )
+from repro.utils.array_api import (
+    COMPLEX_DTYPE,
+    FLOAT_DTYPE,
+    ArrayBackend,
+    array_backend_of,
+    is_device_array,
+    resolve_array_backend,
+)
 from repro.utils.rng import SeedLike, ensure_rng, resolve_rngs
 from repro.utils.validation import check_positive_int
 
@@ -76,47 +92,62 @@ __all__ = [
 _RUN_BATCH_CHUNK_BYTES = 8 * 2**20
 
 
-def batch_chunk_rows(num_qubits: int) -> int:
+def batch_chunk_rows(
+    num_qubits: int, backend: Optional[ArrayBackend] = None
+) -> int:
     """Rows per memory-aware batch chunk at this register width.
 
     The single source of the chunking policy shared by
     :meth:`StatevectorSimulator.run_batch`,
     :meth:`StatevectorSimulator.run_megabatch`,
     :meth:`StatevectorSimulator.sampled_expectation_rows`, and the
-    benchmarks that report effective fold sizes.
+    benchmarks that report effective fold sizes.  The budget is
+    per-backend (``backend.chunk_bytes``): the numpy default keeps a
+    chunk cache-resident, accelerator backends use a much larger budget
+    so kernel-launch overhead amortizes over the biggest resident batch.
     """
-    return max(1, _RUN_BATCH_CHUNK_BYTES // (16 * 2**num_qubits))
+    chunk_bytes = (
+        _RUN_BATCH_CHUNK_BYTES if backend is None else backend.chunk_bytes
+    )
+    return max(1, chunk_bytes // (16 * 2**num_qubits))
 
 
-def apply_operation(data, op, params, num_qubits):
+def apply_operation(data, op, params, num_qubits, backend=None):
     """Apply one circuit operation to a flat amplitude buffer.
 
     Dispatches diagonal gates (CZ, RZ, PHASE, ...) to the cheaper
     elementwise kernel; everything else goes through the general
-    tensor-contraction kernel.
+    tensor-contraction kernel.  ``backend`` is forwarded to the kernels
+    (operand matrices are built host-side and staged there).
     """
     matrix = op.matrix(params)
     if getattr(op.gate, "is_diagonal", False):
-        return apply_diagonal(data, np.diagonal(matrix), op.qubits, num_qubits)
-    return apply_matrix(data, matrix, op.qubits, num_qubits)
+        return apply_diagonal(
+            data, np.diagonal(matrix), op.qubits, num_qubits, backend=backend
+        )
+    return apply_matrix(data, matrix, op.qubits, num_qubits, backend=backend)
 
 
-def apply_parametric_stack(data, gate, thetas, qubits, num_qubits):
+def apply_parametric_stack(data, gate, thetas, qubits, num_qubits, backend=None):
     """Apply one parametric gate with per-row angles to an amplitude stack.
 
     ``thetas`` has one entry per row of ``data``; diagonal gates route
     through the elementwise kernel exactly as the sequential dispatcher
     does, so row ``b`` is bit-identical to applying ``gate.matrix(
-    thetas[b])`` through :func:`apply_operation`.
+    thetas[b])`` through :func:`apply_operation`.  Matrix stacks are
+    built from the host parameter array; on a non-numpy ``backend`` the
+    dense stack is staged by :meth:`ParametricGate.matrix_batch` (and a
+    diagonal stack by the kernel) in one copy per gate/slot.
     """
-    matrices = gate.matrix_batch(thetas)
     if getattr(gate, "is_diagonal", False):
+        matrices = gate.matrix_batch(thetas)
         diagonals = np.diagonal(matrices, axis1=-2, axis2=-1)
-        return apply_diagonal(data, diagonals, qubits, num_qubits)
-    return apply_matrix(data, matrices, qubits, num_qubits)
+        return apply_diagonal(data, diagonals, qubits, num_qubits, backend=backend)
+    matrices = gate.matrix_batch(thetas, backend=backend)
+    return apply_matrix(data, matrices, qubits, num_qubits, backend=backend)
 
 
-def apply_operation_batch(data, op, batch_params, num_qubits):
+def apply_operation_batch(data, op, batch_params, num_qubits, backend=None):
     """Apply one circuit operation to a ``(B, 2**n)`` amplitude buffer.
 
     Trainable gates gather their per-row angles from ``batch_params``
@@ -128,12 +159,19 @@ def apply_operation_batch(data, op, batch_params, num_qubits):
     gate = op.gate
     if op.is_trainable:
         return apply_parametric_stack(
-            data, gate, batch_params[:, op.param_index], op.qubits, num_qubits
+            data,
+            gate,
+            batch_params[:, op.param_index],
+            op.qubits,
+            num_qubits,
+            backend=backend,
         )
     matrix = op.matrix(None)
     if getattr(gate, "is_diagonal", False):
-        return apply_diagonal(data, np.diagonal(matrix), op.qubits, num_qubits)
-    return apply_matrix(data, matrix, op.qubits, num_qubits)
+        return apply_diagonal(
+            data, np.diagonal(matrix), op.qubits, num_qubits, backend=backend
+        )
+    return apply_matrix(data, matrix, op.qubits, num_qubits, backend=backend)
 
 
 #: Diagonal entries that multiply amplitudes exactly (components 0/±1),
@@ -244,7 +282,7 @@ class MegaBatchPlan:
                 continue
             if self._fusable_diagonal(op):
                 stop = pos
-                fused = np.ones(2**self.num_qubits, dtype=complex)
+                fused = np.ones(2**self.num_qubits, dtype=COMPLEX_DTYPE)
                 while stop < len(ops) and self._fusable_diagonal(ops[stop]):
                     diagonal = np.diagonal(ops[stop].matrix(None))
                     fused = apply_diagonal(
@@ -313,7 +351,25 @@ class MegaBatchPlan:
 
 
 class StatevectorSimulator:
-    """Runs :class:`QuantumCircuit` objects on exact statevectors."""
+    """Runs :class:`QuantumCircuit` objects on exact statevectors.
+
+    Parameters
+    ----------
+    backend:
+        Array backend the kernels run on — a name (``"numpy"``,
+        ``"torch"``, ``"torch:cuda:0"``, ``"cupy"``, ...), an
+        :class:`~repro.utils.array_api.ArrayBackend` instance, or
+        ``None`` for numpy.  The numpy default executes the exact
+        pre-backend kernels bit for bit; other namespaces are held to
+        the device-tolerance contract (see :mod:`repro.utils.array_api`).
+        The handle is immutable, so a simulator is still freely
+        shareable across experiments and threads.
+    """
+
+    def __init__(
+        self, backend: "Optional[str | ArrayBackend]" = None
+    ) -> None:
+        self.backend = resolve_array_backend(backend)
 
     def run(
         self,
@@ -334,8 +390,9 @@ class StatevectorSimulator:
             Starting state; defaults to ``|0...0>``.
         """
         param_array = self._coerce_params(circuit, params)
+        backend = self.backend
         if initial_state is None:
-            data = np.zeros(2**circuit.num_qubits, dtype=complex)
+            data = np.zeros(2**circuit.num_qubits, dtype=COMPLEX_DTYPE)
             data[0] = 1.0
         else:
             if initial_state.num_qubits != circuit.num_qubits:
@@ -344,8 +401,14 @@ class StatevectorSimulator:
                     f"circuit needs {circuit.num_qubits}"
                 )
             data = initial_state.data.copy()
+        if not backend.is_numpy:
+            data = backend.asarray(data, dtype=backend.complex_dtype)
         for op in circuit.operations:
-            data = apply_operation(data, op, param_array, circuit.num_qubits)
+            data = apply_operation(
+                data, op, param_array, circuit.num_qubits, backend=backend
+            )
+        if not backend.is_numpy:
+            data = backend.to_numpy(data)
         return Statevector(data, validate=False)
 
     def run_batch(
@@ -372,26 +435,51 @@ class StatevectorSimulator:
             ``(B, 2**num_qubits)`` complex amplitudes, row ``b`` bit-identical
             to ``self.run(circuit, params_batch[b]).data``.
         """
+        data = self._run_batch_data(circuit, params_batch, initial_state)
+        backend = self.backend
+        return data if backend.is_numpy else backend.to_numpy(data)
+
+    def _run_batch_data(
+        self,
+        circuit: QuantumCircuit,
+        params_batch: Sequence[Sequence[float]],
+        initial_state: Optional[Statevector] = None,
+    ):
+        """:meth:`run_batch` without the result-boundary conversion.
+
+        Returns the ``(B, 2**n)`` amplitude stack on the simulator's
+        array backend (a plain numpy array for the numpy backend, a
+        device-resident array otherwise).  Internal substrate for the
+        gradient engines, which keep states on-namespace across the
+        forward pass, adjoint sweep, and reductions.
+        """
         batch_array = self._coerce_params_batch(circuit, params_batch)
         num_qubits = circuit.num_qubits
         batch = batch_array.shape[0]
+        backend = self.backend
         # Large stacks are evolved in row chunks sized to keep the
-        # amplitude buffer cache-resident: every gate streams the whole
-        # buffer through memory, so an oversized batch trades the
-        # batching win back for DRAM bandwidth.  Chunking is invisible to
-        # results — rows evolve independently through the same kernels.
-        chunk = batch_chunk_rows(num_qubits)
+        # amplitude buffer cache-resident (numpy) or launch-efficient
+        # (device backends): every gate streams the whole buffer through
+        # memory, so an oversized batch trades the batching win back for
+        # DRAM bandwidth.  Chunking is invisible to results — rows
+        # evolve independently through the same kernels.
+        chunk = batch_chunk_rows(num_qubits, backend)
         if batch > chunk:
-            return np.concatenate(
+            return backend.concatenate(
                 [
-                    self.run_batch(
+                    self._run_batch_data(
                         circuit, batch_array[start : start + chunk], initial_state
                     )
                     for start in range(0, batch, chunk)
                 ]
             )
         if initial_state is None:
-            data = np.zeros((batch, 2**num_qubits), dtype=complex)
+            if backend.is_numpy:
+                data = np.zeros((batch, 2**num_qubits), dtype=COMPLEX_DTYPE)
+            else:
+                data = backend.zeros(
+                    (batch, 2**num_qubits), backend.complex_dtype
+                )
             data[:, 0] = 1.0
         else:
             if initial_state.num_qubits != num_qubits:
@@ -399,9 +487,19 @@ class StatevectorSimulator:
                     f"initial state has {initial_state.num_qubits} qubits, "
                     f"circuit needs {num_qubits}"
                 )
-            data = np.tile(initial_state.data, (batch, 1))
+            if backend.is_numpy:
+                data = np.tile(initial_state.data, (batch, 1))
+            else:
+                data = backend.tile_rows(
+                    backend.asarray(
+                        initial_state.data, dtype=backend.complex_dtype
+                    ),
+                    batch,
+                )
         for op in circuit.operations:
-            data = apply_operation_batch(data, op, batch_array, num_qubits)
+            data = apply_operation_batch(
+                data, op, batch_array, num_qubits, backend=backend
+            )
         return data
 
     def run_megabatch(
@@ -457,6 +555,30 @@ class StatevectorSimulator:
         numpy.ndarray
             ``(B, 2**num_qubits)`` complex amplitudes.
         """
+        data = self._run_megabatch_data(
+            plan, params_batch, row_circuits, initial_state, start, stop
+        )
+        backend = self.backend
+        return data if backend.is_numpy else backend.to_numpy(data)
+
+    def _run_megabatch_data(
+        self,
+        plan: MegaBatchPlan,
+        params_batch: Sequence[Sequence[float]],
+        row_circuits: Sequence[int],
+        initial_state=None,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ):
+        """:meth:`run_megabatch` without the result-boundary conversion.
+
+        Returns the ``(B, 2**n)`` stack on the simulator's array backend
+        and accepts a per-row ``initial_state`` already resident there —
+        the substrate that keeps a whole mega-batch slot sweep (and the
+        shift-rule engines' prefix/suffix resumptions) device-resident
+        end to end.  The stack is never mutated in place, so a device
+        ``initial_state`` may be aliased rather than copied.
+        """
         batch_array = self._coerce_params_batch(plan.template, params_batch)
         rows = np.asarray(row_circuits, dtype=np.intp).reshape(-1)
         if rows.shape[0] != batch_array.shape[0]:
@@ -479,20 +601,26 @@ class StatevectorSimulator:
                 f"invalid operation range [{start}, {stop}) for a circuit "
                 f"with {num_ops} operations"
             )
-        per_row_initial = isinstance(initial_state, np.ndarray)
-        if per_row_initial and initial_state.shape != (batch, 2**num_qubits):
+        backend = self.backend
+        per_row_initial = initial_state is not None and not isinstance(
+            initial_state, Statevector
+        )
+        if per_row_initial and tuple(initial_state.shape) != (
+            batch,
+            2**num_qubits,
+        ):
             raise ValueError(
                 f"per-row initial states must be (batch, {2**num_qubits}), "
-                f"got shape {initial_state.shape}"
+                f"got shape {tuple(initial_state.shape)}"
             )
         # Same memory-aware chunking as run_batch: large stacks evolve in
         # cache-resident row chunks; rows are independent, so chunk
         # boundaries are invisible to the results.
-        chunk = batch_chunk_rows(num_qubits)
+        chunk = batch_chunk_rows(num_qubits, backend)
         if batch > chunk:
-            return np.concatenate(
+            return backend.concatenate(
                 [
-                    self.run_megabatch(
+                    self._run_megabatch_data(
                         plan,
                         batch_array[first : first + chunk],
                         rows[first : first + chunk],
@@ -506,17 +634,35 @@ class StatevectorSimulator:
                 ]
             )
         if initial_state is None:
-            data = np.zeros((batch, 2**num_qubits), dtype=complex)
+            if backend.is_numpy:
+                data = np.zeros((batch, 2**num_qubits), dtype=COMPLEX_DTYPE)
+            else:
+                data = backend.zeros(
+                    (batch, 2**num_qubits), backend.complex_dtype
+                )
             data[:, 0] = 1.0
         elif per_row_initial:
-            data = np.array(initial_state, dtype=complex)
+            if backend.is_numpy:
+                data = np.array(initial_state, dtype=COMPLEX_DTYPE)
+            else:
+                data = backend.asarray(
+                    initial_state, dtype=backend.complex_dtype
+                )
         else:
             if initial_state.num_qubits != num_qubits:
                 raise ValueError(
                     f"initial state has {initial_state.num_qubits} qubits, "
                     f"circuit needs {num_qubits}"
                 )
-            data = np.tile(initial_state.data, (batch, 1))
+            if backend.is_numpy:
+                data = np.tile(initial_state.data, (batch, 1))
+            else:
+                data = backend.tile_rows(
+                    backend.asarray(
+                        initial_state.data, dtype=backend.complex_dtype
+                    ),
+                    batch,
+                )
         for kind, lo, hi, payload in plan.steps:
             if hi <= start or lo >= stop:
                 continue
@@ -527,13 +673,25 @@ class StatevectorSimulator:
                 )
             if kind == "op":
                 data = apply_operation_batch(
-                    data, payload, batch_array, num_qubits
+                    data, payload, batch_array, num_qubits, backend=backend
                 )
             elif kind == "fused_diag":
-                data = data * payload
+                if backend.is_numpy:
+                    data = data * payload
+                else:
+                    data = data * backend.asarray(
+                        payload, dtype=backend.complex_dtype
+                    )
             else:
                 data = self._apply_megabatch_slot(
-                    plan, lo, payload, data, batch_array, rows, num_qubits
+                    plan,
+                    lo,
+                    payload,
+                    data,
+                    batch_array,
+                    rows,
+                    num_qubits,
+                    backend,
                 )
         return data
 
@@ -546,6 +704,7 @@ class StatevectorSimulator:
         batch_array: np.ndarray,
         rows: np.ndarray,
         num_qubits: int,
+        backend: ArrayBackend,
     ) -> np.ndarray:
         """Apply one trainable slot with per-row gates to the stack.
 
@@ -555,20 +714,24 @@ class StatevectorSimulator:
         are per-row independent, so mixing gates in one call carries the
         same bits as per-gate calls); diagonal rows share one
         :func:`apply_diagonal` call, keeping the sequential dispatcher's
-        kernel choice per row.
+        kernel choice per row.  Row classification and operand assembly
+        are host-side (they index tiny per-row metadata); each group's
+        assembled operand stack is staged to the backend by the kernel in
+        one copy, and the gather/scatter of the state rows themselves
+        runs on-namespace.
         """
         gates, codes = plan.slot_gates[pos]
         thetas = batch_array[:, op.param_index]
         if len(gates) == 1:
             return apply_parametric_stack(
-                data, gates[0], thetas, op.qubits, num_qubits
+                data, gates[0], thetas, op.qubits, num_qubits, backend=backend
             )
         batch = data.shape[0]
         row_codes = codes[rows]
         diagonal_of_code = plan.slot_diagonal[pos]
         row_is_diagonal = diagonal_of_code[row_codes]
         dim = gates[0].dim
-        out = np.empty_like(data)
+        out = backend.empty_like(data)
         for want_diagonal in (False, True):
             group = [
                 code
@@ -587,9 +750,11 @@ class StatevectorSimulator:
                 group_codes = row_codes[idx]
             group_thetas = thetas if idx is None else thetas[idx]
             if want_diagonal:
-                operands = np.empty((group_codes.size, dim), dtype=complex)
+                operands = np.empty((group_codes.size, dim), dtype=COMPLEX_DTYPE)
             else:
-                operands = np.empty((group_codes.size, dim, dim), dtype=complex)
+                operands = np.empty(
+                    (group_codes.size, dim, dim), dtype=COMPLEX_DTYPE
+                )
             for code in group:
                 sel = np.flatnonzero(group_codes == code)
                 if sel.size == 0:
@@ -599,23 +764,18 @@ class StatevectorSimulator:
                     operands[sel] = np.diagonal(matrices, axis1=-2, axis2=-1)
                 else:
                     operands[sel] = matrices
+            group_data = data if idx is None else backend.take_rows(data, idx)
             if want_diagonal:
                 applied = apply_diagonal(
-                    data if idx is None else data[idx],
-                    operands,
-                    op.qubits,
-                    num_qubits,
+                    group_data, operands, op.qubits, num_qubits, backend=backend
                 )
             else:
                 applied = apply_matrix(
-                    data if idx is None else data[idx],
-                    operands,
-                    op.qubits,
-                    num_qubits,
+                    group_data, operands, op.qubits, num_qubits, backend=backend
                 )
             if idx is None:
                 return applied
-            out[idx] = applied
+            backend.put_rows(out, idx, applied)
         return out
 
     def expectation(
@@ -668,9 +828,14 @@ class StatevectorSimulator:
         sampled mode — the contract the batched shot-based experiment
         paths rely on.
         """
-        states = self.run_batch(circuit, params_batch, initial_state)
+        states = self._run_batch_data(circuit, params_batch, initial_state)
         if shots is None:
+            # The observable layer is backend-aware: device stacks reduce
+            # on-namespace and only the (B,) float result crosses back.
             return observable.expectation_batch(states)
+        backend = self.backend
+        if not backend.is_numpy:
+            states = backend.to_numpy(states)
         rngs = resolve_rngs(seed, states.shape[0])
         return self.sampled_expectation_rows(states, observable, shots, rngs)
 
@@ -696,6 +861,10 @@ class StatevectorSimulator:
         consistent.
         """
         check_positive_int(shots, "shots")
+        # Sampling is host-side by contract: device stacks cross to numpy
+        # at this single staging point, before any generator draw.
+        if is_device_array(states):
+            states = array_backend_of(states).to_numpy(states)
         if len(rngs) != states.shape[0]:
             raise ValueError(
                 f"got {len(rngs)} generators for {states.shape[0]} rows"
@@ -707,7 +876,7 @@ class StatevectorSimulator:
         # across consecutive rows — even straddling a block boundary —
         # is consumed exactly as in one unblocked pass.
         block = batch_chunk_rows(int(states.shape[1]).bit_length() - 1)
-        estimates = np.empty(states.shape[0], dtype=float)
+        estimates = np.empty(states.shape[0], dtype=FLOAT_DTYPE)
         for start in range(0, states.shape[0], block):
             stop = min(start + block, states.shape[0])
             stages = self._sampling_stages(states[start:stop], observable)
@@ -787,8 +956,8 @@ class StatevectorSimulator:
         """Dense unitary of the whole circuit (tests / small systems only)."""
         dim = 2**circuit.num_qubits
         param_array = self._coerce_params(circuit, params)
-        columns = np.eye(dim, dtype=complex)
-        out = np.empty((dim, dim), dtype=complex)
+        columns = np.eye(dim, dtype=COMPLEX_DTYPE)
+        out = np.empty((dim, dim), dtype=COMPLEX_DTYPE)
         for col in range(dim):
             data = columns[:, col].copy()
             for op in circuit.operations:
@@ -810,7 +979,7 @@ class StatevectorSimulator:
                     "but none were supplied"
                 )
             return None
-        array = np.asarray(params, dtype=float).reshape(-1)
+        array = np.asarray(params, dtype=FLOAT_DTYPE).reshape(-1)
         if array.size != circuit.num_parameters:
             raise ValueError(
                 f"expected {circuit.num_parameters} parameters, got {array.size}"
@@ -826,7 +995,7 @@ class StatevectorSimulator:
     def _coerce_params_batch(
         circuit: QuantumCircuit, params_batch: Sequence[Sequence[float]]
     ) -> np.ndarray:
-        array = np.asarray(params_batch, dtype=float)
+        array = np.asarray(params_batch, dtype=FLOAT_DTYPE)
         if array.ndim != 2:
             raise ValueError(
                 f"params_batch must be 2-D (batch, num_parameters), "

@@ -10,6 +10,20 @@ The hot path — applying a ``k``-qubit gate — reshapes the state into an
 the targeted axes with :func:`numpy.tensordot`; diagonal gates use a cheaper
 elementwise multiply.
 
+Array backends
+--------------
+Every kernel also runs on a pluggable array namespace
+(:mod:`repro.utils.array_api`): passing ``backend=`` — or simply passing
+arrays owned by a non-numpy backend — routes the computation through a
+generic on-namespace implementation mirroring the reference transpose
+layout.  Plain ``np.ndarray`` inputs take the exact pre-refactor numpy
+code path (including the probed single-qubit fast path), so the default
+backend stays bit-identical to the seed kernels; non-numpy backends are
+held to the device-tolerance contract documented in
+:mod:`repro.utils.array_api`.  Sampling is host-side always: device
+amplitude stacks are staged through one ``to_numpy`` conversion before
+any generator is consumed.
+
 Batched execution
 -----------------
 :func:`apply_matrix` and :func:`apply_diagonal` also broadcast over a
@@ -36,6 +50,12 @@ from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.utils.array_api import (
+    COMPLEX_DTYPE,
+    ArrayBackend,
+    array_backend_of,
+    is_device_array,
+)
 from repro.utils.rng import SeedLike, ensure_rng, resolve_rngs
 from repro.utils.validation import check_positive_int, check_qubit_index
 
@@ -69,6 +89,26 @@ def _batch_size(state: np.ndarray, operand: np.ndarray, batched_operand: bool) -
             f"operand has {operand.shape[0]}"
         )
     return sizes.pop()
+
+
+def _device_backend(
+    array, backend: "Optional[ArrayBackend]"
+) -> "Optional[ArrayBackend]":
+    """Resolve the non-numpy backend a kernel call should run on.
+
+    ``None`` means "take the numpy reference path" — chosen when the
+    caller passed a numpy (or no) backend and the array is a plain
+    ``np.ndarray``.  The ``type`` check (not ``isinstance``) keeps the
+    hot numpy path at one pointer comparison and routes ndarray
+    *subclasses* (the loopback backend's arrays) through the generic
+    device implementation.
+    """
+    if backend is not None:
+        return None if backend.is_numpy else backend
+    if type(array) is np.ndarray:
+        return None
+    owner = array_backend_of(array)
+    return None if owner.is_numpy else owner
 
 
 #: Per-``(num_qubits, qubit)`` verdicts of the runtime probe below.
@@ -125,6 +165,7 @@ def apply_matrix(
     matrix: np.ndarray,
     qubits: Sequence[int],
     num_qubits: int,
+    backend: Optional[ArrayBackend] = None,
 ) -> np.ndarray:
     """Apply a ``k``-qubit unitary to ``state`` and return the new vector.
 
@@ -143,6 +184,11 @@ def apply_matrix(
         Distinct target qubit indices.
     num_qubits:
         Total number of qubits in ``state``.
+    backend:
+        Optional :class:`~repro.utils.array_api.ArrayBackend`.  Omitted,
+        it is inferred from ``state``'s type; numpy takes the reference
+        path, anything else the generic on-namespace path (``matrix``
+        is staged with ``backend.asarray`` when host-built).
 
     Returns
     -------
@@ -153,6 +199,9 @@ def apply_matrix(
     k = len(qubits)
     if len(set(qubits)) != k:
         raise ValueError(f"target qubits must be distinct, got {tuple(qubits)}")
+    device = _device_backend(state, backend)
+    if device is not None:
+        return _apply_matrix_device(state, matrix, qubits, num_qubits, device)
     if state.ndim == 1 and matrix.ndim == 2:
         tensor = state.reshape((2,) * num_qubits)
         gate = matrix.reshape((2,) * (2 * k))
@@ -204,18 +253,69 @@ def apply_matrix(
     return np.ascontiguousarray(tensor).reshape(batch, -1)
 
 
+def _apply_matrix_device(
+    state, matrix, qubits: Sequence[int], num_qubits: int, b: ArrayBackend
+):
+    """Generic on-namespace :func:`apply_matrix`.
+
+    Mirrors the reference transpose layout exactly (never the probed
+    single-qubit fast path — that shortcut's bit-safety is a numpy/BLAS
+    property); host-built operands are staged once per call.
+    """
+    k = len(qubits)
+    matrix = b.asarray(matrix, dtype=b.complex_dtype)
+    if state.ndim == 1 and matrix.ndim == 2:
+        tensor = b.reshape(state, (2,) * num_qubits)
+        gate = b.reshape(matrix, (2,) * (2 * k))
+        tensor = b.tensordot(
+            gate, tensor, axes=(tuple(range(k, 2 * k)), tuple(qubits))
+        )
+        return b.reshape(
+            b.moveaxis(tensor, tuple(range(k)), tuple(qubits)), (-1,)
+        )
+    batch = _batch_size(state, matrix, matrix.ndim == 3)
+    states = (
+        state
+        if state.ndim == 2
+        else b.broadcast_to(state, (batch, int(state.shape[0])))
+    )
+    tensor = b.reshape(states, (batch,) + (2,) * num_qubits)
+    target_set = set(q + 1 for q in qubits)
+    forward = (
+        [0]
+        + [q + 1 for q in qubits]
+        + [ax for ax in range(1, num_qubits + 1) if ax not in target_set]
+    )
+    inverse = [0] * (num_qubits + 1)
+    for position, axis in enumerate(forward):
+        inverse[axis] = position
+    tensor = b.reshape(b.permute(tensor, forward), (batch, 2**k, -1))
+    tensor = b.matmul(matrix, tensor)
+    tensor = b.permute(
+        b.reshape(tensor, (batch,) + (2,) * num_qubits), inverse
+    )
+    return b.reshape(tensor, (batch, -1))
+
+
 def apply_diagonal(
     state: np.ndarray,
     diagonal: np.ndarray,
     qubits: Sequence[int],
     num_qubits: int,
+    backend: Optional[ArrayBackend] = None,
 ) -> np.ndarray:
     """Apply a diagonal gate given its diagonal entries (length ``2**k``).
 
     Accepts the same batched layouts as :func:`apply_matrix`: ``state``
-    may be ``(B, 2**n)`` and ``diagonal`` may be ``(B, 2**k)``.
+    may be ``(B, 2**n)`` and ``diagonal`` may be ``(B, 2**k)``.  The
+    ``backend`` parameter follows :func:`apply_matrix`.
     """
     k = len(qubits)
+    device = _device_backend(state, backend)
+    if device is not None:
+        return _apply_diagonal_device(
+            state, diagonal, qubits, num_qubits, device
+        )
     if state.ndim == 1 and diagonal.ndim == 1:
         tensor = state.reshape((2,) * num_qubits)
         diag = diagonal.reshape((2,) * k)
@@ -239,6 +339,37 @@ def apply_diagonal(
         order.insert(destination, source)
     expanded = diag.transpose(order)
     return (tensor * expanded).reshape(batch, -1)
+
+
+def _apply_diagonal_device(
+    state, diagonal, qubits: Sequence[int], num_qubits: int, b: ArrayBackend
+):
+    """Generic on-namespace :func:`apply_diagonal` (reference layout)."""
+    k = len(qubits)
+    diagonal = b.asarray(diagonal, dtype=b.complex_dtype)
+    if state.ndim == 1 and diagonal.ndim == 1:
+        tensor = b.reshape(state, (2,) * num_qubits)
+        diag = b.reshape(diagonal, (2,) * k + (1,) * (num_qubits - k))
+        expanded = b.moveaxis(diag, tuple(range(k)), tuple(qubits))
+        return b.reshape(tensor * expanded, (-1,))
+    batch = _batch_size(state, diagonal, diagonal.ndim == 2)
+    states = (
+        state
+        if state.ndim == 2
+        else b.broadcast_to(state, (batch, int(state.shape[0])))
+    )
+    tensor = b.reshape(states, (batch,) + (2,) * num_qubits)
+    lead = int(diagonal.shape[0]) if diagonal.ndim == 2 else 1
+    diag = b.reshape(
+        diagonal, (lead,) + (2,) * k + (1,) * (num_qubits - k)
+    )
+    order = [0] + list(range(k + 1, num_qubits + 1))
+    for destination, source in sorted(
+        zip((q + 1 for q in qubits), range(1, k + 1))
+    ):
+        order.insert(destination, source)
+    expanded = b.permute(diag, order)
+    return b.reshape(tensor * expanded, (batch, -1))
 
 
 def sample_basis_bits(
@@ -273,27 +404,41 @@ def sample_basis_bits(
 
 
 def marginal_probabilities_batch(
-    states: np.ndarray, qubits: Sequence[int], num_qubits: int
+    states: np.ndarray, qubits: Sequence[int], num_qubits: int,
+    backend: Optional[ArrayBackend] = None,
 ) -> np.ndarray:
     """Marginal distributions of every row of a ``(B, 2**n)`` stack.
 
     The batched counterpart of :meth:`Statevector.marginal_probabilities`:
     one vectorized pass builds the full ``(B, 2**k)`` probability matrix,
-    row ``b`` bit-identical to the scalar method on ``states[b]``.
+    row ``b`` bit-identical to the scalar method on ``states[b]``.  On a
+    non-numpy backend the probabilities stay on-namespace (callers
+    convert at their own staging point).
     """
     for qubit in qubits:
         check_qubit_index(qubit, num_qubits)
     if len(set(qubits)) != len(qubits):
         raise ValueError("qubits must be distinct")
-    probs = np.abs(states) ** 2
-    tensor = probs.reshape((states.shape[0],) + (2,) * num_qubits)
     keep = list(qubits)
     drop = [q for q in range(num_qubits) if q not in set(keep)]
+    current = sorted(keep)
+    perm = [0] + [current.index(q) + 1 for q in keep]
+    device = _device_backend(states, backend)
+    if device is not None:
+        b = device
+        batch = int(states.shape[0])
+        tensor = b.reshape(b.abs_sq(states), (batch,) + (2,) * num_qubits)
+        marginal = (
+            b.sum(tensor, axis=tuple(axis + 1 for axis in drop))
+            if drop
+            else tensor
+        )
+        return b.reshape(b.permute(marginal, perm), (batch, -1))
+    probs = np.abs(states) ** 2
+    tensor = probs.reshape((states.shape[0],) + (2,) * num_qubits)
     marginal = (
         tensor.sum(axis=tuple(axis + 1 for axis in drop)) if drop else tensor
     )
-    current = sorted(keep)
-    perm = [0] + [current.index(q) + 1 for q in keep]
     return np.transpose(marginal, perm).reshape(states.shape[0], -1)
 
 
@@ -307,8 +452,14 @@ def _bits_to_counts(bits: np.ndarray) -> "dict[str, int]":
 
 
 def _coerce_states_matrix(states: np.ndarray) -> Tuple[np.ndarray, int]:
-    """Validate a ``(B, 2**n)`` amplitude stack; return it with ``n``."""
-    states = np.asarray(states, dtype=complex)
+    """Validate a ``(B, 2**n)`` amplitude stack; return it with ``n``.
+
+    Device-backend stacks are staged to the host here — the single
+    ``to_numpy`` point in front of every (host-side) sampling path.
+    """
+    if is_device_array(states):
+        states = array_backend_of(states).to_numpy(states)
+    states = np.asarray(states, dtype=COMPLEX_DTYPE)
     if states.ndim != 2:
         raise ValueError(
             f"states must be 2-D (batch, 2**num_qubits), got shape "
@@ -333,7 +484,7 @@ class Statevector:
     __slots__ = ("data", "num_qubits")
 
     def __init__(self, data: Union[np.ndarray, Sequence[complex]], validate: bool = True):
-        array = np.asarray(data, dtype=complex).reshape(-1)
+        array = np.asarray(data, dtype=COMPLEX_DTYPE).reshape(-1)
         size = array.size
         if size == 0 or size & (size - 1):
             raise ValueError(f"statevector length must be a power of 2, got {size}")
@@ -349,7 +500,7 @@ class Statevector:
     def zero_state(cls, num_qubits: int) -> "Statevector":
         """The all-zeros computational basis state ``|0...0>``."""
         check_positive_int(num_qubits, "num_qubits")
-        data = np.zeros(2**num_qubits, dtype=complex)
+        data = np.zeros(2**num_qubits, dtype=COMPLEX_DTYPE)
         data[0] = 1.0
         return cls(data, validate=False)
 
@@ -362,7 +513,7 @@ class Statevector:
         index = 0
         for bit in bit_list:
             index = (index << 1) | bit
-        data = np.zeros(2 ** len(bit_list), dtype=complex)
+        data = np.zeros(2 ** len(bit_list), dtype=COMPLEX_DTYPE)
         data[index] = 1.0
         return cls(data, validate=False)
 
@@ -371,7 +522,7 @@ class Statevector:
         """The state ``H^(x)n |0...0>``."""
         check_positive_int(num_qubits, "num_qubits")
         dim = 2**num_qubits
-        return cls(np.full(dim, 1.0 / np.sqrt(dim), dtype=complex), validate=False)
+        return cls(np.full(dim, 1.0 / np.sqrt(dim), dtype=COMPLEX_DTYPE), validate=False)
 
     @classmethod
     def random_state(cls, num_qubits: int, seed: SeedLike = None) -> "Statevector":

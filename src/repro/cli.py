@@ -77,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="estimate probed gradients from this many measurement "
         "samples instead of analytically (hardware-realistic noise)",
     )
+    variance.add_argument(
+        "--backend",
+        default=None,
+        help="array backend for the statevector kernels: 'numpy' "
+        "(default, bit-identical reference), or a device namespace such "
+        "as 'torch', 'torch:cuda:0' or 'cupy' (see `repro info`)",
+    )
     variance.add_argument("--seed", type=int, default=0)
     variance.add_argument("--output", default=None)
     variance.add_argument(
@@ -108,6 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="train on finite-sample losses/gradients (this many "
         "measurement samples per expectation, parameter-shift rule) "
         "instead of analytic values",
+    )
+    train.add_argument(
+        "--backend",
+        default=None,
+        help="array backend for the statevector kernels: 'numpy' "
+        "(default, bit-identical reference), or a device namespace such "
+        "as 'torch', 'torch:cuda:0' or 'cupy' (see `repro info`)",
     )
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--output", default=None)
@@ -159,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override the spec's shots (finite-sample estimation)",
+    )
+    run_cmd.add_argument(
+        "--backend",
+        default=None,
+        help="override the spec's array backend (e.g. 'torch', "
+        "'torch:cuda:0', 'cupy'; see `repro info`)",
     )
     run_cmd.add_argument("--output", default=None)
 
@@ -212,6 +232,7 @@ def _cmd_variance(args: argparse.Namespace) -> int:
         batched=not args.sequential,
         fold=args.fold,
         shots=args.shots,
+        backend=args.backend or "numpy",
     )
     spec = ExperimentSpec(
         kind="variance",
@@ -239,6 +260,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         learning_rate=args.learning_rate,
         cost_kind=args.cost,
         shots=args.shots,
+        backend=args.backend or "numpy",
     )
     if args.batch_trajectories:
         executor = "lockstep"
@@ -292,6 +314,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["checkpoint_dir"] = args.checkpoint_dir
     if args.shots is not None:
         overrides["shots"] = args.shots
+    if args.backend is not None:
+        overrides["backend"] = args.backend
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
     print(
@@ -344,11 +368,24 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     from repro.core import available_executors
     from repro.initializers import available_initializers
     from repro.optim import available_optimizers
+    from repro.utils.array_api import array_backend_status
+
+    backends = []
+    for status in array_backend_status():
+        if status["available"]:
+            detail = status.get("version") or "available"
+            device = status.get("device")
+            if device:
+                detail = f"{detail}, {device}"
+            backends.append(f"{status['name']} ({detail})")
+        else:
+            backends.append(f"{status['name']} (not installed)")
 
     print(f"repro {repro.__version__}")
     print(f"initializers: {', '.join(available_initializers())}")
     print(f"optimizers:   {', '.join(available_optimizers())}")
     print(f"executors:    {', '.join(available_executors())}")
+    print(f"backends:     {', '.join(backends)}")
     print(f"fixed gates:  {', '.join(sorted(FIXED_GATES))}")
     print(f"param gates:  {', '.join(sorted(PARAMETRIC_GATES))}")
     return 0

@@ -27,6 +27,7 @@ from repro.core.profile import (
 )
 from repro.core.executor import (
     BatchedExecutor,
+    DeviceExecutor,
     Executor,
     LockstepExecutor,
     ProcessPoolExecutor,
@@ -66,6 +67,7 @@ from repro.core.variance import VarianceAnalysis, VarianceConfig
 __all__ = [
     "BatchedExecutor",
     "DecayFit",
+    "DeviceExecutor",
     "Executor",
     "LockstepExecutor",
     "ExperimentSpec",

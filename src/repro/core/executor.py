@@ -20,6 +20,13 @@ library's workloads:
     (``training_lockstep``): the spec layer folds all training
     trajectories into one batched-adjoint work unit instead of one unit
     per trajectory, with bit-identical histories.
+``device``
+    Like ``lockstep``, tuned for accelerator array backends: in-process,
+    batched kernels, lock-step training — the widest resident batches,
+    which is exactly the shape device namespaces want.  The namespace
+    itself comes from the config's ``backend`` field (threaded through
+    ``ExperimentSpec.backend`` / CLI ``--backend``); this executor is the
+    default routing for non-numpy backends.
 ``process_pool``
     Shards units across OS processes via :mod:`concurrent.futures`.  Work
     units carry pre-reserved RNG children (see
@@ -65,6 +72,7 @@ __all__ = [
     "SerialExecutor",
     "BatchedExecutor",
     "LockstepExecutor",
+    "DeviceExecutor",
     "ProcessPoolExecutor",
     "EXECUTORS",
     "register_executor",
@@ -306,6 +314,25 @@ class LockstepExecutor(BatchedExecutor):
 
     name = "lockstep"
     training_lockstep: ClassVar[bool] = True
+
+
+@register_executor
+class DeviceExecutor(LockstepExecutor):
+    """Batched, lock-step, in-process executor for device array backends.
+
+    Scheduling-wise identical to ``lockstep``: every variance shard runs
+    mega-batched and all training trajectories advance in one lock-step
+    unit — on an accelerator namespace that keeps the resident batches
+    (and therefore the kernels launched per step) as wide as possible.
+    The array namespace itself is *configuration*, not scheduling: it
+    comes from the config's ``backend`` field, which
+    :class:`repro.core.spec.ExperimentSpec` threads into the simulators.
+    ``ExperimentSpec.resolved_executor`` routes non-numpy backends here
+    by default; results remain within device tolerance of (numpy:
+    bit-identical to) every other executor.
+    """
+
+    name = "device"
 
 
 @register_executor

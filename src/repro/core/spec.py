@@ -90,6 +90,7 @@ from repro.core.variance import (
 )
 from repro.core import variance as _variance_module
 from repro.initializers.registry import PAPER_METHODS
+from repro.utils.array_api import get_array_backend
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rng, spawn_seeds
 from repro.utils.validation import check_positive_int
 
@@ -190,6 +191,15 @@ class ExperimentSpec:
         ``shots`` field.  Per-trajectory / per-circuit measurement
         streams are spawned from the spec seed, so sampled results are
         bit-identical across every executor.
+    backend:
+        Array backend the statevector kernels run on: ``"numpy"``
+        (default, bit-identical to the pre-backend code) or an
+        accelerator namespace spec such as ``"torch"`` /
+        ``"torch:cuda:0"`` / ``"cupy"`` — resolved eagerly at ``run()``
+        so a missing optional dependency fails fast with an actionable
+        error.  Non-default values override the config's own ``backend``
+        field (mirroring ``shots``) and route to the ``device`` executor
+        unless one is named explicitly.
     sweep_field / sweep_values / paired:
         For ``sweep`` specs: the :class:`VarianceConfig` field to vary,
         the values it takes, and whether runs share paired RNG streams.
@@ -205,6 +215,7 @@ class ExperimentSpec:
     methods: Optional[Sequence[str]] = None
     restarts: int = 1
     shots: Optional[int] = None
+    backend: str = "numpy"
     sweep_field: Optional[str] = None
     sweep_values: Optional[Sequence] = None
     paired: bool = True
@@ -233,6 +244,11 @@ class ExperimentSpec:
         check_positive_int(self.restarts, "restarts")
         if self.shots is not None:
             check_positive_int(self.shots, "shots")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError(
+                f"backend must be a non-empty array-backend spec string, "
+                f"got {self.backend!r}"
+            )
         if self.circuits_per_shard is not None:
             # Validate eagerly: a bad shard size must fail at spec
             # construction, not after earlier shards have already burned
@@ -269,10 +285,21 @@ class ExperimentSpec:
         """The executor name to run with (deriving one if unset)."""
         if self.executor is not None:
             return self.executor
+        if self._resolved_backend() != "numpy":
+            # Non-numpy namespaces default to the in-process device
+            # executor: widest resident batches, no cross-process state.
+            return "device"
         if self.kind == "training":
             return "serial"
         config = self.config or VarianceConfig()
         return "batched" if config.batched else "serial"
+
+    def _resolved_backend(self) -> str:
+        """The array backend the run will use (spec override or config's)."""
+        if self.backend != "numpy":
+            return self.backend
+        config_backend = getattr(self.config, "backend", "numpy")
+        return config_backend if config_backend else "numpy"
 
     # -- serialization ----------------------------------------------------
 
@@ -290,6 +317,7 @@ class ExperimentSpec:
             "methods": list(self.methods) if self.methods is not None else None,
             "restarts": self.restarts,
             "shots": self.shots,
+            "backend": self.backend,
             "sweep_field": self.sweep_field,
             "sweep_values": (
                 list(self.sweep_values) if self.sweep_values is not None else None
@@ -319,6 +347,7 @@ class ExperimentSpec:
         paired = payload.get("paired")
         restarts = payload.get("restarts")
         shots = payload.get("shots")
+        backend = payload.get("backend")
         return cls(
             kind=str(payload["kind"]),
             config=payload.get("config"),
@@ -330,6 +359,7 @@ class ExperimentSpec:
             methods=payload.get("methods"),
             restarts=1 if restarts is None else int(restarts),
             shots=None if shots is None else int(shots),
+            backend="numpy" if backend is None else str(backend),
             sweep_field=payload.get("sweep_field"),
             sweep_values=payload.get("sweep_values"),
             paired=True if paired is None else bool(paired),
@@ -382,6 +412,13 @@ def _fingerprint(
         # fold remain resumable under any other (and pre-fold checkpoints
         # keep matching).
         config_payload.pop("fold", None)
+    if config_payload is not None and config_payload.get("backend", "numpy") == "numpy":
+        # The numpy backend is bit-identical to the pre-backend kernels,
+        # so default-backend checkpoints keep their historical
+        # fingerprints and stay resumable.  Non-numpy backends are only
+        # tolerance-equal and stay stamped: a resume must not silently
+        # mix numerics across namespaces.
+        config_payload.pop("backend", None)
     payload = {
         "kind": kind,
         "config": config_payload,
@@ -429,11 +466,25 @@ def _apply_shots(spec: ExperimentSpec, config: Any) -> Any:
     return replace(config, shots=spec.shots)
 
 
+def _apply_backend(spec: ExperimentSpec, config: Any) -> Any:
+    """Merge a spec-level ``backend`` override into the kind's config.
+
+    Also resolves the final backend eagerly: a missing optional namespace
+    (torch/cupy not installed) must fail here, before any shard burns
+    compute, with the registry's actionable install hint.
+    """
+    if spec.backend != "numpy":
+        config = replace(config, backend=spec.backend)
+    get_array_backend(config.backend)
+    return config
+
+
 def _run_variance(
     spec: ExperimentSpec, executor: Executor, verbose: bool
 ) -> Any:
     """Plan variance shards, execute them, and derive the Fig. 5a outcome."""
     config = _apply_shots(spec, spec.config or VarianceConfig())
+    config = _apply_backend(spec, config)
     if executor.variance_batched is not None:
         config = replace(config, batched=executor.variance_batched)
     per_shard = spec.circuits_per_shard
@@ -496,6 +547,7 @@ def _run_training(
     from repro.core import training as _training_module
 
     config = _apply_shots(spec, spec.config or TrainingConfig())
+    config = _apply_backend(spec, config)
     methods = tuple(spec.methods) if spec.methods else tuple(PAPER_METHODS)
     labels, trajectory_methods = _training_module.expand_trajectories(
         methods, spec.restarts
@@ -556,7 +608,7 @@ def _run_sweep(spec: ExperimentSpec, verbose: bool) -> Dict:
     runs.  With ``paired=True`` all values consume the same child seed
     stream, isolating the effect of the swept field.
     """
-    base = _apply_shots(spec, spec.config or VarianceConfig())
+    base = _apply_backend(spec, _apply_shots(spec, spec.config or VarianceConfig()))
     values = list(spec.sweep_values)
     configs = [
         replace(base, **{spec.sweep_field: value}) for value in values

@@ -77,6 +77,12 @@ class TrainingConfig:
     entangler: str = "CZ"
     optimizer_kwargs: Dict[str, float] = field(default_factory=dict)
     shots: Optional[int] = None
+    #: Array backend the statevector kernels run on: ``"numpy"`` (default,
+    #: bit-identical to the pre-backend code) or an accelerator namespace
+    #: spec such as ``"torch"`` / ``"torch:cuda:0"`` / ``"cupy"``, resolved
+    #: lazily at run time (see :mod:`repro.utils.array_api`).  Excluded
+    #: from checkpoint fingerprints only at its default.
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         check_positive_int(self.num_qubits, "num_qubits")
@@ -88,6 +94,11 @@ class TrainingConfig:
             )
         if self.shots is not None:
             check_positive_int(self.shots, "shots")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError(
+                f"backend must be a non-empty array-backend spec string, "
+                f"got {self.backend!r}"
+            )
 
     def build_ansatz(self) -> HardwareEfficientAnsatz:
         """The Eq. 3 ansatz for this configuration."""
@@ -115,7 +126,9 @@ class Trainer:
         simulator: Optional[StatevectorSimulator] = None,
     ):
         self.config = config or TrainingConfig()
-        self.simulator = simulator or StatevectorSimulator()
+        self.simulator = simulator or StatevectorSimulator(
+            backend=self.config.backend
+        )
         self._ansatz = self.config.build_ansatz()
         self._circuit = self._ansatz.build()
         self._cost = make_cost(

@@ -120,6 +120,12 @@ class VarianceConfig:
     #: ``spawn_rng`` child per method, reserved after the angle draws), so
     #: batched and sequential modes stay bit-identical under sampling too.
     shots: Optional[int] = None
+    #: Array backend the statevector kernels run on: ``"numpy"`` (default,
+    #: bit-identical to the pre-backend code) or an accelerator namespace
+    #: spec such as ``"torch"`` / ``"torch:cuda:0"`` / ``"cupy"``, resolved
+    #: lazily at run time (see :mod:`repro.utils.array_api`).  Excluded
+    #: from checkpoint fingerprints only at its default.
+    backend: str = "numpy"
     method_kwargs: Dict[str, dict] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -139,6 +145,11 @@ class VarianceConfig:
         check_in_choices(self.fold, ("structure", "shape"), "fold")
         if self.shots is not None:
             check_positive_int(self.shots, "shots")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError(
+                f"backend must be a non-empty array-backend spec string, "
+                f"got {self.backend!r}"
+            )
 
     def build_initializers(self) -> Dict[str, Initializer]:
         """Instantiate the configured initialization methods by name."""
@@ -310,7 +321,7 @@ def run_variance_shard(
     payloads only, keyed so :func:`merge_variance_outputs` can reassemble
     the full grid in order.
     """
-    simulator = simulator or StatevectorSimulator()
+    simulator = simulator or StatevectorSimulator(backend=config.backend)
     initializers = config.build_initializers()
     grads: Dict[str, List[float]] = {m: [] for m in config.methods}
     megabatched = config.batched and config.fold == "shape"
@@ -523,7 +534,9 @@ class VarianceAnalysis:
         simulator: Optional[StatevectorSimulator] = None,
     ):
         self.config = config or VarianceConfig()
-        self.simulator = simulator or StatevectorSimulator()
+        self.simulator = simulator or StatevectorSimulator(
+            backend=self.config.backend
+        )
 
     def run(self, seed: SeedLike = None, verbose: bool = False) -> VarianceResult:
         """Execute the full (qubit count x method x circuit) grid.

@@ -1,6 +1,20 @@
-"""Shared utilities: seeded RNG streams, argument validation, and
-benchmark machine context."""
+"""Shared utilities: seeded RNG streams, argument validation,
+benchmark machine context, and the pluggable array-namespace registry."""
 
+from repro.utils.array_api import (
+    COMPLEX_DTYPE,
+    DEVICE_ATOL,
+    DEVICE_RTOL,
+    FLOAT_DTYPE,
+    ArrayBackend,
+    array_backend_of,
+    array_backend_status,
+    available_array_backends,
+    get_array_backend,
+    is_device_array,
+    register_array_backend,
+    resolve_array_backend,
+)
 from repro.utils.machine import machine_context
 from repro.utils.rng import child_rngs, ensure_rng, spawn_rng
 from repro.utils.validation import (
@@ -11,12 +25,24 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "ArrayBackend",
+    "COMPLEX_DTYPE",
+    "DEVICE_ATOL",
+    "DEVICE_RTOL",
+    "FLOAT_DTYPE",
+    "array_backend_of",
+    "array_backend_status",
+    "available_array_backends",
     "check_in_choices",
     "check_positive_int",
     "check_probability",
     "check_qubit_index",
     "child_rngs",
     "ensure_rng",
+    "get_array_backend",
+    "is_device_array",
     "machine_context",
+    "register_array_backend",
+    "resolve_array_backend",
     "spawn_rng",
 ]

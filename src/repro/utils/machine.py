@@ -4,7 +4,10 @@ Every ``BENCH_*.json`` emitted by the benchmark suite embeds
 :func:`machine_context`, so perf numbers collected across commits (and
 across machines) stay comparable: a regression on one host is only
 meaningful against earlier numbers from a comparable CPU / BLAS / numpy
-combination.
+combination.  Since the array-backend abstraction the context also
+records which array namespace produced the numbers (name, library
+version, device when an accelerator is importable) — a torch-on-GPU
+timing must never be compared against a numpy baseline unlabelled.
 """
 
 from __future__ import annotations
@@ -43,11 +46,38 @@ def _blas_vendor() -> "str | None":
     return None
 
 
-def machine_context() -> Dict[str, Any]:
+def _array_backend_context(spec: str) -> Dict[str, Any]:
+    """Best-effort description of the active array backend.
+
+    Resolves ``spec`` through :mod:`repro.utils.array_api` and reports its
+    name, the backing library's version, and the device name when the
+    backend exposes one (e.g. a CUDA device for ``torch``/``cupy``).  Any
+    failure — including the namespace simply not being installed — is
+    folded into the payload rather than raised: benchmark payloads must
+    never fail over diagnostics.
+    """
+    context: Dict[str, Any] = {"name": str(spec)}
+    try:
+        from repro.utils.array_api import get_array_backend
+
+        backend = get_array_backend(spec)
+        context["name"] = backend.name
+        context["version"] = backend.library_version()
+        context["device"] = backend.device_name()
+    except Exception as exc:
+        context["error"] = f"{type(exc).__name__}: {exc}"
+    return context
+
+
+def machine_context(array_backend: str = "numpy") -> Dict[str, Any]:
     """JSON-able snapshot of the hardware/software running a benchmark.
 
     Keys: ``cpu_count``, ``machine``, ``platform``, ``python_version``,
-    ``numpy_version``, ``blas_vendor`` (``None`` when undetectable).
+    ``numpy_version``, ``blas_vendor`` (``None`` when undetectable), and
+    ``array_backend`` — the resolved namespace's ``{name, version,
+    device}`` (or ``{name, error}`` when it cannot be resolved).  Pass the
+    backend spec the benchmark actually ran on; the default records the
+    numpy backend.
     """
     return {
         "cpu_count": os.cpu_count(),
@@ -56,4 +86,5 @@ def machine_context() -> Dict[str, Any]:
         "python_version": platform.python_version(),
         "numpy_version": np.__version__,
         "blas_vendor": _blas_vendor(),
+        "array_backend": _array_backend_context(array_backend),
     }

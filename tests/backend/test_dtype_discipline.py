@@ -1,0 +1,167 @@
+"""Dtype discipline: the numerical core is complex128/float64, always.
+
+The library's policy (:data:`repro.utils.array_api.COMPLEX_DTYPE` /
+:data:`FLOAT_DTYPE`): amplitudes and gate operators are ``complex128``;
+parameters, probabilities, expectations, and gradients are ``float64``.
+Kernels must never silently promote (e.g. object arrays sneaking in) or
+downcast (e.g. a ``float32`` parameter table dragging amplitudes down to
+``complex64``) — low-precision inputs are coerced up at the boundary and
+the canonical dtypes flow through every downstream result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ansatz.random_pqc import RandomPQC
+from repro.backend.gates import get_gate
+from repro.backend.gradients import (
+    adjoint_gradient,
+    batch_adjoint_gradient,
+    batch_parameter_shift,
+    parameter_shift,
+)
+from repro.backend.observables import total_z, zero_projector
+from repro.backend.simulator import MegaBatchPlan, StatevectorSimulator
+from repro.backend.statevector import (
+    Statevector,
+    apply_matrix,
+    marginal_probabilities_batch,
+)
+from repro.utils.array_api import COMPLEX_DTYPE, FLOAT_DTYPE, get_array_backend
+
+_SIM = StatevectorSimulator()
+_CIRCUIT = RandomPQC(3, 3, seed=0).build()
+_RNG = np.random.default_rng(0)
+_PARAMS = _RNG.normal(size=(4, _CIRCUIT.num_parameters))
+
+
+#: Input dtypes that must be coerced *up*, never echoed through.
+LOW_PRECISION = [np.float32, np.float16]
+
+
+class TestStateDtypes:
+    def test_run_is_complex128(self):
+        state = _SIM.run(_CIRCUIT, _PARAMS[0])
+        assert state.data.dtype == COMPLEX_DTYPE
+
+    @pytest.mark.parametrize("dtype", LOW_PRECISION)
+    def test_run_batch_ignores_parameter_precision(self, dtype):
+        states = _SIM.run_batch(_CIRCUIT, _PARAMS.astype(dtype))
+        assert states.dtype == COMPLEX_DTYPE
+
+    def test_run_megabatch_is_complex128(self):
+        circuits = [RandomPQC(3, 3, seed=s).build() for s in (1, 2)]
+        plan = MegaBatchPlan(circuits)
+        params = np.concatenate([_PARAMS[:2], _PARAMS[2:]]).astype(np.float32)
+        states = _SIM.run_megabatch(plan, params, [0, 0, 1, 1])
+        assert states.dtype == COMPLEX_DTYPE
+
+    def test_low_precision_initial_state_upcast(self):
+        initial = Statevector(
+            np.array([1, 0, 0, 0, 0, 0, 0, 0], dtype=np.complex64)
+        )
+        assert initial.data.dtype == COMPLEX_DTYPE
+        states = _SIM.run_batch(_CIRCUIT, _PARAMS, initial_state=initial)
+        assert states.dtype == COMPLEX_DTYPE
+
+    def test_per_row_initial_stack_upcast(self):
+        circuits = [RandomPQC(3, 3, seed=s).build() for s in (1, 2)]
+        plan = MegaBatchPlan(circuits)
+        stack = np.zeros((4, 8), dtype=np.complex64)
+        stack[:, 0] = 1.0
+        states = _SIM.run_megabatch(plan, _PARAMS, [0, 0, 1, 1], stack)
+        assert states.dtype == COMPLEX_DTYPE
+
+
+class TestGateDtypes:
+    @pytest.mark.parametrize("name", ["RX", "RY", "RZ", "PHASE", "CRZ"])
+    def test_matrices_complex128(self, name):
+        gate = get_gate(name)
+        assert gate.matrix(0.3).dtype == COMPLEX_DTYPE
+        assert gate.derivative(0.3).dtype == COMPLEX_DTYPE
+
+    @pytest.mark.parametrize("name", ["RX", "RZ", "CRZ"])
+    @pytest.mark.parametrize("dtype", LOW_PRECISION)
+    def test_batched_matrices_ignore_theta_precision(self, name, dtype):
+        gate = get_gate(name)
+        thetas = np.linspace(0.1, 1.0, 5).astype(dtype)
+        assert gate.matrix_batch(thetas).dtype == COMPLEX_DTYPE
+        assert gate.derivative_batch(thetas).dtype == COMPLEX_DTYPE
+
+    def test_fixed_gate_matrices(self):
+        for name in ("H", "X", "CZ", "CX"):
+            assert get_gate(name).matrix().dtype == COMPLEX_DTYPE
+
+
+class TestObservableAndProbabilityDtypes:
+    def test_expectation_batch_float64(self):
+        for observable in (total_z(3), zero_projector(3)):
+            values = _SIM.expectation_batch(_CIRCUIT, observable, _PARAMS)
+            assert values.dtype == FLOAT_DTYPE
+
+    def test_sampled_expectation_float64(self):
+        values = _SIM.expectation_batch(
+            _CIRCUIT, total_z(3), _PARAMS, shots=16, seed=0
+        )
+        assert values.dtype == FLOAT_DTYPE
+
+    def test_marginals_float64(self):
+        states = _SIM.run_batch(_CIRCUIT, _PARAMS)
+        probs = marginal_probabilities_batch(states, [0, 2], 3)
+        assert probs.dtype == FLOAT_DTYPE
+
+    def test_statevector_probabilities_float64(self):
+        state = _SIM.run(_CIRCUIT, _PARAMS[0])
+        assert state.probabilities().dtype == FLOAT_DTYPE
+
+
+class TestGradientDtypes:
+    @pytest.mark.parametrize(
+        "engine", [parameter_shift, adjoint_gradient]
+    )
+    def test_sequential_engines_float64(self, engine):
+        grad = engine(_CIRCUIT, zero_projector(3), _PARAMS[0], _SIM)
+        assert grad.dtype == FLOAT_DTYPE
+
+    @pytest.mark.parametrize(
+        "engine", [batch_parameter_shift, batch_adjoint_gradient]
+    )
+    @pytest.mark.parametrize("dtype", LOW_PRECISION)
+    def test_batched_engines_float64(self, engine, dtype):
+        grads = engine(
+            _CIRCUIT,
+            zero_projector(3),
+            _PARAMS.astype(dtype),
+            simulator=_SIM,
+        )
+        assert grads.dtype == FLOAT_DTYPE
+
+
+class TestNoSilentPromotion:
+    """Amplitudes must stay complex128 through a whole sweep — a single
+    implicit ``dtype=complex``/``dtype=float`` default (or an object-array
+    operand) upstream would surface here."""
+
+    def test_apply_matrix_preserves_dtype(self):
+        state = np.zeros(8, dtype=COMPLEX_DTYPE)
+        state[0] = 1.0
+        matrix = get_gate("H").matrix()
+        out = apply_matrix(state, matrix, [1], 3)
+        assert out.dtype == COMPLEX_DTYPE
+
+    @pytest.mark.parametrize("name", ["numpy", "loopback"])
+    def test_backend_dtype_policy_flows_through(self, name):
+        backend = get_array_backend(name)
+        simulator = StatevectorSimulator(backend=backend)
+        states = simulator.run_batch(_CIRCUIT, _PARAMS.astype(np.float32))
+        assert states.dtype == COMPLEX_DTYPE
+        grads = batch_adjoint_gradient(
+            _CIRCUIT, zero_projector(3), _PARAMS, simulator=simulator
+        )
+        assert grads.dtype == FLOAT_DTYPE
+
+    def test_object_parameter_table_coerced(self):
+        table = _PARAMS.astype(object)
+        states = _SIM.run_batch(_CIRCUIT, table)
+        assert states.dtype == COMPLEX_DTYPE
+        assert np.array_equal(states, _SIM.run_batch(_CIRCUIT, _PARAMS))

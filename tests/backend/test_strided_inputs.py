@@ -1,0 +1,197 @@
+"""Property tests: kernels accept non-contiguous and broadcast-strided
+inputs without changing a single bit.
+
+The kernels advertise "any array-like of the right shape"; callers pass
+transposed parameter tables, strided row slices of larger stacks, and
+``broadcast_to`` views with zero strides.  Each case must produce output
+bit-identical (numpy reference path) to the same call on a contiguous
+copy — exotic strides are a representation detail, never a numerics one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ansatz.random_pqc import RandomPQC
+from repro.backend.gradients import batch_adjoint_gradient, batch_parameter_shift
+from repro.backend.observables import total_z, zero_projector
+from repro.backend.simulator import StatevectorSimulator
+from repro.backend.statevector import (
+    apply_diagonal,
+    apply_matrix,
+    marginal_probabilities_batch,
+)
+from repro.utils.array_api import DEVICE_ATOL, DEVICE_RTOL, get_array_backend
+
+_SIM = StatevectorSimulator()
+
+
+def _random_stack(rng, batch, num_qubits):
+    dim = 2**num_qubits
+    return rng.normal(size=(batch, dim)) + 1j * rng.normal(size=(batch, dim))
+
+
+def _strided_view(stack, mode):
+    """A non-contiguous (or zero-stride) view carrying ``stack``'s rows."""
+    if mode == "row_sliced":
+        # Interleave with garbage rows, then slice every other row back out.
+        doubled = np.repeat(stack, 2, axis=0)
+        doubled[1::2] = -1.0
+        view = doubled[::2]
+    elif mode == "transposed":
+        view = np.ascontiguousarray(stack.T).T
+    elif mode == "reversed":
+        # Negative-stride view; the contiguous twin is its compacted copy.
+        view = stack[::-1]
+        stack = np.ascontiguousarray(stack[::-1])
+    elif mode == "broadcast":
+        # Every row identical via a zero-stride broadcast view.
+        view = np.broadcast_to(stack[0], stack.shape)
+        stack = np.tile(stack[0], (stack.shape[0], 1))
+    else:  # pragma: no cover - parametrization guard
+        raise AssertionError(mode)
+    if min(stack.shape) > 1:  # degenerate shapes are trivially contiguous
+        assert not view.flags["C_CONTIGUOUS"]
+    np.testing.assert_array_equal(view, stack)
+    return view, stack
+
+
+STRIDE_MODES = ["row_sliced", "transposed", "reversed", "broadcast"]
+
+
+class TestPrimitivesBitIdentical:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_qubits=st.integers(2, 5),
+        batch=st.integers(1, 6),
+        qubit=st.integers(0, 4),
+        mode=st.sampled_from(STRIDE_MODES),
+        seed=st.integers(0, 10_000),
+    )
+    def test_apply_matrix(self, num_qubits, batch, qubit, mode, seed):
+        qubit = qubit % num_qubits
+        rng = np.random.default_rng(seed)
+        stack = _random_stack(rng, batch, num_qubits)
+        matrix = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        view, contiguous = _strided_view(stack, mode)
+        out_view = apply_matrix(view, matrix, [qubit], num_qubits)
+        out_contig = apply_matrix(contiguous, matrix, [qubit], num_qubits)
+        assert np.array_equal(out_view, out_contig)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_qubits=st.integers(2, 5),
+        batch=st.integers(1, 6),
+        qubit=st.integers(0, 4),
+        mode=st.sampled_from(STRIDE_MODES),
+        seed=st.integers(0, 10_000),
+    )
+    def test_apply_diagonal(self, num_qubits, batch, qubit, mode, seed):
+        qubit = qubit % num_qubits
+        rng = np.random.default_rng(seed)
+        stack = _random_stack(rng, batch, num_qubits)
+        diag = np.exp(1j * rng.normal(size=2))
+        view, contiguous = _strided_view(stack, mode)
+        out_view = apply_diagonal(view, diag, [qubit], num_qubits)
+        out_contig = apply_diagonal(contiguous, diag, [qubit], num_qubits)
+        assert np.array_equal(out_view, out_contig)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_qubits=st.integers(2, 5),
+        batch=st.integers(1, 6),
+        mode=st.sampled_from(STRIDE_MODES),
+        seed=st.integers(0, 10_000),
+    )
+    def test_marginals(self, num_qubits, batch, mode, seed):
+        rng = np.random.default_rng(seed)
+        stack = _random_stack(rng, batch, num_qubits)
+        qubits = [num_qubits - 1, 0]
+        view, contiguous = _strided_view(stack, mode)
+        out_view = marginal_probabilities_batch(view, qubits, num_qubits)
+        out_contig = marginal_probabilities_batch(contiguous, qubits, num_qubits)
+        assert np.array_equal(out_view, out_contig)
+
+    def test_strided_operand_matrix(self):
+        # The gate operand itself may be a strided view (e.g. a column of
+        # a derivative table); bit-identity must hold on that side too.
+        rng = np.random.default_rng(42)
+        stack = _random_stack(rng, 4, 3)
+        matrices = rng.normal(size=(8, 2, 2)) + 1j * rng.normal(size=(8, 2, 2))
+        view = matrices[::2]
+        assert not view.flags["C_CONTIGUOUS"]
+        out_view = apply_matrix(stack, view, [1], 3)
+        out_contig = apply_matrix(stack, view.copy(), [1], 3)
+        assert np.array_equal(out_view, out_contig)
+
+
+class TestParameterTablesBitIdentical:
+    """run_batch / gradient engines over strided parameter tables."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        mode=st.sampled_from(["row_sliced", "transposed", "reversed"]),
+        seed=st.integers(0, 10_000),
+    )
+    def test_run_batch(self, mode, seed):
+        circuit = RandomPQC(3, 3, seed=1).build()
+        rng = np.random.default_rng(seed)
+        params = rng.normal(size=(4, circuit.num_parameters))
+        view, contiguous = _strided_view(params, mode)
+        assert np.array_equal(
+            _SIM.run_batch(circuit, view), _SIM.run_batch(circuit, contiguous)
+        )
+
+    @pytest.mark.parametrize("mode", ["row_sliced", "transposed", "reversed"])
+    def test_gradient_engines(self, mode):
+        circuit = RandomPQC(3, 3, seed=2).build()
+        rng = np.random.default_rng(17)
+        params = rng.normal(size=(4, circuit.num_parameters))
+        view, contiguous = _strided_view(params, mode)
+        for engine, observable in (
+            (batch_adjoint_gradient, zero_projector(3)),
+            (batch_parameter_shift, total_z(3)),
+        ):
+            out_view = engine(circuit, observable, view, simulator=_SIM)
+            out_contig = engine(circuit, observable, contiguous, simulator=_SIM)
+            assert np.array_equal(out_view, out_contig)
+
+
+class TestStridedStagingOnDevice:
+    """Device backends must accept exotic host strides at the staging
+    boundary (torch in particular rejects some stride patterns unless the
+    backend makes the input contiguous first)."""
+
+    @pytest.mark.parametrize("mode", STRIDE_MODES)
+    def test_asarray_accepts_any_strides(self, mode):
+        backend = get_array_backend("loopback")
+        rng = np.random.default_rng(23)
+        stack = _random_stack(rng, 4, 3)
+        view, contiguous = _strided_view(stack, mode)
+        staged = backend.to_numpy(
+            backend.asarray(view, dtype=backend.complex_dtype)
+        )
+        np.testing.assert_array_equal(staged, contiguous)
+
+    @pytest.mark.parametrize("mode", ["row_sliced", "reversed", "broadcast"])
+    def test_device_kernels_on_strided_states(self, mode):
+        backend = get_array_backend("loopback")
+        rng = np.random.default_rng(29)
+        stack = _random_stack(rng, 4, 3)
+        matrix = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        view, contiguous = _strided_view(stack, mode)
+        device = apply_matrix(
+            backend.asarray(view, dtype=backend.complex_dtype),
+            matrix,
+            [1],
+            3,
+            backend=backend,
+        )
+        reference = apply_matrix(contiguous, matrix, [1], 3)
+        np.testing.assert_allclose(
+            backend.to_numpy(device),
+            reference,
+            rtol=DEVICE_RTOL,
+            atol=DEVICE_ATOL,
+        )

@@ -40,6 +40,7 @@ class TestRegistry:
     def test_builtins_registered(self):
         assert available_executors() == [
             "batched",
+            "device",
             "lockstep",
             "process_pool",
             "serial",
