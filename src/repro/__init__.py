@@ -25,6 +25,9 @@ The library is organised bottom-up:
     Landscape scans, statistics, analytic BP theory, ASCII reporting.
 ``repro.io``
     JSON persistence for experiment results.
+``repro.service``
+    Long-running experiment service: async job queue, the ``repro
+    serve`` HTTP front end, and a content-addressed result cache.
 """
 
 __version__ = "1.1.0"

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the paper's workflow end to end:
+Six subcommands cover the paper's workflow end to end:
 
 ``variance``
     Fig. 5a — gradient-variance decay study with the improvement table.
@@ -9,6 +9,11 @@ Five subcommands cover the paper's workflow end to end:
 ``run``
     Execute a saved :class:`~repro.core.spec.ExperimentSpec` JSON file
     (variance / training / sweep) through the executor registry.
+``serve``
+    Long-running experiment service: accepts spec submissions over
+    HTTP, deduplicates identical in-flight jobs, and serves results
+    from a content-addressed cache (exact resubmissions are O(1) and
+    byte-identical; overlapping specs reuse shared shards).
 ``landscape``
     Fig. 1 — ASCII landscape scan with flatness metrics.
 ``info``
@@ -182,6 +187,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument("--output", default=None)
 
+    serve = sub.add_parser(
+        "serve", help="run the HTTP experiment service with a result cache"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8425,
+        help="TCP port; 0 binds an ephemeral port (printed on startup)",
+    )
+    serve.add_argument(
+        "--store",
+        default="repro-store",
+        help="result-cache directory (created if missing)",
+    )
+    serve.add_argument(
+        "--executor",
+        default=None,
+        help="force this executor for every submitted spec "
+        "(default: honour each spec's own choice)",
+    )
+    serve.add_argument(
+        "--queue-workers",
+        type=int,
+        default=1,
+        help="number of concurrent job-execution threads",
+    )
+    serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log every HTTP request to stderr",
+    )
+
     landscape = sub.add_parser(
         "landscape", help="scan and print a Fig. 1 style cost landscape"
     )
@@ -336,6 +376,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ExperimentServer
+
+    server = ExperimentServer(
+        store=args.store,
+        host=args.host,
+        port=args.port,
+        executor=args.executor,
+        worker_threads=args.queue_workers,
+        quiet=not args.verbose,
+    )
+    # One parseable line: scripts (and the CI smoke job) read the
+    # resolved URL from here, which matters with --port 0.
+    print(
+        f"repro serve listening on {server.url} "
+        f"(store: {server.store.root})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve shutting down", flush=True)
+    return 0
+
+
 def _cmd_landscape(args: argparse.Namespace) -> int:
     from repro.analysis import flatness_metrics, scan_landscape
     from repro.ansatz import HardwareEfficientAnsatz
@@ -395,6 +460,7 @@ _COMMANDS = {
     "variance": _cmd_variance,
     "train": _cmd_train,
     "run": _cmd_run,
+    "serve": _cmd_serve,
     "landscape": _cmd_landscape,
     "info": _cmd_info,
 }

@@ -34,6 +34,14 @@ library's workloads:
     to serial regardless of worker count or completion order.  Variance
     units are shape-bucket slices here too: each worker mega-folds its
     own slice of the bucket, and slicing is invisible to results.
+``async``
+    Like ``process_pool``, but scheduled on an :mod:`asyncio` loop and
+    built for *incremental* consumption: completions stream out the
+    moment each unit's future resolves (``map_units``'s ``on_result``,
+    the :meth:`AsyncExecutor.stream_units` generator, or the native
+    ``async`` :meth:`AsyncExecutor.amap_units`) instead of only becoming
+    visible when the whole grid finishes.  The backbone of the
+    ``repro serve`` job queue's per-shard progress reporting.
 
 All executors support checkpoint/resume: given a ``checkpoint_dir``, each
 completed unit's output is persisted through :mod:`repro.io` as a
@@ -46,7 +54,9 @@ backs ``repro info`` and the CLI's ``--workers`` routing.
 
 from __future__ import annotations
 
+import asyncio
 import os
+import warnings
 from abc import ABC, abstractmethod
 from concurrent import futures
 from dataclasses import dataclass
@@ -74,6 +84,7 @@ __all__ = [
     "LockstepExecutor",
     "DeviceExecutor",
     "ProcessPoolExecutor",
+    "AsyncExecutor",
     "EXECUTORS",
     "register_executor",
     "get_executor",
@@ -246,9 +257,18 @@ class Executor(ABC):
         for path in sorted(self.checkpoint_dir.glob("shard-*.json")):
             try:
                 checkpoint = load_result(path)
-            except (ValueError, OSError):
-                # Truncated/corrupt file from an interrupted write: the
-                # unit simply re-runs.
+            except (ValueError, OSError, KeyError, TypeError) as error:
+                # Truncated/corrupt/malformed file from an interrupted or
+                # interleaved write (KeyError/TypeError cover envelopes
+                # whose data payload lost fields): warn and recompute that
+                # unit instead of crashing the whole run.
+                warnings.warn(
+                    f"skipping unreadable checkpoint {path.name} "
+                    f"({type(error).__name__}: {error}); its unit will be "
+                    f"recomputed",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 continue
             if not isinstance(checkpoint, ShardCheckpoint):
                 continue
@@ -266,17 +286,15 @@ class Executor(ABC):
         from repro.io import save_result
 
         self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
-        target = self._checkpoint_path(unit.unit_id)
-        temp = target.with_suffix(".json.tmp")
+        # Atomic write (unique temp + rename): a kill mid-write leaves a
+        # .tmp file, never a corrupt checkpoint.
         save_result(
             ShardCheckpoint(
                 unit_id=unit.unit_id, fingerprint=fingerprint, data=output
             ),
-            temp,
+            self._checkpoint_path(unit.unit_id),
+            atomic=True,
         )
-        # Atomic replace: a kill mid-write leaves a .tmp file, never a
-        # corrupt checkpoint.
-        os.replace(temp, target)
 
 
 @register_executor
@@ -380,3 +398,144 @@ class ProcessPoolExecutor(Executor):
             }
             for future in futures.as_completed(submitted):
                 yield submitted[future], future.result()
+
+
+@register_executor
+class AsyncExecutor(Executor):
+    """Asyncio-scheduled process-pool executor that streams completions.
+
+    The first executor whose *public contract* is incremental progress:
+    work units run on a :class:`concurrent.futures.ProcessPoolExecutor`
+    driven by an :mod:`asyncio` loop, and every completion is surfaced
+    the moment its future resolves —
+
+    * :meth:`map_units` (inherited) invokes ``on_result`` per completion
+      in completion order, not at the end of the grid;
+    * :meth:`stream_units` is a synchronous generator over
+      ``(unit, output)`` pairs, checkpoint-aware;
+    * :meth:`amap_units` is the native ``async`` API for callers that
+      already run an event loop (the ``repro serve`` job queue).
+
+    Outputs and checkpoints are bit-identical to every other executor:
+    units carry pre-reserved RNG children, so completion order is
+    presentation, not semantics.  Like ``process_pool``, unit functions
+    and arguments must be picklable; ``workers=0`` means one worker per
+    CPU core, and single-worker instances run units in-process (no fork
+    or pickle overhead) while still streaming each completion.
+    """
+
+    name = "async"
+    variance_batched: ClassVar[Optional[bool]] = None
+
+    def __init__(
+        self,
+        workers: int = 0,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+    ):
+        super().__init__(
+            workers=int(workers) or os.cpu_count() or 1,
+            checkpoint_dir=checkpoint_dir,
+        )
+
+    def circuits_per_shard(self, num_circuits: int) -> Optional[int]:
+        # Same policy as process_pool: ~2 shards per worker per qubit
+        # count — and fine-grained shards are what makes the streamed
+        # progress counts meaningful.
+        return max(1, -(-num_circuits // (2 * self.workers)))
+
+    async def _astream(
+        self, units: Sequence[WorkUnit], loop: asyncio.AbstractEventLoop
+    ):
+        """Async generator of ``(unit, output)`` in completion order."""
+        if self.workers == 1 or len(units) <= 1:
+            # Nothing to overlap: run in-process, still yielding each
+            # completion as it happens.
+            for unit in units:
+                yield unit, unit.fn(*unit.args)
+            return
+        with futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, len(units))
+        ) as pool:
+            tasks = {
+                loop.run_in_executor(pool, unit.fn, *unit.args): unit
+                for unit in units
+            }
+            pending = set(tasks)
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    yield tasks[task], task.result()
+
+    def _execute(
+        self, units: Sequence[WorkUnit]
+    ) -> Iterator[Tuple[WorkUnit, Any]]:
+        if not units:
+            return
+        loop = asyncio.new_event_loop()
+        agen = self._astream(list(units), loop)
+        try:
+            while True:
+                try:
+                    yield loop.run_until_complete(agen.__anext__())
+                except StopAsyncIteration:
+                    break
+        finally:
+            # Close the async generator first so its pool context manager
+            # exits (shutting workers down) before the loop goes away.
+            try:
+                loop.run_until_complete(agen.aclose())
+            finally:
+                loop.close()
+
+    def stream_units(
+        self, units: Sequence[WorkUnit], fingerprint: str = ""
+    ) -> Iterator[Tuple[WorkUnit, Any]]:
+        """Yield ``(unit, output)`` pairs as they complete (blocking).
+
+        Checkpoint-aware like :meth:`map_units`: already-checkpointed
+        units are yielded first (in unit order), fresh completions are
+        checkpointed before being yielded.  Completion order of fresh
+        units is nondeterministic; outputs are not.
+        """
+        ids = [unit.unit_id for unit in units]
+        if len(set(ids)) != len(ids):
+            raise ValueError("work unit ids must be unique")
+        completed = self._load_checkpoints(set(ids), fingerprint)
+        for unit in units:
+            if unit.unit_id in completed:
+                yield unit, completed[unit.unit_id]
+        pending = [unit for unit in units if unit.unit_id not in completed]
+        for unit, output in self._execute(pending):
+            self._write_checkpoint(unit, output, fingerprint)
+            yield unit, output
+
+    async def amap_units(
+        self,
+        units: Sequence[WorkUnit],
+        fingerprint: str = "",
+        on_result: Optional[Callable[[WorkUnit, Any], None]] = None,
+    ) -> List[Any]:
+        """Native ``async`` :meth:`map_units`: same ordering contract.
+
+        Runs on the caller's event loop; ``on_result`` fires per
+        completion (checkpoint-loaded units first, then fresh ones as
+        they land) without blocking the loop between completions.
+        """
+        ids = [unit.unit_id for unit in units]
+        if len(set(ids)) != len(ids):
+            raise ValueError("work unit ids must be unique")
+        completed = self._load_checkpoints(set(ids), fingerprint)
+        if on_result is not None:
+            for unit in units:
+                if unit.unit_id in completed:
+                    on_result(unit, completed[unit.unit_id])
+        pending = [unit for unit in units if unit.unit_id not in completed]
+        loop = asyncio.get_running_loop()
+        async for unit, output in self._astream(pending, loop):
+            completed[unit.unit_id] = output
+            self._write_checkpoint(unit, output, fingerprint)
+            if on_result is not None:
+                on_result(unit, output)
+        return [completed[unit.unit_id] for unit in units]

@@ -76,11 +76,11 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.executor import Executor, WorkUnit, get_executor
+from repro.core.executor import EXECUTORS, Executor, WorkUnit, get_executor
 from repro.core.training import TrainingConfig
 from repro.core.variance import (
     VarianceConfig,
@@ -94,7 +94,13 @@ from repro.utils.array_api import get_array_backend
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rng, spawn_seeds
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ExperimentSpec", "run", "EXPERIMENT_KINDS"]
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentPlan",
+    "plan_experiment",
+    "run",
+    "EXPERIMENT_KINDS",
+]
 
 #: Supported experiment kinds and their config classes.
 EXPERIMENT_KINDS: Dict[str, type] = {
@@ -301,6 +307,43 @@ class ExperimentSpec:
         config_backend = getattr(self.config, "backend", "numpy")
         return config_backend if config_backend else "numpy"
 
+    def fingerprint(self, plan: Any = None) -> str:
+        """Content-addressed digest of this experiment's resolved identity.
+
+        This is the public cache/checkpoint key used by shard checkpoints
+        and the serving layer (:mod:`repro.service`): two specs share a
+        fingerprint exactly when they are guaranteed to produce
+        bit-identical results from the same canonical payload.
+
+        Canonicalization rules:
+
+        * The config is **resolved** first: a ``None`` config becomes the
+          kind's defaults, spec-level ``shots``/``backend`` overrides are
+          merged in, and the resolved executor's batching policy is
+          applied (``executor="serial"`` forces ``batched=False``) — so
+          the digest reflects what will actually run, not how the spec
+          happened to be written.
+        * Config fields at identity-neutral values are dropped:
+          ``shots=None`` (analytic), ``fold`` (always — a pure throughput
+          knob, bit-identical across scopes) and ``backend="numpy"``
+          (bit-identical to the pre-backend kernels).  Checkpoints
+          written before those fields existed therefore keep matching.
+        * The seed is encoded via its ``SeedSequence`` entropy/spawn
+          state; a transient ``Generator`` without one is rejected with a
+          :class:`ValueError` (its stream cannot be reproduced).
+        * ``methods`` is stamped only when set, ``restarts`` only when
+          ``!= 1``, and ``sweep_field``/``sweep_values``/``paired`` only
+          for ``kind="sweep"`` — historical fingerprints stay stable.
+        * Scheduling-only fields (``executor`` name, ``workers``,
+          ``checkpoint_dir``) never enter the digest; ``plan`` folds in
+          anything that changes how work is *cut into units* (e.g.
+          ``{"circuits_per_shard": n}``) because resuming under a
+          different plan must invalidate shard checkpoints.
+
+        The digest is the SHA-1 hex of the canonical sorted-keys JSON.
+        """
+        return _fingerprint(self.kind, _resolve_config(self), self, plan=plan)
+
     # -- serialization ----------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -385,6 +428,70 @@ class ExperimentSpec:
         return cls.from_dict(payload)
 
 
+def _digest(body: dict) -> str:
+    """SHA-1 hex of the canonical (sorted-keys) JSON form of ``body``."""
+    canonical = json.dumps(body, sort_keys=True, default=list)
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+
+
+def _canonical_config_payload(config: Any) -> Optional[dict]:
+    """Canonical JSON-able form of a config for fingerprinting.
+
+    Shared by the run-level and shard-level fingerprints.  Fields at
+    identity-neutral values are dropped so historical fingerprints stay
+    stable as the config grows:
+
+    * ``shots=None`` — analytic configs keep their pre-shots
+      fingerprints, so existing checkpoints stay resumable.
+    * ``fold`` — a pure throughput knob; seeded results are bit-identical
+      across scopes, so checkpoints written under any fold remain
+      resumable under any other (and pre-fold checkpoints keep matching).
+    * ``backend="numpy"`` — bit-identical to the pre-backend kernels, so
+      default-backend checkpoints keep their historical fingerprints.
+      Non-numpy backends are only tolerance-equal and stay stamped: a
+      resume must not silently mix numerics across namespaces.
+    """
+    if config is None:
+        return None
+    payload = asdict(config)
+    if payload.get("shots") is None:
+        payload.pop("shots", None)
+    payload.pop("fold", None)
+    if payload.get("backend", "numpy") == "numpy":
+        payload.pop("backend", None)
+    return payload
+
+
+def _resolve_config(
+    spec: ExperimentSpec, executor: Optional[Executor] = None
+) -> Any:
+    """The config the run will actually use.
+
+    Instantiates the kind's defaults for a ``None`` config, merges the
+    spec-level ``shots``/``backend`` overrides, and applies the resolved
+    executor's variance batching policy (``serial`` forces the sequential
+    reference path, ``batched``/``lockstep``/``device`` force the batched
+    kernels).  Pass the actual ``executor`` instance when one exists;
+    otherwise the policy of :meth:`ExperimentSpec.resolved_executor`'s
+    registered class is used.
+    """
+    config = (
+        spec.config if spec.config is not None else EXPERIMENT_KINDS[spec.kind]()
+    )
+    config = _apply_shots(spec, config)
+    if spec.backend != "numpy":
+        config = replace(config, backend=spec.backend)
+    if spec.kind == "variance":
+        if executor is not None:
+            batched = executor.variance_batched
+        else:
+            cls = EXECUTORS.get(spec.resolved_executor())
+            batched = cls.variance_batched if cls is not None else None
+        if batched is not None:
+            config = replace(config, batched=batched)
+    return config
+
+
 def _fingerprint(
     kind: str, config: Any, spec: ExperimentSpec, plan: Any = None
 ) -> str:
@@ -393,6 +500,8 @@ def _fingerprint(
     ``plan`` captures anything that changes how the work is cut into
     units (e.g. the variance shard granularity): resuming under a
     different plan must invalidate old checkpoints, not mis-merge them.
+    Prefer the public :meth:`ExperimentSpec.fingerprint`, which resolves
+    the config first; this low-level form takes an already-resolved one.
     """
     try:
         seed = _encode_seed(spec.seed)
@@ -401,27 +510,9 @@ def _fingerprint(
             "checkpointing requires a serializable seed (int, None, or "
             "SeedSequence-backed); got a transient generator"
         ) from None
-    config_payload = asdict(config) if config is not None else None
-    if config_payload is not None and config_payload.get("shots") is None:
-        # Analytic configs keep their pre-shots fingerprints, so existing
-        # checkpoints stay resumable.
-        config_payload.pop("shots", None)
-    if config_payload is not None:
-        # The fold scope is a pure throughput knob — seeded results are
-        # bit-identical across scopes — so checkpoints written under any
-        # fold remain resumable under any other (and pre-fold checkpoints
-        # keep matching).
-        config_payload.pop("fold", None)
-    if config_payload is not None and config_payload.get("backend", "numpy") == "numpy":
-        # The numpy backend is bit-identical to the pre-backend kernels,
-        # so default-backend checkpoints keep their historical
-        # fingerprints and stay resumable.  Non-numpy backends are only
-        # tolerance-equal and stay stamped: a resume must not silently
-        # mix numerics across namespaces.
-        config_payload.pop("backend", None)
     payload = {
         "kind": kind,
-        "config": config_payload,
+        "config": _canonical_config_payload(config),
         "seed": seed,
         "methods": list(spec.methods) if spec.methods else None,
         "plan": plan,
@@ -430,8 +521,144 @@ def _fingerprint(
         # Only stamped when used, so single-restart checkpoints keep their
         # historical fingerprints.
         payload["restarts"] = spec.restarts
-    canonical = json.dumps(payload, sort_keys=True, default=list)
-    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+    if kind == "sweep":
+        # Sweep specs never fingerprinted before this key existed, so
+        # stamping only this kind leaves variance/training digests alone.
+        payload["sweep"] = {
+            "field": spec.sweep_field,
+            "values": list(spec.sweep_values or ()),
+            "paired": spec.paired,
+        }
+    return _digest(payload)
+
+
+def _variance_unit_fingerprint(config: Any, shard: Any) -> str:
+    """Content key of one variance shard, independent of its grid.
+
+    A shard's output is fully determined by the non-grid config fields
+    (layers, methods, cost, shots, backend, ...) plus its own qubit
+    count, row offset and pre-reserved RNG children — *not* by which
+    ``qubit_counts``/``num_circuits`` grid it was cut from, and (by the
+    library's bit-identity contract) not by ``batched``/``fold`` either.
+    Dropping those from the key lets partially-overlapping specs (the
+    same grid cells inside different supersets) share shards in a
+    content-addressed :class:`repro.service.ResultStore`: the seed spawn
+    state embedded in the key guarantees a match only when the shard's
+    random streams are truly identical.
+    """
+    payload = _canonical_config_payload(config) or {}
+    for grid_field in ("qubit_counts", "num_circuits", "batched"):
+        payload.pop(grid_field, None)
+    return _digest(
+        {
+            "unit": "variance-shard",
+            "config": payload,
+            "num_qubits": int(shard.num_qubits),
+            "start": int(shard.start),
+            "seeds": [_encode_seed(s) for s in shard.seeds],
+        }
+    )
+
+
+def _training_unit_fingerprint(
+    config: Any, method: str, label: str, seed: SeedLike
+) -> str:
+    """Content key of one ``(method, restart)`` training trajectory."""
+    return _digest(
+        {
+            "unit": "training-trajectory",
+            "config": _canonical_config_payload(config),
+            "method": method,
+            "label": label,
+            "seed": _encode_seed(seed),
+        }
+    )
+
+
+def _lockstep_unit_fingerprint(
+    config: Any, methods: Sequence[str], labels: Sequence[str], seeds: Sequence
+) -> str:
+    """Content key of a whole lock-step training panel (one work unit)."""
+    return _digest(
+        {
+            "unit": "training-lockstep",
+            "config": _canonical_config_payload(config),
+            "methods": list(methods),
+            "labels": list(labels),
+            "seeds": [_encode_seed(s) for s in seeds],
+        }
+    )
+
+
+@dataclass
+class ExperimentPlan:
+    """Executable form of a spec: resolved config, work units, fingerprints.
+
+    Produced by :func:`plan_experiment` and consumed both by :func:`run`
+    and by the serving layer (:mod:`repro.service`), which checks each
+    unit's content-addressed fingerprint against its
+    :class:`~repro.service.ResultStore` before paying for execution.
+    """
+
+    kind: str
+    #: Resolved config (defaults instantiated, spec overrides merged).
+    config: Any
+    units: List[WorkUnit]
+    #: Run-level checkpoint fingerprint; ``""`` when the seed is a
+    #: transient generator and no checkpointing was requested.
+    fingerprint: str
+    #: ``unit_id ->`` grid-independent content fingerprint (the shard
+    #: cache key; empty dict when the seed is not serializable).
+    unit_fingerprints: Dict[str, str]
+    #: Assemble the kind's outcome object from outputs in unit order.
+    finalize: Callable[[List[Any]], Any]
+    #: Stateful progress formatter: ``(unit, output) ->`` printable line,
+    #: or ``None`` when this completion doesn't warrant one.
+    progress_line: Callable[[WorkUnit, Any], Optional[str]]
+
+
+def plan_experiment(
+    spec: ExperimentSpec, executor: Optional[Executor] = None
+) -> ExperimentPlan:
+    """Resolve ``spec`` into executable work units without running them.
+
+    ``executor`` supplies the batching/lockstep/sharding policy (and is
+    instantiated from the spec when omitted).  Sweep specs are not
+    unit-plannable — they are a loop of variance runs; plan each swept
+    value's :class:`ExperimentSpec` instead.
+    """
+    if spec.kind == "sweep":
+        raise ValueError(
+            "sweep specs run one variance experiment per swept value and "
+            "cannot be planned as a single unit list; plan each value's "
+            "variance spec instead"
+        )
+    if executor is None:
+        executor = get_executor(
+            spec.resolved_executor(),
+            workers=spec.workers,
+            checkpoint_dir=spec.checkpoint_dir,
+        )
+    config = _resolve_config(spec, executor)
+    # Fail fast on a missing optional namespace (torch/cupy not
+    # installed): here, before any shard burns compute, with the
+    # registry's actionable install hint.
+    get_array_backend(config.backend)
+    if spec.kind == "variance":
+        return _plan_variance(spec, executor, config)
+    return _plan_training(spec, executor, config)
+
+
+def _maybe_fingerprint(
+    spec: ExperimentSpec, executor: Executor, config: Any, plan: Any
+) -> str:
+    """Run fingerprint, or ``""`` for transient seeds without checkpoints."""
+    try:
+        return _fingerprint(spec.kind, config, spec, plan=plan)
+    except ValueError:
+        if executor.checkpoint_dir is not None:
+            raise
+        return ""
 
 
 def run(
@@ -454,9 +681,22 @@ def run(
         workers=spec.workers,
         checkpoint_dir=spec.checkpoint_dir,
     )
-    if spec.kind == "variance":
-        return _run_variance(spec, executor, verbose)
-    return _run_training(spec, executor, verbose)
+    plan = plan_experiment(spec, executor)
+    on_result = None
+    if verbose:
+
+        def on_result(unit, output):
+            line = plan.progress_line(unit, output)
+            if line:
+                print(line)
+
+    outputs = executor.map_units(
+        plan.units,
+        fingerprint=plan.fingerprint,
+        verbose=verbose,
+        on_result=on_result,
+    )
+    return plan.finalize(outputs)
 
 
 def _apply_shots(spec: ExperimentSpec, config: Any) -> Any:
@@ -479,22 +719,16 @@ def _apply_backend(spec: ExperimentSpec, config: Any) -> Any:
     return config
 
 
-def _run_variance(
-    spec: ExperimentSpec, executor: Executor, verbose: bool
-) -> Any:
-    """Plan variance shards, execute them, and derive the Fig. 5a outcome."""
-    config = _apply_shots(spec, spec.config or VarianceConfig())
-    config = _apply_backend(spec, config)
-    if executor.variance_batched is not None:
-        config = replace(config, batched=executor.variance_batched)
+def _plan_variance(
+    spec: ExperimentSpec, executor: Executor, config: Any
+) -> ExperimentPlan:
+    """Plan variance shards and their merge into the Fig. 5a outcome."""
     per_shard = spec.circuits_per_shard
     if per_shard is None:
         per_shard = executor.circuits_per_shard(config.num_circuits)
-    fingerprint = ""
-    if executor.checkpoint_dir is not None:
-        fingerprint = _fingerprint(
-            "variance", config, spec, plan={"circuits_per_shard": per_shard}
-        )
+    fingerprint = _maybe_fingerprint(
+        spec, executor, config, plan={"circuits_per_shard": per_shard}
+    )
     shards = plan_variance_shards(
         config, spec.seed, circuits_per_shard=per_shard
     )
@@ -504,36 +738,48 @@ def _run_variance(
         WorkUnit(shard.unit_id, _variance_module.run_variance_shard, (config, shard))
         for shard in shards
     ]
-    on_result = None
-    if verbose:
-        # Stream one progress line per qubit count, as soon as its last
-        # shard completes — long grids stay observably alive.
-        pending = {int(q): 0 for q in config.qubit_counts}
-        for shard in shards:
-            pending[shard.num_qubits] += 1
-        rows: Dict[int, list] = {int(q): [] for q in config.qubit_counts}
+    unit_fingerprints: Dict[str, str] = {}
+    if fingerprint:
+        unit_fingerprints = {
+            shard.unit_id: _variance_unit_fingerprint(config, shard)
+            for shard in shards
+        }
 
-        def on_result(unit, output):
-            num_qubits = int(output["num_qubits"])
-            rows[num_qubits].append(output)
-            if len(rows[num_qubits]) == pending[num_qubits]:
-                print(
-                    format_variance_progress(config, num_qubits, rows[num_qubits])
-                )
+    def finalize(outputs: List[Any]) -> Any:
+        result = merge_variance_outputs(config, outputs)
+        from repro.core.experiments import variance_outcome_from_result
 
-    outputs = executor.map_units(
-        units, fingerprint=fingerprint, verbose=verbose, on_result=on_result
+        return variance_outcome_from_result(result)
+
+    # Stream one progress line per qubit count, as soon as its last shard
+    # completes — long grids stay observably alive.
+    pending = {int(q): 0 for q in config.qubit_counts}
+    for shard in shards:
+        pending[shard.num_qubits] += 1
+    rows: Dict[int, list] = {int(q): [] for q in config.qubit_counts}
+
+    def progress_line(unit, output):
+        num_qubits = int(output["num_qubits"])
+        rows[num_qubits].append(output)
+        if len(rows[num_qubits]) == pending[num_qubits]:
+            return format_variance_progress(config, num_qubits, rows[num_qubits])
+        return None
+
+    return ExperimentPlan(
+        kind="variance",
+        config=config,
+        units=units,
+        fingerprint=fingerprint,
+        unit_fingerprints=unit_fingerprints,
+        finalize=finalize,
+        progress_line=progress_line,
     )
-    result = merge_variance_outputs(config, outputs)
-    from repro.core.experiments import variance_outcome_from_result
-
-    return variance_outcome_from_result(result)
 
 
-def _run_training(
-    spec: ExperimentSpec, executor: Executor, verbose: bool
-) -> Any:
-    """Train every ``(method, restart)`` trajectory through the executor.
+def _plan_training(
+    spec: ExperimentSpec, executor: Executor, config: Any
+) -> ExperimentPlan:
+    """Plan every ``(method, restart)`` trajectory as executor units.
 
     Trajectories are independent work units (one per pre-reserved child
     seed), so multi-restart studies shard across process pools; a
@@ -542,20 +788,15 @@ def _run_training(
     Either way the seed layout — and therefore every history — is
     bit-identical across executors.
     """
-    from repro.core.experiments import TrainingExperimentOutcome
-    from repro.core.results import TrainingHistory
     from repro.core import training as _training_module
 
-    config = _apply_shots(spec, spec.config or TrainingConfig())
-    config = _apply_backend(spec, config)
     methods = tuple(spec.methods) if spec.methods else tuple(PAPER_METHODS)
     labels, trajectory_methods = _training_module.expand_trajectories(
         methods, spec.restarts
     )
-    fingerprint = ""
-    if executor.checkpoint_dir is not None:
-        fingerprint = _fingerprint("training", config, spec)
+    fingerprint = _maybe_fingerprint(spec, executor, config, plan=None)
     seeds = spawn_seeds(spec.seed, len(labels))
+    unit_fingerprints: Dict[str, str] = {}
     if executor.training_lockstep:
         units = [
             WorkUnit(
@@ -564,6 +805,12 @@ def _run_training(
                 (config, tuple(trajectory_methods), tuple(labels), tuple(seeds)),
             )
         ]
+        if fingerprint:
+            unit_fingerprints = {
+                "train-lockstep": _lockstep_unit_fingerprint(
+                    config, trajectory_methods, labels, seeds
+                )
+            }
     else:
         units = [
             WorkUnit(
@@ -573,30 +820,43 @@ def _run_training(
             )
             for method, label, seed in zip(trajectory_methods, labels, seeds)
         ]
-    on_result = None
-    if verbose:
-
-        def on_result(unit, output):
-            outputs = output if isinstance(output, list) else [output]
-            for payload in outputs:
-                print(
-                    f"[train:{config.optimizer}] {payload['method']}: "
-                    f"{payload['losses'][0]:.4f} -> {payload['losses'][-1]:.4f}"
+        if fingerprint:
+            unit_fingerprints = {
+                f"train-{label}": _training_unit_fingerprint(
+                    config, method, label, seed
                 )
+                for method, label, seed in zip(trajectory_methods, labels, seeds)
+            }
 
-    outputs = executor.map_units(
-        units, fingerprint=fingerprint, verbose=verbose, on_result=on_result
-    )
-    if executor.training_lockstep:
-        payloads = outputs[0]
-    else:
-        payloads = outputs
-    histories = {
-        label: TrainingHistory.from_dict(payload)
-        for label, payload in zip(labels, payloads)
-    }
-    return TrainingExperimentOutcome(
-        optimizer=config.optimizer, histories=histories
+    def finalize(outputs: List[Any]) -> Any:
+        from repro.core.experiments import TrainingExperimentOutcome
+        from repro.core.results import TrainingHistory
+
+        payloads = outputs[0] if executor.training_lockstep else outputs
+        histories = {
+            label: TrainingHistory.from_dict(payload)
+            for label, payload in zip(labels, payloads)
+        }
+        return TrainingExperimentOutcome(
+            optimizer=config.optimizer, histories=histories
+        )
+
+    def progress_line(unit, output):
+        payloads = output if isinstance(output, list) else [output]
+        return "\n".join(
+            f"[train:{config.optimizer}] {payload['method']}: "
+            f"{payload['losses'][0]:.4f} -> {payload['losses'][-1]:.4f}"
+            for payload in payloads
+        )
+
+    return ExperimentPlan(
+        kind="training",
+        config=config,
+        units=units,
+        fingerprint=fingerprint,
+        unit_fingerprints=unit_fingerprints,
+        finalize=finalize,
+        progress_line=progress_line,
     )
 
 

@@ -3,12 +3,14 @@
 from repro.io.serialization import (
     RESULT_TYPES,
     SCHEMA_VERSION,
+    FileLock,
     NumpyJSONEncoder,
     load_result,
     save_result,
 )
 
 __all__ = [
+    "FileLock",
     "NumpyJSONEncoder",
     "RESULT_TYPES",
     "SCHEMA_VERSION",

@@ -11,8 +11,16 @@ version 1.
 from __future__ import annotations
 
 import json
+import os
+import threading
+import time
 from pathlib import Path
-from typing import Any, Dict, Type, Union
+from typing import Any, Dict, Optional, Type, Union
+
+try:  # POSIX advisory locks; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None
 
 import numpy as np
 
@@ -34,6 +42,7 @@ from repro.core.spec import ExperimentSpec
 __all__ = [
     "save_result",
     "load_result",
+    "FileLock",
     "RESULT_TYPES",
     "SCHEMA_VERSION",
     "NumpyJSONEncoder",
@@ -76,10 +85,104 @@ class NumpyJSONEncoder(json.JSONEncoder):
         return super().default(obj)
 
 
-def save_result(result: Any, path: PathLike, indent: int = 2) -> Path:
+class FileLock:
+    """Advisory exclusive lock for cross-process/cross-thread writers.
+
+    Guards a critical section (e.g. a read-modify-write on a shared
+    result file) against concurrent writers on the same host.  Uses
+    ``fcntl.flock`` on a sidecar lock file where available (POSIX),
+    falling back to an ``O_CREAT|O_EXCL`` spin lock elsewhere.  Usage::
+
+        with FileLock(path.with_suffix(".lock")):
+            ...  # exclusive across processes and threads
+
+    Not reentrant.  ``acquire`` raises :class:`TimeoutError` after
+    ``timeout`` seconds so a crashed holder (fallback mode) or a wedged
+    writer cannot deadlock the caller forever.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        timeout: float = 30.0,
+        poll_interval: float = 0.01,
+    ):
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        self.poll_interval = float(poll_interval)
+        self._fd: Optional[int] = None
+        self._exclusive_create = fcntl is None
+        # flock is per file-description, not per thread: serialize threads
+        # within this process through an OS-independent mutex as well.
+        self._thread_lock = threading.Lock()
+
+    def acquire(self) -> "FileLock":
+        deadline = time.monotonic() + self.timeout
+        if not self._thread_lock.acquire(timeout=self.timeout):
+            raise TimeoutError(
+                f"timed out waiting for in-process lock on {self.path}"
+            )
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            while True:
+                try:
+                    if self._exclusive_create:  # pragma: no cover - non-POSIX
+                        self._fd = os.open(
+                            self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                        )
+                        return self
+                    fd = os.open(self.path, os.O_CREAT | os.O_WRONLY)
+                    try:
+                        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    except OSError:
+                        os.close(fd)
+                        raise
+                    self._fd = fd
+                    return self
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        raise TimeoutError(
+                            f"timed out waiting for file lock {self.path}"
+                        ) from None
+                    time.sleep(self.poll_interval)
+        except BaseException:
+            self._thread_lock.release()
+            raise
+
+    def release(self) -> None:
+        if self._fd is not None:
+            try:
+                if self._exclusive_create:  # pragma: no cover - non-POSIX
+                    os.close(self._fd)
+                    try:
+                        os.unlink(self.path)
+                    except OSError:
+                        pass
+                else:
+                    fcntl.flock(self._fd, fcntl.LOCK_UN)
+                    os.close(self._fd)
+            finally:
+                self._fd = None
+                self._thread_lock.release()
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+def save_result(
+    result: Any, path: PathLike, indent: int = 2, atomic: bool = False
+) -> Path:
     """Serialize a result object (any class in ``RESULT_TYPES``) to JSON.
 
     Returns the written path.  Parent directories are created as needed.
+    With ``atomic=True`` the payload is written to a writer-unique
+    temporary file and renamed into place: readers never observe a
+    partially-written file, and concurrent writers of the same path
+    resolve to last-writer-wins with each version intact (wrap the call
+    in a :class:`FileLock` to serialize writers entirely).
     """
     type_name = type(result).__name__
     if type_name not in RESULT_TYPES:
@@ -94,8 +197,17 @@ def save_result(result: Any, path: PathLike, indent: int = 2) -> Path:
     }
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    with target.open("w", encoding="utf-8") as handle:
+    destination = target
+    if atomic:
+        # Unique per writer: two processes/threads racing on one path
+        # must not interleave bytes in a shared temp file.
+        destination = target.with_name(
+            f"{target.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+    with destination.open("w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=indent, cls=NumpyJSONEncoder)
+    if atomic:
+        os.replace(destination, target)
     return target
 
 

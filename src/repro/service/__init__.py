@@ -1,0 +1,27 @@
+"""Experiment service: async jobs, HTTP serving, content-addressed cache.
+
+Three cooperating layers turn the batch-oriented :func:`repro.run` path
+into a long-running service:
+
+* :class:`ResultStore` — a content-addressed cache keyed by the public
+  :meth:`ExperimentSpec.fingerprint` (whole results) and by
+  grid-independent shard fingerprints (individual work units), so exact
+  resubmissions are O(1) and overlapping specs share shards.
+* :class:`JobQueue` / :class:`Job` — background execution with
+  in-flight dedup of identical fingerprints and live per-shard progress.
+* :class:`ExperimentServer` — the stdlib-HTTP front end behind the
+  ``repro serve`` CLI command.
+"""
+
+from repro.service.jobs import Job, JobQueue, ServiceError
+from repro.service.server import ExperimentServer, make_server
+from repro.service.store import ResultStore
+
+__all__ = [
+    "ExperimentServer",
+    "Job",
+    "JobQueue",
+    "ResultStore",
+    "ServiceError",
+    "make_server",
+]

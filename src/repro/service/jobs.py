@@ -1,0 +1,264 @@
+"""Asynchronous experiment jobs: queueing, dedup, and cached execution.
+
+A :class:`JobQueue` turns submitted :class:`~repro.core.spec.ExperimentSpec`
+objects into background :class:`Job`\\ s executed by daemon worker
+threads, with three cache tiers applied in order:
+
+1. **Whole-result hit** — the spec's fingerprint is already in the
+   :class:`~repro.service.store.ResultStore`: the job is born ``done``
+   with ``cache_hit=True`` and never touches the queue (O(1)).
+2. **In-flight dedup** — an identical fingerprint is already queued or
+   running: the submission joins that job (``submissions`` increments),
+   so N concurrent submitters of the paper grid share one execution.
+3. **Shard reuse** — otherwise the spec is planned via
+   :func:`repro.core.spec.plan_experiment` and every unit whose
+   content-addressed fingerprint is already stored is loaded instead of
+   recomputed; only the remainder executes (streamed through the
+   executor's ``on_result`` so per-shard progress counts stay live).
+
+Jobs carry their own executor choice: the spec's resolved executor runs
+*in-process* inside a worker thread (optionally multi-process via
+``process_pool``/``async`` specs), with the spec's ``checkpoint_dir``
+stripped — the store supersedes per-run checkpoints on the server.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.executor import get_executor
+from repro.core.spec import ExperimentSpec, plan_experiment
+from repro.service.store import ResultStore
+
+__all__ = ["Job", "JobQueue", "ServiceError"]
+
+
+class ServiceError(ValueError):
+    """A submission the service cannot accept (maps to HTTP 400)."""
+
+
+#: Job lifecycle states.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One tracked experiment execution (or cache hit) on the server."""
+
+    job_id: str
+    spec: ExperimentSpec
+    fingerprint: str
+    state: str = "queued"
+    #: How many times this exact fingerprint was submitted while the job
+    #: was in flight (deduplicated submitters sharing one execution).
+    submissions: int = 1
+    #: True when the whole result came from the store without executing.
+    cache_hit: bool = False
+    total_units: int = 0
+    completed_units: int = 0
+    #: Of the completed units, how many were served from cached shards.
+    cached_units: int = 0
+    error: Optional[str] = None
+    created_at: float = field(default_factory=time.time)
+    finished_at: Optional[float] = None
+
+    def status_dict(self) -> dict:
+        """JSON-able status payload (the ``GET /experiments/<id>`` body)."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "kind": self.spec.kind,
+            "fingerprint": self.fingerprint,
+            "cache_hit": self.cache_hit,
+            "submissions": self.submissions,
+            "progress": {
+                "total_units": self.total_units,
+                "completed_units": self.completed_units,
+                "cached_units": self.cached_units,
+            },
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """Deduplicating background queue over a :class:`ResultStore`."""
+
+    def __init__(
+        self,
+        store: Union[ResultStore, str],
+        executor: Optional[str] = None,
+        worker_threads: int = 1,
+    ):
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        #: Forced executor name for every job (``None`` honours each
+        #: spec's own :meth:`ExperimentSpec.resolved_executor`).
+        self.executor_override = executor
+        self.worker_threads = max(1, int(worker_threads))
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        #: fingerprint -> job_id for jobs still queued/running.
+        self._inflight: Dict[str, str] = {}
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._counter = itertools.count(1)
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "JobQueue":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            for index in range(self.worker_threads):
+                thread = threading.Thread(
+                    target=self._worker,
+                    name=f"repro-job-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            threads, self._threads = self._threads, []
+            self._started = False
+        for _ in threads:
+            self._queue.put(None)
+        for thread in threads:
+            thread.join(timeout=timeout)
+
+    # -- submission --------------------------------------------------------
+
+    def _coerce_spec(self, spec: Union[ExperimentSpec, dict]) -> ExperimentSpec:
+        try:
+            if isinstance(spec, dict):
+                spec = ExperimentSpec.from_dict(spec)
+            elif not isinstance(spec, ExperimentSpec):
+                raise TypeError(
+                    f"expected an ExperimentSpec or its dict form, got "
+                    f"{type(spec).__name__}"
+                )
+        except (TypeError, ValueError) as error:
+            raise ServiceError(f"invalid experiment spec: {error}") from error
+        if spec.kind == "sweep":
+            raise ServiceError(
+                "sweep specs are not servable as one job; submit one "
+                "variance spec per swept value (they share cached shards)"
+            )
+        overrides = {"checkpoint_dir": None}
+        if self.executor_override is not None:
+            overrides["executor"] = self.executor_override
+        from dataclasses import replace
+
+        return replace(spec, **overrides)
+
+    def submit(self, spec: Union[ExperimentSpec, dict]) -> Job:
+        """Register a spec: cache-hit, join an in-flight twin, or enqueue."""
+        spec = self._coerce_spec(spec)
+        try:
+            fingerprint = spec.fingerprint()
+        except (TypeError, ValueError) as error:
+            raise ServiceError(
+                f"spec is not fingerprintable: {error}"
+            ) from error
+        enqueue = False
+        with self._lock:
+            inflight_id = self._inflight.get(fingerprint)
+            if inflight_id is not None:
+                job = self._jobs[inflight_id]
+                job.submissions += 1
+                return job
+            job = Job(
+                job_id=f"job-{next(self._counter):06d}",
+                spec=spec,
+                fingerprint=fingerprint,
+            )
+            if self.store.has_result(fingerprint):
+                job.state = "done"
+                job.cache_hit = True
+                job.finished_at = time.time()
+            else:
+                self._inflight[fingerprint] = job.job_id
+                enqueue = True
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+        if enqueue:
+            self._queue.put(job.job_id)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def result_text(self, job: Job) -> Optional[str]:
+        """The stored result payload for a finished job (exact bytes)."""
+        return self.store.read_result_text(job.fingerprint)
+
+    # -- execution ---------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            job = self.get(job_id)
+            if job is None:  # pragma: no cover - defensive
+                continue
+            try:
+                self._run_job(job)
+                job.state = "done"
+            except Exception as error:  # noqa: BLE001 - surface via the job
+                job.error = f"{type(error).__name__}: {error}"
+                job.state = "failed"
+            finally:
+                job.finished_at = time.time()
+                with self._lock:
+                    self._inflight.pop(job.fingerprint, None)
+
+    def _run_job(self, job: Job) -> None:
+        job.state = "running"
+        # Re-check the whole-result tier: a twin submitted before dedup
+        # could exist may have finished while this job sat queued.
+        if self.store.has_result(job.fingerprint):
+            job.cache_hit = True
+            return
+        spec = job.spec
+        executor = get_executor(spec.resolved_executor(), workers=spec.workers)
+        plan = plan_experiment(spec, executor)
+        job.total_units = len(plan.units)
+        outputs: Dict[str, Any] = {}
+        pending = []
+        for unit in plan.units:
+            unit_fp = plan.unit_fingerprints.get(unit.unit_id, "")
+            hit, data = self.store.get_shard(unit_fp) if unit_fp else (False, None)
+            if hit:
+                outputs[unit.unit_id] = data
+                job.cached_units += 1
+                job.completed_units += 1
+            else:
+                pending.append(unit)
+
+        def on_result(unit, output):
+            unit_fp = plan.unit_fingerprints.get(unit.unit_id, "")
+            if unit_fp:
+                self.store.put_shard(unit_fp, unit.unit_id, output)
+            outputs[unit.unit_id] = output
+            job.completed_units += 1
+
+        executor.map_units(
+            pending, fingerprint=plan.fingerprint, on_result=on_result
+        )
+        ordered = [outputs[unit.unit_id] for unit in plan.units]
+        self.store.put_result(job.fingerprint, plan.finalize(ordered))

@@ -1,0 +1,237 @@
+"""``repro serve`` — a long-running experiment service over stdlib HTTP.
+
+The server wires a :class:`~repro.service.jobs.JobQueue` (and its
+:class:`~repro.service.store.ResultStore`) behind three JSON endpoints:
+
+``POST /experiments``
+    Body: an :meth:`ExperimentSpec.to_dict` payload.  Responds ``202``
+    with the job status; an exact cache hit responds ``200`` with
+    ``state: "done"`` and ``cache_hit: true`` immediately.  Identical
+    in-flight submissions share one job (same ``job_id``).
+
+``GET /experiments/<id>``
+    Job status with per-shard progress (``total_units`` /
+    ``completed_units`` / ``cached_units``).
+
+``GET /experiments/<id>/result``
+    The finished outcome as stored — the exact cached bytes, so two
+    submissions of the same spec receive byte-identical payloads.
+    ``409`` while the job is still queued/running, ``500`` if it failed.
+
+``GET /experiments`` lists all jobs; ``GET /healthz`` reports liveness
+and store statistics.  Everything is standard library
+(:class:`http.server.ThreadingHTTPServer`) — no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Union
+
+from repro.service.jobs import JobQueue, ServiceError
+from repro.service.store import ResultStore
+
+__all__ = ["ExperimentServer", "make_server"]
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the queue/store for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    queue: JobQueue
+    quiet: bool = True
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: _ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self._send_body(status, body, "application/json")
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.rstrip("/")
+        queue = self.server.queue
+        if path in ("", "/healthz"):
+            self._send_json(
+                200, {"status": "ok", "store": queue.store.stats()}
+            )
+            return
+        if path == "/experiments":
+            self._send_json(
+                200, {"jobs": [job.status_dict() for job in queue.jobs()]}
+            )
+            return
+        parts = path.strip("/").split("/")
+        if len(parts) >= 2 and parts[0] == "experiments":
+            job = queue.get(parts[1])
+            if job is None:
+                self._error(404, f"unknown job {parts[1]!r}")
+                return
+            if len(parts) == 2:
+                self._send_json(200, job.status_dict())
+                return
+            if len(parts) == 3 and parts[2] == "result":
+                if job.state == "failed":
+                    self._error(500, job.error or "job failed")
+                    return
+                if job.state != "done":
+                    self._error(
+                        409,
+                        f"job {job.job_id} is {job.state}; poll "
+                        f"/experiments/{job.job_id} until done",
+                    )
+                    return
+                text = queue.result_text(job)
+                if text is None:
+                    self._error(500, "result missing from store")
+                    return
+                self._send_body(
+                    200, text.encode("utf-8"), "application/json"
+                )
+                return
+        self._error(404, f"no route for GET {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path.rstrip("/") != "/experiments":
+            self._error(404, f"no route for POST {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, TypeError) as error:
+            self._error(400, f"request body is not valid JSON: {error}")
+            return
+        try:
+            job = self.server.queue.submit(payload)
+        except ServiceError as error:
+            self._error(400, str(error))
+            return
+        self._send_json(200 if job.state == "done" else 202, job.status_dict())
+
+
+def make_server(
+    store: Union[ResultStore, str],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    executor: Optional[str] = None,
+    worker_threads: int = 1,
+    quiet: bool = True,
+) -> _ServiceHTTPServer:
+    """Build (but do not start) the HTTP server over a fresh job queue."""
+    queue = JobQueue(
+        store, executor=executor, worker_threads=worker_threads
+    )
+    server = _ServiceHTTPServer((host, port), _Handler)
+    server.queue = queue
+    server.quiet = quiet
+    return server
+
+
+class ExperimentServer:
+    """In-process server handle: start/stop, or use as a context manager.
+
+    ``port=0`` binds an ephemeral port; read the resolved address from
+    :attr:`url` after construction (the socket binds in ``__init__``)::
+
+        with ExperimentServer(store="/tmp/store") as server:
+            requests_like_client(server.url + "/experiments")
+    """
+
+    def __init__(
+        self,
+        store: Union[ResultStore, str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        executor: Optional[str] = None,
+        worker_threads: int = 1,
+        quiet: bool = True,
+    ):
+        self._server = make_server(
+            store,
+            host=host,
+            port=port,
+            executor=executor,
+            worker_threads=worker_threads,
+            quiet=quiet,
+        )
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def queue(self) -> JobQueue:
+        return self._server.queue
+
+    @property
+    def store(self) -> ResultStore:
+        return self._server.queue.store
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ExperimentServer":
+        if self._thread is not None:
+            return self
+        self.queue.start()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self._server.server_close()
+        self.queue.stop()
+
+    def serve_forever(self) -> None:
+        """Run in the foreground (the ``repro serve`` CLI path)."""
+        self.queue.start()
+        try:
+            self._server.serve_forever()
+        finally:
+            self._server.server_close()
+            self.queue.stop()
+
+    def __enter__(self) -> "ExperimentServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,149 @@
+"""Content-addressed result cache keyed by spec/shard fingerprints.
+
+The :class:`ResultStore` promotes the checkpoint machinery from PR 2 —
+fingerprinted, JSON-able shard outputs — from crash recovery into a
+serving layer.  Two tiers share one directory:
+
+``results/<spec-fingerprint>.json``
+    The finished outcome of one exact :class:`~repro.core.spec.ExperimentSpec`
+    (key: :meth:`ExperimentSpec.fingerprint`).  An exact resubmission is
+    served from here in O(1) — and bit-identically, because cache hits
+    return the stored *bytes*, not a re-serialization.
+
+``shards/<unit-fingerprint>.json``
+    One work unit's output under its grid-independent content key
+    (:attr:`~repro.core.spec.ExperimentPlan.unit_fingerprints`).  Specs
+    that overlap partially — the same grid cells inside different
+    supersets, the same trajectory inside a different method panel —
+    resume from every shard they share instead of recomputing it.
+
+Writes go through :func:`repro.io.save_result` with ``atomic=True``
+(unique temp file + rename) under a sidecar :class:`repro.io.FileLock`,
+so any number of concurrent writers — server worker threads or whole
+other processes — leave each key either absent or holding one complete,
+valid payload (last writer wins; every version is intact).
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+from typing import Any, Optional, Tuple, Union
+
+from repro.core.executor import ShardCheckpoint
+from repro.io import FileLock, load_result, save_result
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Filesystem-backed content-addressed cache of experiment outputs."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        self.shards_dir = self.root / "shards"
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _check_key(fingerprint: str) -> str:
+        if not fingerprint or not all(
+            c.isalnum() or c in "-_" for c in fingerprint
+        ):
+            raise ValueError(
+                f"invalid store fingerprint {fingerprint!r}; expected a "
+                f"non-empty alphanumeric digest"
+            )
+        return fingerprint
+
+    def result_path(self, fingerprint: str) -> Path:
+        return self.results_dir / f"{self._check_key(fingerprint)}.json"
+
+    def shard_path(self, fingerprint: str) -> Path:
+        return self.shards_dir / f"{self._check_key(fingerprint)}.json"
+
+    def _lock(self, target: Path) -> FileLock:
+        return FileLock(target.with_suffix(".lock"))
+
+    # -- whole-result tier -------------------------------------------------
+
+    def has_result(self, fingerprint: str) -> bool:
+        return self.result_path(fingerprint).is_file()
+
+    def read_result_text(self, fingerprint: str) -> Optional[str]:
+        """The stored payload *bytes* (as text) for an exact spec match.
+
+        Serving the stored text — instead of reloading and re-dumping —
+        makes repeated cache hits byte-identical by construction.
+        """
+        path = self.result_path(fingerprint)
+        try:
+            return path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+    def load_outcome(self, fingerprint: str) -> Any:
+        """Deserialize a cached outcome back into its result class."""
+        return load_result(self.result_path(fingerprint))
+
+    def put_result(self, fingerprint: str, outcome: Any) -> Path:
+        """Persist a finished outcome under the spec's fingerprint."""
+        target = self.result_path(fingerprint)
+        with self._lock(target):
+            return save_result(outcome, target, atomic=True)
+
+    # -- shard tier --------------------------------------------------------
+
+    def has_shard(self, fingerprint: str) -> bool:
+        return self.shard_path(fingerprint).is_file()
+
+    def get_shard(self, fingerprint: str) -> Tuple[bool, Any]:
+        """``(hit, data)`` for one content-addressed shard output.
+
+        A corrupt or stale-keyed file counts as a miss (with a warning):
+        the unit simply recomputes, mirroring executor checkpoint
+        semantics.
+        """
+        path = self.shard_path(fingerprint)
+        if not path.is_file():
+            return False, None
+        try:
+            checkpoint = load_result(path)
+        except (ValueError, OSError, KeyError, TypeError) as error:
+            warnings.warn(
+                f"skipping unreadable cached shard {path.name} "
+                f"({type(error).__name__}: {error}); recomputing",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return False, None
+        if (
+            not isinstance(checkpoint, ShardCheckpoint)
+            or checkpoint.fingerprint != fingerprint
+        ):
+            return False, None
+        return True, checkpoint.data
+
+    def put_shard(self, fingerprint: str, unit_id: str, data: Any) -> Path:
+        """Persist one work unit's output under its content fingerprint."""
+        target = self.shard_path(fingerprint)
+        with self._lock(target):
+            return save_result(
+                ShardCheckpoint(
+                    unit_id=unit_id, fingerprint=fingerprint, data=data
+                ),
+                target,
+                atomic=True,
+            )
+
+    # -- diagnostics -------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "root": str(self.root),
+            "results": sum(1 for _ in self.results_dir.glob("*.json")),
+            "shards": sum(1 for _ in self.shards_dir.glob("*.json")),
+        }

@@ -39,6 +39,7 @@ def _double(x):
 class TestRegistry:
     def test_builtins_registered(self):
         assert available_executors() == [
+            "async",
             "batched",
             "device",
             "lockstep",
@@ -347,3 +348,156 @@ class TestVarianceResume:
         assert _fingerprint("variance", _CONFIG, spec_a) != _fingerprint(
             "variance", other_config, spec_a
         )
+
+
+class TestCheckpointWarnings:
+    """Corrupt checkpoints must warn and recompute, never crash a resume."""
+
+    def _run_once(self, tmp_path):
+        units = [WorkUnit("u0", _double, (3,))]
+        SerialExecutor(checkpoint_dir=tmp_path).map_units(units, fingerprint="fp")
+        return units
+
+    def test_truncated_json_warns(self, tmp_path):
+        units = self._run_once(tmp_path)
+        (path,) = tmp_path.glob("shard-*.json")
+        path.write_text("{ truncated")
+        with pytest.warns(RuntimeWarning, match="unreadable checkpoint"):
+            outputs = SerialExecutor(checkpoint_dir=tmp_path).map_units(
+                units, fingerprint="fp"
+            )
+        assert outputs == [{"value": 6}]
+
+    def test_valid_envelope_missing_fields_warns(self, tmp_path):
+        """A well-formed file whose data lost its keys is also skipped."""
+        import json
+
+        units = self._run_once(tmp_path)
+        (path,) = tmp_path.glob("shard-*.json")
+        path.write_text(
+            json.dumps({"type": "ShardCheckpoint", "schema_version": 2, "data": {}})
+        )
+        with pytest.warns(RuntimeWarning, match="unreadable checkpoint"):
+            outputs = SerialExecutor(checkpoint_dir=tmp_path).map_units(
+                units, fingerprint="fp"
+            )
+        assert outputs == [{"value": 6}]
+
+    def test_intact_checkpoints_do_not_warn(self, tmp_path, recwarn):
+        units = self._run_once(tmp_path)
+        SerialExecutor(checkpoint_dir=tmp_path).map_units(units, fingerprint="fp")
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
+
+
+class TestAsyncExecutor:
+    def test_registered_with_policy(self):
+        from repro.core.executor import AsyncExecutor
+
+        executor = get_executor("async", workers=1)
+        assert isinstance(executor, AsyncExecutor)
+        assert AsyncExecutor.variance_batched is None
+
+    def test_zero_workers_means_cpu_count(self):
+        import os
+
+        from repro.core.executor import AsyncExecutor
+
+        assert AsyncExecutor(workers=0).workers == (os.cpu_count() or 1)
+
+    def test_map_units_matches_serial(self):
+        units = [WorkUnit(f"u{i}", _double, (i,)) for i in range(5)]
+        outputs = get_executor("async", workers=1).map_units(units)
+        assert outputs == SerialExecutor().map_units(
+            [WorkUnit(f"u{i}", _double, (i,)) for i in range(5)]
+        )
+
+    def test_variance_bit_identical_to_serial(self):
+        serial = repro.run(
+            ExperimentSpec(kind="variance", config=_CONFIG, seed=11, executor="serial")
+        )
+        streamed = repro.run(
+            ExperimentSpec(
+                kind="variance", config=_CONFIG, seed=11, executor="async", workers=1
+            )
+        )
+        for key in serial.result.samples:
+            assert np.array_equal(
+                serial.result.samples[key].gradients,
+                streamed.result.samples[key].gradients,
+            ), key
+
+    @pytest.mark.slow
+    def test_multiprocess_variance_bit_identical_to_serial(self):
+        serial = repro.run(
+            ExperimentSpec(kind="variance", config=_CONFIG, seed=11, executor="serial")
+        )
+        streamed = repro.run(
+            ExperimentSpec(
+                kind="variance", config=_CONFIG, seed=11, executor="async", workers=2
+            )
+        )
+        for key in serial.result.samples:
+            assert np.array_equal(
+                serial.result.samples[key].gradients,
+                streamed.result.samples[key].gradients,
+            ), key
+
+    def test_streams_results_before_completion(self):
+        """Each completion surfaces before later units even execute."""
+        calls = []
+
+        def tracked(x):
+            calls.append(x)
+            return {"value": x}
+
+        units = [WorkUnit(f"u{i}", tracked, (i,)) for i in range(3)]
+        stream = get_executor("async", workers=1).stream_units(units)
+        unit, output = next(stream)
+        assert output == {"value": 0}
+        assert calls == [0]  # units 1 and 2 have not run yet
+        rest = list(stream)
+        assert calls == [0, 1, 2]
+        assert [o["value"] for _, o in rest] == [1, 2]
+
+    def test_on_result_fires_per_completion(self):
+        events = []
+        units = [WorkUnit(f"u{i}", _double, (i,)) for i in range(4)]
+        outputs = get_executor("async", workers=1).map_units(
+            units, on_result=lambda unit, output: events.append(unit.unit_id)
+        )
+        assert events == [f"u{i}" for i in range(4)]
+        assert [o["value"] for o in outputs] == [0, 2, 4, 6]
+
+    def test_checkpoint_resume(self, tmp_path):
+        calls = []
+
+        def tracked(x):
+            calls.append(x)
+            return {"value": x}
+
+        units = [WorkUnit(f"u{i}", tracked, (i,)) for i in range(3)]
+        first = get_executor("async", workers=1, checkpoint_dir=tmp_path).map_units(
+            units, fingerprint="fp"
+        )
+        assert calls == [0, 1, 2]
+        second = get_executor("async", workers=1, checkpoint_dir=tmp_path).map_units(
+            units, fingerprint="fp"
+        )
+        assert calls == [0, 1, 2]  # nothing re-executed
+        assert second == first
+
+    def test_amap_units_native_async(self):
+        import asyncio
+
+        events = []
+        units = [WorkUnit(f"u{i}", _double, (i,)) for i in range(3)]
+
+        async def drive():
+            executor = get_executor("async", workers=1)
+            return await executor.amap_units(
+                units, on_result=lambda unit, output: events.append(unit.unit_id)
+            )
+
+        outputs = asyncio.run(drive())
+        assert [o["value"] for o in outputs] == [0, 2, 4]
+        assert sorted(events) == ["u0", "u1", "u2"]

@@ -332,3 +332,105 @@ class TestFoldCheckpointCompatibility:
 
         with pytest.raises(ValueError, match="shots"):
             VarianceConfig(shots=-5)
+
+
+class TestPublicFingerprint:
+    _config = VarianceConfig(
+        qubit_counts=(2, 3), num_circuits=4, num_layers=3, methods=("random",)
+    )
+
+    def test_stable_across_instances(self):
+        a = ExperimentSpec(kind="variance", config=self._config, seed=3)
+        b = ExperimentSpec(kind="variance", config=self._config, seed=3)
+        assert a.fingerprint() == b.fingerprint()
+        assert len(a.fingerprint()) == 40  # sha1 hex digest
+
+    def test_sensitive_to_seed_and_config(self):
+        from dataclasses import replace
+
+        base = ExperimentSpec(kind="variance", config=self._config, seed=3)
+        reseeded = ExperimentSpec(kind="variance", config=self._config, seed=4)
+        deeper = ExperimentSpec(
+            kind="variance",
+            config=replace(self._config, num_layers=4),
+            seed=3,
+        )
+        assert base.fingerprint() != reseeded.fingerprint()
+        assert base.fingerprint() != deeper.fingerprint()
+
+    def test_scheduling_fields_are_identity_neutral(self):
+        base = ExperimentSpec(kind="variance", config=self._config, seed=3)
+        scheduled = ExperimentSpec(
+            kind="variance",
+            config=self._config,
+            seed=3,
+            executor="process_pool",
+            workers=4,
+            checkpoint_dir="/tmp/somewhere",
+        )
+        assert base.fingerprint() == scheduled.fingerprint()
+
+    def test_plan_folds_in(self):
+        spec = ExperimentSpec(kind="variance", config=self._config, seed=3)
+        assert spec.fingerprint() != spec.fingerprint(
+            plan={"circuits_per_shard": 2}
+        )
+
+    def test_matches_internal_fingerprint_used_by_run(self):
+        from repro.core.spec import _fingerprint, _resolve_config
+
+        spec = ExperimentSpec(kind="variance", config=self._config, seed=3)
+        assert spec.fingerprint() == _fingerprint(
+            spec.kind, _resolve_config(spec), spec
+        )
+
+    def test_sweep_values_stamped(self):
+        a = ExperimentSpec(
+            kind="sweep", sweep_field="num_layers", sweep_values=[1, 2], seed=0
+        )
+        b = ExperimentSpec(
+            kind="sweep", sweep_field="num_layers", sweep_values=[1, 3], seed=0
+        )
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_generator_seeds_fingerprint_via_seed_sequence(self):
+        a = ExperimentSpec(
+            kind="variance", config=self._config, seed=np.random.default_rng(3)
+        )
+        b = ExperimentSpec(
+            kind="variance", config=self._config, seed=np.random.default_rng(3)
+        )
+        c = ExperimentSpec(
+            kind="variance", config=self._config, seed=np.random.default_rng(4)
+        )
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+
+class TestUnitFingerprintSharing:
+    """Shard content keys are grid-independent: subsets share them."""
+
+    def _unit_fingerprints(self, qubit_counts):
+        from repro.core.spec import plan_experiment
+
+        spec = ExperimentSpec(
+            kind="variance",
+            config=VarianceConfig(
+                qubit_counts=qubit_counts,
+                num_circuits=4,
+                num_layers=3,
+                methods=("random",),
+            ),
+            seed=3,
+        )
+        return plan_experiment(spec).unit_fingerprints
+
+    def test_subset_grid_reuses_superset_unit_keys(self):
+        superset = self._unit_fingerprints((2, 3, 4))
+        subset = self._unit_fingerprints((2, 3))
+        assert set(subset.values()) < set(superset.values())
+
+    def test_disjoint_rows_do_not_collide(self):
+        first = self._unit_fingerprints((2, 3))
+        second = self._unit_fingerprints((4, 5))
+        assert not set(first.values()) & set(second.values())

@@ -1,0 +1,153 @@
+"""End-to-end HTTP tests for ``repro serve`` (ExperimentServer)."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.spec import ExperimentSpec
+from repro.core.variance import VarianceConfig
+from repro.io.serialization import RESULT_TYPES
+from repro.service import ExperimentServer
+
+_CONFIG = VarianceConfig(
+    qubit_counts=(2, 3), num_circuits=4, num_layers=3, methods=("random",)
+)
+_SPEC = ExperimentSpec(kind="variance", config=_CONFIG, seed=7)
+
+
+@pytest.fixture
+def server(tmp_path):
+    with ExperimentServer(store=tmp_path / "store") as server:
+        yield server
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(url, raw=False):
+    with urllib.request.urlopen(url) as response:
+        body = response.read()
+        return response.status, (body if raw else json.loads(body))
+
+
+def _poll_done(server, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, status = _get(f"{server.url}/experiments/{job_id}")
+        if status["state"] in ("done", "failed"):
+            return status
+        time.sleep(0.02)
+    raise AssertionError("job did not finish in time")
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        code, payload = _get(f"{server.url}/healthz")
+        assert code == 200
+        assert payload["status"] == "ok"
+        assert "shards" in payload["store"]
+
+    def test_unknown_routes_404(self, server):
+        for method, path in (("GET", "/nope"), ("GET", "/experiments/ghost")):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + path)
+            assert excinfo.value.code == 404
+
+    def test_bad_submission_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{server.url}/experiments", {"kind": "nonsense"})
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+
+    def test_result_before_done_409(self, server, monkeypatch):
+        import threading
+
+        import repro.core.variance as vmod
+
+        release = threading.Event()
+        original = vmod.run_variance_shard
+
+        def gated(config, shard, **kwargs):
+            release.wait(timeout=30)
+            return original(config, shard, **kwargs)
+
+        monkeypatch.setattr(vmod, "run_variance_shard", gated)
+        try:
+            code, job = _post(f"{server.url}/experiments", _SPEC.to_dict())
+            assert code == 202
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/experiments/{job['job_id']}/result")
+            assert excinfo.value.code == 409
+        finally:
+            release.set()
+        _poll_done(server, job["job_id"])
+
+    def test_listing(self, server):
+        _post(f"{server.url}/experiments", _SPEC.to_dict())
+        code, payload = _get(f"{server.url}/experiments")
+        assert code == 200
+        assert len(payload["jobs"]) == 1
+        _poll_done(server, payload["jobs"][0]["job_id"])
+
+
+class TestServedResults:
+    def test_resubmission_is_bit_identical_cache_hit(self, server):
+        code, first = _post(f"{server.url}/experiments", _SPEC.to_dict())
+        assert code == 202
+        assert _poll_done(server, first["job_id"])["state"] == "done"
+        _, payload_one = _get(
+            f"{server.url}/experiments/{first['job_id']}/result", raw=True
+        )
+
+        code, second = _post(f"{server.url}/experiments", _SPEC.to_dict())
+        assert code == 200  # done at submission time
+        assert second["state"] == "done"
+        assert second["cache_hit"] is True
+        _, payload_two = _get(
+            f"{server.url}/experiments/{second['job_id']}/result", raw=True
+        )
+        assert payload_one == payload_two  # byte-identical serving
+
+        envelope = json.loads(payload_one)
+        served = RESULT_TYPES[envelope["type"]].from_dict(envelope["data"])
+        direct = repro.run(
+            ExperimentSpec(
+                kind="variance", config=_CONFIG, seed=7, executor="serial"
+            )
+        )
+        for key in direct.result.samples:
+            assert np.array_equal(
+                direct.result.samples[key].gradients,
+                served.result.samples[key].gradients,
+            ), key
+
+    def test_progress_counters_in_status(self, server):
+        _, job = _post(f"{server.url}/experiments", _SPEC.to_dict())
+        status = _poll_done(server, job["job_id"])
+        progress = status["progress"]
+        assert progress["total_units"] == 2
+        assert progress["completed_units"] == 2
+
+
+class TestCLI:
+    def test_serve_command_registered(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--store", "x"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0

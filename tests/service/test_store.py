@@ -1,0 +1,144 @@
+"""ResultStore: content addressing, corruption tolerance, concurrency."""
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.core.spec import ExperimentSpec
+from repro.core.variance import VarianceConfig
+from repro.service import ResultStore
+
+_CONFIG = VarianceConfig(
+    qubit_counts=(2, 3), num_circuits=2, num_layers=2, methods=("random",)
+)
+
+
+class TestResultTier:
+    def test_round_trip(self, tmp_path):
+        import repro
+
+        store = ResultStore(tmp_path)
+        spec = ExperimentSpec(kind="variance", config=_CONFIG, seed=0)
+        outcome = repro.run(spec)
+        fingerprint = spec.fingerprint()
+        assert not store.has_result(fingerprint)
+        store.put_result(fingerprint, outcome)
+        assert store.has_result(fingerprint)
+        restored = store.load_outcome(fingerprint)
+        assert restored.result.samples.keys() == outcome.result.samples.keys()
+
+    def test_read_result_text_returns_exact_bytes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = ExperimentSpec(kind="variance", config=_CONFIG, seed=0)
+        store.put_result(spec.fingerprint(), spec)  # any persistable type
+        text = store.read_result_text(spec.fingerprint())
+        assert text == store.result_path(spec.fingerprint()).read_text()
+        assert json.loads(text)["type"] == "ExperimentSpec"
+
+    def test_missing_result_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.read_result_text("0" * 40) is None
+        assert not store.has_result("0" * 40)
+
+    def test_invalid_fingerprint_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in ("", "../../etc/passwd", "a/b", "a b"):
+            with pytest.raises(ValueError, match="invalid store fingerprint"):
+                store.result_path(bad)
+
+
+class TestShardTier:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        hit, data = store.get_shard("deadbeef")
+        assert (hit, data) == (False, None)
+        store.put_shard("deadbeef", "unit-0", {"value": [1, 2]})
+        hit, data = store.get_shard("deadbeef")
+        assert hit and data == {"value": [1, 2]}
+
+    def test_corrupt_shard_is_a_miss_with_warning(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_shard("deadbeef", "unit-0", {"value": 1})
+        store.shard_path("deadbeef").write_text("{ truncated")
+        with pytest.warns(RuntimeWarning, match="unreadable cached shard"):
+            hit, data = store.get_shard("deadbeef")
+        assert (hit, data) == (False, None)
+
+    def test_mismatched_key_is_a_miss(self, tmp_path):
+        """A file renamed to the wrong key must not serve foreign data."""
+        store = ResultStore(tmp_path)
+        store.put_shard("deadbeef", "unit-0", {"value": 1})
+        store.shard_path("deadbeef").rename(store.shard_path("feedface"))
+        hit, data = store.get_shard("feedface")
+        assert (hit, data) == (False, None)
+
+    def test_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_shard("aa", "u", {})
+        assert store.stats()["shards"] == 1
+        assert store.stats()["results"] == 0
+
+
+def _write_shard_payload(args):
+    root, fingerprint, writer = args
+    store = ResultStore(root)
+    # Every writer stores the same logical payload — as concurrent
+    # resubmissions of one spec would.
+    store.put_shard(fingerprint, "unit-0", {"gradients": [0.125, -0.5, 0.25]})
+    return writer
+
+
+class TestConcurrentWriters:
+    """Satellite: concurrent cache writers must never corrupt a shard."""
+
+    def test_threads_racing_one_fingerprint(self, tmp_path):
+        store = ResultStore(tmp_path)
+        reference = None
+        errors = []
+
+        def writer(index):
+            try:
+                _write_shard_payload((tmp_path, "cafe01", index))
+            except Exception as error:  # pragma: no cover - fail the test
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        hit, data = store.get_shard("cafe01")
+        assert hit and data == {"gradients": [0.125, -0.5, 0.25]}
+        reference = store.shard_path("cafe01").read_bytes()
+        # One more write must reproduce the file bit-identically.
+        _write_shard_payload((tmp_path, "cafe01", -1))
+        assert store.shard_path("cafe01").read_bytes() == reference
+
+    @pytest.mark.slow
+    def test_processes_racing_one_fingerprint(self, tmp_path):
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(4) as pool:
+            pool.map(
+                _write_shard_payload,
+                [(str(tmp_path), "cafe02", i) for i in range(8)],
+            )
+        store = ResultStore(tmp_path)
+        hit, data = store.get_shard("cafe02")
+        assert hit and data == {"gradients": [0.125, -0.5, 0.25]}
+        reference = store.shard_path("cafe02").read_bytes()
+        _write_shard_payload((str(tmp_path), "cafe02", -1))
+        assert store.shard_path("cafe02").read_bytes() == reference
+
+    def test_no_temp_or_lock_litter_after_writes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for index in range(4):
+            store.put_shard("beef03", f"unit-{index}", {"value": index})
+        leftovers = [
+            p.name for p in store.shards_dir.iterdir() if p.suffix == ".tmp"
+        ]
+        assert leftovers == []

@@ -133,6 +133,9 @@ class TestExamplesRun:
         assert "bit-identical to single process: True" in out
         assert "bit-identical to per-structure: True" in out
         assert "spec round-trips" in out
+        assert "first submission: state=done cache_hit=False" in out
+        assert "second submission: state=done cache_hit=True" in out
+        assert "served payloads byte-identical: True" in out
 
     def test_shot_based_training(self, capsys, monkeypatch):
         module = _load("shot_based_training")
