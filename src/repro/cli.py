@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the paper's workflow end to end:
+Seven subcommands cover the paper's workflow end to end:
 
 ``variance``
     Fig. 5a — gradient-variance decay study with the improvement table.
@@ -13,7 +13,16 @@ Six subcommands cover the paper's workflow end to end:
     Long-running experiment service: accepts spec submissions over
     HTTP, deduplicates identical in-flight jobs, and serves results
     from a content-addressed cache (exact resubmissions are O(1) and
-    byte-identical; overlapping specs reuse shared shards).
+    byte-identical; overlapping specs reuse shared shards).  Reliability
+    knobs: ``--max-attempts`` (per-unit retry budget), ``--job-timeout``
+    / ``--stall-timeout`` (wall-clock and heartbeat bounds), and
+    ``--store-max-bytes`` / ``--store-max-age`` (LRU cache eviction).
+    ``SIGTERM`` drains gracefully: new submissions get 503, in-flight
+    jobs finish within ``--drain-timeout``, unfinished ones persist to
+    the store and resume on the next ``repro serve``.
+``store``
+    Inspect (``store stats``) or garbage-collect (``store gc``) a
+    result-cache directory without starting the server.
 ``landscape``
     Fig. 1 — ASCII landscape scan with flatness metrics.
 ``info``
@@ -42,6 +51,27 @@ from typing import List, Optional
 import numpy as np
 
 __all__ = ["build_parser", "main"]
+
+
+def _parse_bytes(text: str) -> int:
+    """Parse a byte budget with an optional K/M/G/T suffix (``"500M"``)."""
+    raw = str(text).strip().upper()
+    if raw.endswith("B"):
+        raw = raw[:-1]
+    multiplier = 1
+    if raw and raw[-1] in "KMGT":
+        multiplier = 1024 ** ("KMGT".index(raw[-1]) + 1)
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r}; expected bytes with an optional "
+            f"K/M/G/T suffix, e.g. 1048576, 500M, 2G"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"size must be >= 0, got {text!r}")
+    return int(value * multiplier)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -185,6 +215,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the spec's array backend (e.g. 'torch', "
         "'torch:cuda:0', 'cupy'; see `repro info`)",
     )
+    run_cmd.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="retry budget per work unit (transient failures back off "
+        "and retry bit-identically; default: spec's retry policy, "
+        "REPRO_MAX_ATTEMPTS, or 3)",
+    )
     run_cmd.add_argument("--output", default=None)
 
     serve = sub.add_parser(
@@ -217,9 +255,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of concurrent job-execution threads",
     )
     serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="retry budget per work unit for every job (default: "
+        "REPRO_MAX_ATTEMPTS / REPRO_RETRY, or 3)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="abort any job running longer than this many seconds",
+    )
+    serve.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=None,
+        help="abort a job whose progress heartbeat stalls this long (s)",
+    )
+    serve.add_argument(
+        "--store-max-bytes",
+        type=_parse_bytes,
+        default=None,
+        metavar="SIZE",
+        help="LRU byte budget for the result cache (suffixes: K/M/G/T); "
+        "exceeded budgets trigger eviction after writes",
+    )
+    serve.add_argument(
+        "--store-max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict cache entries not read for this many seconds",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds SIGTERM waits for in-flight jobs before persisting "
+        "the unfinished queue and exiting (default: 30)",
+    )
+    serve.add_argument(
         "--verbose",
         action="store_true",
         help="log every HTTP request to stderr",
+    )
+
+    store_cmd = sub.add_parser(
+        "store", help="inspect or garbage-collect a result-cache directory"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="print entry counts, byte totals and quarantine size"
+    )
+    store_stats.add_argument(
+        "--store", default="repro-store", help="result-cache directory"
+    )
+    store_gc = store_sub.add_parser(
+        "gc", help="evict least-recently-used entries to fit a budget"
+    )
+    store_gc.add_argument(
+        "--store", default="repro-store", help="result-cache directory"
+    )
+    store_gc.add_argument(
+        "--max-bytes",
+        type=_parse_bytes,
+        default=None,
+        metavar="SIZE",
+        help="byte budget to evict down to (suffixes: K/M/G/T)",
+    )
+    store_gc.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict entries not read for this many seconds",
     )
 
     landscape = sub.add_parser(
@@ -356,6 +466,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["shots"] = args.shots
     if args.backend is not None:
         overrides["backend"] = args.backend
+    if args.max_attempts is not None:
+        overrides["retry"] = args.max_attempts
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
     print(
@@ -377,15 +489,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import ExperimentServer
+    from repro.service import ExperimentServer, ResultStore
 
+    store = ResultStore(
+        args.store,
+        max_bytes=args.store_max_bytes,
+        max_age=args.store_max_age,
+    )
     server = ExperimentServer(
-        store=args.store,
+        store=store,
         host=args.host,
         port=args.port,
         executor=args.executor,
         worker_threads=args.queue_workers,
         quiet=not args.verbose,
+        retry=args.max_attempts,
+        job_timeout=args.job_timeout,
+        stall_timeout=args.stall_timeout,
+        drain_timeout=args.drain_timeout,
     )
     # One parseable line: scripts (and the CI smoke job) read the
     # resolved URL from here, which matters with --port 0.
@@ -398,6 +519,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         print("repro serve shutting down", flush=True)
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.service import ResultStore
+
+    store = ResultStore(args.store)
+    if args.store_command == "stats":
+        stats = store.stats()
+        print(f"store:       {stats['root']}")
+        print(f"results:     {stats['results']}")
+        print(f"shards:      {stats['shards']}")
+        print(f"total bytes: {stats['total_bytes']}")
+        print(f"quarantined: {stats['quarantined']}")
+        return 0
+    if args.max_bytes is None and args.max_age is None:
+        print(
+            "store gc needs a budget: pass --max-bytes and/or --max-age",
+            file=sys.stderr,
+        )
+        return 2
+    summary = store.gc(max_bytes=args.max_bytes, max_age=args.max_age)
+    print(
+        f"evicted {summary['evicted']} entr"
+        f"{'y' if summary['evicted'] == 1 else 'ies'} "
+        f"({summary['freed_bytes']} bytes freed, "
+        f"{summary['quarantined']} quarantined); "
+        f"{summary['total_bytes']} bytes remain"
+    )
     return 0
 
 
@@ -461,6 +611,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "run": _cmd_run,
     "serve": _cmd_serve,
+    "store": _cmd_store,
     "landscape": _cmd_landscape,
     "info": _cmd_info,
 }

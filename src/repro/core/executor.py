@@ -48,6 +48,24 @@ completed unit's output is persisted through :mod:`repro.io` as a
 :class:`ShardCheckpoint`, and a restarted run re-executes only the units
 without a matching (fingerprinted) checkpoint.
 
+**Reliability.**  Every executor runs its units under a
+:class:`repro.reliability.RetryPolicy`: transiently-failing units (the
+policy's classification; see :class:`repro.reliability.TransientError`)
+re-run with deterministic exponential backoff, and — because units carry
+pre-reserved RNG children — a retried unit is byte-identical to a
+never-failed one.  The pool-backed executors additionally survive
+``BrokenProcessPool``: the pool is rebuilt and only unfinished units are
+re-dispatched, with the crash charged as one attempt against the units
+deterministically suspected of killing the worker.  Two failure modes:
+with ``raise_on_failure=True`` (the default, the behaviour the library
+always had) a unit that exhausts its budget re-raises; with ``False``
+the unit is *quarantined* — recorded in the run's
+:class:`repro.reliability.FailureReport` (``executor.last_report``,
+persisted as ``failure-report.json`` next to checkpoints) while the rest
+of the run completes, with ``None`` placeholders in the returned list.
+A :class:`repro.reliability.FaultPlan` (constructor argument or the
+``REPRO_FAULT_PLAN`` env var) injects deterministic chaos for testing.
+
 Register custom strategies with :func:`register_executor`; the registry
 backs ``repro info`` and the CLI's ``--workers`` routing.
 """
@@ -56,10 +74,13 @@ from __future__ import annotations
 
 import asyncio
 import os
+import threading
+import time
 import warnings
 from abc import ABC, abstractmethod
 from concurrent import futures
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
     Any,
@@ -68,12 +89,23 @@ from typing import (
     Dict,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
     Type,
     Union,
 )
+
+from repro.reliability.faults import (
+    FaultAction,
+    FaultPlan,
+    WorkerCrash,
+    call_with_faults,
+    corrupt_file,
+)
+from repro.reliability.policy import ExecutionAborted, RetryPolicy
+from repro.reliability.report import FailureReport, UnitFailure
 
 __all__ = [
     "WorkUnit",
@@ -90,6 +122,15 @@ __all__ = [
     "get_executor",
     "available_executors",
 ]
+
+#: How often pool-draining loops wake up to poll ``should_abort``.
+_ABORT_POLL_SECONDS = 0.25
+
+
+def _swallow_task_exception(task) -> None:
+    """Mark an abandoned future's exception as retrieved (see _astream)."""
+    if not task.cancelled():
+        task.exception()
 
 
 @dataclass(frozen=True)
@@ -135,6 +176,39 @@ class ShardCheckpoint:
         )
 
 
+@dataclass
+class _RunContext:
+    """Per-``map_units``-call reliability state (thread-local on the executor)."""
+
+    policy: RetryPolicy
+    faults: Dict[str, Tuple[FaultAction, ...]]
+    fingerprint: str
+    on_event: Optional[Callable[[str, dict], None]]
+    raise_on_failure: bool
+    should_abort: Optional[Callable[[], bool]]
+    unit_keys: Dict[str, str]
+    started: float = field(default_factory=time.monotonic)
+    #: unit_id -> attempts observably consumed (success counts as one).
+    attempts: Dict[str, int] = field(default_factory=dict)
+    unit_started: Dict[str, float] = field(default_factory=dict)
+    corruptions: Dict[str, int] = field(default_factory=dict)
+    quarantined: List[UnitFailure] = field(default_factory=list)
+    pool_rebuilds: int = 0
+
+
+class _PoolBroken(Exception):
+    """Internal escape from a pool drain: the process pool died.
+
+    Carries the units that were in flight (``unit_id -> attempt``) so
+    the rebuild logic can charge the crash deterministically.
+    """
+
+    def __init__(self, cause: BaseException, inflight: Mapping[str, int]):
+        super().__init__(str(cause))
+        self.cause = cause
+        self.inflight = dict(inflight)
+
+
 #: Registered executor classes keyed by their ``name``.
 EXECUTORS: Dict[str, Type["Executor"]] = {}
 
@@ -149,8 +223,16 @@ def get_executor(
     name: Union[str, "Executor"],
     workers: int = 1,
     checkpoint_dir: Optional[Union[str, Path]] = None,
+    retry: Any = None,
+    fault_plan: Any = None,
 ) -> "Executor":
-    """Instantiate a registered executor by name (instances pass through)."""
+    """Instantiate a registered executor by name (instances pass through).
+
+    ``retry`` accepts anything :meth:`RetryPolicy.coerce` does (``None``
+    = environment/default policy, int = ``max_attempts`` shorthand,
+    dict, or a policy instance); ``fault_plan`` likewise goes through
+    :meth:`FaultPlan.coerce` (``None`` = honour ``REPRO_FAULT_PLAN``).
+    """
     if isinstance(name, Executor):
         return name
     try:
@@ -159,7 +241,12 @@ def get_executor(
         raise ValueError(
             f"unknown executor {name!r}; choose from {available_executors()}"
         ) from None
-    return cls(workers=workers, checkpoint_dir=checkpoint_dir)
+    return cls(
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        retry=retry,
+        fault_plan=fault_plan,
+    )
 
 
 def available_executors() -> List[str]:
@@ -183,16 +270,236 @@ class Executor(ABC):
         self,
         workers: int = 1,
         checkpoint_dir: Optional[Union[str, Path]] = None,
+        retry: Any = None,
+        fault_plan: Any = None,
     ):
         workers = int(workers)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.retry = RetryPolicy.coerce(retry)
+        self.fault_plan = (
+            FaultPlan.coerce(fault_plan)
+            if fault_plan is not None
+            else FaultPlan.from_env()
+        )
+        # Run state is per-thread: the service layer may drive one
+        # executor instance from several job-worker threads at once.
+        self._local = threading.local()
 
     def circuits_per_shard(self, num_circuits: int) -> Optional[int]:
         """Advised shard granularity (``None`` = one shard per qubit count)."""
         return None
+
+    # -- run lifecycle ----------------------------------------------------
+
+    @property
+    def last_report(self) -> Optional[FailureReport]:
+        """Reliability summary of this thread's most recent run."""
+        return getattr(self._local, "report", None)
+
+    @property
+    def _run(self) -> _RunContext:
+        ctx = getattr(self._local, "run", None)
+        if ctx is None:
+            # Direct _execute use outside map_units/stream_units: retry
+            # still applies, fault selectors cannot resolve.
+            self._begin_run((), "", None, True, None, None)
+            ctx = self._local.run
+        return ctx
+
+    def _begin_run(
+        self,
+        units: Sequence[WorkUnit],
+        fingerprint: str,
+        on_event: Optional[Callable[[str, dict], None]],
+        raise_on_failure: bool,
+        should_abort: Optional[Callable[[], bool]],
+        unit_keys: Optional[Mapping[str, str]],
+    ) -> None:
+        plan = self.fault_plan
+        faults = (
+            plan.resolve([unit.unit_id for unit in units]) if plan else {}
+        )
+        self._local.run = _RunContext(
+            policy=self.retry,
+            faults=faults,
+            fingerprint=fingerprint,
+            on_event=on_event,
+            raise_on_failure=raise_on_failure,
+            should_abort=should_abort,
+            unit_keys=dict(unit_keys or {}),
+        )
+
+    def _finish_run(self) -> FailureReport:
+        ctx = self._run
+        report = FailureReport(
+            fingerprint=ctx.fingerprint or None,
+            executor=self.name,
+            quarantined=list(ctx.quarantined),
+            retries={
+                unit_id: count - 1
+                for unit_id, count in sorted(ctx.attempts.items())
+                if count > 1
+            },
+            pool_rebuilds=ctx.pool_rebuilds,
+        )
+        self._local.report = report
+        self._local.run = None
+        if report.quarantined and self.checkpoint_dir is not None:
+            from repro.io import save_result
+
+            try:
+                self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+                save_result(
+                    report,
+                    self.checkpoint_dir / "failure-report.json",
+                    atomic=True,
+                )
+            except OSError as error:
+                warnings.warn(
+                    f"could not persist failure report: {error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return report
+
+    # -- reliability helpers ----------------------------------------------
+
+    def _emit(self, kind: str, payload: dict) -> None:
+        ctx = self._run
+        if ctx.on_event is not None:
+            ctx.on_event(kind, payload)
+
+    def _abort_check(self) -> None:
+        ctx = self._run
+        if ctx.should_abort is not None and ctx.should_abort():
+            raise ExecutionAborted("run aborted by caller")
+
+    def _unit_key(self, unit_id: str) -> str:
+        """Stable backoff-jitter key: content fingerprint when known."""
+        return self._run.unit_keys.get(unit_id, unit_id)
+
+    def _fault_payload(self, unit_id: str) -> Optional[List[dict]]:
+        actions = self._run.faults.get(unit_id)
+        if not actions:
+            return None
+        return [action.to_dict() for action in actions]
+
+    def _after_failure(self, unit: WorkUnit, error: BaseException, attempt: int) -> str:
+        """Route a failed attempt: ``"retry"``, ``"quarantine"``, or raise."""
+        ctx = self._run
+        now = time.monotonic()
+        unit_elapsed = now - ctx.unit_started.get(unit.unit_id, now)
+        run_elapsed = now - ctx.started
+        described = f"{type(error).__name__}: {error}"
+        if ctx.policy.should_retry(error, attempt, unit_elapsed, run_elapsed):
+            self._emit(
+                "retry",
+                {"unit_id": unit.unit_id, "attempt": attempt, "error": described},
+            )
+            return "retry"
+        if ctx.raise_on_failure:
+            raise error
+        ctx.quarantined.append(
+            UnitFailure.from_exception(
+                unit.unit_id,
+                error,
+                attempts=attempt,
+                fingerprint=ctx.unit_keys.get(unit.unit_id),
+            )
+        )
+        self._emit(
+            "quarantine",
+            {"unit_id": unit.unit_id, "attempts": attempt, "error": described},
+        )
+        return "quarantine"
+
+    def _attempt_unit(self, unit: WorkUnit) -> Tuple[bool, Any]:
+        """Run one unit in-process under the retry policy.
+
+        Returns ``(True, output)``, or ``(False, None)`` when the unit
+        exhausted its budget and was quarantined (raise mode re-raises
+        instead).  Injected ``kill`` faults degrade to
+        :class:`WorkerCrash` here — in-process execution cannot survive
+        a literal ``os._exit``.
+        """
+        ctx = self._run
+        ctx.unit_started.setdefault(unit.unit_id, time.monotonic())
+        while True:
+            self._abort_check()
+            attempt = ctx.attempts.get(unit.unit_id, 0) + 1
+            try:
+                payload = self._fault_payload(unit.unit_id)
+                if payload is None:
+                    output = unit.fn(*unit.args)
+                else:
+                    output = call_with_faults(
+                        payload, attempt, False, unit.fn, unit.args
+                    )
+            except Exception as error:
+                ctx.attempts[unit.unit_id] = attempt
+                if self._after_failure(unit, error, attempt) != "retry":
+                    return False, None
+                delay = ctx.policy.delay(attempt, self._unit_key(unit.unit_id))
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            ctx.attempts[unit.unit_id] = attempt
+            return True, output
+
+    def _note_pool_breakage(
+        self, pending: Dict[str, WorkUnit], broken: _PoolBroken
+    ) -> None:
+        """Charge a pool crash deterministically and decide who retries.
+
+        The pool gives no way to tell which in-flight unit killed the
+        worker, so the crash is charged to the units whose fault plan
+        *scheduled* a kill at their current attempt; only for unplanned
+        breakage (no suspects) is every in-flight unit charged.  Charged
+        units either stay pending for the rebuilt pool or are
+        quarantined/raised when their budget is gone; uncharged in-flight
+        units re-run at the *same* attempt number, so deterministic
+        faults re-fire identically and outputs stay byte-identical.
+        """
+        ctx = self._run
+        if not broken.inflight:
+            # Pool died before accepting any work: rebuilding would spin.
+            raise broken.cause
+        ctx.pool_rebuilds += 1
+        suspects = {
+            unit_id: attempt
+            for unit_id, attempt in broken.inflight.items()
+            if any(
+                action.kind == "kill" and action.applies(attempt)
+                for action in ctx.faults.get(unit_id, ())
+            )
+        }
+        if not suspects:
+            suspects = dict(broken.inflight)
+        self._emit(
+            "pool_rebuild",
+            {"rebuilds": ctx.pool_rebuilds, "suspects": sorted(suspects)},
+        )
+        for unit_id, attempt in sorted(suspects.items()):
+            unit = pending.get(unit_id)
+            if unit is None:
+                continue
+            ctx.attempts[unit_id] = attempt
+            crash = WorkerCrash(
+                f"worker process died while {unit_id} was in flight "
+                f"(attempt {attempt}); pool rebuilt"
+            )
+            crash.__cause__ = broken.cause
+            if self._after_failure(unit, crash, attempt) != "retry":
+                del pending[unit_id]
+
+    @staticmethod
+    def _inflight(running: Mapping[Any, Tuple[WorkUnit, int]]) -> Dict[str, int]:
+        return {unit.unit_id: attempt for unit, attempt in running.values()}
+
+    # -- execution --------------------------------------------------------
 
     def map_units(
         self,
@@ -200,6 +507,11 @@ class Executor(ABC):
         fingerprint: str = "",
         verbose: bool = False,
         on_result: Optional[Callable[[WorkUnit, Any], None]] = None,
+        *,
+        on_event: Optional[Callable[[str, dict], None]] = None,
+        raise_on_failure: bool = True,
+        should_abort: Optional[Callable[[], bool]] = None,
+        unit_keys: Optional[Mapping[str, str]] = None,
     ) -> List[Any]:
         """Execute ``units`` and return their outputs in unit order.
 
@@ -212,33 +524,52 @@ class Executor(ABC):
         ``on_result`` is invoked once per unit output — checkpoint-loaded
         ones first (in unit order), then fresh completions as they land —
         so callers can stream progress during long grids.
+
+        Reliability keywords: ``on_event(kind, payload)`` observes
+        ``"retry"`` / ``"quarantine"`` / ``"pool_rebuild"`` events;
+        ``raise_on_failure=False`` switches budget-exhausted units from
+        re-raising to quarantine (``None`` placeholder in the returned
+        list, details in :attr:`last_report`); ``should_abort`` is polled
+        between attempts and while draining pools — returning True stops
+        the run with :class:`repro.reliability.ExecutionAborted`;
+        ``unit_keys`` maps unit ids to content fingerprints used for
+        backoff-jitter keys and quarantine records.
         """
         ids = [unit.unit_id for unit in units]
         if len(set(ids)) != len(ids):
             raise ValueError("work unit ids must be unique")
-        completed = self._load_checkpoints(set(ids), fingerprint)
-        if verbose and completed:
-            print(
-                f"[executor:{self.name}] resuming: "
-                f"{len(completed)}/{len(units)} units checkpointed"
-            )
-        if on_result is not None:
-            for unit in units:
-                if unit.unit_id in completed:
-                    on_result(unit, completed[unit.unit_id])
-        pending = [unit for unit in units if unit.unit_id not in completed]
-        for unit, output in self._execute(pending):
-            completed[unit.unit_id] = output
-            self._write_checkpoint(unit, output, fingerprint)
+        self._begin_run(
+            units, fingerprint, on_event, raise_on_failure, should_abort, unit_keys
+        )
+        try:
+            completed = self._load_checkpoints(set(ids), fingerprint)
+            if verbose and completed:
+                print(
+                    f"[executor:{self.name}] resuming: "
+                    f"{len(completed)}/{len(units)} units checkpointed"
+                )
             if on_result is not None:
-                on_result(unit, output)
-        return [completed[unit.unit_id] for unit in units]
+                for unit in units:
+                    if unit.unit_id in completed:
+                        on_result(unit, completed[unit.unit_id])
+            pending = [unit for unit in units if unit.unit_id not in completed]
+            for unit, output in self._execute(pending):
+                completed[unit.unit_id] = output
+                self._write_checkpoint(unit, output, fingerprint)
+                if on_result is not None:
+                    on_result(unit, output)
+            return [completed.get(unit.unit_id) for unit in units]
+        finally:
+            self._finish_run()
 
     @abstractmethod
     def _execute(
         self, units: Sequence[WorkUnit]
     ) -> Iterator[Tuple[WorkUnit, Any]]:
-        """Yield ``(unit, output)`` pairs as units complete (any order)."""
+        """Yield ``(unit, output)`` pairs as units complete (any order).
+
+        Quarantined units (non-raise mode) are simply not yielded.
+        """
 
     # -- checkpoint layer -------------------------------------------------
 
@@ -288,13 +619,34 @@ class Executor(ABC):
         self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
         # Atomic write (unique temp + rename): a kill mid-write leaves a
         # .tmp file, never a corrupt checkpoint.
+        path = self._checkpoint_path(unit.unit_id)
         save_result(
             ShardCheckpoint(
                 unit_id=unit.unit_id, fingerprint=fingerprint, data=output
             ),
-            self._checkpoint_path(unit.unit_id),
+            path,
             atomic=True,
         )
+        self._maybe_corrupt(unit.unit_id, path, "corrupt_checkpoint")
+
+    def _maybe_corrupt(self, unit_id: str, path: Path, kind: str) -> None:
+        """Apply a scheduled parent-side file corruption (chaos testing).
+
+        The first ``times`` writes per run are scribbled over; the run
+        itself is unaffected (outputs are already in memory) — the
+        corruption is seen by the *next* resume/read, which must warn
+        and recompute rather than crash.
+        """
+        ctx = getattr(self._local, "run", None)
+        if ctx is None or not ctx.faults:
+            return
+        for action in ctx.faults.get(unit_id, ()):
+            if action.kind != kind:
+                continue
+            count = ctx.corruptions.get(f"{kind}:{unit_id}", 0) + 1
+            ctx.corruptions[f"{kind}:{unit_id}"] = count
+            if action.applies(count):
+                corrupt_file(str(path))
 
 
 @register_executor
@@ -308,7 +660,9 @@ class SerialExecutor(Executor):
         self, units: Sequence[WorkUnit]
     ) -> Iterator[Tuple[WorkUnit, Any]]:
         for unit in units:
-            yield unit, unit.fn(*unit.args)
+            ok, output = self._attempt_unit(unit)
+            if ok:
+                yield unit, output
 
 
 @register_executor
@@ -361,6 +715,12 @@ class ProcessPoolExecutor(Executor):
     structure); units arrive with their RNG children pre-reserved, so any
     placement/completion order reproduces the serial streams exactly.
     Honours ``VarianceConfig.batched`` (default on) inside each worker.
+
+    Survives worker crashes: ``BrokenProcessPool`` triggers a pool
+    rebuild that re-dispatches only the unfinished units (completed
+    outputs were already yielded and checkpointed), with the crash
+    charged against the retry budget of the responsible units (see
+    :meth:`Executor._note_pool_breakage`).
     """
 
     name = "process_pool"
@@ -370,10 +730,14 @@ class ProcessPoolExecutor(Executor):
         self,
         workers: int = 0,
         checkpoint_dir: Optional[Union[str, Path]] = None,
+        retry: Any = None,
+        fault_plan: Any = None,
     ):
         super().__init__(
             workers=int(workers) or os.cpu_count() or 1,
             checkpoint_dir=checkpoint_dir,
+            retry=retry,
+            fault_plan=fault_plan,
         )
 
     def circuits_per_shard(self, num_circuits: int) -> Optional[int]:
@@ -390,14 +754,98 @@ class ProcessPoolExecutor(Executor):
         if self.workers == 1:
             # No parallelism to win; skip the fork + pickle overhead.
             for unit in units:
-                yield unit, unit.fn(*unit.args)
+                ok, output = self._attempt_unit(unit)
+                if ok:
+                    yield unit, output
             return
-        with futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
-            submitted = {
-                pool.submit(unit.fn, *unit.args): unit for unit in units
-            }
-            for future in futures.as_completed(submitted):
-                yield submitted[future], future.result()
+        pending: Dict[str, WorkUnit] = {unit.unit_id: unit for unit in units}
+        while pending:
+            try:
+                for unit, output in self._drain_pool(pending):
+                    yield unit, output
+                return
+            except _PoolBroken as broken:
+                self._note_pool_breakage(pending, broken)
+
+    def _drain_pool(
+        self, pending: Dict[str, WorkUnit]
+    ) -> Iterator[Tuple[WorkUnit, Any]]:
+        """Run ``pending`` on one pool, retrying in place, until done.
+
+        Removes each finished (or quarantined) unit from ``pending`` and
+        yields successes; raises :class:`_PoolBroken` when the pool dies
+        so the caller can charge the crash and rebuild.
+        """
+        ctx = self._run
+        with futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending))
+        ) as pool:
+            running: Dict[futures.Future, Tuple[WorkUnit, int]] = {}
+
+            def submit(unit: WorkUnit) -> None:
+                attempt = ctx.attempts.get(unit.unit_id, 0) + 1
+                ctx.unit_started.setdefault(unit.unit_id, time.monotonic())
+                payload = self._fault_payload(unit.unit_id)
+                try:
+                    if payload is None:
+                        future = pool.submit(unit.fn, *unit.args)
+                    else:
+                        future = pool.submit(
+                            call_with_faults,
+                            payload,
+                            attempt,
+                            True,
+                            unit.fn,
+                            unit.args,
+                        )
+                except BrokenProcessPool as error:
+                    raise _PoolBroken(error, self._inflight(running)) from None
+                running[future] = (unit, attempt)
+
+            for unit in list(pending.values()):
+                submit(unit)
+            while running:
+                done, _ = futures.wait(
+                    set(running),
+                    timeout=_ABORT_POLL_SECONDS,
+                    return_when=futures.FIRST_COMPLETED,
+                )
+                if not done:
+                    self._abort_check()
+                    continue
+                broken: Optional[BaseException] = None
+                broken_units: Dict[str, int] = {}
+                resubmit: List[Tuple[WorkUnit, int]] = []
+                for future in done:
+                    unit, attempt = running.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        ctx.attempts[unit.unit_id] = attempt
+                        del pending[unit.unit_id]
+                        yield unit, future.result()
+                        continue
+                    if isinstance(error, BrokenProcessPool):
+                        # The victim stays in pending, uncharged: the
+                        # breakage handler decides who pays.
+                        broken = error
+                        broken_units[unit.unit_id] = attempt
+                        continue
+                    ctx.attempts[unit.unit_id] = attempt
+                    if self._after_failure(unit, error, attempt) == "retry":
+                        resubmit.append((unit, attempt))
+                    else:
+                        del pending[unit.unit_id]
+                if broken is not None:
+                    # A break resolves every in-flight future at once:
+                    # the broken-errored ones were in flight too.
+                    raise _PoolBroken(
+                        broken, {**self._inflight(running), **broken_units}
+                    )
+                for unit, attempt in resubmit:
+                    delay = ctx.policy.delay(attempt, self._unit_key(unit.unit_id))
+                    if delay > 0:
+                        time.sleep(delay)
+                    submit(unit)
 
 
 @register_executor
@@ -419,9 +867,11 @@ class AsyncExecutor(Executor):
     Outputs and checkpoints are bit-identical to every other executor:
     units carry pre-reserved RNG children, so completion order is
     presentation, not semantics.  Like ``process_pool``, unit functions
-    and arguments must be picklable; ``workers=0`` means one worker per
-    CPU core, and single-worker instances run units in-process (no fork
-    or pickle overhead) while still streaming each completion.
+    and arguments must be picklable, worker crashes rebuild the pool and
+    re-dispatch unfinished units, and the retry policy applies per unit;
+    ``workers=0`` means one worker per CPU core, and single-worker
+    instances run units in-process (no fork or pickle overhead) while
+    still streaming each completion.
     """
 
     name = "async"
@@ -431,10 +881,14 @@ class AsyncExecutor(Executor):
         self,
         workers: int = 0,
         checkpoint_dir: Optional[Union[str, Path]] = None,
+        retry: Any = None,
+        fault_plan: Any = None,
     ):
         super().__init__(
             workers=int(workers) or os.cpu_count() or 1,
             checkpoint_dir=checkpoint_dir,
+            retry=retry,
+            fault_plan=fault_plan,
         )
 
     def circuits_per_shard(self, num_circuits: int) -> Optional[int]:
@@ -447,26 +901,98 @@ class AsyncExecutor(Executor):
         self, units: Sequence[WorkUnit], loop: asyncio.AbstractEventLoop
     ):
         """Async generator of ``(unit, output)`` in completion order."""
+        ctx = self._run
         if self.workers == 1 or len(units) <= 1:
             # Nothing to overlap: run in-process, still yielding each
             # completion as it happens.
             for unit in units:
-                yield unit, unit.fn(*unit.args)
+                ok, output = self._attempt_unit(unit)
+                if ok:
+                    yield unit, output
             return
-        with futures.ProcessPoolExecutor(
-            max_workers=min(self.workers, len(units))
-        ) as pool:
-            tasks = {
-                loop.run_in_executor(pool, unit.fn, *unit.args): unit
-                for unit in units
-            }
-            pending = set(tasks)
-            while pending:
-                done, pending = await asyncio.wait(
-                    pending, return_when=asyncio.FIRST_COMPLETED
-                )
-                for task in done:
-                    yield tasks[task], task.result()
+        pending: Dict[str, WorkUnit] = {unit.unit_id: unit for unit in units}
+        while pending:
+            pool = futures.ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending))
+            )
+            running: Dict[Any, Tuple[WorkUnit, int]] = {}
+            try:
+
+                def submit(unit: WorkUnit) -> None:
+                    attempt = ctx.attempts.get(unit.unit_id, 0) + 1
+                    ctx.unit_started.setdefault(unit.unit_id, time.monotonic())
+                    payload = self._fault_payload(unit.unit_id)
+                    try:
+                        if payload is None:
+                            task = loop.run_in_executor(
+                                pool, unit.fn, *unit.args
+                            )
+                        else:
+                            task = loop.run_in_executor(
+                                pool,
+                                call_with_faults,
+                                payload,
+                                attempt,
+                                True,
+                                unit.fn,
+                                unit.args,
+                            )
+                    except BrokenProcessPool as error:
+                        raise _PoolBroken(
+                            error, self._inflight(running)
+                        ) from None
+                    running[task] = (unit, attempt)
+
+                for unit in list(pending.values()):
+                    submit(unit)
+                while running:
+                    done, _ = await asyncio.wait(
+                        set(running),
+                        timeout=_ABORT_POLL_SECONDS,
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                    if not done:
+                        self._abort_check()
+                        continue
+                    broken: Optional[BaseException] = None
+                    broken_units: Dict[str, int] = {}
+                    resubmit: List[Tuple[WorkUnit, int]] = []
+                    for task in done:
+                        unit, attempt = running.pop(task)
+                        error = task.exception()
+                        if error is None:
+                            ctx.attempts[unit.unit_id] = attempt
+                            del pending[unit.unit_id]
+                            yield unit, task.result()
+                            continue
+                        if isinstance(error, BrokenProcessPool):
+                            broken = error
+                            broken_units[unit.unit_id] = attempt
+                            continue
+                        ctx.attempts[unit.unit_id] = attempt
+                        if self._after_failure(unit, error, attempt) == "retry":
+                            resubmit.append((unit, attempt))
+                        else:
+                            del pending[unit.unit_id]
+                    if broken is not None:
+                        raise _PoolBroken(
+                            broken, {**self._inflight(running), **broken_units}
+                        )
+                    for unit, attempt in resubmit:
+                        delay = ctx.policy.delay(
+                            attempt, self._unit_key(unit.unit_id)
+                        )
+                        if delay > 0:
+                            await asyncio.sleep(delay)
+                        submit(unit)
+            except _PoolBroken as broken_escape:
+                self._note_pool_breakage(pending, broken_escape)
+            finally:
+                # Tasks abandoned at pool breakage would otherwise log
+                # "exception was never retrieved" at garbage collection.
+                for task in running:
+                    task.add_done_callback(_swallow_task_exception)
+                pool.shutdown(wait=True, cancel_futures=True)
 
     def _execute(
         self, units: Sequence[WorkUnit]
@@ -490,52 +1016,79 @@ class AsyncExecutor(Executor):
                 loop.close()
 
     def stream_units(
-        self, units: Sequence[WorkUnit], fingerprint: str = ""
+        self,
+        units: Sequence[WorkUnit],
+        fingerprint: str = "",
+        *,
+        on_event: Optional[Callable[[str, dict], None]] = None,
+        raise_on_failure: bool = True,
+        should_abort: Optional[Callable[[], bool]] = None,
+        unit_keys: Optional[Mapping[str, str]] = None,
     ) -> Iterator[Tuple[WorkUnit, Any]]:
         """Yield ``(unit, output)`` pairs as they complete (blocking).
 
         Checkpoint-aware like :meth:`map_units`: already-checkpointed
         units are yielded first (in unit order), fresh completions are
         checkpointed before being yielded.  Completion order of fresh
-        units is nondeterministic; outputs are not.
+        units is nondeterministic; outputs are not.  Quarantined units
+        (``raise_on_failure=False``) are simply not yielded; the
+        reliability keywords match :meth:`map_units`.
         """
         ids = [unit.unit_id for unit in units]
         if len(set(ids)) != len(ids):
             raise ValueError("work unit ids must be unique")
-        completed = self._load_checkpoints(set(ids), fingerprint)
-        for unit in units:
-            if unit.unit_id in completed:
-                yield unit, completed[unit.unit_id]
-        pending = [unit for unit in units if unit.unit_id not in completed]
-        for unit, output in self._execute(pending):
-            self._write_checkpoint(unit, output, fingerprint)
-            yield unit, output
+        self._begin_run(
+            units, fingerprint, on_event, raise_on_failure, should_abort, unit_keys
+        )
+        try:
+            completed = self._load_checkpoints(set(ids), fingerprint)
+            for unit in units:
+                if unit.unit_id in completed:
+                    yield unit, completed[unit.unit_id]
+            pending = [unit for unit in units if unit.unit_id not in completed]
+            for unit, output in self._execute(pending):
+                self._write_checkpoint(unit, output, fingerprint)
+                yield unit, output
+        finally:
+            self._finish_run()
 
     async def amap_units(
         self,
         units: Sequence[WorkUnit],
         fingerprint: str = "",
         on_result: Optional[Callable[[WorkUnit, Any], None]] = None,
+        *,
+        on_event: Optional[Callable[[str, dict], None]] = None,
+        raise_on_failure: bool = True,
+        should_abort: Optional[Callable[[], bool]] = None,
+        unit_keys: Optional[Mapping[str, str]] = None,
     ) -> List[Any]:
         """Native ``async`` :meth:`map_units`: same ordering contract.
 
         Runs on the caller's event loop; ``on_result`` fires per
         completion (checkpoint-loaded units first, then fresh ones as
-        they land) without blocking the loop between completions.
+        they land) without blocking the loop between completions.  The
+        reliability keywords match :meth:`map_units`.
         """
         ids = [unit.unit_id for unit in units]
         if len(set(ids)) != len(ids):
             raise ValueError("work unit ids must be unique")
-        completed = self._load_checkpoints(set(ids), fingerprint)
-        if on_result is not None:
-            for unit in units:
-                if unit.unit_id in completed:
-                    on_result(unit, completed[unit.unit_id])
-        pending = [unit for unit in units if unit.unit_id not in completed]
-        loop = asyncio.get_running_loop()
-        async for unit, output in self._astream(pending, loop):
-            completed[unit.unit_id] = output
-            self._write_checkpoint(unit, output, fingerprint)
+        self._begin_run(
+            units, fingerprint, on_event, raise_on_failure, should_abort, unit_keys
+        )
+        try:
+            completed = self._load_checkpoints(set(ids), fingerprint)
             if on_result is not None:
-                on_result(unit, output)
-        return [completed[unit.unit_id] for unit in units]
+                for unit in units:
+                    if unit.unit_id in completed:
+                        on_result(unit, completed[unit.unit_id])
+            pending = [unit for unit in units if unit.unit_id not in completed]
+            loop = asyncio.get_running_loop()
+            async for unit, output in self._astream(pending, loop):
+                completed[unit.unit_id] = output
+                self._write_checkpoint(unit, output, fingerprint)
+                if on_result is not None:
+                    on_result(unit, output)
+            return [completed.get(unit.unit_id) for unit in units]
+        finally:
+            self._finish_run()

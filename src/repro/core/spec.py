@@ -74,6 +74,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
@@ -81,6 +82,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.executor import EXECUTORS, Executor, WorkUnit, get_executor
+from repro.reliability import FaultPlan, RetryPolicy
 from repro.core.training import TrainingConfig
 from repro.core.variance import (
     VarianceConfig,
@@ -209,6 +211,26 @@ class ExperimentSpec:
     sweep_field / sweep_values / paired:
         For ``sweep`` specs: the :class:`VarianceConfig` field to vary,
         the values it takes, and whether runs share paired RNG streams.
+    retry:
+        Retry policy for the run's executor: an attempt count, a
+        :meth:`~repro.reliability.RetryPolicy.to_dict` payload, or a
+        :class:`~repro.reliability.RetryPolicy` instance.  ``None``
+        defers to the environment (``REPRO_RETRY`` /
+        ``REPRO_MAX_ATTEMPTS``) or the library default.  Scheduling-only:
+        never enters the fingerprint — retried units are bit-identical
+        by the pre-reserved-RNG contract.
+    fault_plan:
+        Deterministic chaos plan (:class:`~repro.reliability.FaultPlan`
+        or its dict form) injected into the run's executor — test/CI
+        tooling, ``None`` (the default) defers to ``REPRO_FAULT_PLAN``.
+        Scheduling-only, like ``retry``.
+    backend_fallback:
+        When True, a non-numpy ``backend`` that fails to import or
+        initialize degrades to numpy with one structured
+        :class:`~repro.utils.array_api.BackendFallbackWarning` instead
+        of raising — applied at resolve time, so fingerprints and cached
+        results are stamped numpy.  ``None`` (default) reads the
+        ``REPRO_BACKEND_FALLBACK`` env var; False keeps fail-fast.
     """
 
     kind: str
@@ -225,6 +247,9 @@ class ExperimentSpec:
     sweep_field: Optional[str] = None
     sweep_values: Optional[Sequence] = None
     paired: bool = True
+    retry: Any = None
+    fault_plan: Any = None
+    backend_fallback: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.kind not in EXPERIMENT_KINDS:
@@ -254,6 +279,20 @@ class ExperimentSpec:
             raise ValueError(
                 f"backend must be a non-empty array-backend spec string, "
                 f"got {self.backend!r}"
+            )
+        if self.retry is not None:
+            # Validate eagerly (a bad policy must fail at spec
+            # construction, not mid-run) but keep the raw value so
+            # to_dict round-trips the user's own spelling.
+            RetryPolicy.coerce(self.retry)
+        if self.fault_plan is not None:
+            FaultPlan.coerce(self.fault_plan)
+        if self.backend_fallback is not None and not isinstance(
+            self.backend_fallback, bool
+        ):
+            raise ValueError(
+                f"backend_fallback must be True, False or None (defer to "
+                f"REPRO_BACKEND_FALLBACK), got {self.backend_fallback!r}"
             )
         if self.circuits_per_shard is not None:
             # Validate eagerly: a bad shard size must fail at spec
@@ -300,12 +339,31 @@ class ExperimentSpec:
         config = self.config or VarianceConfig()
         return "batched" if config.batched else "serial"
 
+    def _fallback_enabled(self) -> bool:
+        """Whether backend graceful degradation is on (spec or env)."""
+        if self.backend_fallback is not None:
+            return self.backend_fallback
+        flag = os.environ.get("REPRO_BACKEND_FALLBACK", "")
+        return flag.strip().lower() in ("1", "true", "yes", "on")
+
     def _resolved_backend(self) -> str:
-        """The array backend the run will use (spec override or config's)."""
+        """The array backend the run will use (spec override or config's).
+
+        With :attr:`backend_fallback` enabled, an unavailable non-numpy
+        backend resolves to ``"numpy"`` here — before executor
+        derivation and fingerprinting — so the degraded run is planned,
+        keyed and cached as what it actually computes.
+        """
         if self.backend != "numpy":
-            return self.backend
-        config_backend = getattr(self.config, "backend", "numpy")
-        return config_backend if config_backend else "numpy"
+            backend = self.backend
+        else:
+            config_backend = getattr(self.config, "backend", "numpy")
+            backend = config_backend if config_backend else "numpy"
+        if backend != "numpy" and self._fallback_enabled():
+            from repro.utils.array_api import backend_spec_with_fallback
+
+            backend = backend_spec_with_fallback(backend)
+        return backend
 
     def fingerprint(self, plan: Any = None) -> str:
         """Content-addressed digest of this experiment's resolved identity.
@@ -366,6 +424,17 @@ class ExperimentSpec:
                 list(self.sweep_values) if self.sweep_values is not None else None
             ),
             "paired": self.paired,
+            "retry": (
+                self.retry.to_dict()
+                if isinstance(self.retry, RetryPolicy)
+                else self.retry
+            ),
+            "fault_plan": (
+                self.fault_plan.to_dict()
+                if isinstance(self.fault_plan, FaultPlan)
+                else self.fault_plan
+            ),
+            "backend_fallback": self.backend_fallback,
         }
 
     @classmethod
@@ -406,6 +475,9 @@ class ExperimentSpec:
             sweep_field=payload.get("sweep_field"),
             sweep_values=payload.get("sweep_values"),
             paired=True if paired is None else bool(paired),
+            retry=payload.get("retry"),
+            fault_plan=payload.get("fault_plan"),
+            backend_fallback=payload.get("backend_fallback"),
         )
 
     @classmethod
@@ -479,8 +551,14 @@ def _resolve_config(
         spec.config if spec.config is not None else EXPERIMENT_KINDS[spec.kind]()
     )
     config = _apply_shots(spec, config)
-    if spec.backend != "numpy":
-        config = replace(config, backend=spec.backend)
+    # The resolved backend folds in the spec-level override and (when
+    # backend_fallback is on) graceful degradation to numpy — stamping
+    # the config *here* means fingerprints describe what actually runs.
+    backend = spec._resolved_backend()
+    if spec.backend != "numpy" or backend != (
+        getattr(config, "backend", backend) or backend
+    ):
+        config = replace(config, backend=backend)
     if spec.kind == "variance":
         if executor is not None:
             batched = executor.variance_batched
@@ -638,6 +716,8 @@ def plan_experiment(
             spec.resolved_executor(),
             workers=spec.workers,
             checkpoint_dir=spec.checkpoint_dir,
+            retry=spec.retry,
+            fault_plan=spec.fault_plan,
         )
     config = _resolve_config(spec, executor)
     # Fail fast on a missing optional namespace (torch/cupy not
@@ -680,6 +760,8 @@ def run(
         spec.resolved_executor(),
         workers=spec.workers,
         checkpoint_dir=spec.checkpoint_dir,
+        retry=spec.retry,
+        fault_plan=spec.fault_plan,
     )
     plan = plan_experiment(spec, executor)
     on_result = None

@@ -14,6 +14,7 @@ import json
 import os
 import threading
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional, Type, Union
 
@@ -38,6 +39,7 @@ from repro.core.results import (
     VarianceResult,
 )
 from repro.core.spec import ExperimentSpec
+from repro.reliability.report import FailureReport
 
 __all__ = [
     "save_result",
@@ -67,6 +69,7 @@ RESULT_TYPES: Dict[str, Type] = {
     "FullReproductionOutcome": FullReproductionOutcome,
     "ExperimentSpec": ExperimentSpec,
     "ShardCheckpoint": ShardCheckpoint,
+    "FailureReport": FailureReport,
 }
 
 
@@ -97,8 +100,19 @@ class FileLock:
             ...  # exclusive across processes and threads
 
     Not reentrant.  ``acquire`` raises :class:`TimeoutError` after
-    ``timeout`` seconds so a crashed holder (fallback mode) or a wedged
-    writer cannot deadlock the caller forever.
+    ``timeout`` seconds so a wedged writer cannot deadlock the caller
+    forever.
+
+    In ``flock`` mode the kernel releases the lock when the holder dies,
+    so crashes cannot wedge waiters.  The O_EXCL fallback has no such
+    guarantee: the lock file of a crashed holder would otherwise block
+    every later writer for the full ``timeout``.  To break those, the
+    fallback writes the holder's pid into the lock file and waiters
+    remove lock files whose holder is provably dead (pid no longer
+    exists) or — when ``stale_timeout`` is set — older than that many
+    seconds.  Breaking is best-effort: two waiters racing to break the
+    same dead lock can momentarily both proceed, which is the same
+    guarantee the timeout path already gave.
     """
 
     def __init__(
@@ -106,10 +120,12 @@ class FileLock:
         path: PathLike,
         timeout: float = 30.0,
         poll_interval: float = 0.01,
+        stale_timeout: Optional[float] = None,
     ):
         self.path = Path(path)
         self.timeout = float(timeout)
         self.poll_interval = float(poll_interval)
+        self.stale_timeout = None if stale_timeout is None else float(stale_timeout)
         self._fd: Optional[int] = None
         self._exclusive_create = fcntl is None
         # flock is per file-description, not per thread: serialize threads
@@ -126,10 +142,13 @@ class FileLock:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             while True:
                 try:
-                    if self._exclusive_create:  # pragma: no cover - non-POSIX
+                    if self._exclusive_create:
                         self._fd = os.open(
                             self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
                         )
+                        # Record the holder so waiters can detect a
+                        # crashed one (see _break_stale_lock).
+                        os.write(self._fd, str(os.getpid()).encode("ascii"))
                         return self
                     fd = os.open(self.path, os.O_CREAT | os.O_WRONLY)
                     try:
@@ -140,6 +159,8 @@ class FileLock:
                     self._fd = fd
                     return self
                 except OSError:
+                    if self._exclusive_create and self._break_stale_lock():
+                        continue
                     if time.monotonic() >= deadline:
                         raise TimeoutError(
                             f"timed out waiting for file lock {self.path}"
@@ -148,6 +169,47 @@ class FileLock:
         except BaseException:
             self._thread_lock.release()
             raise
+
+    def _break_stale_lock(self) -> bool:
+        """Remove a fallback lock file whose holder is provably gone.
+
+        Returns True when a lock file was broken (the caller should
+        retry immediately).  A lock is stale when the pid it records no
+        longer exists, or — with ``stale_timeout`` set — when the file
+        is older than that threshold (covers pid reuse and lock files
+        written by pre-pid versions of this class).
+        """
+        try:
+            raw = self.path.read_text(encoding="ascii", errors="replace").strip()
+        except OSError:
+            return False  # holder released between our open and read
+        stale = False
+        if raw.isdigit():
+            try:
+                os.kill(int(raw), 0)
+            except ProcessLookupError:
+                stale = True
+            except (PermissionError, OSError):
+                pass  # holder alive (or unknowable): leave the lock be
+        if not stale and self.stale_timeout is not None:
+            try:
+                age = time.time() - self.path.stat().st_mtime
+            except OSError:
+                return False
+            stale = age >= self.stale_timeout
+        if not stale:
+            return False
+        warnings.warn(
+            f"breaking stale lock {self.path} "
+            f"(holder pid {raw or 'unknown'} is gone)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        try:
+            self.path.unlink()
+        except OSError:
+            return False  # someone else broke or re-took it first
+        return True
 
     def release(self) -> None:
         if self._fd is not None:

@@ -1,0 +1,60 @@
+"""Fault tolerance for the execution stack: retries, chaos, reports.
+
+Production runs fail in boring, recoverable ways — a worker process
+dies, a filesystem hiccups, an optional accelerator library is missing
+on one host.  This package gives every executor (and the serving layer
+on top) one shared vocabulary for surviving those failures without
+touching the library's bit-identity contract:
+
+:class:`RetryPolicy`
+    How many times to re-run a failed work unit, with exponential
+    backoff and *deterministic* jitter derived from the unit's
+    fingerprint, which exception types count as transient, and per-unit
+    / per-run wall-clock deadlines.  Because work units carry
+    pre-reserved RNG children, a retried unit is byte-identical to a
+    never-failed one.
+
+:class:`FaultPlan`
+    A deterministic chaos harness: keyed by unit id / index, it injects
+    transient exceptions, worker kills (``os._exit`` in pool children),
+    artificial slowness, and checkpoint/store corruption — the same plan
+    reproduces exactly under every executor, in-process or multi-process
+    (enabled programmatically or via the ``REPRO_FAULT_PLAN`` env var).
+
+:class:`FailureReport` / :class:`UnitFailure`
+    The structured outcome of a run that saw failures: per-unit retry
+    counts, quarantined units with tracebacks and content fingerprints,
+    and pool-rebuild counts.  Persisted next to checkpoints and surfaced
+    by ``repro serve`` job status.
+
+Exception taxonomy: :class:`TransientError` is the retryable base class
+(raise it from custom work units to opt into retries); the harness's
+:class:`InjectedFault` and :class:`WorkerCrash` derive from it, and
+:class:`ExecutionAborted` marks a run cancelled from outside (job
+timeout / stall detection), which is never retried.
+"""
+
+from repro.reliability.faults import (
+    FaultAction,
+    FaultPlan,
+    InjectedFault,
+    WorkerCrash,
+)
+from repro.reliability.policy import (
+    ExecutionAborted,
+    RetryPolicy,
+    TransientError,
+)
+from repro.reliability.report import FailureReport, UnitFailure
+
+__all__ = [
+    "ExecutionAborted",
+    "FailureReport",
+    "FaultAction",
+    "FaultPlan",
+    "InjectedFault",
+    "RetryPolicy",
+    "TransientError",
+    "UnitFailure",
+    "WorkerCrash",
+]

@@ -1,0 +1,243 @@
+"""Retry policy: classification, deterministic backoff, deadlines.
+
+A :class:`RetryPolicy` decides, for one failed work-unit attempt,
+whether the executor should re-run the unit and after how long.  Three
+properties matter for this library specifically:
+
+* **Determinism** — backoff jitter is derived from a stable per-unit key
+  (the unit's content fingerprint when known, its id otherwise), never
+  from a global RNG, so a retried run consumes exactly the same random
+  streams as a clean one and stays byte-identical.
+* **Classification** — only *transient* failures retry.  By default that
+  is :class:`TransientError` (the opt-in marker, which the fault
+  harness's injected failures subclass), plus the OS-level failure
+  families (:class:`OSError`, :class:`EOFError`) that genuinely recur
+  spuriously on busy hosts.  A ``ValueError`` from a mis-specified unit
+  re-runs nobody's experiment three times.
+* **Deadlines** — optional per-unit and per-run wall-clock budgets stop
+  retries (not the first attempt) once a run has burned its allowance.
+
+Policies serialize to/from plain dicts (the ``ExperimentSpec.retry``
+field, the ``REPRO_RETRY`` environment variable) so the same knobs reach
+the CLI, spec files, and the HTTP service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+__all__ = ["RetryPolicy", "TransientError", "ExecutionAborted"]
+
+
+class TransientError(RuntimeError):
+    """A failure expected to succeed on re-execution.
+
+    Raise this (or a subclass) from a work-unit function to mark the
+    failure as retryable under the default :class:`RetryPolicy`
+    classification.  The fault-injection harness's exceptions derive
+    from it, so injected faults are retried exactly like real ones.
+    """
+
+
+class ExecutionAborted(RuntimeError):
+    """A run cancelled from outside (job timeout, stall, shutdown).
+
+    Never classified as retryable: the point of an abort is to stop
+    consuming wall clock, not to burn more of it on backoff.
+    """
+
+
+#: Exception families retried by default.  ``OSError`` covers the
+#: transient host-level failures (connection resets, interrupted I/O,
+#: temporarily unavailable resources); ``EOFError`` covers a worker
+#: whose pipe died mid-message.  Deliberately narrow: logic errors
+#: (ValueError/TypeError/KeyError...) fail fast.
+_DEFAULT_RETRYABLE: Tuple[type, ...] = (TransientError, OSError, EOFError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff configuration applied around every work unit.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per unit (1 = no retries).  A unit that fails
+        ``max_attempts`` times is quarantined (or re-raised, depending
+        on the executor's failure mode).
+    base_delay / backoff_factor / max_delay:
+        Attempt ``k`` (1-based) that fails waits
+        ``min(max_delay, base_delay * backoff_factor**(k-1))`` seconds,
+        scaled by the deterministic jitter, before attempt ``k+1``.
+    jitter:
+        Fractional jitter width: the delay is multiplied by a factor in
+        ``[1, 1 + jitter)`` derived from SHA-1 of ``(unit key, attempt)``
+        — stable across reruns and processes, decorrelated across units.
+    retry_on:
+        Extra exception *class names* (matched against the failure's
+        MRO, e.g. ``["BrokenPipeError", "MyFlakyError"]``) treated as
+        retryable on top of the built-in transient families.  Names keep
+        the field JSON-serializable for spec files and env vars.
+    unit_deadline:
+        Wall-clock budget in seconds for one unit across all of its
+        attempts; once exceeded, no further retries are granted.
+    run_deadline:
+        Same, for the whole ``map_units`` call.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.25
+    retry_on: Tuple[str, ...] = ()
+    unit_deadline: Optional[float] = None
+    run_deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if int(self.max_attempts) < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        for name in ("base_delay", "backoff_factor", "max_delay", "jitter"):
+            if float(getattr(self, name)) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in ("unit_deadline", "run_deadline"):
+            value = getattr(self, name)
+            if value is not None and float(value) <= 0:
+                raise ValueError(f"{name} must be positive when set")
+
+    # -- classification ---------------------------------------------------
+
+    def classify(self, error: BaseException) -> bool:
+        """True when ``error`` is transient (eligible for a retry)."""
+        if isinstance(error, ExecutionAborted):
+            return False
+        if isinstance(error, _DEFAULT_RETRYABLE):
+            return True
+        if self.retry_on:
+            mro_names = {cls.__name__ for cls in type(error).__mro__}
+            if mro_names.intersection(self.retry_on):
+                return True
+        return False
+
+    def should_retry(
+        self,
+        error: BaseException,
+        attempt: int,
+        unit_elapsed: float = 0.0,
+        run_elapsed: float = 0.0,
+    ) -> bool:
+        """Decide whether failed attempt number ``attempt`` re-runs."""
+        if attempt >= self.max_attempts:
+            return False
+        if not self.classify(error):
+            return False
+        if self.unit_deadline is not None and unit_elapsed >= self.unit_deadline:
+            return False
+        if self.run_deadline is not None and run_elapsed >= self.run_deadline:
+            return False
+        return True
+
+    # -- backoff ----------------------------------------------------------
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before the attempt *after* failed attempt ``attempt``.
+
+        Deterministic: the jitter factor comes from a hash of
+        ``(key, attempt)``, so reruns of the same unit wait identically
+        while different units decorrelate (no thundering herd when a
+        pool rebuild re-dispatches a batch).
+        """
+        base = min(
+            float(self.max_delay),
+            float(self.base_delay) * float(self.backoff_factor) ** (attempt - 1),
+        )
+        if self.jitter <= 0 or base <= 0:
+            return base
+        digest = hashlib.sha1(
+            f"{key}:{attempt}".encode("utf-8")
+        ).digest()
+        unit_interval = int.from_bytes(digest[:8], "big") / float(2**64)
+        return base * (1.0 + float(self.jitter) * unit_interval)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": int(self.max_attempts),
+            "base_delay": float(self.base_delay),
+            "backoff_factor": float(self.backoff_factor),
+            "max_delay": float(self.max_delay),
+            "jitter": float(self.jitter),
+            "retry_on": list(self.retry_on),
+            "unit_deadline": self.unit_deadline,
+            "run_deadline": self.run_deadline,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RetryPolicy":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown retry policy field(s) {unknown}; "
+                f"valid fields: {sorted(known)}"
+            )
+        merged = dict(payload)
+        if "retry_on" in merged and merged["retry_on"] is not None:
+            merged["retry_on"] = tuple(str(n) for n in merged["retry_on"])
+        return cls(**{k: v for k, v in merged.items() if v is not None})
+
+    @classmethod
+    def coerce(
+        cls, value: Any, default: Optional["RetryPolicy"] = None
+    ) -> "RetryPolicy":
+        """Normalize ``None`` / int / dict / instance to a policy.
+
+        ``None`` yields ``default`` (or :meth:`from_env`); an int is a
+        ``max_attempts`` shorthand.
+        """
+        if value is None:
+            return default if default is not None else cls.from_env()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, bool):
+            raise TypeError("retry policy cannot be a bool")
+        if isinstance(value, int):
+            return cls(max_attempts=value)
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        raise TypeError(
+            f"cannot build a RetryPolicy from {type(value).__name__}"
+        )
+
+    @classmethod
+    def from_env(cls, environ: Optional[Dict[str, str]] = None) -> "RetryPolicy":
+        """Policy from the environment (library default when unset).
+
+        ``REPRO_RETRY`` holds a JSON object of :meth:`from_dict` fields;
+        ``REPRO_MAX_ATTEMPTS`` is an integer shorthand overriding
+        ``max_attempts`` on top of it.
+        """
+        env = os.environ if environ is None else environ
+        payload: Dict[str, Any] = {}
+        raw = env.get("REPRO_RETRY")
+        if raw:
+            try:
+                decoded = json.loads(raw)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"REPRO_RETRY is not valid JSON: {error}"
+                ) from None
+            if not isinstance(decoded, dict):
+                raise ValueError("REPRO_RETRY must hold a JSON object")
+            payload.update(decoded)
+        attempts = env.get("REPRO_MAX_ATTEMPTS")
+        if attempts:
+            payload["max_attempts"] = int(attempts)
+        return cls.from_dict(payload) if payload else cls()

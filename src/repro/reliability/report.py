@@ -1,0 +1,151 @@
+"""Structured failure reporting for runs that saw (and survived) faults.
+
+A :class:`FailureReport` is the machine-readable answer to "what went
+wrong, and what did it cost?" for one ``map_units`` run: per-unit retry
+counts, pool rebuilds, and the quarantined units — each a
+:class:`UnitFailure` carrying the unit's id, content fingerprint,
+attempt count, and the final error with traceback.  Executors build one
+per run (``executor.last_report``), persist it next to checkpoints when
+anything was quarantined, and the job queue surfaces it in ``repro
+serve`` status JSON and under the store's ``failures/`` directory.
+
+Reports serialize through :mod:`repro.io.serialization` (registered as
+the ``"FailureReport"`` result type), so the same load/save/validation
+machinery that handles experiment results handles failure artifacts —
+including CI uploading them on chaos-lane failures.
+"""
+
+from __future__ import annotations
+
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["FailureReport", "UnitFailure"]
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """One quarantined work unit: identity, cost, and final error."""
+
+    unit_id: str
+    fingerprint: Optional[str] = None
+    attempts: int = 1
+    error_type: str = ""
+    error_message: str = ""
+    traceback: str = ""
+
+    @classmethod
+    def from_exception(
+        cls,
+        unit_id: str,
+        error: BaseException,
+        attempts: int,
+        fingerprint: Optional[str] = None,
+    ) -> "UnitFailure":
+        return cls(
+            unit_id=unit_id,
+            fingerprint=fingerprint,
+            attempts=int(attempts),
+            error_type=type(error).__name__,
+            error_message=str(error),
+            traceback="".join(
+                traceback_module.format_exception(
+                    type(error), error, error.__traceback__
+                )
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "unit_id": self.unit_id,
+            "fingerprint": self.fingerprint,
+            "attempts": int(self.attempts),
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "UnitFailure":
+        return cls(
+            unit_id=str(payload["unit_id"]),
+            fingerprint=payload.get("fingerprint"),
+            attempts=int(payload.get("attempts", 1)),
+            error_type=str(payload.get("error_type", "")),
+            error_message=str(payload.get("error_message", "")),
+            traceback=str(payload.get("traceback", "")),
+        )
+
+
+@dataclass
+class FailureReport:
+    """Reliability summary of one run.
+
+    ``retries`` maps unit id → number of *extra* attempts it consumed
+    (successful-first-try units are absent); ``quarantined`` lists the
+    units that exhausted their budget and were excluded from results;
+    ``pool_rebuilds`` counts process-pool reconstructions after
+    ``BrokenProcessPool``.
+    """
+
+    fingerprint: Optional[str] = None
+    executor: str = ""
+    quarantined: List[UnitFailure] = field(default_factory=list)
+    retries: Dict[str, int] = field(default_factory=dict)
+    pool_rebuilds: int = 0
+
+    @property
+    def failed_unit_ids(self) -> Tuple[str, ...]:
+        return tuple(failure.unit_id for failure in self.quarantined)
+
+    @property
+    def total_retries(self) -> int:
+        return int(sum(self.retries.values()))
+
+    def ok(self) -> bool:
+        """True when every unit ultimately produced a result."""
+        return not self.quarantined
+
+    def summary(self) -> str:
+        """One human-readable line for logs and job errors."""
+        parts = [
+            f"{len(self.quarantined)} unit(s) quarantined",
+            f"{self.total_retries} retry(ies)",
+        ]
+        if self.pool_rebuilds:
+            parts.append(f"{self.pool_rebuilds} pool rebuild(s)")
+        if self.quarantined:
+            first = self.quarantined[0]
+            parts.append(
+                f"first failure {first.unit_id}: "
+                f"{first.error_type}: {first.error_message}"
+            )
+        return "; ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "executor": self.executor,
+            "quarantined": [failure.to_dict() for failure in self.quarantined],
+            "retries": {uid: int(count) for uid, count in self.retries.items()},
+            "pool_rebuilds": int(self.pool_rebuilds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FailureReport":
+        return cls(
+            fingerprint=payload.get("fingerprint"),
+            executor=str(payload.get("executor", "")),
+            quarantined=[
+                failure
+                if isinstance(failure, UnitFailure)
+                else UnitFailure.from_dict(failure)
+                for failure in payload.get("quarantined", [])
+            ],
+            retries={
+                str(uid): int(count)
+                for uid, count in (payload.get("retries") or {}).items()
+            },
+            pool_rebuilds=int(payload.get("pool_rebuilds", 0)),
+        )

@@ -8,12 +8,15 @@ into a long-running service:
   grid-independent shard fingerprints (individual work units), so exact
   resubmissions are O(1) and overlapping specs share shards.
 * :class:`JobQueue` / :class:`Job` — background execution with
-  in-flight dedup of identical fingerprints and live per-shard progress.
+  in-flight dedup of identical fingerprints, live per-shard progress,
+  retry/quarantine bookkeeping, job timeouts with heartbeat-based stall
+  detection, and drain/persist/restore for graceful shutdown.
 * :class:`ExperimentServer` — the stdlib-HTTP front end behind the
-  ``repro serve`` CLI command.
+  ``repro serve`` CLI command; ``SIGTERM`` drains in-flight jobs and
+  rejects new submissions with 503 (:class:`ServiceUnavailable`).
 """
 
-from repro.service.jobs import Job, JobQueue, ServiceError
+from repro.service.jobs import Job, JobQueue, ServiceError, ServiceUnavailable
 from repro.service.server import ExperimentServer, make_server
 from repro.service.store import ResultStore
 
@@ -23,5 +26,6 @@ __all__ = [
     "JobQueue",
     "ResultStore",
     "ServiceError",
+    "ServiceUnavailable",
     "make_server",
 ]

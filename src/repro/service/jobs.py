@@ -20,26 +20,52 @@ Jobs carry their own executor choice: the spec's resolved executor runs
 *in-process* inside a worker thread (optionally multi-process via
 ``process_pool``/``async`` specs), with the spec's ``checkpoint_dir``
 stripped — the store supersedes per-run checkpoints on the server.
+
+**Reliability.**  Jobs run in the executor's quarantine mode: transient
+shard failures retry under the queue's :class:`~repro.reliability.
+RetryPolicy`, worker crashes rebuild the pool, and units that exhaust
+their budget are quarantined instead of killing the job outright — the
+completed shards stay in the store (partial results), the job turns
+``failed`` with a structured ``failed_units`` list, per-unit retry
+counts, and the full :class:`~repro.reliability.FailureReport` persisted
+under ``<store>/failures/<job-id>.json``.  ``job_timeout`` bounds each
+job's wall clock and ``stall_timeout`` bounds the gap between progress
+heartbeats (every shard completion or retry touches the heartbeat);
+either firing aborts the run.  :meth:`begin_draining` flips the queue
+into shutdown mode — new submissions raise :class:`ServiceUnavailable`
+(HTTP 503) while in-flight jobs finish — and :meth:`persist_state` /
+:meth:`restore_state` round-trip unfinished submissions through
+``<store>/queue-state.json`` across server restarts.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
+import os
 import queue
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.core.executor import get_executor
 from repro.core.spec import ExperimentSpec, plan_experiment
+from repro.reliability.faults import corrupt_file
+from repro.reliability.policy import ExecutionAborted
 from repro.service.store import ResultStore
 
-__all__ = ["Job", "JobQueue", "ServiceError"]
+__all__ = ["Job", "JobQueue", "ServiceError", "ServiceUnavailable"]
 
 
 class ServiceError(ValueError):
     """A submission the service cannot accept (maps to HTTP 400)."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The service is draining for shutdown (maps to HTTP 503)."""
 
 
 #: Job lifecycle states.
@@ -63,9 +89,20 @@ class Job:
     completed_units: int = 0
     #: Of the completed units, how many were served from cached shards.
     cached_units: int = 0
+    #: unit_id -> extra attempts consumed (absent = first-try success).
+    retried_units: Dict[str, int] = field(default_factory=dict)
+    #: Quarantined units: ``{unit_id, attempts, error_type, error_message}``.
+    failed_units: List[dict] = field(default_factory=list)
+    pool_rebuilds: int = 0
     error: Optional[str] = None
     created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    #: Last observed progress (shard completion, retry, rebuild).
+    heartbeat_at: Optional[float] = None
     finished_at: Optional[float] = None
+
+    def heartbeat(self) -> None:
+        self.heartbeat_at = time.time()
 
     def status_dict(self) -> dict:
         """JSON-able status payload (the ``GET /experiments/<id>`` body)."""
@@ -81,24 +118,48 @@ class Job:
                 "completed_units": self.completed_units,
                 "cached_units": self.cached_units,
             },
+            "reliability": {
+                "retried_units": dict(self.retried_units),
+                "total_retries": int(sum(self.retried_units.values())),
+                "failed_units": list(self.failed_units),
+                "pool_rebuilds": self.pool_rebuilds,
+                "heartbeat_age": (
+                    None
+                    if self.heartbeat_at is None or self.state != "running"
+                    else round(time.time() - self.heartbeat_at, 3)
+                ),
+            },
             "error": self.error,
         }
 
 
 class JobQueue:
-    """Deduplicating background queue over a :class:`ResultStore`."""
+    """Deduplicating background queue over a :class:`ResultStore`.
+
+    ``retry`` feeds every job's executor (anything
+    :meth:`~repro.reliability.RetryPolicy.coerce` accepts);
+    ``job_timeout``/``stall_timeout`` are seconds (``None`` disables).
+    """
 
     def __init__(
         self,
         store: Union[ResultStore, str],
         executor: Optional[str] = None,
         worker_threads: int = 1,
+        retry: Any = None,
+        job_timeout: Optional[float] = None,
+        stall_timeout: Optional[float] = None,
     ):
         self.store = store if isinstance(store, ResultStore) else ResultStore(store)
         #: Forced executor name for every job (``None`` honours each
         #: spec's own :meth:`ExperimentSpec.resolved_executor`).
         self.executor_override = executor
         self.worker_threads = max(1, int(worker_threads))
+        self.retry = retry
+        self.job_timeout = None if job_timeout is None else float(job_timeout)
+        self.stall_timeout = (
+            None if stall_timeout is None else float(stall_timeout)
+        )
         self._lock = threading.RLock()
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
@@ -108,6 +169,7 @@ class JobQueue:
         self._threads: List[threading.Thread] = []
         self._counter = itertools.count(1)
         self._started = False
+        self._draining = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -116,6 +178,7 @@ class JobQueue:
             if self._started:
                 return self
             self._started = True
+            self._draining = False
             for index in range(self.worker_threads):
                 thread = threading.Thread(
                     target=self._worker,
@@ -127,6 +190,7 @@ class JobQueue:
         return self
 
     def stop(self, timeout: float = 5.0) -> None:
+        """Stop the worker threads (idempotent; warns on a failed join)."""
         with self._lock:
             threads, self._threads = self._threads, []
             self._started = False
@@ -134,6 +198,101 @@ class JobQueue:
             self._queue.put(None)
         for thread in threads:
             thread.join(timeout=timeout)
+            if thread.is_alive():
+                warnings.warn(
+                    f"job worker {thread.name} did not stop within "
+                    f"{timeout}s; a daemon thread is being leaked (its job "
+                    f"may still be running)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    # -- graceful shutdown -------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_draining(self) -> None:
+        """Refuse new submissions; in-flight jobs keep running."""
+        with self._lock:
+            self._draining = True
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every queued/running job to finish.
+
+        Returns True when the queue emptied, False on timeout.  Call
+        :meth:`begin_draining` first or new submissions can starve this.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if not self._inflight:
+                    return True
+            if deadline is not None and time.monotonic() >= deadline:
+                with self._lock:
+                    return not self._inflight
+            time.sleep(0.05)
+
+    def state_path(self) -> Path:
+        return self.store.root / "queue-state.json"
+
+    def persist_state(self) -> Path:
+        """Write unfinished submissions to ``<store>/queue-state.json``.
+
+        Finished jobs need no persistence (their results are in the
+        store); queued/running ones are recorded so
+        :meth:`restore_state` can resubmit them after a restart.
+        """
+        with self._lock:
+            unfinished = [
+                {
+                    "job_id": job.job_id,
+                    "state": job.state,
+                    "submissions": job.submissions,
+                    "spec": job.spec.to_dict(),
+                }
+                for job_id in self._order
+                for job in (self._jobs[job_id],)
+                if job.state in ("queued", "running")
+            ]
+        path = self.state_path()
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(
+            json.dumps({"jobs": unfinished}, indent=2), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        return path
+
+    def restore_state(self) -> int:
+        """Resubmit jobs persisted by a previous process's shutdown.
+
+        Returns how many specs were resubmitted (0 when there is no
+        state file or it is unreadable).  The state file is consumed.
+        """
+        path = self.state_path()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            entries = payload["jobs"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return 0
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        restored = 0
+        for entry in entries:
+            try:
+                self.submit(entry["spec"])
+                restored += 1
+            except (ServiceError, KeyError, TypeError) as error:
+                warnings.warn(
+                    f"could not restore persisted job "
+                    f"{entry.get('job_id', '?')}: {error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return restored
 
     # -- submission --------------------------------------------------------
 
@@ -162,6 +321,11 @@ class JobQueue:
 
     def submit(self, spec: Union[ExperimentSpec, dict]) -> Job:
         """Register a spec: cache-hit, join an in-flight twin, or enqueue."""
+        if self._draining:
+            raise ServiceUnavailable(
+                "service is draining for shutdown; not accepting new "
+                "experiments"
+            )
         spec = self._coerce_spec(spec)
         try:
             fingerprint = spec.fingerprint()
@@ -227,17 +391,56 @@ class JobQueue:
                 with self._lock:
                     self._inflight.pop(job.fingerprint, None)
 
+    def _should_abort(self, job: Job) -> Optional[str]:
+        """The reason this job must stop now, or None to keep going."""
+        now = time.time()
+        if (
+            self.job_timeout is not None
+            and job.started_at is not None
+            and now - job.started_at >= self.job_timeout
+        ):
+            return (
+                f"job exceeded its wall-clock timeout "
+                f"({self.job_timeout:g}s)"
+            )
+        if (
+            self.stall_timeout is not None
+            and job.heartbeat_at is not None
+            and now - job.heartbeat_at >= self.stall_timeout
+        ):
+            return (
+                f"job stalled: no progress heartbeat for "
+                f"{self.stall_timeout:g}s"
+            )
+        return None
+
     def _run_job(self, job: Job) -> None:
         job.state = "running"
+        job.started_at = time.time()
+        job.heartbeat()
         # Re-check the whole-result tier: a twin submitted before dedup
         # could exist may have finished while this job sat queued.
         if self.store.has_result(job.fingerprint):
             job.cache_hit = True
             return
         spec = job.spec
-        executor = get_executor(spec.resolved_executor(), workers=spec.workers)
+        executor = get_executor(
+            spec.resolved_executor(),
+            workers=spec.workers,
+            # A spec-level policy/plan wins over the queue-wide default.
+            retry=self.retry if spec.retry is None else spec.retry,
+            fault_plan=spec.fault_plan,
+        )
         plan = plan_experiment(spec, executor)
         job.total_units = len(plan.units)
+        # Resolve the chaos plan (if any) once so corrupt_shard actions
+        # can fire parent-side as shards land in the store.
+        fault_actions = (
+            executor.fault_plan.resolve([unit.unit_id for unit in plan.units])
+            if executor.fault_plan
+            else {}
+        )
+        shard_writes: Dict[str, int] = {}
         outputs: Dict[str, Any] = {}
         pending = []
         for unit in plan.units:
@@ -253,12 +456,93 @@ class JobQueue:
         def on_result(unit, output):
             unit_fp = plan.unit_fingerprints.get(unit.unit_id, "")
             if unit_fp:
-                self.store.put_shard(unit_fp, unit.unit_id, output)
+                path = self.store.put_shard(unit_fp, unit.unit_id, output)
+                for action in fault_actions.get(unit.unit_id, ()):
+                    if action.kind == "corrupt_shard":
+                        count = shard_writes.get(unit.unit_id, 0) + 1
+                        shard_writes[unit.unit_id] = count
+                        if action.applies(count):
+                            corrupt_file(str(path))
             outputs[unit.unit_id] = output
             job.completed_units += 1
+            job.heartbeat()
 
-        executor.map_units(
-            pending, fingerprint=plan.fingerprint, on_result=on_result
-        )
+        def on_event(kind, payload):
+            job.heartbeat()
+            if kind == "retry":
+                unit_id = payload.get("unit_id", "")
+                job.retried_units[unit_id] = job.retried_units.get(unit_id, 0) + 1
+            elif kind == "pool_rebuild":
+                job.pool_rebuilds = payload.get(
+                    "rebuilds", job.pool_rebuilds + 1
+                )
+
+        abort_reason: List[str] = []
+
+        def should_abort() -> bool:
+            reason = self._should_abort(job)
+            if reason is not None:
+                abort_reason.append(reason)
+                return True
+            return False
+
+        try:
+            executor.map_units(
+                pending,
+                fingerprint=plan.fingerprint,
+                on_result=on_result,
+                on_event=on_event,
+                raise_on_failure=False,
+                should_abort=should_abort,
+                unit_keys=plan.unit_fingerprints,
+            )
+        except ExecutionAborted:
+            raise ExecutionAborted(
+                abort_reason[0] if abort_reason else "job aborted"
+            ) from None
+        finally:
+            report = executor.last_report
+            if report is not None:
+                job.retried_units = dict(report.retries)
+                job.pool_rebuilds = report.pool_rebuilds
+                job.failed_units = [
+                    {
+                        "unit_id": failure.unit_id,
+                        "attempts": failure.attempts,
+                        "error_type": failure.error_type,
+                        "error_message": failure.error_message,
+                    }
+                    for failure in report.quarantined
+                ]
+                if report.quarantined:
+                    self._persist_failure_report(job, report)
+        if job.failed_units:
+            # Completed shards are already persisted in the store's shard
+            # tier (partial results); the whole-result tier stays empty so
+            # a resubmission recomputes only the quarantined units.
+            first = job.failed_units[0]
+            raise RuntimeError(
+                f"{len(job.failed_units)} of {job.total_units} unit(s) "
+                f"exhausted their retry budget and were quarantined "
+                f"(first: {first['unit_id']}: {first['error_type']}: "
+                f"{first['error_message']}); completed shards are cached, "
+                f"see failures/{job.job_id}.json for the full report"
+            )
         ordered = [outputs[unit.unit_id] for unit in plan.units]
         self.store.put_result(job.fingerprint, plan.finalize(ordered))
+
+    def _persist_failure_report(self, job: Job, report) -> None:
+        from repro.io import save_result
+
+        failures_dir = self.store.root / "failures"
+        try:
+            failures_dir.mkdir(parents=True, exist_ok=True)
+            save_result(
+                report, failures_dir / f"{job.job_id}.json", atomic=True
+            )
+        except OSError as error:
+            warnings.warn(
+                f"could not persist failure report for {job.job_id}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )

@@ -21,16 +21,29 @@ The server wires a :class:`~repro.service.jobs.JobQueue` (and its
 ``GET /experiments`` lists all jobs; ``GET /healthz`` reports liveness
 and store statistics.  Everything is standard library
 (:class:`http.server.ThreadingHTTPServer`) — no new dependencies.
+
+**Graceful shutdown.**  :meth:`ExperimentServer.shutdown_gracefully`
+(wired to ``SIGTERM``/``SIGINT`` in the foreground ``repro serve`` path)
+drains rather than drops: the queue stops accepting submissions (new
+``POST /experiments`` gets ``503`` with a ``Retry-After`` hint),
+in-flight jobs run to completion within ``drain_timeout``, unfinished
+submissions are persisted to ``<store>/queue-state.json`` (restored by
+the next ``repro serve`` on the same store), and only then does the
+listener close.  Job status JSON carries the reliability block —
+per-unit retry counts, quarantined ``failed_units``, pool rebuilds, and
+the heartbeat age used for stall detection.
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import threading
+import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Union
 
-from repro.service.jobs import JobQueue, ServiceError
+from repro.service.jobs import JobQueue, ServiceError, ServiceUnavailable
 from repro.service.store import ResultStore
 
 __all__ = ["ExperimentServer", "make_server"]
@@ -127,6 +140,15 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             job = self.server.queue.submit(payload)
+        except ServiceUnavailable as error:
+            self.send_response(503)
+            body = json.dumps({"error": str(error)}, indent=2).encode("utf-8")
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Retry-After", "5")
+            self.end_headers()
+            self.wfile.write(body)
+            return
         except ServiceError as error:
             self._error(400, str(error))
             return
@@ -140,10 +162,18 @@ def make_server(
     executor: Optional[str] = None,
     worker_threads: int = 1,
     quiet: bool = True,
+    retry=None,
+    job_timeout: Optional[float] = None,
+    stall_timeout: Optional[float] = None,
 ) -> _ServiceHTTPServer:
     """Build (but do not start) the HTTP server over a fresh job queue."""
     queue = JobQueue(
-        store, executor=executor, worker_threads=worker_threads
+        store,
+        executor=executor,
+        worker_threads=worker_threads,
+        retry=retry,
+        job_timeout=job_timeout,
+        stall_timeout=stall_timeout,
     )
     server = _ServiceHTTPServer((host, port), _Handler)
     server.queue = queue
@@ -169,6 +199,10 @@ class ExperimentServer:
         executor: Optional[str] = None,
         worker_threads: int = 1,
         quiet: bool = True,
+        retry=None,
+        job_timeout: Optional[float] = None,
+        stall_timeout: Optional[float] = None,
+        drain_timeout: float = 30.0,
     ):
         self._server = make_server(
             store,
@@ -177,8 +211,13 @@ class ExperimentServer:
             executor=executor,
             worker_threads=worker_threads,
             quiet=quiet,
+            retry=retry,
+            job_timeout=job_timeout,
+            stall_timeout=stall_timeout,
         )
+        self.drain_timeout = float(drain_timeout)
         self._thread: Optional[threading.Thread] = None
+        self._closed = False
 
     @property
     def queue(self) -> JobQueue:
@@ -203,6 +242,7 @@ class ExperimentServer:
     def start(self) -> "ExperimentServer":
         if self._thread is not None:
             return self
+        self._closed = False
         self.queue.start()
         self._thread = threading.Thread(
             target=self._server.serve_forever,
@@ -212,23 +252,88 @@ class ExperimentServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        if self._thread is None:
-            return
-        self._server.shutdown()
-        self._thread.join(timeout=5.0)
-        self._thread = None
-        self._server.server_close()
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop listening and the job workers (idempotent; warns on leaks)."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._server.shutdown()
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                warnings.warn(
+                    f"server thread {thread.name} did not stop within "
+                    f"{timeout}s; a daemon thread is being leaked",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if not self._closed:
+            self._closed = True
+            self._server.server_close()
         self.queue.stop()
 
-    def serve_forever(self) -> None:
-        """Run in the foreground (the ``repro serve`` CLI path)."""
+    def shutdown_gracefully(self, drain_timeout: Optional[float] = None) -> bool:
+        """Drain, persist, then stop — the SIGTERM path.
+
+        New submissions start getting ``503`` immediately; in-flight jobs
+        get up to ``drain_timeout`` seconds (default: the server's
+        ``drain_timeout``) to finish; whatever is still unfinished is
+        persisted to the store's ``queue-state.json`` for the next
+        server on this store to resume.  Returns True when the queue
+        fully drained.  Safe to call from any thread (including a signal
+        handler's helper thread) and idempotent.
+        """
+        self.queue.begin_draining()
+        drained = self.queue.drain(
+            self.drain_timeout if drain_timeout is None else drain_timeout
+        )
+        try:
+            self.queue.persist_state()
+        except OSError as error:
+            warnings.warn(
+                f"could not persist queue state during shutdown: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self.stop()
+        return drained
+
+    def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Run in the foreground (the ``repro serve`` CLI path).
+
+        With ``install_signal_handlers`` (main thread only), ``SIGTERM``
+        and ``SIGINT`` trigger :meth:`shutdown_gracefully` from a helper
+        thread (``shutdown()`` deadlocks if called from the serving
+        thread itself), then this method returns.
+        """
         self.queue.start()
+        restored = self.queue.restore_state()
+        if restored and not self._server.quiet:  # pragma: no cover - cosmetic
+            print(f"restored {restored} persisted job(s) from queue state")
+        if install_signal_handlers:
+            self._install_signal_handlers()
         try:
             self._server.serve_forever()
         finally:
-            self._server.server_close()
+            if not self._closed:
+                self._closed = True
+                self._server.server_close()
             self.queue.stop()
+
+    def _install_signal_handlers(self) -> None:
+        def handle(signum, frame):  # noqa: ARG001 - signal API
+            # shutdown() must not run on the serve_forever thread (it
+            # would deadlock), and signal handlers run exactly there in
+            # the foreground path: hand off to a helper thread.
+            threading.Thread(
+                target=self.shutdown_gracefully,
+                name="repro-serve-shutdown",
+                daemon=True,
+            ).start()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                signal.signal(signum, handle)
+            except ValueError:  # pragma: no cover - not the main thread
+                return
 
     def __enter__(self) -> "ExperimentServer":
         return self.start()

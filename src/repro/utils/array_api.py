@@ -45,6 +45,7 @@ A backend is selected by name, optionally with a device suffix:
 from __future__ import annotations
 
 import functools
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -55,6 +56,7 @@ __all__ = [
     "DEVICE_RTOL",
     "DEVICE_ATOL",
     "ArrayBackend",
+    "BackendFallbackWarning",
     "NumpyBackend",
     "LoopbackBackend",
     "LoopbackArray",
@@ -66,6 +68,7 @@ __all__ = [
     "available_array_backends",
     "array_backend_status",
     "array_backend_of",
+    "backend_spec_with_fallback",
     "is_device_array",
 ]
 
@@ -564,6 +567,56 @@ def get_array_backend(spec: str = "numpy") -> ArrayBackend:
     backend = factory(device or None)
     _RESOLVED[spec] = backend
     return backend
+
+
+class BackendFallbackWarning(RuntimeWarning):
+    """A configured accelerator backend degraded to the numpy reference.
+
+    Emitted once per backend spec per process by
+    :func:`backend_spec_with_fallback` when a non-numpy namespace fails
+    to import or initialize and graceful degradation is enabled
+    (``ExperimentSpec.backend_fallback`` / ``REPRO_BACKEND_FALLBACK``).
+    """
+
+
+#: Backend specs already warned about by :func:`backend_spec_with_fallback`
+#: — the degradation is structural, so one warning per process suffices.
+_FALLBACK_WARNED: set = set()
+
+
+def backend_spec_with_fallback(spec: str) -> str:
+    """Return ``spec`` if it resolves, else ``"numpy"`` with one warning.
+
+    Graceful degradation for deployments that prefer slow-but-running
+    over crashed: an accelerator namespace that fails to import
+    (:class:`ImportError`) or to initialize (:class:`RuntimeError`, e.g.
+    a CUDA driver mismatch) degrades to the always-available numpy
+    reference.  A genuinely unknown backend *name* still raises — a typo
+    is a config bug, not an environment condition.  The warning is a
+    :class:`BackendFallbackWarning`, emitted once per spec per process.
+    """
+    spec = str(spec)
+    name = spec.partition(":")[0]
+    if name == "numpy":
+        return "numpy"
+    if name not in _FACTORIES:
+        # Raise the registry's unknown-name error (fail fast on typos).
+        get_array_backend(spec)
+    try:
+        get_array_backend(spec)
+        return spec
+    except (ImportError, RuntimeError) as error:
+        if spec not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(spec)
+            warnings.warn(
+                f"array backend {spec!r} is unavailable "
+                f"({type(error).__name__}: {error}); falling back to the "
+                f"numpy reference backend. Results are computed with "
+                f"numpy numerics and fingerprinted as numpy.",
+                BackendFallbackWarning,
+                stacklevel=3,
+            )
+        return "numpy"
 
 
 def resolve_array_backend(

@@ -1,0 +1,89 @@
+"""FileLock: stale-lock breaking in the O_CREAT|O_EXCL fallback.
+
+The flock path lets the kernel release a dead holder's lock; the
+portable fallback has no such guarantee, so it records the holder's pid
+and waiters break lock files whose holder is provably gone (or, with
+``stale_timeout``, older than the threshold).  These tests force the
+fallback path explicitly — it is the default only on non-POSIX hosts.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.io import FileLock
+
+
+def _fallback_lock(path, **kwargs):
+    lock = FileLock(path, **kwargs)
+    lock._exclusive_create = True  # force the non-flock code path
+    return lock
+
+
+class TestExclusiveCreateFallback:
+    def test_acquire_writes_holder_pid(self, tmp_path):
+        lock = _fallback_lock(tmp_path / "x.lock")
+        with lock:
+            assert (tmp_path / "x.lock").read_text() == str(os.getpid())
+        assert not (tmp_path / "x.lock").exists()
+
+    def test_dead_holder_lock_is_broken(self, tmp_path):
+        # A short-lived child writes its pid into the lock file and
+        # exits without releasing — the crashed-holder scenario.
+        child = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dead_pid = int(child.stdout.strip())
+        path = tmp_path / "crashed.lock"
+        path.write_text(str(dead_pid))
+        lock = _fallback_lock(path, timeout=5.0)
+        with pytest.warns(RuntimeWarning, match="breaking stale lock"):
+            with lock:
+                # We hold it now: the file records *our* pid.
+                assert path.read_text() == str(os.getpid())
+
+    def test_live_holder_lock_is_respected(self, tmp_path):
+        path = tmp_path / "held.lock"
+        path.write_text(str(os.getpid()))  # this process is alive
+        lock = _fallback_lock(path, timeout=0.2, poll_interval=0.02)
+        with pytest.raises(TimeoutError, match="file lock"):
+            lock.acquire()
+        assert path.read_text() == str(os.getpid())  # untouched
+
+    def test_age_threshold_breaks_pidless_lock(self, tmp_path):
+        # Lock files written by pre-pid versions (or after pid reuse)
+        # carry no usable pid; stale_timeout is the backstop.
+        path = tmp_path / "old.lock"
+        path.write_text("")
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        lock = _fallback_lock(path, timeout=5.0, stale_timeout=60.0)
+        with pytest.warns(RuntimeWarning, match="breaking stale lock"):
+            with lock:
+                pass
+
+    def test_fresh_pidless_lock_times_out(self, tmp_path):
+        path = tmp_path / "fresh.lock"
+        path.write_text("")
+        lock = _fallback_lock(
+            path, timeout=0.2, poll_interval=0.02, stale_timeout=60.0
+        )
+        with pytest.raises(TimeoutError):
+            lock.acquire()
+
+
+class TestFlockMode:
+    def test_default_mode_round_trips(self, tmp_path):
+        # Sanity: the platform-default path (flock on POSIX) still works
+        # with the stale_timeout parameter present.
+        lock = FileLock(tmp_path / "y.lock", stale_timeout=60.0)
+        with lock:
+            pass
+        with lock:
+            pass

@@ -1,0 +1,115 @@
+"""RetryPolicy: classification, deterministic backoff, serialization."""
+
+import pytest
+
+from repro.reliability import ExecutionAborted, RetryPolicy, TransientError
+
+
+class TestClassification:
+    def test_transient_families_are_retryable(self):
+        policy = RetryPolicy()
+        assert policy.classify(TransientError("flaky"))
+        assert policy.classify(OSError("reset"))
+        assert policy.classify(EOFError("pipe died"))
+
+    def test_logic_errors_fail_fast(self):
+        policy = RetryPolicy()
+        assert not policy.classify(ValueError("bad shard size"))
+        assert not policy.classify(TypeError("bad arg"))
+        assert not policy.classify(RuntimeError("shard exploded"))
+
+    def test_abort_is_never_retryable(self):
+        # Even a generous retry_on list must not retry an abort: the
+        # point of aborting is to stop consuming wall clock.
+        policy = RetryPolicy(retry_on=("RuntimeError", "ExecutionAborted"))
+        assert not policy.classify(ExecutionAborted("job timed out"))
+
+    def test_retry_on_matches_by_mro_name(self):
+        policy = RetryPolicy(retry_on=("ArithmeticError",))
+        assert policy.classify(ZeroDivisionError("1/0"))  # subclass
+        assert not policy.classify(ValueError("nope"))
+
+    def test_should_retry_respects_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=2)
+        error = TransientError("flaky")
+        assert policy.should_retry(error, attempt=1)
+        assert not policy.should_retry(error, attempt=2)
+
+    def test_should_retry_respects_deadlines(self):
+        policy = RetryPolicy(
+            max_attempts=10, unit_deadline=5.0, run_deadline=60.0
+        )
+        error = TransientError("flaky")
+        assert policy.should_retry(error, 1, unit_elapsed=1.0, run_elapsed=1.0)
+        assert not policy.should_retry(error, 1, unit_elapsed=5.0)
+        assert not policy.should_retry(error, 1, run_elapsed=60.0)
+
+
+class TestBackoff:
+    def test_delay_is_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+        assert policy.delay(1, key="unit-a") == policy.delay(1, key="unit-a")
+        assert policy.delay(1, key="unit-a") != policy.delay(1, key="unit-b")
+        assert policy.delay(1, key="unit-a") != policy.delay(2, key="unit-a")
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            base_delay=1.0, backoff_factor=2.0, max_delay=3.0, jitter=0.0
+        )
+        assert policy.delay(1) == 1.0
+        assert policy.delay(2) == 2.0
+        assert policy.delay(3) == 3.0  # capped, not 4.0
+        assert policy.delay(10) == 3.0
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay=1.0, backoff_factor=1.0, jitter=0.25)
+        for key in ("a", "b", "c", "d"):
+            delay = policy.delay(1, key=key)
+            assert 1.0 <= delay < 1.25
+
+
+class TestValidationAndSerialization:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_delay"):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError, match="unit_deadline"):
+            RetryPolicy(unit_deadline=0)
+
+    def test_dict_round_trip(self):
+        policy = RetryPolicy(
+            max_attempts=5, retry_on=("BrokenPipeError",), unit_deadline=9.0
+        )
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown retry policy field"):
+            RetryPolicy.from_dict({"max_attemps": 3})
+
+    def test_coerce_forms(self):
+        assert RetryPolicy.coerce(4).max_attempts == 4
+        assert RetryPolicy.coerce({"max_attempts": 2}).max_attempts == 2
+        policy = RetryPolicy(max_attempts=7)
+        assert RetryPolicy.coerce(policy) is policy
+        with pytest.raises(TypeError, match="bool"):
+            RetryPolicy.coerce(True)
+        with pytest.raises(TypeError):
+            RetryPolicy.coerce(object())
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY", '{"max_attempts": 6, "jitter": 0}')
+        policy = RetryPolicy.from_env()
+        assert policy.max_attempts == 6
+        assert policy.jitter == 0
+        monkeypatch.setenv("REPRO_MAX_ATTEMPTS", "9")
+        assert RetryPolicy.from_env().max_attempts == 9  # shorthand wins
+        monkeypatch.setenv("REPRO_RETRY", "not json")
+        with pytest.raises(ValueError, match="REPRO_RETRY"):
+            RetryPolicy.from_env()
+
+    def test_coerce_none_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_ATTEMPTS", "8")
+        assert RetryPolicy.coerce(None).max_attempts == 8
+        monkeypatch.delenv("REPRO_MAX_ATTEMPTS")
+        assert RetryPolicy.coerce(None) == RetryPolicy()

@@ -1,0 +1,135 @@
+"""HTTP end-to-end chaos: the service survives injected worker faults.
+
+The full stack — real HTTP requests into :class:`ExperimentServer`, a
+job queue, a process-pool executor whose worker is hard-killed by a
+:class:`~repro.reliability.FaultPlan` — must produce the byte-identical
+result payload a fault-free submission produces, with the retry counts
+visible in the job's reliability status block.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.spec import ExperimentSpec
+from repro.core.variance import VarianceConfig
+from repro.service import ExperimentServer
+
+_CONFIG = VarianceConfig(
+    qubit_counts=(2, 3), num_circuits=3, num_layers=2, methods=("random",)
+)
+
+_CHAOS_PLAN = {
+    "units": {
+        "#0": [{"kind": "transient", "times": 1}],
+        "#1": [{"kind": "kill", "times": 1}],
+    }
+}
+
+
+def _spec_payload(**extra):
+    spec = ExperimentSpec(
+        kind="variance",
+        config=_CONFIG,
+        seed=3,
+        circuits_per_shard=_CONFIG.num_circuits,
+        **extra,
+    )
+    return spec.to_dict()
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(url, raw=False):
+    with urllib.request.urlopen(url) as response:
+        body = response.read()
+        return response.status, (body if raw else json.loads(body))
+
+
+def _submit_and_wait(server, payload, timeout=120.0):
+    _, job = _post(f"{server.url}/experiments", payload)
+    deadline = time.monotonic() + timeout
+    while job["state"] not in ("done", "failed"):
+        assert time.monotonic() < deadline, "job did not finish in time"
+        time.sleep(0.05)
+        _, job = _get(f"{server.url}/experiments/{job['job_id']}")
+    return job
+
+
+class TestServiceChaos:
+    @pytest.mark.slow
+    def test_worker_kill_over_http_is_byte_identical(self, tmp_path):
+        # Fault-free reference run in its own store.
+        with ExperimentServer(store=tmp_path / "clean") as server:
+            job = _submit_and_wait(server, _spec_payload())
+            assert job["state"] == "done", job.get("error")
+            _, reference = _get(
+                f"{server.url}/experiments/{job['job_id']}/result", raw=True
+            )
+
+        # Chaos run: a transient fault plus a real worker kill inside a
+        # two-process pool, injected via the spec's own fault_plan field.
+        with ExperimentServer(store=tmp_path / "chaos") as server:
+            job = _submit_and_wait(
+                server,
+                _spec_payload(
+                    executor="process_pool",
+                    workers=2,
+                    fault_plan=_CHAOS_PLAN,
+                    retry={"max_attempts": 3, "base_delay": 0.0, "jitter": 0.0},
+                ),
+            )
+            assert job["state"] == "done", job.get("error")
+            reliability = job["reliability"]
+            assert reliability["total_retries"] >= 2
+            assert len(reliability["retried_units"]) == 2
+            assert reliability["failed_units"] == []
+            _, survived = _get(
+                f"{server.url}/experiments/{job['job_id']}/result", raw=True
+            )
+        assert survived == reference
+
+    def test_quarantined_job_surfaces_failed_units_over_http(self, tmp_path):
+        plan = {"units": {"#0": [{"kind": "transient", "times": 10}]}}
+        with ExperimentServer(store=tmp_path / "store") as server:
+            job = _submit_and_wait(
+                server,
+                _spec_payload(
+                    fault_plan=plan,
+                    retry={"max_attempts": 2, "base_delay": 0.0, "jitter": 0.0},
+                ),
+            )
+            assert job["state"] == "failed"
+            assert "quarantined" in job["error"]
+            failed = job["reliability"]["failed_units"]
+            assert len(failed) == 1
+            assert failed[0]["error_type"] == "InjectedFault"
+            assert failed[0]["attempts"] == 2
+            # The other shards made it into the cache (partial results).
+            _, health = _get(f"{server.url}/healthz")
+            assert health["store"]["shards"] >= 1
+            # The result endpoint reports the failure, not a hang.
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/experiments/{job['job_id']}/result")
+            assert excinfo.value.code == 500
+
+    def test_draining_server_returns_503_with_retry_after(self, tmp_path):
+        with ExperimentServer(store=tmp_path / "store") as server:
+            server.queue.begin_draining()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(f"{server.url}/experiments", _spec_payload())
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"]
+            assert "draining" in json.loads(excinfo.value.read())["error"]

@@ -58,13 +58,17 @@ class TestShardTier:
         hit, data = store.get_shard("deadbeef")
         assert hit and data == {"value": [1, 2]}
 
-    def test_corrupt_shard_is_a_miss_with_warning(self, tmp_path):
+    def test_corrupt_shard_is_a_miss_and_quarantined(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put_shard("deadbeef", "unit-0", {"value": 1})
         store.shard_path("deadbeef").write_text("{ truncated")
-        with pytest.warns(RuntimeWarning, match="unreadable cached shard"):
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt"):
             hit, data = store.get_shard("deadbeef")
         assert (hit, data) == (False, None)
+        # Moved aside, not re-read: the second hit is a silent miss.
+        assert not store.shard_path("deadbeef").exists()
+        assert list(store.quarantine_dir.glob("*.json"))
+        assert store.get_shard("deadbeef") == (False, None)
 
     def test_mismatched_key_is_a_miss(self, tmp_path):
         """A file renamed to the wrong key must not serve foreign data."""
