@@ -1,0 +1,259 @@
+"""Batched noisy execution bench — ``(B, 4**n)`` Pauli-transfer propagation
+vs per-circuit density-matrix simulation.
+
+The PTM engine is the noisy counterpart of the batched statevector path:
+one ``apply_matrix`` sweep evolves every parameter row of a circuit
+through gate PTMs and channel PTMs at once, on the doubled register
+(each 4-level Pauli axis rides an existing 2-qubit bit pair, so the
+batched matmul kernels are reused verbatim).  The per-circuit oracle —
+:class:`DensityMatrixSimulator` — evolves a dense ``(2**n, 2**n)`` matrix
+per row instead.
+
+This bench runs a batch of parameter rows through a layered ansatz under
+a depolarizing + damping noise model both ways, prints the comparison,
+emits ``BENCH_noise_batched.json`` at the repo root, and asserts:
+
+* every PTM row matches its density-matrix evolution within 1e-8
+  (row-wise tolerance, not an aggregate norm — one bad row must fail);
+* the batched path is >= 3x faster than the per-circuit oracle at the
+  bench scale;
+* the Monte-Carlo :class:`TrajectorySimulator` mean converges to the PTM
+  expectation (unbiasedness z-test over fixed-seed replicas).
+
+A fast smoke invocation (agreement checks only, toy scale) is exposed
+for CI::
+
+    python benchmarks/bench_noise_batched.py --smoke
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.backend import (
+    NoiseModel,
+    PauliString,
+    PauliTransferSimulator,
+    QuantumCircuit,
+    TrajectorySimulator,
+    amplitude_damping,
+    depolarizing,
+)
+from repro.backend.density import DensityMatrixSimulator
+from repro.backend.ptm import pauli_vector_from_density
+from repro.utils import machine_context
+
+NUM_QUBITS = 6
+NUM_LAYERS = 8
+BATCH = 48
+SEED = 6121
+ROW_ATOL = 1e-8
+SPEEDUP_FLOOR = 3.0
+
+SMOKE_QUBITS = 3
+SMOKE_LAYERS = 3
+SMOKE_BATCH = 6
+
+
+def _noise_model() -> NoiseModel:
+    return NoiseModel(
+        default=depolarizing(0.01),
+        per_gate={"CZ": amplitude_damping(0.03)},
+    )
+
+
+def _layered_circuit(num_qubits, num_layers):
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(num_layers):
+        for q in range(num_qubits):
+            circuit.rx(q)
+            circuit.ry(q)
+        for q in range(num_qubits - 1):
+            circuit.cz(q, q + 1)
+    return circuit
+
+
+def _param_rows(circuit, batch):
+    rng = np.random.default_rng(SEED)
+    return rng.uniform(0.0, 2.0 * np.pi, (batch, circuit.num_parameters))
+
+
+def _timed(fn, repeats=2):
+    """Best-of-``repeats`` wall time (steady state, not first-touch)."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return value, best
+
+
+def _run_comparison(num_qubits, num_layers, batch, repeats=2):
+    """Time both engines on the same rows; return rows + agreement."""
+    model = _noise_model()
+    circuit = _layered_circuit(num_qubits, num_layers)
+    rows = _param_rows(circuit, batch)
+
+    ptm_sim = PauliTransferSimulator(model)
+    states, ptm_seconds = _timed(
+        lambda: ptm_sim.run_batch(circuit, rows), repeats
+    )
+
+    dm_sim = DensityMatrixSimulator(model)
+
+    def per_circuit():
+        return [dm_sim.run(circuit, row) for row in rows]
+
+    densities, dm_seconds = _timed(per_circuit, repeats)
+
+    worst = 0.0
+    for b, rho in enumerate(densities):
+        exact = pauli_vector_from_density(rho)
+        worst = max(worst, float(np.max(np.abs(states[b] - exact))))
+    return {
+        "num_qubits": num_qubits,
+        "num_layers": num_layers,
+        "batch": batch,
+        "ptm_seconds": ptm_seconds,
+        "dm_seconds": dm_seconds,
+        "speedup": dm_seconds / ptm_seconds,
+        "worst_row_error": worst,
+        "rows_match": worst <= ROW_ATOL,
+    }
+
+
+def _trajectory_z_test(replicas=30, trajectories=200, z_max=4.5):
+    """Unbiasedness z-test: MC trajectory means vs the PTM expectation."""
+    model = _noise_model()
+    circuit = QuantumCircuit(2).h(0).cx(0, 1).rx(0, value=0.4)
+    observable = PauliString(2, "ZZ")
+    exact = PauliTransferSimulator(model).expectation(circuit, observable)
+    sampler = TrajectorySimulator(model)
+    estimates = np.array(
+        [
+            sampler.expectation(
+                circuit, observable, trajectories=trajectories, seed=s
+            )
+            for s in range(replicas)
+        ]
+    )
+    spread = float(estimates.std(ddof=1))
+    z = float((estimates.mean() - exact) / (spread / np.sqrt(replicas)))
+    return {
+        "exact": exact,
+        "mean": float(estimates.mean()),
+        "z": z,
+        "z_max": z_max,
+        "converges": abs(z) <= z_max,
+    }
+
+
+def _report(comparison, convergence, smoke=False):
+    print()
+    print("=" * 72)
+    print("Batched PTM propagation vs per-circuit density-matrix simulation")
+    print(
+        f"  qubits={comparison['num_qubits']}, "
+        f"layers={comparison['num_layers']}, rows={comparison['batch']}, "
+        f"noise=depolarizing(0.01)+CZ damping(0.03)"
+    )
+    print("=" * 72)
+    print(
+        format_table(
+            ["engine", "seconds", "per row ms"],
+            [
+                [
+                    "density matrix (per circuit)",
+                    f"{comparison['dm_seconds']:.3f}",
+                    f"{1e3 * comparison['dm_seconds'] / comparison['batch']:.2f}",
+                ],
+                [
+                    "pauli transfer (batched)",
+                    f"{comparison['ptm_seconds']:.3f}",
+                    f"{1e3 * comparison['ptm_seconds'] / comparison['batch']:.2f}",
+                ],
+            ],
+        )
+    )
+    print(f"speedup: {comparison['speedup']:.2f}x")
+    print(
+        f"worst row error vs exact evolution: "
+        f"{comparison['worst_row_error']:.2e} (atol {ROW_ATOL:.0e})"
+    )
+    print(
+        f"trajectory convergence: mean={convergence['mean']:.4f} vs "
+        f"exact={convergence['exact']:.4f} (z={convergence['z']:.2f}, "
+        f"threshold {convergence['z_max']})"
+    )
+
+    payload = {
+        "comparison": comparison,
+        "trajectory_convergence": convergence,
+        "row_atol": ROW_ATOL,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "smoke": smoke,
+        "machine": machine_context(),
+    }
+    name = "BENCH_noise_batched_smoke.json" if smoke else "BENCH_noise_batched.json"
+    # A distinct smoke file: CI runs must never clobber the canonical
+    # full-run numbers.
+    target = Path(__file__).resolve().parents[1] / name
+    target.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {target}")
+    return payload
+
+
+def test_noise_batched_speedup(run_once):
+    comparison, convergence = run_once(
+        lambda: (
+            _run_comparison(NUM_QUBITS, NUM_LAYERS, BATCH),
+            _trajectory_z_test(),
+        )
+    )
+    payload = _report(comparison, convergence)
+    assert payload["comparison"]["rows_match"], (
+        f"PTM rows diverged from exact evolution: worst error "
+        f"{payload['comparison']['worst_row_error']:.2e}"
+    )
+    assert payload["trajectory_convergence"]["converges"], (
+        f"trajectory mean looks biased: z={convergence['z']:.2f}"
+    )
+    assert payload["comparison"]["speedup"] >= SPEEDUP_FLOOR, (
+        f"expected >= {SPEEDUP_FLOOR}x over the per-circuit oracle, got "
+        f"{payload['comparison']['speedup']:.2f}x"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="agreement checks only at toy scale (the CI configuration); "
+        "no speedup bar, payload marked smoke",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        comparison = _run_comparison(
+            SMOKE_QUBITS, SMOKE_LAYERS, SMOKE_BATCH, repeats=1
+        )
+        convergence = _trajectory_z_test(replicas=10, trajectories=100)
+        payload = _report(comparison, convergence, smoke=True)
+        assert payload["comparison"]["rows_match"]
+        assert payload["trajectory_convergence"]["converges"]
+        return
+    comparison = _run_comparison(NUM_QUBITS, NUM_LAYERS, BATCH)
+    convergence = _trajectory_z_test()
+    payload = _report(comparison, convergence)
+    assert payload["comparison"]["rows_match"]
+    assert payload["trajectory_convergence"]["converges"]
+    assert payload["comparison"]["speedup"] >= SPEEDUP_FLOOR
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,10 @@ Demonstrates the ``ExperimentSpec`` API end to end:
 3. save the spec to JSON — the file is what ``python -m repro run
    SPEC.json`` executes — and reload it;
 4. optionally checkpoint shards so an interrupted grid resumes;
-5. submit the spec to an in-process ``repro serve`` instance twice and
+5. run the same study under a Kraus noise model (the batched
+   Pauli-transfer path) and see how fingerprints keep noisy and
+   noiseless results apart;
+6. submit the spec to an in-process ``repro serve`` instance twice and
    watch the second submission come back as an O(1) cache hit with
    byte-identical result payloads.
 """
@@ -142,7 +145,34 @@ def main() -> None:
     else:
         print("torch not installed; skipping the backend='torch' step")
 
-    # 5. Specs serialize: this JSON file is exactly what
+    # 5. Noise is configuration too: a JSON payload of factory channels
+    #    (plus optional readout error) routes the same spec through the
+    #    batched Pauli-transfer simulator — (B, 4**n) Pauli vectors on
+    #    the same batched kernels, rows matching exact density-matrix
+    #    evolution.  A trivial model (zero rates) canonicalizes to None
+    #    and stays bit-identical to the noiseless run; a real one gets
+    #    its own fingerprint, so noisy and noiseless results never share
+    #    cache entries.
+    noise = {"default": {"name": "depolarizing", "probability": 0.01}}
+    noisy_spec = ExperimentSpec(
+        kind="variance", config=config, seed=args.seed, noise=noise
+    )
+    trivial_spec = ExperimentSpec(
+        kind="variance",
+        config=config,
+        seed=args.seed,
+        noise={"default": {"name": "depolarizing", "probability": 0.0}},
+    )
+    print(
+        f"trivial noise shares the noiseless fingerprint: "
+        f"{trivial_spec.fingerprint() == spec.fingerprint()}; "
+        f"real noise gets its own: "
+        f"{noisy_spec.fingerprint() != spec.fingerprint()}"
+    )
+    noisy = repro.run(noisy_spec)
+    print(f"noisy ranking (depolarizing 1%): {noisy.ranking}")
+
+    # 6. Specs serialize: this JSON file is exactly what
     #    `python -m repro run SPEC.json` consumes.
     with tempfile.TemporaryDirectory() as tmp:
         spec_path = Path(tmp) / "variance_spec.json"
@@ -153,7 +183,7 @@ def main() -> None:
             f"kind={reloaded.kind}, seed={reloaded.seed}"
         )
 
-    # 6. The same spec served over HTTP: `repro serve` fronts a
+    # 7. The same spec served over HTTP: `repro serve` fronts a
     #    deduplicating job queue and a content-addressed result store.
     #    The first submission executes; resubmitting the identical spec
     #    is answered instantly from the cache — byte-identical payloads,

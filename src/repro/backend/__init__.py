@@ -58,9 +58,20 @@ from repro.backend.noise import (
     TrajectorySimulator,
     amplitude_damping,
     bit_flip,
+    channel_from_dict,
     depolarizing,
     phase_damping,
     phase_flip,
+    resolve_noise_model,
+)
+from repro.backend.ptm import (
+    PauliTransferSimulator,
+    density_from_pauli_vector,
+    pauli_basis,
+    pauli_vector_from_density,
+    ptm_of_channel,
+    ptm_of_unitary,
+    ptm_of_unitary_batch,
 )
 from repro.backend.observables import (
     Observable,
@@ -91,6 +102,7 @@ __all__ = [
     "ParametricGate",
     "PauliString",
     "PauliSum",
+    "PauliTransferSimulator",
     "Projector",
     "QuantumCircuit",
     "StateProjector",
@@ -107,16 +119,24 @@ __all__ = [
     "batch_parameter_shift",
     "batch_parameter_shift_value_and_gradient",
     "bit_flip",
+    "channel_from_dict",
     "controlled_matrix",
+    "density_from_pauli_vector",
     "depolarizing",
     "finite_difference",
     "get_gate",
     "get_gradient_fn",
     "is_parametric",
     "parameter_shift",
+    "pauli_basis",
+    "pauli_vector_from_density",
     "pauli_word_matrix",
     "phase_damping",
     "phase_flip",
+    "ptm_of_channel",
+    "ptm_of_unitary",
+    "ptm_of_unitary_batch",
+    "resolve_noise_model",
     "single_z",
     "total_z",
     "zero_projector",

@@ -30,10 +30,13 @@ class DensityMatrix:
 
     def __init__(self, data: np.ndarray, validate: bool = True):
         array = np.asarray(data, dtype=complex)
-        dim = array.shape[0]
-        if array.shape != (dim, dim) or dim & (dim - 1) or dim == 0:
+        dim = array.shape[0] if array.ndim else 0
+        # dim < 2 also rejects the 1x1 boundary: dim == 1 passes the
+        # power-of-two test but would describe a zero-qubit state.
+        if array.shape != (dim, dim) or dim & (dim - 1) or dim < 2:
             raise ValueError(
-                f"density matrix must be square power-of-2, got {array.shape}"
+                f"density matrix must be square power-of-2 with at least "
+                f"one qubit, got shape {array.shape}"
             )
         self.data = array
         self.num_qubits = int(dim).bit_length() - 1
@@ -150,11 +153,20 @@ class DensityMatrixSimulator:
     ) -> DensityMatrix:
         """Evolve ``|0...0><0...0|`` (or ``initial_state``) through the
         circuit, applying the noise model's channel after every gate."""
-        param_array = (
-            np.asarray(params, dtype=float) if params is not None else None
-        )
-        if param_array is None and circuit.num_parameters:
-            raise ValueError("circuit has trainable parameters but none supplied")
+        if params is None:
+            if circuit.num_parameters:
+                raise ValueError(
+                    f"circuit has {circuit.num_parameters} trainable "
+                    "parameters but none were supplied"
+                )
+            param_array = None
+        else:
+            param_array = np.asarray(params, dtype=float).reshape(-1)
+            if param_array.size != circuit.num_parameters:
+                raise ValueError(
+                    f"expected {circuit.num_parameters} parameters, "
+                    f"got {param_array.size}"
+                )
         rho = initial_state or DensityMatrix.zero_state(circuit.num_qubits)
         if rho.num_qubits != circuit.num_qubits:
             raise ValueError("initial state size mismatch")

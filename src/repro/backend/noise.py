@@ -13,7 +13,7 @@ to the density-matrix result.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -30,7 +30,9 @@ __all__ = [
     "depolarizing",
     "amplitude_damping",
     "phase_damping",
+    "channel_from_dict",
     "NoiseModel",
+    "resolve_noise_model",
     "TrajectorySimulator",
 ]
 
@@ -40,15 +42,52 @@ _Z = np.array([[1, 0], [0, -1]], dtype=complex)
 _I2 = np.eye(2, dtype=complex)
 
 
-class KrausChannel:
-    """A completely-positive trace-preserving map given by Kraus operators."""
+def _coerce_trajectory_params(
+    circuit: QuantumCircuit, params: Optional[Sequence[float]]
+) -> Optional[np.ndarray]:
+    """Validate a parameter vector with the statevector path's messages."""
+    if params is None:
+        if circuit.num_parameters:
+            raise ValueError(
+                f"circuit has {circuit.num_parameters} trainable parameters "
+                "but none were supplied"
+            )
+        return None
+    array = np.asarray(params, dtype=float).reshape(-1)
+    if array.size != circuit.num_parameters:
+        raise ValueError(
+            f"expected {circuit.num_parameters} parameters, got {array.size}"
+        )
+    return array
 
-    def __init__(self, name: str, kraus_operators: Iterable[np.ndarray]):
+
+class KrausChannel:
+    """A completely-positive trace-preserving map given by Kraus operators.
+
+    ``spec`` is an optional serializable payload describing how to rebuild
+    the channel (stamped by the named factories below); channels carrying
+    one round-trip through :meth:`to_dict` / :func:`channel_from_dict`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kraus_operators: Iterable[np.ndarray],
+        spec: Optional[Dict[str, Any]] = None,
+    ):
         self.name = name
         self.kraus_operators = [np.asarray(k, dtype=complex) for k in kraus_operators]
         if not self.kraus_operators:
             raise ValueError("channel needs at least one Kraus operator")
-        dim = self.kraus_operators[0].shape[0]
+        first = self.kraus_operators[0]
+        if first.ndim != 2 or first.shape[0] != first.shape[1]:
+            raise ValueError("Kraus operators must be square matrices")
+        dim = first.shape[0]
+        if dim < 2 or dim & (dim - 1):
+            raise ValueError(
+                f"Kraus operator dimension must be a power of two >= 2 "
+                f"(a {dim}x{dim} map has no qubit count), got dim={dim}"
+            )
         total = np.zeros((dim, dim), dtype=complex)
         for kraus in self.kraus_operators:
             if kraus.shape != (dim, dim):
@@ -58,15 +97,38 @@ class KrausChannel:
             raise ValueError(
                 f"channel {name!r} is not trace preserving (sum K^dag K != I)"
             )
-        self.num_qubits = int(np.log2(dim))
+        self.num_qubits = int(dim).bit_length() - 1
+        self.spec = dict(spec) if spec is not None else None
 
     @property
     def is_trivial(self) -> bool:
-        """True when the channel is exactly the identity map."""
-        if len(self.kraus_operators) != 1:
-            return False
-        kraus = self.kraus_operators[0]
-        return bool(np.allclose(kraus, np.eye(kraus.shape[0])))
+        """True when the channel is exactly the identity map.
+
+        A channel is the identity iff every Kraus operator is a scalar
+        multiple of the identity and the scalars complete to one — this
+        catches zero-probability factory channels (e.g.
+        ``depolarizing(0.0)``), whose extra all-zero operators change
+        nothing physically.
+        """
+        dim = self.kraus_operators[0].shape[0]
+        eye = np.eye(dim)
+        total = 0.0
+        for kraus in self.kraus_operators:
+            scale = np.trace(kraus) / dim
+            if not np.allclose(kraus, scale * eye):
+                return False
+            total += abs(scale) ** 2
+        return bool(np.isclose(total, 1.0))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable payload (requires a factory-stamped ``spec``)."""
+        if self.spec is None:
+            raise ValueError(
+                f"channel {self.name!r} has no serializable spec; build it "
+                "through a named factory (bit_flip, depolarizing, ...) or "
+                "pass spec= to KrausChannel"
+            )
+        return dict(self.spec)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"KrausChannel({self.name!r}, {len(self.kraus_operators)} operators)"
@@ -76,7 +138,9 @@ def bit_flip(probability: float) -> KrausChannel:
     """Apply X with probability ``p``."""
     p = check_probability(probability, "probability")
     return KrausChannel(
-        "bit_flip", [np.sqrt(1 - p) * _I2, np.sqrt(p) * _X]
+        "bit_flip",
+        [np.sqrt(1 - p) * _I2, np.sqrt(p) * _X],
+        spec={"name": "bit_flip", "probability": p},
     )
 
 
@@ -84,7 +148,9 @@ def phase_flip(probability: float) -> KrausChannel:
     """Apply Z with probability ``p``."""
     p = check_probability(probability, "probability")
     return KrausChannel(
-        "phase_flip", [np.sqrt(1 - p) * _I2, np.sqrt(p) * _Z]
+        "phase_flip",
+        [np.sqrt(1 - p) * _I2, np.sqrt(p) * _Z],
+        spec={"name": "phase_flip", "probability": p},
     )
 
 
@@ -99,6 +165,7 @@ def depolarizing(probability: float) -> KrausChannel:
             np.sqrt(p / 3.0) * _Y,
             np.sqrt(p / 3.0) * _Z,
         ],
+        spec={"name": "depolarizing", "probability": p},
     )
 
 
@@ -107,7 +174,11 @@ def amplitude_damping(gamma: float) -> KrausChannel:
     g = check_probability(gamma, "gamma")
     k0 = np.array([[1, 0], [0, np.sqrt(1 - g)]], dtype=complex)
     k1 = np.array([[0, np.sqrt(g)], [0, 0]], dtype=complex)
-    return KrausChannel("amplitude_damping", [k0, k1])
+    return KrausChannel(
+        "amplitude_damping",
+        [k0, k1],
+        spec={"name": "amplitude_damping", "gamma": g},
+    )
 
 
 def phase_damping(gamma: float) -> KrausChannel:
@@ -115,7 +186,52 @@ def phase_damping(gamma: float) -> KrausChannel:
     g = check_probability(gamma, "gamma")
     k0 = np.array([[1, 0], [0, np.sqrt(1 - g)]], dtype=complex)
     k1 = np.array([[0, 0], [0, np.sqrt(g)]], dtype=complex)
-    return KrausChannel("phase_damping", [k0, k1])
+    return KrausChannel(
+        "phase_damping",
+        [k0, k1],
+        spec={"name": "phase_damping", "gamma": g},
+    )
+
+
+#: Named channel factories and the single rate argument each accepts —
+#: the vocabulary of the serializable channel payloads
+#: (``{"name": "depolarizing", "probability": 0.01}``).
+_CHANNEL_FACTORIES: Dict[str, Callable[[float], KrausChannel]] = {
+    "bit_flip": bit_flip,
+    "phase_flip": phase_flip,
+    "depolarizing": depolarizing,
+    "amplitude_damping": amplitude_damping,
+    "phase_damping": phase_damping,
+}
+_CHANNEL_ARG: Dict[str, str] = {
+    "bit_flip": "probability",
+    "phase_flip": "probability",
+    "depolarizing": "probability",
+    "amplitude_damping": "gamma",
+    "phase_damping": "gamma",
+}
+
+
+def channel_from_dict(payload: Dict[str, Any]) -> KrausChannel:
+    """Rebuild a named channel from its serialized payload."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"channel payload must be a dict, got {type(payload).__name__}")
+    name = payload.get("name")
+    if name not in _CHANNEL_FACTORIES:
+        raise ValueError(
+            f"unknown noise channel {name!r}; known channels: "
+            f"{sorted(_CHANNEL_FACTORIES)}"
+        )
+    arg = _CHANNEL_ARG[name]
+    unknown = set(payload) - {"name", arg}
+    if unknown:
+        raise ValueError(
+            f"channel {name!r} payload has unknown keys {sorted(unknown)} "
+            f"(expected only {arg!r})"
+        )
+    if arg not in payload:
+        raise ValueError(f"channel {name!r} payload is missing {arg!r}")
+    return _CHANNEL_FACTORIES[name](float(payload[arg]))
 
 
 class NoiseModel:
@@ -128,17 +244,25 @@ class NoiseModel:
     per_gate:
         Overrides keyed by upper-case gate name; an explicit ``None`` entry
         disables noise for that gate.
+    readout_error:
+        Probability that each measured bit is flipped classically at
+        readout.  Only the sampled estimators see it (analytic
+        expectations model gate noise exactly but read out ideally);
+        it is applied inside
+        :func:`repro.backend.statevector.sample_basis_bits`.
     """
 
     def __init__(
         self,
         default: Optional[KrausChannel] = None,
         per_gate: Optional[Dict[str, Optional[KrausChannel]]] = None,
+        readout_error: float = 0.0,
     ):
         self.default = default
         self.per_gate = {
             name.upper(): channel for name, channel in (per_gate or {}).items()
         }
+        self.readout_error = check_probability(readout_error, "readout_error")
 
     def channel_for(self, gate_name: str) -> Optional[KrausChannel]:
         """Resolve the channel applied after ``gate_name`` (or None)."""
@@ -149,9 +273,70 @@ class NoiseModel:
 
     @property
     def is_trivial(self) -> bool:
-        """True when no gate receives any noise."""
+        """True when no gate receives any noise and readout is ideal."""
         channels = [self.default, *self.per_gate.values()]
-        return all(c is None or c.is_trivial for c in channels)
+        return self.readout_error == 0.0 and all(
+            c is None or c.is_trivial for c in channels
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical serializable payload (identity-neutral keys dropped)."""
+        payload: Dict[str, Any] = {}
+        if self.default is not None:
+            payload["default"] = self.default.to_dict()
+        if self.per_gate:
+            payload["per_gate"] = {
+                name: (channel.to_dict() if channel is not None else None)
+                for name, channel in sorted(self.per_gate.items())
+            }
+        if self.readout_error:
+            payload["readout_error"] = self.readout_error
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "NoiseModel":
+        """Rebuild a model from a :meth:`to_dict` payload."""
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"noise payload must be a dict, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - {"default", "per_gate", "readout_error"}
+        if unknown:
+            raise ValueError(
+                f"noise payload has unknown keys {sorted(unknown)} (expected "
+                "'default', 'per_gate', 'readout_error')"
+            )
+        default_payload = payload.get("default")
+        default = (
+            channel_from_dict(default_payload)
+            if default_payload is not None
+            else None
+        )
+        per_gate_payload = payload.get("per_gate") or {}
+        if not isinstance(per_gate_payload, dict):
+            raise ValueError("noise payload 'per_gate' must be a dict")
+        per_gate = {
+            name: (channel_from_dict(entry) if entry is not None else None)
+            for name, entry in per_gate_payload.items()
+        }
+        readout = float(payload.get("readout_error", 0.0))
+        return cls(default=default, per_gate=per_gate, readout_error=readout)
+
+
+def resolve_noise_model(
+    noise: "Optional[NoiseModel | Dict[str, Any]]",
+) -> Optional[NoiseModel]:
+    """Resolve a config-level noise payload to a model, or ``None``.
+
+    ``None`` and *trivial* models (no channels, ideal readout) both
+    resolve to ``None`` so callers fall through to the noiseless fast
+    paths — which is what makes the trivial-noise case bit-identical to
+    the noiseless batched kernels.
+    """
+    if noise is None:
+        return None
+    model = noise if isinstance(noise, NoiseModel) else NoiseModel.from_dict(noise)
+    return None if model.is_trivial else model
 
 
 class TrajectorySimulator:
@@ -169,11 +354,7 @@ class TrajectorySimulator:
     ) -> Statevector:
         """Sample one stochastic trajectory through the noisy circuit."""
         rng = ensure_rng(seed)
-        param_array = (
-            np.asarray(params, dtype=float) if params is not None else None
-        )
-        if param_array is None and circuit.num_parameters:
-            raise ValueError("circuit has trainable parameters but none supplied")
+        param_array = _coerce_trajectory_params(circuit, params)
         if initial_state is None:
             data = np.zeros(2**circuit.num_qubits, dtype=complex)
             data[0] = 1.0

@@ -373,7 +373,11 @@ def _apply_diagonal_device(
 
 
 def sample_basis_bits(
-    probs: np.ndarray, shots: int, rng: np.random.Generator, num_bits: int
+    probs: np.ndarray,
+    shots: int,
+    rng: np.random.Generator,
+    num_bits: int,
+    readout_error: Optional[float] = None,
 ) -> np.ndarray:
     """Draw ``shots`` basis outcomes from an (unnormalized) distribution.
 
@@ -382,6 +386,13 @@ def sample_basis_bits(
     exactly as the scalar :meth:`Statevector.sample` would: normalize,
     one ``rng.choice`` call, then unpack the flat outcomes into a
     ``(shots, num_bits)`` array of 0/1 ints (most significant bit first).
+
+    ``readout_error`` models a symmetric classical bit-flip on each
+    measured bit: with probability ``p`` per bit, the recorded outcome is
+    inverted.  The flips are drawn from ``rng`` *after* the outcome draw
+    and only when ``readout_error`` is truthy, so passing ``None``/``0``
+    consumes the generator exactly as before — the bit-identity contract
+    every noiseless path relies on.
 
     Raises
     ------
@@ -398,9 +409,13 @@ def sample_basis_bits(
         )
     probs = probs / total
     outcomes = rng.choice(probs.size, size=shots, p=probs)
-    return (
+    bits = (
         (outcomes[:, None] >> np.arange(num_bits - 1, -1, -1)) & 1
     ).astype(np.int8)
+    if readout_error:
+        flips = rng.random(size=bits.shape) < readout_error
+        bits = bits ^ flips.astype(np.int8)
+    return bits
 
 
 def marginal_probabilities_batch(

@@ -39,7 +39,10 @@ additionally accepts ``--batch-trajectories`` (lock-step training of all
 engine) — again bit-identical, just faster.  ``variance``, ``train`` and
 ``run`` take ``--shots N`` to switch from analytic expectations to
 finite-sample estimation (hardware-realistic measurement noise) with
-per-trajectory streams derived from ``--seed``.
+per-trajectory streams derived from ``--seed``, and ``--noise JSON``
+(inline payload or ``@file``) to run under a Kraus noise model through
+the batched Pauli-transfer simulator — gate channels plus optional
+bit-flip readout error on sampled measurements.
 """
 
 from __future__ import annotations
@@ -51,6 +54,48 @@ from typing import List, Optional
 import numpy as np
 
 __all__ = ["build_parser", "main"]
+
+
+def _parse_noise(text: str) -> dict:
+    """Parse a ``--noise`` value: inline JSON or ``@path`` to a JSON file.
+
+    The payload is the :meth:`~repro.backend.noise.NoiseModel.to_dict`
+    form, e.g. ``'{"default": {"name": "depolarizing", "probability":
+    0.01}, "readout_error": 0.02}'``.
+    """
+    import json
+    from pathlib import Path
+
+    raw = str(text)
+    if raw.startswith("@"):
+        try:
+            raw = Path(raw[1:]).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise argparse.ArgumentTypeError(
+                f"cannot read noise file {text[1:]!r}: {exc}"
+            ) from None
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--noise is not valid JSON ({exc}); pass an inline NoiseModel "
+            "payload or @path to a JSON file"
+        ) from None
+    if not isinstance(payload, dict):
+        raise argparse.ArgumentTypeError(
+            f"--noise must be a JSON object (NoiseModel payload), "
+            f"got {type(payload).__name__}"
+        )
+    return payload
+
+
+_NOISE_HELP = (
+    "noise model as inline JSON or @path to a JSON file (NoiseModel "
+    "payload: 'default'/'per_gate' channels plus 'readout_error'); "
+    "routes execution through the batched Pauli-transfer simulator, "
+    "e.g. '{\"default\": {\"name\": \"depolarizing\", "
+    "\"probability\": 0.01}}'"
+)
 
 
 def _parse_bytes(text: str) -> int:
@@ -119,6 +164,9 @@ def build_parser() -> argparse.ArgumentParser:
         "(default, bit-identical reference), or a device namespace such "
         "as 'torch', 'torch:cuda:0' or 'cupy' (see `repro info`)",
     )
+    variance.add_argument(
+        "--noise", type=_parse_noise, default=None, help=_NOISE_HELP
+    )
     variance.add_argument("--seed", type=int, default=0)
     variance.add_argument("--output", default=None)
     variance.add_argument(
@@ -157,6 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="array backend for the statevector kernels: 'numpy' "
         "(default, bit-identical reference), or a device namespace such "
         "as 'torch', 'torch:cuda:0' or 'cupy' (see `repro info`)",
+    )
+    train.add_argument(
+        "--noise", type=_parse_noise, default=None, help=_NOISE_HELP
     )
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--output", default=None)
@@ -214,6 +265,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the spec's array backend (e.g. 'torch', "
         "'torch:cuda:0', 'cupy'; see `repro info`)",
+    )
+    run_cmd.add_argument(
+        "--noise",
+        type=_parse_noise,
+        default=None,
+        help="override the spec's noise model (inline JSON or @file; "
+        "see `repro variance --help`)",
     )
     run_cmd.add_argument(
         "--max-attempts",
@@ -383,6 +441,7 @@ def _cmd_variance(args: argparse.Namespace) -> int:
         fold=args.fold,
         shots=args.shots,
         backend=args.backend or "numpy",
+        noise=args.noise,
     )
     spec = ExperimentSpec(
         kind="variance",
@@ -411,6 +470,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         cost_kind=args.cost,
         shots=args.shots,
         backend=args.backend or "numpy",
+        noise=args.noise,
     )
     if args.batch_trajectories:
         executor = "lockstep"
@@ -466,6 +526,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["shots"] = args.shots
     if args.backend is not None:
         overrides["backend"] = args.backend
+    if args.noise is not None:
+        overrides["noise"] = args.noise
     if args.max_attempts is not None:
         overrides["retry"] = args.max_attempts
     if overrides:

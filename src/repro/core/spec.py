@@ -81,6 +81,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.backend.noise import NoiseModel
 from repro.core.executor import EXECUTORS, Executor, WorkUnit, get_executor
 from repro.reliability import FaultPlan, RetryPolicy
 from repro.core.training import TrainingConfig
@@ -208,6 +209,13 @@ class ExperimentSpec:
         error.  Non-default values override the config's own ``backend``
         field (mirroring ``shots``) and route to the ``device`` executor
         unless one is named explicitly.
+    noise:
+        Noise-model payload (:meth:`~repro.backend.noise.NoiseModel.to_dict`
+        form) overriding the config's own ``noise`` field, mirroring
+        ``shots``.  Non-trivial noise routes execution through the
+        batched Pauli-transfer simulator; a trivial payload (identity
+        channels, zero readout error) normalizes to ``None`` so its
+        fingerprint equals the noiseless one.
     sweep_field / sweep_values / paired:
         For ``sweep`` specs: the :class:`VarianceConfig` field to vary,
         the values it takes, and whether runs share paired RNG streams.
@@ -244,6 +252,7 @@ class ExperimentSpec:
     restarts: int = 1
     shots: Optional[int] = None
     backend: str = "numpy"
+    noise: Optional[Dict[str, object]] = None
     sweep_field: Optional[str] = None
     sweep_values: Optional[Sequence] = None
     paired: bool = True
@@ -280,6 +289,12 @@ class ExperimentSpec:
                 f"backend must be a non-empty array-backend spec string, "
                 f"got {self.backend!r}"
             )
+        if self.noise is not None:
+            # Validate eagerly and canonicalize: a trivial model (identity
+            # channels, zero readout error) is bit-identical to noiseless,
+            # so it normalizes to None and fingerprints stay aligned.
+            model = NoiseModel.from_dict(dict(self.noise))
+            self.noise = None if model.is_trivial else model.to_dict()
         if self.retry is not None:
             # Validate eagerly (a bad policy must fail at spec
             # construction, not mid-run) but keep the raw value so
@@ -376,16 +391,18 @@ class ExperimentSpec:
         Canonicalization rules:
 
         * The config is **resolved** first: a ``None`` config becomes the
-          kind's defaults, spec-level ``shots``/``backend`` overrides are
-          merged in, and the resolved executor's batching policy is
-          applied (``executor="serial"`` forces ``batched=False``) — so
-          the digest reflects what will actually run, not how the spec
-          happened to be written.
+          kind's defaults, spec-level ``shots``/``noise``/``backend``
+          overrides are merged in, and the resolved executor's batching
+          policy is applied (``executor="serial"`` forces
+          ``batched=False``) — so the digest reflects what will actually
+          run, not how the spec happened to be written.
         * Config fields at identity-neutral values are dropped:
-          ``shots=None`` (analytic), ``fold`` (always — a pure throughput
-          knob, bit-identical across scopes) and ``backend="numpy"``
-          (bit-identical to the pre-backend kernels).  Checkpoints
-          written before those fields existed therefore keep matching.
+          ``shots=None`` (analytic), ``noise=None`` (noiseless — trivial
+          payloads canonicalize to ``None`` first), ``fold`` (always — a
+          pure throughput knob, bit-identical across scopes) and
+          ``backend="numpy"`` (bit-identical to the pre-backend kernels).
+          Checkpoints written before those fields existed therefore keep
+          matching.
         * The seed is encoded via its ``SeedSequence`` entropy/spawn
           state; a transient ``Generator`` without one is rejected with a
           :class:`ValueError` (its stream cannot be reproduced).
@@ -419,6 +436,7 @@ class ExperimentSpec:
             "restarts": self.restarts,
             "shots": self.shots,
             "backend": self.backend,
+            "noise": self.noise,
             "sweep_field": self.sweep_field,
             "sweep_values": (
                 list(self.sweep_values) if self.sweep_values is not None else None
@@ -472,6 +490,7 @@ class ExperimentSpec:
             restarts=1 if restarts is None else int(restarts),
             shots=None if shots is None else int(shots),
             backend="numpy" if backend is None else str(backend),
+            noise=payload.get("noise"),
             sweep_field=payload.get("sweep_field"),
             sweep_values=payload.get("sweep_values"),
             paired=True if paired is None else bool(paired),
@@ -515,6 +534,9 @@ def _canonical_config_payload(config: Any) -> Optional[dict]:
 
     * ``shots=None`` — analytic configs keep their pre-shots
       fingerprints, so existing checkpoints stay resumable.
+    * ``noise=None`` — noiseless configs keep their pre-noise
+      fingerprints; non-trivial noise payloads stay stamped so noisy
+      results never collide with noiseless cache entries.
     * ``fold`` — a pure throughput knob; seeded results are bit-identical
       across scopes, so checkpoints written under any fold remain
       resumable under any other (and pre-fold checkpoints keep matching).
@@ -528,6 +550,11 @@ def _canonical_config_payload(config: Any) -> Optional[dict]:
     payload = asdict(config)
     if payload.get("shots") is None:
         payload.pop("shots", None)
+    if payload.get("noise") is None:
+        # Noiseless (and trivial, which canonicalizes to None) configs
+        # keep their pre-noise fingerprints; noisy payloads are stamped,
+        # so noisy cache entries can never collide with noiseless ones.
+        payload.pop("noise", None)
     payload.pop("fold", None)
     if payload.get("backend", "numpy") == "numpy":
         payload.pop("backend", None)
@@ -551,6 +578,7 @@ def _resolve_config(
         spec.config if spec.config is not None else EXPERIMENT_KINDS[spec.kind]()
     )
     config = _apply_shots(spec, config)
+    config = _apply_noise(spec, config)
     # The resolved backend folds in the spec-level override and (when
     # backend_fallback is on) graceful degradation to numpy — stamping
     # the config *here* means fingerprints describe what actually runs.
@@ -786,6 +814,17 @@ def _apply_shots(spec: ExperimentSpec, config: Any) -> Any:
     if spec.shots is None:
         return config
     return replace(config, shots=spec.shots)
+
+
+def _apply_noise(spec: ExperimentSpec, config: Any) -> Any:
+    """Merge a spec-level ``noise`` override into the kind's config.
+
+    The spec's ``__post_init__`` already canonicalized trivial payloads
+    to ``None``, so an override here always carries real noise.
+    """
+    if spec.noise is None:
+        return config
+    return replace(config, noise=dict(spec.noise))
 
 
 def _apply_backend(spec: ExperimentSpec, config: Any) -> Any:

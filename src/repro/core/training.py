@@ -33,6 +33,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.ansatz.hea import HardwareEfficientAnsatz
+from repro.backend.noise import NoiseModel, resolve_noise_model
+from repro.backend.ptm import PauliTransferSimulator
 from repro.backend.simulator import StatevectorSimulator
 from repro.core.cost import ObservableCost, make_cost
 from repro.core.results import TrainingHistory
@@ -83,6 +85,13 @@ class TrainingConfig:
     #: lazily at run time (see :mod:`repro.utils.array_api`).  Excluded
     #: from checkpoint fingerprints only at its default.
     backend: str = "numpy"
+    #: Serializable noise-model payload (``NoiseModel.from_dict``
+    #: vocabulary).  When set, trajectories run on the batched
+    #: Pauli-transfer engine and gradients route through the shift-rule
+    #: family (adjoint sweeps have no non-unitary analogue).  Trivial
+    #: payloads normalize to ``None`` — the noiseless fast path executes
+    #: them exactly and the checkpoint fingerprints stay aligned.
+    noise: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.num_qubits, "num_qubits")
@@ -99,6 +108,9 @@ class TrainingConfig:
                 f"backend must be a non-empty array-backend spec string, "
                 f"got {self.backend!r}"
             )
+        if self.noise is not None:
+            model = NoiseModel.from_dict(dict(self.noise))
+            self.noise = None if model.is_trivial else model.to_dict()
 
     def build_ansatz(self) -> HardwareEfficientAnsatz:
         """The Eq. 3 ansatz for this configuration."""
@@ -126,15 +138,30 @@ class Trainer:
         simulator: Optional[StatevectorSimulator] = None,
     ):
         self.config = config or TrainingConfig()
-        self.simulator = simulator or StatevectorSimulator(
-            backend=self.config.backend
-        )
+        noise_model = resolve_noise_model(self.config.noise)
+        gradient_engine = self.config.gradient_engine
+        if simulator is not None:
+            self.simulator = simulator
+        elif noise_model is not None:
+            self.simulator = PauliTransferSimulator(
+                noise_model, backend=self.config.backend
+            )
+        else:
+            self.simulator = StatevectorSimulator(backend=self.config.backend)
+        if noise_model is not None and gradient_engine in (
+            "adjoint",
+            "batch_adjoint",
+        ):
+            # Adjoint differentiation assumes unitary evolution; noisy
+            # runs fall back to the shift family, mirroring the
+            # documented shots= behaviour of ObservableCost.gradient.
+            gradient_engine = "parameter_shift"
         self._ansatz = self.config.build_ansatz()
         self._circuit = self._ansatz.build()
         self._cost = make_cost(
             self.config.cost_kind,
             self._circuit,
-            gradient_engine=self.config.gradient_engine,
+            gradient_engine=gradient_engine,
             simulator=self.simulator,
         )
 

@@ -49,7 +49,9 @@ from repro.backend.gradients import (
     megabatch_parameter_shift,
     parameter_shift,
 )
+from repro.backend.noise import NoiseModel, resolve_noise_model
 from repro.backend.observables import Observable
+from repro.backend.ptm import PauliTransferSimulator
 from repro.backend.simulator import StatevectorSimulator
 from repro.core.cost import make_cost
 from repro.core.results import GradientSamples, VarianceResult
@@ -126,6 +128,15 @@ class VarianceConfig:
     #: lazily at run time (see :mod:`repro.utils.array_api`).  Excluded
     #: from checkpoint fingerprints only at its default.
     backend: str = "numpy"
+    #: Serializable noise-model payload (``NoiseModel.from_dict``
+    #: vocabulary: ``default`` / ``per_gate`` channels plus
+    #: ``readout_error``).  When set, every probed gradient runs through
+    #: the batched Pauli-transfer engine
+    #: (:class:`repro.backend.ptm.PauliTransferSimulator`) instead of the
+    #: statevector kernels.  Trivial payloads (no channels, ideal
+    #: readout) are normalized to ``None`` so they hit the noiseless fast
+    #: path — and the same checkpoint fingerprints.
+    noise: Optional[Dict[str, object]] = None
     method_kwargs: Dict[str, dict] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -150,6 +161,12 @@ class VarianceConfig:
                 f"backend must be a non-empty array-backend spec string, "
                 f"got {self.backend!r}"
             )
+        if self.noise is not None:
+            # Validate eagerly and store the canonical payload; trivial
+            # models collapse to None (the noiseless path *is* their
+            # exact execution, and the fingerprints stay aligned).
+            model = NoiseModel.from_dict(dict(self.noise))
+            self.noise = None if model.is_trivial else model.to_dict()
 
     def build_initializers(self) -> Dict[str, Initializer]:
         """Instantiate the configured initialization methods by name."""
@@ -309,6 +326,17 @@ def _probe_gradient(
     return float(cost.scale * raw[0])
 
 
+def _build_simulator(
+    config: VarianceConfig, noise_model: Optional[NoiseModel] = None
+):
+    """Simulator for a config: statevector, or PTM when noise is set."""
+    if noise_model is None:
+        noise_model = resolve_noise_model(config.noise)
+    if noise_model is not None:
+        return PauliTransferSimulator(noise_model, backend=config.backend)
+    return StatevectorSimulator(backend=config.backend)
+
+
 def run_variance_shard(
     config: VarianceConfig,
     shard: VarianceShard,
@@ -321,10 +349,17 @@ def run_variance_shard(
     payloads only, keyed so :func:`merge_variance_outputs` can reassemble
     the full grid in order.
     """
-    simulator = simulator or StatevectorSimulator(backend=config.backend)
+    noise_model = resolve_noise_model(config.noise)
+    simulator = simulator or _build_simulator(config, noise_model)
     initializers = config.build_initializers()
     grads: Dict[str, List[float]] = {m: [] for m in config.methods}
-    megabatched = config.batched and config.fold == "shape"
+    # The mega-batch planner is statevector-specific; noisy shards fold
+    # through the per-structure batched shift-rule path instead.  ``fold``
+    # is excluded from checkpoint fingerprints, so forcing it off here
+    # cannot split cache keys.
+    megabatched = (
+        config.batched and config.fold == "shape" and noise_model is None
+    )
     keys: List = []
     items: List[_StructureRows] = []
     for i in range(shard.num_circuits):
@@ -534,9 +569,7 @@ class VarianceAnalysis:
         simulator: Optional[StatevectorSimulator] = None,
     ):
         self.config = config or VarianceConfig()
-        self.simulator = simulator or StatevectorSimulator(
-            backend=self.config.backend
-        )
+        self.simulator = simulator or _build_simulator(self.config)
 
     def run(self, seed: SeedLike = None, verbose: bool = False) -> VarianceResult:
         """Execute the full (qubit count x method x circuit) grid.

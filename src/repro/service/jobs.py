@@ -370,6 +370,36 @@ class JobQueue:
         """The stored result payload for a finished job (exact bytes)."""
         return self.store.read_result_text(job.fingerprint)
 
+    def retry_metrics(self) -> dict:
+        """Queue-wide reliability counters (the ``/healthz`` payload).
+
+        Aggregates every tracked job under the queue lock: jobs by
+        state, total extra attempts consumed, how many distinct units
+        retried, how many were quarantined, and process-pool rebuilds —
+        one glance tells an operator whether the fleet is healthy,
+        limping on retries, or shedding units.
+        """
+        with self._lock:
+            jobs_by_state: Dict[str, int] = {}
+            total_retries = 0
+            units_retried = 0
+            units_failed = 0
+            pool_rebuilds = 0
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                jobs_by_state[job.state] = jobs_by_state.get(job.state, 0) + 1
+                total_retries += int(sum(job.retried_units.values()))
+                units_retried += len(job.retried_units)
+                units_failed += len(job.failed_units)
+                pool_rebuilds += int(job.pool_rebuilds)
+            return {
+                "jobs_by_state": jobs_by_state,
+                "total_retries": total_retries,
+                "units_retried": units_retried,
+                "units_failed": units_failed,
+                "pool_rebuilds": pool_rebuilds,
+            }
+
     # -- execution ---------------------------------------------------------
 
     def _worker(self) -> None:

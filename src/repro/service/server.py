@@ -18,8 +18,11 @@ The server wires a :class:`~repro.service.jobs.JobQueue` (and its
     submissions of the same spec receive byte-identical payloads.
     ``409`` while the job is still queued/running, ``500`` if it failed.
 
-``GET /experiments`` lists all jobs; ``GET /healthz`` reports liveness
-and store statistics.  Everything is standard library
+``GET /experiments`` lists all jobs; ``GET /healthz`` reports liveness,
+store statistics and queue-wide retry-budget metrics
+(:meth:`JobQueue.retry_metrics`: jobs by state, total retries,
+retried/quarantined unit counts, pool rebuilds).  Everything is
+standard library
 (:class:`http.server.ThreadingHTTPServer`) — no new dependencies.
 
 **Graceful shutdown.**  :meth:`ExperimentServer.shutdown_gracefully`
@@ -90,7 +93,12 @@ class _Handler(BaseHTTPRequestHandler):
         queue = self.server.queue
         if path in ("", "/healthz"):
             self._send_json(
-                200, {"status": "ok", "store": queue.store.stats()}
+                200,
+                {
+                    "status": "ok",
+                    "store": queue.store.stats(),
+                    "retries": queue.retry_metrics(),
+                },
             )
             return
         if path == "/experiments":

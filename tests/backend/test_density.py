@@ -44,6 +44,22 @@ class TestDensityMatrix:
         with pytest.raises(ValueError):
             DensityMatrix(np.eye(3) / 3.0)  # not power of 2
 
+    def test_rejects_one_by_one(self):
+        # A 1x1 "density matrix" has zero qubits: np.log2(1) == 0 slipped
+        # through the old power-of-two check.
+        with pytest.raises(ValueError):
+            DensityMatrix(np.array([[1.0]]))
+
+    def test_rejects_non_square_and_non_matrix(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.ones((2, 4)) / 4.0)
+        with pytest.raises(ValueError):
+            DensityMatrix(np.array([0.5, 0.5]))
+
+    def test_two_by_two_boundary_accepted(self):
+        rho = DensityMatrix(np.eye(2) / 2.0)
+        assert rho.num_qubits == 1
+
     def test_expectation_matches_statevector(self):
         state = Statevector.random_state(3, seed=1)
         rho = DensityMatrix.from_statevector(state)
@@ -132,6 +148,20 @@ class TestDensityMatrixSimulator:
     def test_trainable_circuit_needs_params(self):
         with pytest.raises(ValueError):
             DensityMatrixSimulator().run(QuantumCircuit(1).rx(0))
+
+    def test_missing_params_error_matches_statevector_wording(self):
+        circuit = QuantumCircuit(2).rx(0).ry(1)
+        with pytest.raises(
+            ValueError, match="2 trainable parameters but none were supplied"
+        ):
+            DensityMatrixSimulator().run(circuit)
+
+    def test_wrong_param_count_rejected(self):
+        circuit = QuantumCircuit(2).rx(0).ry(1)
+        with pytest.raises(ValueError, match="expected 2 parameters, got 1"):
+            DensityMatrixSimulator().run(circuit, params=[0.1])
+        with pytest.raises(ValueError, match="expected 2 parameters, got 3"):
+            DensityMatrixSimulator().run(circuit, params=[0.1, 0.2, 0.3])
 
     def test_initial_state_override(self):
         rho0 = DensityMatrix.maximally_mixed(1)

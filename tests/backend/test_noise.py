@@ -11,9 +11,11 @@ from repro.backend import (
     TrajectorySimulator,
     amplitude_damping,
     bit_flip,
+    channel_from_dict,
     depolarizing,
     phase_damping,
     phase_flip,
+    resolve_noise_model,
 )
 
 
@@ -59,6 +61,73 @@ class TestChannels:
         assert identity.is_trivial
         assert not bit_flip(0.2).is_trivial
 
+    def test_zero_probability_factory_channels_are_trivial(self):
+        # depolarizing(0.0) carries extra all-zero Kraus operators; the
+        # channel is still exactly the identity map.
+        assert depolarizing(0.0).is_trivial
+        assert bit_flip(0.0).is_trivial
+        assert amplitude_damping(0.0).is_trivial
+
+    def test_rejects_non_power_of_two_dimension(self):
+        # A 3x3 "qutrit" map has no qubit count; it must fail at
+        # construction, not produce num_qubits = log2(3).
+        with pytest.raises(ValueError, match="power of two"):
+            KrausChannel("qutrit", [np.eye(3)])
+        with pytest.raises(ValueError, match="power of two"):
+            KrausChannel("six", [np.eye(6)])
+
+    def test_rejects_one_by_one(self):
+        with pytest.raises(ValueError, match="power of two"):
+            KrausChannel("scalar", [np.eye(1)])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            KrausChannel("rect", [np.ones((2, 4))])
+
+    def test_num_qubits_from_dimension(self):
+        assert bit_flip(0.1).num_qubits == 1
+        cx_noise = KrausChannel("id4", [np.eye(4)])
+        assert cx_noise.num_qubits == 2
+        assert KrausChannel("id8", [np.eye(8)]).num_qubits == 3
+
+
+class TestChannelSerialization:
+    @pytest.mark.parametrize(
+        "factory,key,value",
+        [
+            (bit_flip, "probability", 0.1),
+            (phase_flip, "probability", 0.25),
+            (depolarizing, "probability", 0.3),
+            (amplitude_damping, "gamma", 0.4),
+            (phase_damping, "gamma", 0.2),
+        ],
+    )
+    def test_factory_round_trip(self, factory, key, value):
+        channel = factory(value)
+        payload = channel.to_dict()
+        assert payload[key] == value
+        rebuilt = channel_from_dict(payload)
+        assert rebuilt.name == channel.name
+        for a, b in zip(rebuilt.kraus_operators, channel.kraus_operators):
+            assert np.allclose(a, b)
+
+    def test_custom_kraus_has_no_spec(self):
+        channel = KrausChannel("custom", [np.eye(2)])
+        with pytest.raises(ValueError, match="custom"):
+            channel.to_dict()
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown"):
+            channel_from_dict({"name": "cosmic_ray", "probability": 0.1})
+
+    def test_rejects_bad_keys(self):
+        with pytest.raises(ValueError):
+            channel_from_dict({"name": "bit_flip", "gamma": 0.1})
+        with pytest.raises(ValueError):
+            channel_from_dict({"name": "bit_flip"})
+        with pytest.raises(ValueError):
+            channel_from_dict("bit_flip")
+
 
 class TestNoiseModel:
     def test_default_applies_everywhere(self):
@@ -79,6 +148,55 @@ class TestNoiseModel:
     def test_is_trivial(self):
         assert NoiseModel().is_trivial
         assert not NoiseModel(default=bit_flip(0.5)).is_trivial
+
+    def test_readout_error_alone_is_not_trivial(self):
+        model = NoiseModel(readout_error=0.05)
+        assert not model.is_trivial
+        assert model.to_dict() == {"readout_error": 0.05}
+
+    def test_rejects_invalid_readout_error(self):
+        with pytest.raises(ValueError):
+            NoiseModel(readout_error=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(readout_error=-0.1)
+
+    def test_to_dict_round_trip(self):
+        model = NoiseModel(
+            default=depolarizing(0.02),
+            per_gate={"CX": amplitude_damping(0.1), "H": None},
+            readout_error=0.03,
+        )
+        payload = model.to_dict()
+        rebuilt = NoiseModel.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.readout_error == 0.03
+        assert rebuilt.channel_for("H") is None
+        assert rebuilt.channel_for("CX").name == "amplitude_damping"
+        assert rebuilt.channel_for("RX").name == "depolarizing"
+
+    def test_trivial_model_serializes_empty(self):
+        assert NoiseModel().to_dict() == {}
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            NoiseModel.from_dict({"channels": {}})
+
+    def test_resolve_noise_model(self):
+        assert resolve_noise_model(None) is None
+        assert resolve_noise_model({}) is None
+        assert (
+            resolve_noise_model(
+                {"default": {"name": "depolarizing", "probability": 0.0}}
+            )
+            is None
+        )
+        model = resolve_noise_model(
+            {"default": {"name": "bit_flip", "probability": 0.1}}
+        )
+        assert isinstance(model, NoiseModel)
+        existing = NoiseModel(default=bit_flip(0.1))
+        assert resolve_noise_model(existing) is existing
+        assert resolve_noise_model(NoiseModel()) is None
 
 
 class TestTrajectorySimulator:
@@ -126,6 +244,24 @@ class TestTrajectorySimulator:
         trajectory = TrajectorySimulator(NoiseModel())
         with pytest.raises(ValueError):
             trajectory.run_trajectory(QuantumCircuit(1).rx(0), seed=0)
+
+    def test_missing_params_error_matches_statevector_wording(self):
+        trajectory = TrajectorySimulator(NoiseModel())
+        circuit = QuantumCircuit(2).rx(0).ry(1)
+        with pytest.raises(
+            ValueError, match="2 trainable parameters but none were supplied"
+        ):
+            trajectory.run_trajectory(circuit, seed=0)
+
+    def test_wrong_param_count_rejected(self):
+        trajectory = TrajectorySimulator(NoiseModel())
+        circuit = QuantumCircuit(2).rx(0).ry(1)
+        with pytest.raises(ValueError, match="expected 2 parameters, got 3"):
+            trajectory.run_trajectory(circuit, params=[0.1, 0.2, 0.3], seed=0)
+        with pytest.raises(ValueError, match="expected 2 parameters, got 1"):
+            trajectory.expectation(
+                circuit, PauliString(2, "ZZ"), params=[0.1], trajectories=2
+            )
 
     def test_parameterized_noisy_run(self):
         trajectory = TrajectorySimulator(NoiseModel(default=phase_damping(0.1)))

@@ -434,3 +434,167 @@ class TestUnitFingerprintSharing:
         first = self._unit_fingerprints((2, 3))
         second = self._unit_fingerprints((4, 5))
         assert not set(first.values()) & set(second.values())
+
+
+_NOISE = {"default": {"name": "depolarizing", "probability": 0.02}}
+
+
+class TestNoiseFingerprints:
+    """The noise:null -> dropped rule keeps historical keys valid."""
+
+    _config = VarianceConfig(
+        qubit_counts=(2, 3), num_circuits=4, num_layers=3, methods=("random",)
+    )
+
+    def test_noiseless_fingerprint_unchanged_by_field_addition(self):
+        # The canonical payload drops noise=None, so specs written before
+        # the field existed digest identically to specs written after.
+        spec = ExperimentSpec(kind="variance", config=self._config, seed=3)
+        payload = spec.to_dict()
+        assert payload["noise"] is None
+        del payload["noise"]
+        assert ExperimentSpec.from_dict(payload).fingerprint() == spec.fingerprint()
+
+    def test_noisy_fingerprint_never_collides_with_noiseless(self):
+        base = ExperimentSpec(kind="variance", config=self._config, seed=3)
+        noisy = ExperimentSpec(
+            kind="variance", config=self._config, seed=3, noise=_NOISE
+        )
+        assert base.fingerprint() != noisy.fingerprint()
+
+    def test_trivial_noise_is_identity_neutral(self):
+        base = ExperimentSpec(kind="variance", config=self._config, seed=3)
+        trivial = ExperimentSpec(
+            kind="variance",
+            config=self._config,
+            seed=3,
+            noise={"default": {"name": "bit_flip", "probability": 0.0}},
+        )
+        assert trivial.noise is None
+        assert base.fingerprint() == trivial.fingerprint()
+
+    def test_spec_override_matches_config_field(self):
+        from dataclasses import replace
+
+        via_spec = ExperimentSpec(
+            kind="variance", config=self._config, seed=3, noise=_NOISE
+        )
+        via_config = ExperimentSpec(
+            kind="variance",
+            config=replace(self._config, noise=dict(_NOISE)),
+            seed=3,
+        )
+        assert via_spec.fingerprint() == via_config.fingerprint()
+
+    def test_noise_round_trips_through_json(self):
+        spec = ExperimentSpec(
+            kind="training", config=_TRAIN_CONFIG, seed=1, noise=_NOISE
+        )
+        rebuilt = ExperimentSpec.from_json(json.dumps(spec.to_dict()))
+        assert rebuilt.noise == spec.noise
+        assert rebuilt.fingerprint() == spec.fingerprint()
+
+    def test_rejects_malformed_noise_payload(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                kind="variance",
+                config=self._config,
+                noise={"default": {"name": "cosmic_ray"}},
+            )
+
+    def test_unit_fingerprints_distinguish_noise(self):
+        from repro.core.spec import plan_experiment
+
+        def unit_keys(noise):
+            spec = ExperimentSpec(
+                kind="variance", config=self._config, seed=3, noise=noise
+            )
+            return set(plan_experiment(spec).unit_fingerprints.values())
+
+        assert not unit_keys(None) & unit_keys(_NOISE)
+
+
+class TestNoisyExecution:
+    """A noisy spec runs end-to-end through every executor, bit-identically."""
+
+    _config = VarianceConfig(
+        qubit_counts=(2, 3),
+        num_circuits=3,
+        num_layers=2,
+        methods=("random", "xavier_normal"),
+        noise={
+            "default": {"name": "depolarizing", "probability": 0.02},
+            "readout_error": 0.0,
+        },
+    )
+
+    def _outcome(self, **kwargs):
+        spec = ExperimentSpec(
+            kind="variance", config=self._config, seed=7, **kwargs
+        )
+        return repro.run(spec)
+
+    def test_executors_agree_bit_identically(self):
+        serial = self._outcome(executor="serial")
+        batched = self._outcome(executor="batched")
+        pooled = self._outcome(executor="process_pool", workers=2)
+        asynced = self._outcome(executor="async")
+        for other in (batched, pooled, asynced):
+            for method in serial.result.methods:
+                assert np.array_equal(
+                    serial.result.variance_series(method),
+                    other.result.variance_series(method),
+                )
+
+    def test_noise_changes_the_physics(self):
+        from dataclasses import replace
+
+        noiseless = ExperimentSpec(
+            kind="variance",
+            config=replace(self._config, noise=None),
+            seed=7,
+        )
+        ideal = repro.run(noiseless)
+        noisy = self._outcome()
+        assert not np.array_equal(
+            ideal.result.variance_series("random"),
+            noisy.result.variance_series("random"),
+        )
+
+    def test_noisy_training_spec_runs(self):
+        config = TrainingConfig(
+            num_qubits=2,
+            num_layers=1,
+            iterations=2,
+            noise={"default": {"name": "phase_damping", "gamma": 0.05}},
+        )
+        spec = ExperimentSpec(
+            kind="training", config=config, seed=1, methods=("random",)
+        )
+        outcome = repro.run(spec)
+        assert "random" in outcome.histories
+
+    def test_noisy_training_lockstep_runs(self):
+        config = TrainingConfig(
+            num_qubits=2,
+            num_layers=1,
+            iterations=2,
+            noise={"default": {"name": "depolarizing", "probability": 0.02}},
+        )
+        spec = ExperimentSpec(
+            kind="training",
+            config=config,
+            seed=1,
+            methods=("random",),
+            executor="lockstep",
+        )
+        serial = repro.run(
+            ExperimentSpec(
+                kind="training", config=config, seed=1, methods=("random",)
+            )
+        )
+        lockstep = repro.run(spec)
+        assert "random" in lockstep.histories
+        assert serial.histories["random"].losses == pytest.approx(
+            lockstep.histories["random"].losses
+        )

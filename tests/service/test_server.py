@@ -151,3 +151,81 @@ class TestCLI:
         )
         assert args.command == "serve"
         assert args.port == 0
+
+
+class TestNoisyService:
+    """Noisy specs flow through the HTTP service with distinct cache keys."""
+
+    _noise = {"default": {"name": "depolarizing", "probability": 0.02}}
+
+    def test_noisy_spec_runs_and_caches(self, server):
+        spec = ExperimentSpec(
+            kind="variance", config=_CONFIG, seed=7, noise=self._noise
+        )
+        code, first = _post(f"{server.url}/experiments", spec.to_dict())
+        assert code == 202
+        assert _poll_done(server, first["job_id"])["state"] == "done"
+        # The noisy fingerprint must not hit the noiseless cache entry.
+        assert first["fingerprint"] != ExperimentSpec(
+            kind="variance", config=_CONFIG, seed=7
+        ).fingerprint()
+        code, again = _post(f"{server.url}/experiments", spec.to_dict())
+        assert code == 200
+        assert again["cache_hit"] is True
+        assert again["fingerprint"] == first["fingerprint"]
+
+    def test_noisy_and_noiseless_results_are_distinct_entries(self, server):
+        noiseless = _SPEC.to_dict()
+        noisy = ExperimentSpec(
+            kind="variance", config=_CONFIG, seed=7, noise=self._noise
+        ).to_dict()
+        _, job_a = _post(f"{server.url}/experiments", noiseless)
+        _, job_b = _post(f"{server.url}/experiments", noisy)
+        _poll_done(server, job_a["job_id"])
+        _poll_done(server, job_b["job_id"])
+        _, body_a = _get(
+            f"{server.url}/experiments/{job_a['job_id']}/result", raw=True
+        )
+        _, body_b = _get(
+            f"{server.url}/experiments/{job_b['job_id']}/result", raw=True
+        )
+        assert body_a != body_b
+
+
+class TestHealthzRetryMetrics:
+    def test_healthz_reports_retry_budget_metrics(self, server):
+        code, payload = _get(f"{server.url}/healthz")
+        assert code == 200
+        retries = payload["retries"]
+        assert retries == {
+            "jobs_by_state": {},
+            "total_retries": 0,
+            "units_retried": 0,
+            "units_failed": 0,
+            "pool_rebuilds": 0,
+        }
+        _, job = _post(f"{server.url}/experiments", _SPEC.to_dict())
+        _poll_done(server, job["job_id"])
+        _, payload = _get(f"{server.url}/healthz")
+        assert payload["retries"]["jobs_by_state"] == {"done": 1}
+
+    def test_healthz_counts_retries(self, server, monkeypatch):
+        import repro.core.variance as vmod
+
+        original = vmod.run_variance_shard
+        failed = set()
+
+        def flaky(config, shard, **kwargs):
+            if shard.unit_id not in failed:
+                failed.add(shard.unit_id)
+                raise OSError("transient")
+            return original(config, shard, **kwargs)
+
+        monkeypatch.setattr(vmod, "run_variance_shard", flaky)
+        _, job = _post(f"{server.url}/experiments", _SPEC.to_dict())
+        assert _poll_done(server, job["job_id"])["state"] == "done"
+        _, payload = _get(f"{server.url}/healthz")
+        retries = payload["retries"]
+        assert retries["total_retries"] >= 1
+        assert retries["units_retried"] >= 1
+        assert retries["units_failed"] == 0
