@@ -1,0 +1,283 @@
+"""Remote dispatch bench — lease protocol overhead and chaos recovery.
+
+The ``remote`` executor distributes work units to pull-based workers
+over HTTP leases (:mod:`repro.service.dispatch`).  Its contract is that
+distribution is *free of numerical consequence*: any placement of a
+unit — first lease, reclaimed re-dispatch after a worker death, a
+retried upload — produces bytes identical to the serial executor.  This
+bench measures what that guarantee costs:
+
+* one Fig. 5a-style variance grid run three ways — ``serial``,
+  ``remote`` with two worker subprocesses, and ``remote`` under a
+  chaos :class:`~repro.reliability.FaultPlan` (a worker killed
+  mid-unit plus a dropped result upload) — asserting all three
+  serialize to byte-identical result files;
+* the raw lease/result round-trip rate of the coordinator protocol
+  over real HTTP (no compute), the per-unit scheduling overhead floor.
+
+Prints the comparison, emits ``BENCH_remote_dispatch.json`` at the repo
+root, and asserts byte-identity plus a minimum protocol throughput.
+
+A fast smoke invocation (reduced grid, same assertions) is exposed for
+CI::
+
+    python benchmarks/bench_remote_dispatch.py --smoke
+"""
+
+import argparse
+import json
+import os
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import repro
+from repro.core import ExperimentSpec, VarianceConfig
+from repro.io import save_result
+from repro.service.dispatch import DispatchBoard, make_dispatch_server
+from repro.utils import machine_context
+
+QUBIT_COUNTS = (2, 4, 6)
+NUM_CIRCUITS = 16
+NUM_LAYERS = 8
+METHODS = ("random",)
+SEED = 4723
+ROUNDTRIPS = 300
+
+SMOKE_QUBIT_COUNTS = (2, 3)
+SMOKE_CIRCUITS = 4
+SMOKE_LAYERS = 3
+SMOKE_ROUNDTRIPS = 100
+
+#: One worker killed mid-unit, one result upload dropped: the two
+#: recovery paths (lease expiry reclaim, upload retry) in one run.
+CHAOS_PLAN = {
+    "units": {
+        "#0": [{"kind": "kill", "times": 1}],
+        "#1": [{"kind": "drop_result", "times": 1}],
+    }
+}
+
+_FAST_RETRY = {"max_attempts": 3, "base_delay": 0.0, "jitter": 0.0}
+
+
+def _spec(qubit_counts, num_circuits, num_layers, **extra):
+    return ExperimentSpec(
+        kind="variance",
+        config=VarianceConfig(
+            qubit_counts=qubit_counts,
+            num_circuits=num_circuits,
+            num_layers=num_layers,
+            methods=METHODS,
+        ),
+        seed=SEED,
+        retry=_FAST_RETRY,
+        **extra,
+    )
+
+
+def _timed_run(spec, out_path):
+    start = time.perf_counter()
+    run = repro.run(spec)
+    seconds = time.perf_counter() - start
+    save_result(run, out_path)
+    return seconds
+
+
+def _post_json(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+def _protocol_roundtrips(count):
+    """Lease+result round trips per second over real HTTP, no compute."""
+    board = DispatchBoard(lease_ttl=30.0)
+    board.register_job(
+        "bench",
+        {"kind": "bench"},
+        [(f"u{i}", f"fp{i}", None) for i in range(count)],
+    )
+    server = make_dispatch_server(board)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    try:
+        start = time.perf_counter()
+        for _ in range(count):
+            status, body = _post_json(
+                f"{url}/work/lease", {"worker_id": "bench"}
+            )
+            assert status == 200 and body["lease"], "lease grant failed"
+            fingerprint = body["lease"]["unit_fingerprint"]
+            status, _ = _post_json(
+                f"{url}/work/{fingerprint}/result",
+                {"worker_id": "bench", "status": "ok", "output": None},
+            )
+            assert status == 200, "result upload failed"
+        elapsed = time.perf_counter() - start
+    finally:
+        server.shutdown()
+        server.server_close()
+        board.unregister_job("bench")
+    return count / elapsed
+
+
+def _run_bench(qubit_counts, num_circuits, num_layers, roundtrips):
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        serial_seconds = _timed_run(
+            _spec(qubit_counts, num_circuits, num_layers, executor="serial"),
+            tmp / "serial.json",
+        )
+        remote_seconds = _timed_run(
+            _spec(
+                qubit_counts,
+                num_circuits,
+                num_layers,
+                executor="remote",
+                workers=2,
+            ),
+            tmp / "remote.json",
+        )
+        # A short lease TTL keeps the kill-recovery wait (lease expiry)
+        # proportionate to the bench, without changing any result bytes.
+        os.environ["REPRO_LEASE_TTL"] = "2.0"
+        try:
+            chaos_seconds = _timed_run(
+                _spec(
+                    qubit_counts,
+                    num_circuits,
+                    num_layers,
+                    executor="remote",
+                    workers=2,
+                    fault_plan=CHAOS_PLAN,
+                ),
+                tmp / "chaos.json",
+            )
+        finally:
+            del os.environ["REPRO_LEASE_TTL"]
+        serial_bytes = (tmp / "serial.json").read_bytes()
+        remote_identical = (tmp / "remote.json").read_bytes() == serial_bytes
+        chaos_identical = (tmp / "chaos.json").read_bytes() == serial_bytes
+    return {
+        "serial_seconds": serial_seconds,
+        "remote_seconds": remote_seconds,
+        "chaos_seconds": chaos_seconds,
+        "remote_overhead": remote_seconds / serial_seconds,
+        "remote_bit_identical": remote_identical,
+        "chaos_bit_identical": chaos_identical,
+        "protocol_roundtrips_per_second": _protocol_roundtrips(roundtrips),
+    }
+
+
+def _report(metrics, grid, smoke=False):
+    print()
+    print("=" * 72)
+    print("Remote dispatch: lease protocol overhead and chaos recovery")
+    print(
+        f"  qubits={grid['qubit_counts']}, circuits={grid['num_circuits']}, "
+        f"layers={grid['num_layers']}, workers=2"
+    )
+    print("=" * 72)
+    print(f"serial executor:      {metrics['serial_seconds']:.3f} s")
+    print(
+        f"remote (2 workers):   {metrics['remote_seconds']:.3f} s "
+        f"({metrics['remote_overhead']:.2f}x serial, "
+        f"bit_identical={metrics['remote_bit_identical']})"
+    )
+    print(
+        f"remote under chaos:   {metrics['chaos_seconds']:.3f} s "
+        f"(kill + dropped upload, "
+        f"bit_identical={metrics['chaos_bit_identical']})"
+    )
+    print(
+        f"protocol round trips: "
+        f"{metrics['protocol_roundtrips_per_second']:.0f} lease+result/s"
+    )
+
+    payload = {
+        "grid": grid,
+        **metrics,
+        "smoke": smoke,
+        "machine": machine_context(),
+    }
+    target = (
+        Path(__file__).resolve().parents[1] / "BENCH_remote_dispatch.json"
+    )
+    target.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {target}")
+    return payload
+
+
+def _assert_bars(payload):
+    assert payload["remote_bit_identical"], (
+        "remote execution diverged from the serial executor"
+    )
+    assert payload["chaos_bit_identical"], (
+        "chaos recovery (worker kill + dropped upload) diverged from serial"
+    )
+    assert payload["protocol_roundtrips_per_second"] >= 50.0, (
+        f"lease protocol too slow: "
+        f"{payload['protocol_roundtrips_per_second']:.0f} round trips/s"
+    )
+
+
+def test_remote_dispatch(run_once):
+    metrics = run_once(
+        lambda: _run_bench(
+            SMOKE_QUBIT_COUNTS, SMOKE_CIRCUITS, SMOKE_LAYERS, SMOKE_ROUNDTRIPS
+        )
+    )
+    grid = {
+        "qubit_counts": list(SMOKE_QUBIT_COUNTS),
+        "num_circuits": SMOKE_CIRCUITS,
+        "num_layers": SMOKE_LAYERS,
+        "methods": list(METHODS),
+        "seed": SEED,
+    }
+    _assert_bars(_report(metrics, grid, smoke=True))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced grid with the same assertions (the CI configuration)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        grid = {
+            "qubit_counts": list(SMOKE_QUBIT_COUNTS),
+            "num_circuits": SMOKE_CIRCUITS,
+            "num_layers": SMOKE_LAYERS,
+            "methods": list(METHODS),
+            "seed": SEED,
+        }
+        metrics = _run_bench(
+            SMOKE_QUBIT_COUNTS, SMOKE_CIRCUITS, SMOKE_LAYERS, SMOKE_ROUNDTRIPS
+        )
+        _assert_bars(_report(metrics, grid, smoke=True))
+        return
+    grid = {
+        "qubit_counts": list(QUBIT_COUNTS),
+        "num_circuits": NUM_CIRCUITS,
+        "num_layers": NUM_LAYERS,
+        "methods": list(METHODS),
+        "seed": SEED,
+    }
+    metrics = _run_bench(QUBIT_COUNTS, NUM_CIRCUITS, NUM_LAYERS, ROUNDTRIPS)
+    _assert_bars(_report(metrics, grid))
+
+
+if __name__ == "__main__":
+    main()

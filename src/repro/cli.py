@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the paper's workflow end to end:
+Eight subcommands cover the paper's workflow end to end:
 
 ``variance``
     Fig. 5a — gradient-variance decay study with the improvement table.
@@ -20,6 +20,14 @@ Seven subcommands cover the paper's workflow end to end:
     ``SIGTERM`` drains gracefully: new submissions get 503, in-flight
     jobs finish within ``--drain-timeout``, unfinished ones persist to
     the store and resume on the next ``repro serve``.
+``worker``
+    Remote execution worker: connects to a coordinator (``repro serve``
+    or the ``remote`` executor's embedded dispatch server), leases work
+    units, executes them under the shared retry policy, and pushes
+    fingerprinted results back.  Leases are heartbeat-renewed; a worker
+    that dies mid-unit simply loses its lease and the unit is
+    re-dispatched elsewhere, byte-identically.  Run any number of these
+    against one coordinator, on any host that can reach it.
 ``store``
     Inspect (``store stats``) or garbage-collect (``store gc``) a
     result-cache directory without starting the server.
@@ -354,9 +362,64 @@ def build_parser() -> argparse.ArgumentParser:
         "the unfinished queue and exiting (default: 30)",
     )
     serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help="seconds before an unheartbeated remote work lease is "
+        "reclaimed and re-dispatched (default: REPRO_LEASE_TTL or 15)",
+    )
+    serve.add_argument(
         "--verbose",
         action="store_true",
         help="log every HTTP request to stderr",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="run a remote execution worker against a coordinator"
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="URL",
+        help="coordinator base URL (the `repro serve listening on ...` "
+        "address, e.g. http://127.0.0.1:8425)",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable identity reported to the coordinator "
+        "(default: HOSTNAME-PID)",
+    )
+    worker.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="seconds between lease polls while idle (default: 0.5)",
+    )
+    worker.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        help="exit cleanly after this many consecutive idle seconds "
+        "(default: poll forever)",
+    )
+    worker.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="worker-side retry budget per leased unit (default: "
+        "REPRO_MAX_ATTEMPTS / REPRO_RETRY, or 3)",
+    )
+    worker.add_argument(
+        "--once",
+        action="store_true",
+        help="execute at most one unit (or return immediately when the "
+        "coordinator is idle), then exit",
+    )
+    worker.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log each lease, result and reconnect to stdout",
     )
 
     store_cmd = sub.add_parser(
@@ -569,6 +632,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         job_timeout=args.job_timeout,
         stall_timeout=args.stall_timeout,
         drain_timeout=args.drain_timeout,
+        lease_ttl=args.lease_ttl,
     )
     # One parseable line: scripts (and the CI smoke job) read the
     # resolved URL from here, which matters with --port 0.
@@ -582,6 +646,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("repro serve shutting down", flush=True)
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.dispatch import run_worker
+
+    return run_worker(
+        args.connect,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        max_idle=args.max_idle,
+        retry=args.max_attempts,
+        once=args.once,
+        verbose=args.verbose,
+    )
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -673,6 +751,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "run": _cmd_run,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
     "store": _cmd_store,
     "landscape": _cmd_landscape,
     "info": _cmd_info,

@@ -792,6 +792,11 @@ def run(
         fault_plan=spec.fault_plan,
     )
     plan = plan_experiment(spec, executor)
+    # Dispatch-style executors (``remote``) need the spec/plan context —
+    # not just the unit list — to ship work to other processes.
+    bind_remote = getattr(executor, "bind_remote", None)
+    if bind_remote is not None:
+        bind_remote(spec, plan)
     on_result = None
     if verbose:
 
@@ -805,6 +810,7 @@ def run(
         fingerprint=plan.fingerprint,
         verbose=verbose,
         on_result=on_result,
+        unit_keys=plan.unit_fingerprints,
     )
     return plan.finalize(outputs)
 

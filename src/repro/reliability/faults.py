@@ -29,6 +29,28 @@ Supported action kinds:
     Same, for the unit's entry in the service's shard store (applied by
     the job queue after ``put_shard``) — exercises store quarantine.
 
+Four *network* kinds target the remote-dispatch layer
+(:mod:`repro.service.dispatch`) and are applied coordinator-side by the
+:class:`~repro.service.dispatch.DispatchBoard` rather than around the
+unit function (:func:`call_with_faults` ignores them, so a plan mixing
+compute and network faults still travels to workers safely):
+
+``drop_lease``
+    The unit's lease is granted internally but the response is dropped
+    (HTTP 503) for the first ``times`` grants — the worker never learns
+    about the lease, it expires, and the reclaim/re-dispatch path runs.
+``drop_result``
+    The first ``times`` result uploads for the unit are rejected with
+    503 without being stored — exercises the worker's upload retry loop
+    and at-least-once delivery.
+``partition``
+    The first ``times`` lease requests or result uploads touching the
+    unit fail with 503 and no side effect — a link cut between worker
+    and coordinator.
+``slow_network``
+    Responses touching the unit are delayed ``seconds`` before being
+    sent for the first ``times`` touches (lease-deadline pressure).
+
 Plans are enabled programmatically (``fault_plan=`` on an executor or
 spec), or globally via the ``REPRO_FAULT_PLAN`` environment variable
 holding either inline JSON or a path to a JSON file:
@@ -57,12 +79,26 @@ __all__ = [
     "FaultAction",
     "FaultPlan",
     "InjectedFault",
+    "NETWORK_KINDS",
     "WorkerCrash",
     "call_with_faults",
     "corrupt_file",
 ]
 
-_KINDS = ("transient", "kill", "slow", "corrupt_checkpoint", "corrupt_shard")
+_KINDS = (
+    "transient",
+    "kill",
+    "slow",
+    "corrupt_checkpoint",
+    "corrupt_shard",
+    "drop_lease",
+    "drop_result",
+    "partition",
+    "slow_network",
+)
+
+#: Kinds applied by the dispatch coordinator, not around the unit fn.
+NETWORK_KINDS = ("drop_lease", "drop_result", "partition", "slow_network")
 
 #: Exit status used by injected worker kills, distinctive in pool logs.
 KILL_EXIT_CODE = 13

@@ -1,31 +1,53 @@
 """Experiment service: async jobs, HTTP serving, content-addressed cache.
 
-Three cooperating layers turn the batch-oriented :func:`repro.run` path
-into a long-running service:
+Four cooperating layers turn the batch-oriented :func:`repro.run` path
+into a long-running, multi-host service:
 
 * :class:`ResultStore` — a content-addressed cache keyed by the public
   :meth:`ExperimentSpec.fingerprint` (whole results) and by
   grid-independent shard fingerprints (individual work units), so exact
   resubmissions are O(1) and overlapping specs share shards.
 * :class:`JobQueue` / :class:`Job` — background execution with
-  in-flight dedup of identical fingerprints, live per-shard progress,
-  retry/quarantine bookkeeping, job timeouts with heartbeat-based stall
-  detection, and drain/persist/restore for graceful shutdown.
+  in-flight dedup of identical fingerprints, live per-shard progress
+  (long-pollable per-job event streams), retry/quarantine bookkeeping,
+  partial-result assembly for quarantined jobs, job timeouts with
+  heartbeat-based stall detection, and drain/persist/restore for
+  graceful shutdown.
+* :class:`DispatchBoard` / :func:`run_worker` — the lease-based remote
+  work-distribution layer (:mod:`repro.service.dispatch`): the board
+  leases work units to pull-based ``repro worker`` processes with
+  heartbeat-renewed deadlines, reclaims and re-dispatches the leases of
+  dead workers, and accepts results idempotently by content
+  fingerprint, so ``executor="remote"`` grids stay byte-identical to
+  single-host runs through worker crashes and network chaos.
 * :class:`ExperimentServer` — the stdlib-HTTP front end behind the
-  ``repro serve`` CLI command; ``SIGTERM`` drains in-flight jobs and
-  rejects new submissions with 503 (:class:`ServiceUnavailable`).
+  ``repro serve`` CLI command, serving the job API and the ``/work/*``
+  dispatch protocol; ``SIGTERM`` drains in-flight jobs and rejects new
+  submissions with 503 (:class:`ServiceUnavailable`).
 """
 
+from repro.service.dispatch import (
+    DispatchBoard,
+    RemoteExecutionError,
+    SpecMismatch,
+    make_dispatch_server,
+    run_worker,
+)
 from repro.service.jobs import Job, JobQueue, ServiceError, ServiceUnavailable
 from repro.service.server import ExperimentServer, make_server
 from repro.service.store import ResultStore
 
 __all__ = [
+    "DispatchBoard",
     "ExperimentServer",
     "Job",
     "JobQueue",
+    "RemoteExecutionError",
     "ResultStore",
     "ServiceError",
     "ServiceUnavailable",
+    "SpecMismatch",
+    "make_dispatch_server",
     "make_server",
+    "run_worker",
 ]

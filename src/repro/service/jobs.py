@@ -35,7 +35,26 @@ either firing aborts the run.  :meth:`begin_draining` flips the queue
 into shutdown mode — new submissions raise :class:`ServiceUnavailable`
 (HTTP 503) while in-flight jobs finish — and :meth:`persist_state` /
 :meth:`restore_state` round-trip unfinished submissions through
-``<store>/queue-state.json`` across server restarts.
+``<store>/queue-state.json`` across server restarts.  The draining flag
+and every job's terminal transition happen under the queue lock, so a
+submission racing a SIGTERM drain either lands before the flag flips
+(and is waited for) or gets the 503 — it can never slip into the window
+between a job finishing and the queue state being persisted and end up
+executed twice.
+
+**Remote execution.**  The queue owns a :class:`~repro.service.dispatch.
+DispatchBoard`; jobs whose spec resolves to the ``remote`` executor are
+bound to it, so their units are leased out to ``repro worker`` processes
+through the server's ``/work/*`` endpoints instead of running on local
+cores.  Reclaimed leases surface per job (``reclaimed_leases`` in status
+JSON) and fleet-wide (the ``dispatch`` block of ``/healthz``).
+
+**Progress events.**  Every unit completion, retry, reclaim, quarantine
+and state change appends to the job's monotonically numbered event log;
+:meth:`Job.events_since` long-polls it (the ``GET
+/experiments/<id>/events?since=N`` endpoint), and
+:meth:`JobQueue.partial_result` assembles a quarantined job's completed
+shards plus its persisted failure report (``?partial=1``).
 """
 
 from __future__ import annotations
@@ -55,6 +74,7 @@ from repro.core.executor import get_executor
 from repro.core.spec import ExperimentSpec, plan_experiment
 from repro.reliability.faults import corrupt_file
 from repro.reliability.policy import ExecutionAborted
+from repro.service.dispatch import DispatchBoard
 from repro.service.store import ResultStore
 
 __all__ = ["Job", "JobQueue", "ServiceError", "ServiceUnavailable"]
@@ -94,15 +114,69 @@ class Job:
     #: Quarantined units: ``{unit_id, attempts, error_type, error_message}``.
     failed_units: List[dict] = field(default_factory=list)
     pool_rebuilds: int = 0
+    #: Remote leases lost to dead/partitioned workers and re-dispatched.
+    reclaimed_leases: int = 0
     error: Optional[str] = None
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     #: Last observed progress (shard completion, retry, rebuild).
     heartbeat_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Planned unit ids in unit order (set once the job is planned);
+    #: drives partial-result assembly for quarantined jobs.
+    unit_order: List[str] = field(default_factory=list, repr=False)
+    #: unit_id -> content fingerprint (the store's shard-tier key).
+    unit_fingerprints: Dict[str, str] = field(default_factory=dict, repr=False)
+    #: Monotonically numbered progress events (see :meth:`record_event`).
+    events: List[dict] = field(default_factory=list, repr=False, compare=False)
+    _events_cond: threading.Condition = field(
+        default_factory=threading.Condition, repr=False, compare=False
+    )
 
     def heartbeat(self) -> None:
         self.heartbeat_at = time.time()
+
+    def record_event(self, kind: str, **data: Any) -> None:
+        """Append one progress event and wake any long-pollers.
+
+        Every event snapshots the job's headline counters, so a client
+        consuming the stream needs no extra status requests to render
+        progress — the deltas between consecutive events are the
+        ``completed_units``/``cached_units``/retry movements.
+        """
+        with self._events_cond:
+            self.events.append(
+                {
+                    "seq": len(self.events) + 1,
+                    "kind": kind,
+                    "state": self.state,
+                    "completed_units": self.completed_units,
+                    "cached_units": self.cached_units,
+                    "total_units": self.total_units,
+                    "total_retries": int(sum(self.retried_units.values())),
+                    **data,
+                }
+            )
+            self._events_cond.notify_all()
+
+    def events_since(self, since: int, timeout: float = 25.0) -> List[dict]:
+        """Events with ``seq > since``, long-polling up to ``timeout``.
+
+        Returns immediately when fresh events exist or the job is
+        terminal (so pollers of finished/cache-hit jobs never hang);
+        otherwise blocks until the next :meth:`record_event` or the
+        timeout, whichever comes first (timeout returns ``[]``).
+        """
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        with self._events_cond:
+            while True:
+                fresh = [event for event in self.events if event["seq"] > since]
+                if fresh or self.state in ("done", "failed"):
+                    return fresh
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._events_cond.wait(remaining)
 
     def status_dict(self) -> dict:
         """JSON-able status payload (the ``GET /experiments/<id>`` body)."""
@@ -123,6 +197,7 @@ class Job:
                 "total_retries": int(sum(self.retried_units.values())),
                 "failed_units": list(self.failed_units),
                 "pool_rebuilds": self.pool_rebuilds,
+                "reclaimed_leases": self.reclaimed_leases,
                 "heartbeat_age": (
                     None
                     if self.heartbeat_at is None or self.state != "running"
@@ -149,6 +224,7 @@ class JobQueue:
         retry: Any = None,
         job_timeout: Optional[float] = None,
         stall_timeout: Optional[float] = None,
+        lease_ttl: Optional[float] = None,
     ):
         self.store = store if isinstance(store, ResultStore) else ResultStore(store)
         #: Forced executor name for every job (``None`` honours each
@@ -170,6 +246,10 @@ class JobQueue:
         self._counter = itertools.count(1)
         self._started = False
         self._draining = False
+        #: Lease ledger for ``remote``-executor jobs: their units are
+        #: leased to ``repro worker`` processes through the server's
+        #: ``/work/*`` endpoints instead of running on local cores.
+        self.dispatch = DispatchBoard(lease_ttl=lease_ttl)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -335,6 +415,19 @@ class JobQueue:
             ) from error
         enqueue = False
         with self._lock:
+            # Authoritative drain check: begin_draining flips the flag
+            # under this lock, so a submission racing a SIGTERM drain
+            # either lands before the flip (the drain waits for it) or
+            # 503s here — the unlocked check above is only a fast path.
+            # Without this, a submission could slip in after drain()
+            # observed an empty queue and be both persisted for the next
+            # server AND executed by a not-yet-stopped worker thread:
+            # the same spec run twice.
+            if self._draining:
+                raise ServiceUnavailable(
+                    "service is draining for shutdown; not accepting new "
+                    "experiments"
+                )
             inflight_id = self._inflight.get(fingerprint)
             if inflight_id is not None:
                 job = self._jobs[inflight_id]
@@ -369,6 +462,47 @@ class JobQueue:
     def result_text(self, job: Job) -> Optional[str]:
         """The stored result payload for a finished job (exact bytes)."""
         return self.store.read_result_text(job.fingerprint)
+
+    def partial_result(self, job: Job) -> dict:
+        """Completed shards plus failure report for a (failed) job.
+
+        The ``?partial=1`` result view: everything the store holds for
+        the job right now — each planned unit's cached shard data (in
+        unit order), the units still missing, and the persisted
+        :class:`~repro.reliability.FailureReport` if the job quarantined
+        units — so a client can salvage a partially-failed grid without
+        resubmitting.
+        """
+        completed: List[dict] = []
+        missing: List[str] = []
+        for unit_id in job.unit_order:
+            unit_fp = job.unit_fingerprints.get(unit_id, "")
+            hit, data = (
+                self.store.get_shard(unit_fp) if unit_fp else (False, None)
+            )
+            if hit:
+                completed.append(
+                    {"unit_id": unit_id, "fingerprint": unit_fp, "data": data}
+                )
+            else:
+                missing.append(unit_id)
+        failure_report = None
+        report_path = self.store.root / "failures" / f"{job.job_id}.json"
+        try:
+            failure_report = json.loads(report_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            pass
+        return {
+            "job_id": job.job_id,
+            "state": job.state,
+            "fingerprint": job.fingerprint,
+            "partial": True,
+            "total_units": job.total_units,
+            "completed_units": completed,
+            "missing_units": missing,
+            "failure_report": failure_report,
+            "error": job.error,
+        }
 
     def retry_metrics(self) -> dict:
         """Queue-wide reliability counters (the ``/healthz`` payload).
@@ -410,16 +544,25 @@ class JobQueue:
             job = self.get(job_id)
             if job is None:  # pragma: no cover - defensive
                 continue
+            error_text: Optional[str] = None
             try:
                 self._run_job(job)
-                job.state = "done"
             except Exception as error:  # noqa: BLE001 - surface via the job
-                job.error = f"{type(error).__name__}: {error}"
-                job.state = "failed"
-            finally:
+                error_text = f"{type(error).__name__}: {error}"
+            # Terminal transition and in-flight release are one atomic
+            # step under the queue lock: drain()/persist_state() can
+            # never observe a finished job still holding its
+            # fingerprint, or a released fingerprint on an unfinished
+            # job (the double-execution window).
+            with self._lock:
+                if error_text is None:
+                    job.state = "done"
+                else:
+                    job.error = error_text
+                    job.state = "failed"
                 job.finished_at = time.time()
-                with self._lock:
-                    self._inflight.pop(job.fingerprint, None)
+                self._inflight.pop(job.fingerprint, None)
+            job.record_event("state")
 
     def _should_abort(self, job: Job) -> Optional[str]:
         """The reason this job must stop now, or None to keep going."""
@@ -448,6 +591,7 @@ class JobQueue:
         job.state = "running"
         job.started_at = time.time()
         job.heartbeat()
+        job.record_event("state")
         # Re-check the whole-result tier: a twin submitted before dedup
         # could exist may have finished while this job sat queued.
         if self.store.has_result(job.fingerprint):
@@ -463,6 +607,14 @@ class JobQueue:
         )
         plan = plan_experiment(spec, executor)
         job.total_units = len(plan.units)
+        job.unit_order = [unit.unit_id for unit in plan.units]
+        job.unit_fingerprints = dict(plan.unit_fingerprints)
+        # Remote jobs lease their units to workers through the queue's
+        # shared board (the server's /work/* endpoints) instead of
+        # executing on this host's cores.
+        bind_remote = getattr(executor, "bind_remote", None)
+        if bind_remote is not None:
+            bind_remote(spec, plan, board=self.dispatch)
         # Resolve the chaos plan (if any) once so corrupt_shard actions
         # can fire parent-side as shards land in the store.
         fault_actions = (
@@ -480,6 +632,7 @@ class JobQueue:
                 outputs[unit.unit_id] = data
                 job.cached_units += 1
                 job.completed_units += 1
+                job.record_event("unit", unit_id=unit.unit_id, cached=True)
             else:
                 pending.append(unit)
 
@@ -496,15 +649,29 @@ class JobQueue:
             outputs[unit.unit_id] = output
             job.completed_units += 1
             job.heartbeat()
+            job.record_event("unit", unit_id=unit.unit_id, cached=False)
 
         def on_event(kind, payload):
             job.heartbeat()
             if kind == "retry":
                 unit_id = payload.get("unit_id", "")
                 job.retried_units[unit_id] = job.retried_units.get(unit_id, 0) + 1
+                job.record_event("retry", unit_id=unit_id)
             elif kind == "pool_rebuild":
                 job.pool_rebuilds = payload.get(
                     "rebuilds", job.pool_rebuilds + 1
+                )
+                job.record_event("pool_rebuild")
+            elif kind == "reclaim":
+                job.reclaimed_leases += 1
+                job.record_event(
+                    "reclaim",
+                    unit_id=payload.get("unit_id", ""),
+                    worker_id=payload.get("worker_id"),
+                )
+            elif kind == "quarantine":
+                job.record_event(
+                    "quarantine", unit_id=payload.get("unit_id", "")
                 )
 
         abort_reason: List[str] = []

@@ -17,12 +17,34 @@ The server wires a :class:`~repro.service.jobs.JobQueue` (and its
     The finished outcome as stored — the exact cached bytes, so two
     submissions of the same spec receive byte-identical payloads.
     ``409`` while the job is still queued/running, ``500`` if it failed.
+    With ``?partial=1`` the response is instead the job's *partial*
+    view in any state (:meth:`JobQueue.partial_result`): every
+    completed shard the store holds, the units still missing, and the
+    persisted failure report — how a client salvages a quarantined
+    grid without resubmitting.
+
+``GET /experiments/<id>/events?since=N``
+    Long-poll progress stream: blocks (up to ``?timeout=S``, default 25,
+    capped at 30) until the job records events numbered past ``N`` —
+    unit completions (with ``cached`` flags), retries, lease reclaims,
+    quarantines, state changes — then returns them with the headline
+    counters snapshotted per event.  Terminal jobs return immediately,
+    so pollers never hang on finished work; pass the response's
+    ``next_since`` as the next request's ``since``.
+
+``POST /work/lease`` / ``POST /work/heartbeat`` / ``POST /work/<fp>/result``
+    The remote-worker dispatch protocol (:mod:`repro.service.dispatch`),
+    routed onto the queue's shared :class:`~repro.service.dispatch.
+    DispatchBoard`.  ``repro worker --connect URL`` processes — local or
+    on other hosts — lease units of ``executor="remote"`` jobs through
+    these, heartbeat their leases, and push fingerprinted results back.
 
 ``GET /experiments`` lists all jobs; ``GET /healthz`` reports liveness,
-store statistics and queue-wide retry-budget metrics
+store statistics, queue-wide retry-budget metrics
 (:meth:`JobQueue.retry_metrics`: jobs by state, total retries,
-retried/quarantined unit counts, pool rebuilds).  Everything is
-standard library
+retried/quarantined unit counts, pool rebuilds) and the dispatch
+board's lease counters (granted/active/reclaimed leases, duplicate and
+dropped results, connected workers).  Everything is standard library
 (:class:`http.server.ThreadingHTTPServer`) — no new dependencies.
 
 **Graceful shutdown.**  :meth:`ExperimentServer.shutdown_gracefully`
@@ -45,7 +67,9 @@ import threading
 import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Union
+from urllib.parse import parse_qs, urlsplit
 
+from repro.service.dispatch import handle_work_request
 from repro.service.jobs import JobQueue, ServiceError, ServiceUnavailable
 from repro.service.store import ResultStore
 
@@ -88,8 +112,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ------------------------------------------------------------
 
+    @staticmethod
+    def _query_value(query: dict, key: str, default: str = "") -> str:
+        values = query.get(key)
+        return values[-1] if values else default
+
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        path = self.path.rstrip("/")
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/")
+        query = parse_qs(split.query)
         queue = self.server.queue
         if path in ("", "/healthz"):
             self._send_json(
@@ -98,6 +129,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "status": "ok",
                     "store": queue.store.stats(),
                     "retries": queue.retry_metrics(),
+                    "dispatch": queue.dispatch.stats(),
                 },
             )
             return
@@ -116,6 +148,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, job.status_dict())
                 return
             if len(parts) == 3 and parts[2] == "result":
+                if self._query_value(query, "partial") in ("1", "true", "yes"):
+                    self._send_json(200, queue.partial_result(job))
+                    return
                 if job.state == "failed":
                     self._error(500, job.error or "job failed")
                     return
@@ -134,17 +169,46 @@ class _Handler(BaseHTTPRequestHandler):
                     200, text.encode("utf-8"), "application/json"
                 )
                 return
+            if len(parts) == 3 and parts[2] == "events":
+                try:
+                    since = int(self._query_value(query, "since", "0"))
+                    timeout = float(self._query_value(query, "timeout", "25"))
+                except ValueError:
+                    self._error(400, "since/timeout must be numeric")
+                    return
+                events = job.events_since(since, timeout=min(timeout, 30.0))
+                self._send_json(
+                    200,
+                    {
+                        "job_id": job.job_id,
+                        "state": job.state,
+                        "events": events,
+                        "next_since": events[-1]["seq"] if events else since,
+                    },
+                )
+                return
         self._error(404, f"no route for GET {self.path}")
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        if self.path.rstrip("/") != "/experiments":
-            self._error(404, f"no route for POST {self.path}")
-            return
+        path = urlsplit(self.path).path.rstrip("/")
         try:
             length = int(self.headers.get("Content-Length", 0))
             payload = json.loads(self.rfile.read(length) or b"{}")
         except (ValueError, TypeError) as error:
             self._error(400, f"request body is not valid JSON: {error}")
+            return
+        if path.startswith("/work/") or path == "/work":
+            status, body = handle_work_request(
+                self.server.queue.dispatch, path, payload
+            )
+            try:
+                self._send_json(status, body)
+            except (BrokenPipeError, ConnectionResetError):
+                # Worker vanished mid-response; its lease will expire.
+                self.close_connection = True
+            return
+        if path != "/experiments":
+            self._error(404, f"no route for POST {self.path}")
             return
         try:
             job = self.server.queue.submit(payload)
@@ -173,6 +237,7 @@ def make_server(
     retry=None,
     job_timeout: Optional[float] = None,
     stall_timeout: Optional[float] = None,
+    lease_ttl: Optional[float] = None,
 ) -> _ServiceHTTPServer:
     """Build (but do not start) the HTTP server over a fresh job queue."""
     queue = JobQueue(
@@ -182,6 +247,7 @@ def make_server(
         retry=retry,
         job_timeout=job_timeout,
         stall_timeout=stall_timeout,
+        lease_ttl=lease_ttl,
     )
     server = _ServiceHTTPServer((host, port), _Handler)
     server.queue = queue
@@ -211,6 +277,7 @@ class ExperimentServer:
         job_timeout: Optional[float] = None,
         stall_timeout: Optional[float] = None,
         drain_timeout: float = 30.0,
+        lease_ttl: Optional[float] = None,
     ):
         self._server = make_server(
             store,
@@ -222,6 +289,7 @@ class ExperimentServer:
             retry=retry,
             job_timeout=job_timeout,
             stall_timeout=stall_timeout,
+            lease_ttl=lease_ttl,
         )
         self.drain_timeout = float(drain_timeout)
         self._thread: Optional[threading.Thread] = None

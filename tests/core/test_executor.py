@@ -44,6 +44,7 @@ class TestRegistry:
             "device",
             "lockstep",
             "process_pool",
+            "remote",
             "serial",
         ]
 

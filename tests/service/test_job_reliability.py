@@ -167,3 +167,35 @@ class TestDrainPersistRestore:
         queue = JobQueue(tmp_path / "store").start()
         queue.stop()
         queue.stop()  # second call must be a no-op, not a hang/raise
+
+    def test_submission_racing_drain_cannot_double_execute(
+        self, queue, monkeypatch
+    ):
+        # Regression: a SIGTERM drain flipping the flag between submit()'s
+        # unlocked fast-path check and its locked critical section used
+        # to let the submission slip through — persisted for the next
+        # server AND runnable by a not-yet-stopped worker thread (the
+        # same spec executed twice).  Simulate the race by flipping the
+        # flag inside spec.fingerprint(), which submit() calls exactly
+        # in that window; the locked re-check must 503.
+        original = ExperimentSpec.fingerprint
+
+        def flip_then_fingerprint(self, plan=None):
+            if not queue.draining:
+                queue.begin_draining()
+            return original(self, plan)
+
+        monkeypatch.setattr(
+            ExperimentSpec, "fingerprint", flip_then_fingerprint
+        )
+        with pytest.raises(ServiceUnavailable, match="draining"):
+            queue.submit(_spec())
+        # The rejected submission left no trace: nothing in flight to
+        # run now, nothing persisted for a restarted server to rerun.
+        assert queue.jobs() == []
+        assert queue.drain(timeout=10.0)
+        queue.persist_state()
+        import json
+
+        payload = json.loads(queue.state_path().read_text(encoding="utf-8"))
+        assert payload["jobs"] == []

@@ -136,6 +136,8 @@ class TestExamplesRun:
         assert "first submission: state=done cache_hit=False" in out
         assert "second submission: state=done cache_hit=True" in out
         assert "served payloads byte-identical: True" in out
+        assert "remote run: state=done" in out
+        assert "distributed bytes identical to single-host serving: True" in out
 
     def test_shot_based_training(self, capsys, monkeypatch):
         module = _load("shot_based_training")
